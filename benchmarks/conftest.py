@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one paper artifact (figure, worked example
+or theorem claim) via :mod:`repro.analysis.experiments`, times it with
+``pytest-benchmark`` and prints the regenerated table so that the harness
+output documents the reproduced numbers alongside the timings.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Directory where every benchmark drops the table it regenerated (pytest
+#: captures stdout, so the tables would otherwise be invisible in the harness
+#: log of a passing run).
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def run_and_report(benchmark, experiment, *args, **kwargs):
+    """Benchmark an experiment function, print its table and assert its claims."""
+    record = benchmark(lambda: experiment(*args, **kwargs))
+    print()
+    print(record.to_table())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    suffix = "_".join(str(v) for v in list(args) + list(kwargs.values()))
+    name = record.experiment_id + (f"_{suffix}" if suffix else "")
+    safe_name = "".join(ch if ch.isalnum() or ch in "._-" else "_" for ch in name)
+    (RESULTS_DIR / f"{safe_name}.txt").write_text(record.to_table() + "\n",
+                                                  encoding="utf-8")
+    assert record.all_claims_hold, (
+        f"experiment {record.experiment_id} has failing paper claims:\n"
+        + "\n".join(f"- {claim} (measured: {measured})"
+                    for claim, measured, holds in record.claims if not holds))
+    return record
+
+
+@pytest.fixture
+def report(benchmark):
+    """Fixture exposing :func:`run_and_report` bound to the benchmark fixture."""
+
+    def _runner(experiment, *args, **kwargs):
+        return run_and_report(benchmark, experiment, *args, **kwargs)
+
+    return _runner

@@ -1,0 +1,13 @@
+"""A1 — Ablation: exact path-based solver vs Frank–Wolfe.
+
+The paper only requires that optima and equilibria be "efficiently
+computable"; this ablation shows that the two solvers we implement agree, so
+the choice does not affect any reproduced number.
+"""
+
+from repro.analysis.ablation import ablation_solver_agreement
+
+
+def test_a01_solver_agreement(report):
+    record = report(ablation_solver_agreement, seeds=(0, 1))
+    assert record.experiment_id == "A1"

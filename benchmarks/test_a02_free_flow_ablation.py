@@ -1,0 +1,13 @@
+"""A2 — Ablation: MOP's max-flow free-flow rule vs a greedy decomposition rule.
+
+Validates the DESIGN.md choice of computing the uncontrolled (free) flow as a
+max-flow inside the shortest-path subgraph: it never demands more control than
+the naive greedy-decomposition alternative and still induces the optimum.
+"""
+
+from repro.analysis.ablation import ablation_free_flow_rule
+
+
+def test_a02_free_flow_rule(report):
+    record = report(ablation_free_flow_rule, seeds=(0, 1))
+    assert record.experiment_id == "A2"

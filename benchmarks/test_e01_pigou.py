@@ -1,0 +1,12 @@
+"""E1 — Figures 1–3: Pigou's example.
+
+Regenerates the Nash/optimum flows, the 4/3 anarchy cost and the Price of
+Optimum beta = 1/2 with the Leader strategy <0, 1/2> of Figures 2–3.
+"""
+
+from repro.analysis.experiments import experiment_pigou
+
+
+def test_e01_pigou_example(report):
+    record = report(experiment_pigou)
+    assert record.experiment_id == "E1"

@@ -1,0 +1,13 @@
+"""E2 — Figures 4–6: the five-link OpTop walk-through.
+
+Regenerates the Nash and optimum flows of the l1=x .. l5=0.7 instance, checks
+that OpTop freezes exactly M4 and M5, that beta = 29/120 and that the induced
+equilibrium matches the optimum (Figure 6).
+"""
+
+from repro.analysis.experiments import experiment_figure4_optop
+
+
+def test_e02_figure4_walkthrough(report):
+    record = report(experiment_figure4_optop)
+    assert record.experiment_id == "E2"

@@ -1,0 +1,20 @@
+"""E3 — Figure 7: MOP on the Roughgarden Example 6.5.1 graph.
+
+Regenerates the optimal edge flows (3/4-e, 1/4+e, 1/2-2e, ...), the shortest
+path P0, the Price of Optimum beta_G = 1/2 + 2e and the fact that MOP's
+strategy induces the optimum cost despite the 1/alpha lower-bound example.
+"""
+
+import pytest
+
+from repro.analysis.experiments import experiment_roughgarden_mop
+
+
+def test_e03_roughgarden_unperturbed(report):
+    record = report(experiment_roughgarden_mop, epsilon=0.0)
+    assert record.experiment_id == "E3"
+
+
+@pytest.mark.parametrize("epsilon", [0.02, 0.08])
+def test_e03_roughgarden_perturbed(report, epsilon):
+    report(experiment_roughgarden_mop, epsilon=epsilon)

@@ -1,0 +1,14 @@
+"""E4 — Corollary 2.2: OpTop on random parallel-link families.
+
+Per instance family (linear, common-slope, polynomial, mixed) the benchmark
+reports beta statistics and verifies that OpTop's strategy always induces the
+optimum cost and that no grid strategy below beta can do so.
+"""
+
+from repro.analysis.experiments import experiment_optop_random_families
+
+
+def test_e04_optop_random_families(report):
+    record = report(experiment_optop_random_families,
+                    num_instances=4, num_links=6)
+    assert record.experiment_id == "E4"

@@ -1,0 +1,12 @@
+"""E5 — Corollary 2.3 / Theorem 2.1: MOP on s–t and k-commodity networks.
+
+Reports beta, optimum cost and induced cost on grid, layered and
+2-commodity instances, plus the classic Braess graph where beta = 1.
+"""
+
+from repro.analysis.experiments import experiment_mop_networks
+
+
+def test_e05_mop_networks(report):
+    record = report(experiment_mop_networks, seeds=(0, 1))
+    assert record.experiment_id == "E5"

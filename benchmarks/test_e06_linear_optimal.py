@@ -1,0 +1,13 @@
+"""E6 — Theorem 2.4: optimal strategies below beta on common-slope linear links.
+
+Compares the Theorem 2.4 polynomial-time strategy against exhaustive grid
+search at alpha in {0.25, 0.5, 0.75} x beta and checks it recovers C(O) at
+alpha = beta.
+"""
+
+from repro.analysis.experiments import experiment_linear_optimal
+
+
+def test_e06_linear_optimal_strategy(report):
+    record = report(experiment_linear_optimal, num_links=4, brute_resolution=16)
+    assert record.experiment_id == "E6"

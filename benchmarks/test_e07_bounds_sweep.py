@@ -1,0 +1,13 @@
+"""E7 — Expression (2): a-posteriori anarchy cost vs alpha.
+
+Sweeps the Leader's share and verifies the LLF guarantees 1/alpha (arbitrary
+latencies) and 4/(3+alpha) (linear latencies), and that for alpha >= beta the
+ratio is exactly 1 via OpTop's strategy.
+"""
+
+from repro.analysis.experiments import experiment_bound_sweep
+
+
+def test_e07_bound_sweep(report):
+    record = report(experiment_bound_sweep)
+    assert record.experiment_id == "E7"

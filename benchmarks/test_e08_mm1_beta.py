@@ -1,0 +1,12 @@
+"""E8 — Remark after Corollary 2.2: beta on M/M/1 server farms.
+
+Shows that the Price of Optimum shrinks when the farm contains a small group
+of highly appealing (fast) links, and vanishes for identical links.
+"""
+
+from repro.analysis.experiments import experiment_mm1_beta
+
+
+def test_e08_mm1_beta(report):
+    record = report(experiment_mm1_beta)
+    assert record.experiment_id == "E8"

@@ -1,0 +1,8 @@
+"""E9 — Proposition 7.1: Nash link flows are monotone in the demand."""
+
+from repro.analysis.experiments import experiment_monotonicity
+
+
+def test_e09_monotonicity(report):
+    record = report(experiment_monotonicity)
+    assert record.experiment_id == "E9"

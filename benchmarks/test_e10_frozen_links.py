@@ -1,0 +1,12 @@
+"""E10 — Theorems 7.2/7.4 and Lemma 7.5: useless strategies and frozen links.
+
+Random sub-Nash strategies must recreate the Nash equilibrium exactly, and
+links frozen above their Nash load must receive zero induced selfish flow.
+"""
+
+from repro.analysis.experiments import experiment_frozen_links
+
+
+def test_e10_frozen_links(report):
+    record = report(experiment_frozen_links)
+    assert record.experiment_id == "E10"

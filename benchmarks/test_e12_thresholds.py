@@ -1,0 +1,8 @@
+"""E12 — footnote 6 / Sharma–Williamson: minimum useful control vs beta."""
+
+from repro.analysis.experiments import experiment_thresholds
+
+
+def test_e12_useful_control_thresholds(report):
+    record = report(experiment_thresholds)
+    assert record.experiment_id == "E12"

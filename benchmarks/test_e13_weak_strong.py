@@ -1,0 +1,13 @@
+"""E13 — Section 4: weak vs strong Stackelberg strategies on k commodities.
+
+Compares the uniform-fraction (weak) Price of Optimum with the per-commodity
+(strong) one computed by MOP and measures the coordination gain of strong
+strategies on asymmetric multicommodity instances.
+"""
+
+from repro.analysis.experiments import experiment_weak_strong
+
+
+def test_e13_weak_vs_strong(report):
+    record = report(experiment_weak_strong, seeds=(0, 1, 2))
+    assert record.experiment_id == "E13"

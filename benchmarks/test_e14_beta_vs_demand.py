@@ -1,0 +1,12 @@
+"""E14 — the Price of Optimum across congestion levels.
+
+Sweeps the total demand on the canonical parallel-link instances and checks
+that beta is positive exactly where selfish routing is suboptimal.
+"""
+
+from repro.analysis.experiments import experiment_beta_vs_demand
+
+
+def test_e14_beta_vs_demand(report):
+    record = report(experiment_beta_vs_demand, num_points=6)
+    assert record.experiment_id == "E14"

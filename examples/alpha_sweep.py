@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""How the achievable cost falls as the Leader's share alpha grows.
+
+Run with::
+
+    python examples/alpha_sweep.py
+
+On a common-slope linear instance (the Theorem 2.4 family) the script sweeps
+the Leader's share alpha from 0 to 1 and compares
+
+* the LLF and SCALE heuristics,
+* the provably optimal restricted strategy of Theorem 2.4, and
+* the theoretical guarantees ``1/alpha`` and ``4/(3+alpha)``,
+
+against the Price of Optimum ``beta`` computed by OpTop — the point beyond
+which the optimal ratio is exactly 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import optop
+from repro.analysis import alpha_sweep
+from repro.instances import random_affine_common_slope
+from repro.metrics import general_latency_bound, linear_latency_bound
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    instance = random_affine_common_slope(5, demand=2.5, seed=13, slope=1.0)
+    result = optop(instance)
+    print(f"Instance: 5 links, common slope 1, demand 2.5")
+    print(f"C(N) = {result.nash_cost:.6f}, C(O) = {result.optimum_cost:.6f}, "
+          f"beta = {result.beta:.6f}\n")
+
+    alphas = np.round(np.linspace(0.05, 1.0, 20), 4)
+    rows = alpha_sweep(instance, alphas, strategies=("llf", "scale"),
+                       include_optimal_restricted=True)
+    table_rows = []
+    for row in rows:
+        table_rows.append((
+            row.alpha,
+            row.ratios["optimal"],
+            row.ratios["llf"],
+            row.ratios["scale"],
+            general_latency_bound(row.alpha),
+            linear_latency_bound(row.alpha),
+            "yes" if row.alpha >= result.beta else "",
+        ))
+    print(format_table(
+        ("alpha", "optimal (Thm 2.4)", "LLF", "SCALE", "1/alpha", "4/(3+alpha)",
+         "alpha >= beta"),
+        table_rows,
+        title="Cost ratio C(S+T)/C(O) versus the Leader's share alpha"))
+
+
+if __name__ == "__main__":
+    main()

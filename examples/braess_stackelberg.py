@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Stackelberg routing on Braess-type networks (the paper's Figure 7).
+
+Run with::
+
+    python examples/braess_stackelberg.py
+
+Two 4-node networks are analysed with algorithm MOP:
+
+* the classic Braess paradox graph, where the Leader must control *all* the
+  flow to enforce the optimum (beta = 1), and
+* the Roughgarden Example 6.5.1 graph of the paper's Figure 7, where despite
+  the negative ``1/alpha`` lower bound a Leader controlling roughly half the
+  flow induces the optimum exactly.
+"""
+
+from __future__ import annotations
+
+from repro import instances, mop, network_nash
+from repro.utils.tables import format_table
+
+
+def describe(name: str, instance) -> None:
+    """Print optimum / Nash / MOP strategy edge flows for a network instance."""
+    result = mop(instance, compute_nash=True)
+    nash = result.nash if result.nash is not None else network_nash(instance)
+
+    rows = []
+    for i, edge in enumerate(instance.network.edges):
+        rows.append((
+            f"{edge.tail}->{edge.head}",
+            float(nash.edge_flows[i]),
+            float(result.optimum.edge_flows[i]),
+            float(result.strategy.edge_flows[i]),
+            float(result.outcome.combined_flows[i]) if result.outcome else float("nan"),
+        ))
+    print(format_table(
+        ("edge", "nash flow", "optimum flow", "leader flow", "induced flow"),
+        rows, title=f"=== {name} ==="))
+    print(f"C(N) = {nash.cost:.6f}   C(O) = {result.optimum_cost:.6f}   "
+          f"PoA = {nash.cost / result.optimum_cost:.6f}")
+    print(f"Price of Optimum beta_G = {result.beta:.6f}")
+    print(f"Induced Stackelberg cost C(S+T) = {result.induced_cost:.6f}")
+    print(f"Free (uncontrolled) flow per commodity: {result.free_flows}")
+    print()
+
+
+def main() -> None:
+    describe("Classic Braess paradox", instances.braess_paradox())
+    describe("Roughgarden Example 6.5.1 graph (Figure 7)",
+             instances.roughgarden_example(epsilon=0.0))
+    describe("Roughgarden graph, perturbed (epsilon = 0.02)",
+             instances.roughgarden_example(epsilon=0.02))
+
+
+if __name__ == "__main__":
+    main()

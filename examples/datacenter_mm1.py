@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Stackelberg scheduling in an M/M/1 server farm (Korilis–Lazar–Orda scenario).
+
+Run with::
+
+    python examples/datacenter_mm1.py
+
+A datacenter operator serves an infinite stream of selfish jobs on a farm of
+fast and slow M/M/1 servers.  Left alone, the jobs overload the fast servers.
+The operator can pre-route a fraction of the traffic centrally; the script
+shows
+
+* how much traffic must be controlled to restore the optimum (the Price of
+  Optimum of the farm),
+* how beta shrinks as the fast group becomes more appealing or as the farm
+  becomes homogeneous (the remark after Corollary 2.2), and
+* how the LLF and SCALE heuristics compare when the operator controls less
+  than beta.
+"""
+
+from __future__ import annotations
+
+from repro import llf, optop, price_of_anarchy, scale
+from repro.instances import mm1_server_farm
+from repro.utils.tables import format_table
+
+
+def farm_table() -> None:
+    """Price of Optimum across farm configurations."""
+    rows = []
+    configs = [
+        ("2 fast (x2) + 6 slow", dict(num_fast=2, num_slow=6, fast_capacity=4.0,
+                                      slow_capacity=2.0)),
+        ("2 fast (x5) + 6 slow", dict(num_fast=2, num_slow=6, fast_capacity=10.0,
+                                      slow_capacity=2.0)),
+        ("2 fast (x10) + 6 slow", dict(num_fast=2, num_slow=6, fast_capacity=20.0,
+                                       slow_capacity=2.0)),
+        ("8 identical servers", dict(num_fast=0, num_slow=8, slow_capacity=3.0)),
+        ("16 identical servers", dict(num_fast=0, num_slow=16, slow_capacity=3.0)),
+    ]
+    for name, kwargs in configs:
+        farm = mm1_server_farm(utilisation=0.6, **kwargs)
+        result = optop(farm)
+        rows.append((name, farm.num_links, round(farm.demand, 3),
+                     price_of_anarchy(farm), result.beta))
+    print(format_table(
+        ("farm", "servers", "demand", "price of anarchy", "price of optimum beta"),
+        rows, title="=== How much traffic must the operator control? ==="))
+    print()
+
+
+def heuristics_below_beta() -> None:
+    """LLF vs SCALE when the operator controls less than beta."""
+    farm = mm1_server_farm(2, 6, fast_capacity=10.0, slow_capacity=2.0,
+                           utilisation=0.6)
+    result = optop(farm)
+    optimum_cost = result.optimum_cost
+    rows = []
+    for fraction in (0.25, 0.5, 0.75, 1.0):
+        alpha = fraction * result.beta
+        llf_cost = llf(farm, alpha).induce(farm).cost
+        scale_cost = scale(farm, alpha).induce(farm).cost
+        rows.append((f"{fraction:.2f} * beta", alpha,
+                     llf_cost / optimum_cost, scale_cost / optimum_cost))
+    print(format_table(
+        ("operator share", "alpha", "LLF cost / C(O)", "SCALE cost / C(O)"),
+        rows,
+        title=f"=== Heuristics below beta = {result.beta:.4f} "
+              f"(C(N)/C(O) = {result.nash_cost / optimum_cost:.4f}) ==="))
+    print()
+
+
+def main() -> None:
+    farm_table()
+    heuristics_below_beta()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: the Price of Optimum on Pigou's example and the paper's Figure 4.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script computes, for two canonical parallel-link instances,
+
+* the Nash equilibrium and the system optimum,
+* the price of anarchy,
+* the Price of Optimum ``beta`` (minimum Leader share needed to restore the
+  optimum) via algorithm OpTop, and
+* the induced Stackelberg equilibrium of OpTop's strategy.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    instances,
+    optop,
+    parallel_nash,
+    parallel_optimum,
+    price_of_anarchy,
+)
+from repro.utils.tables import format_table
+
+
+def describe(name: str, instance) -> None:
+    """Print the full Stackelberg picture of a parallel-link instance."""
+    nash = parallel_nash(instance)
+    optimum = parallel_optimum(instance)
+    result = optop(instance)
+
+    rows = []
+    for i in range(instance.num_links):
+        rows.append((
+            instance.names[i],
+            float(nash.flows[i]),
+            float(optimum.flows[i]),
+            float(result.strategy.flows[i]),
+            float(result.outcome.combined_flows[i]),
+        ))
+    print(format_table(
+        ("link", "nash flow", "optimum flow", "leader flow", "induced flow"),
+        rows, title=f"=== {name} ==="))
+    print(f"C(N) = {nash.cost:.6f}   C(O) = {optimum.cost:.6f}   "
+          f"price of anarchy = {price_of_anarchy(instance):.6f}")
+    print(f"Price of Optimum beta = {result.beta:.6f}  "
+          f"(Leader controls {result.controlled_flow:.6f} of {instance.demand} flow)")
+    print(f"Induced Stackelberg cost C(S+T) = {result.induced_cost:.6f} "
+          f"(= optimum: {abs(result.induced_cost - optimum.cost) < 1e-9})")
+    print()
+
+
+def main() -> None:
+    describe("Pigou's example (Figures 1-3)", instances.pigou())
+    describe("Five-link example (Figures 4-6)", instances.figure_4_example())
+
+
+if __name__ == "__main__":
+    main()

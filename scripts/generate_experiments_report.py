@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Regenerate the measured-results section of EXPERIMENTS.md.
+
+Runs every experiment in :mod:`repro.analysis.experiments` and prints the
+regenerated tables together with the paper-vs-measured claim lists.  The
+output of this script is pasted into EXPERIMENTS.md (section "Measured
+results"); re-run it after any solver change to refresh the numbers::
+
+    python scripts/generate_experiments_report.py > /tmp/experiments_section.txt
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiments
+
+
+def main() -> None:
+    ordered = [
+        experiments.experiment_pigou,
+        experiments.experiment_figure4_optop,
+        experiments.experiment_roughgarden_mop,
+        experiments.experiment_optop_random_families,
+        experiments.experiment_mop_networks,
+        experiments.experiment_linear_optimal,
+        experiments.experiment_bound_sweep,
+        experiments.experiment_mm1_beta,
+        experiments.experiment_monotonicity,
+        experiments.experiment_frozen_links,
+        experiments.experiment_scaling,
+        experiments.experiment_thresholds,
+        experiments.experiment_weak_strong,
+        experiments.experiment_beta_vs_demand,
+    ]
+    for experiment in ordered:
+        record = experiment()
+        status = "all claims hold" if record.all_claims_hold else "CLAIMS FAILED"
+        print(f"### {record.experiment_id} — {record.title}")
+        print()
+        print(f"Status: {status}.")
+        print()
+        print("```text")
+        print(record.to_table())
+        print("```")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that the
+package can be installed editable (``pip install -e .``) on machines without
+network access to build-backend wheels (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Experiment harness: sweeps, statistics, and the per-figure experiments.
+
+The benchmark modules under ``benchmarks/`` are thin wrappers around the
+functions here; keeping the experiment logic inside the library makes it
+reusable from the examples and unit-testable on its own.
+"""
+
+from repro.analysis.reporting import ExperimentRecord
+from repro.analysis.sweep import alpha_sweep, beta_statistics
+from repro.analysis.scaling import mop_scaling, optop_scaling
+from repro.analysis import ablation, experiments
+
+__all__ = [
+    "ExperimentRecord",
+    "alpha_sweep",
+    "beta_statistics",
+    "optop_scaling",
+    "mop_scaling",
+    "experiments",
+    "ablation",
+]

@@ -1,0 +1,149 @@
+"""Ablations of the reproduction's own design choices.
+
+DESIGN.md makes three implementation choices that the paper leaves open (it
+only says "efficiently computable"); the ablations here quantify that none of
+them drives the results:
+
+* **Solver choice** — the exact path-based solver versus Frank–Wolfe must
+  agree on equilibrium/optimum costs (within the Frank–Wolfe gap).
+* **Free-flow computation** — MOP's max-flow free flow versus a naive greedy
+  path-decomposition classification: the max-flow choice can only give a
+  smaller (never larger) Price of Optimum, and both induce the optimum.
+* **Shortest-path tolerance** — the edge-classification slack
+  ``shortest_path_atol`` must not change beta over several orders of
+  magnitude once it is above the solver noise.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentRecord
+from repro.core.mop import mop
+from repro.equilibrium.frank_wolfe import FrankWolfeOptions, frank_wolfe
+from repro.equilibrium.pathbased import path_based_flow
+from repro.instances.braess import roughgarden_example
+from repro.instances.random_networks import grid_network, layered_network
+from repro.paths.decomposition import decompose_flow
+from repro.paths.dijkstra import shortest_distances
+from repro.utils.numeric import relative_gap
+
+__all__ = [
+    "ablation_solver_agreement",
+    "ablation_free_flow_rule",
+    "ablation_shortest_path_tolerance",
+]
+
+
+def ablation_solver_agreement(*, seeds: Sequence[int] = (0, 1, 2),
+                              fw_tolerance: float = 1e-7) -> ExperimentRecord:
+    """Path-based SLSQP and Frank–Wolfe agree on Nash and optimum costs."""
+    record = ExperimentRecord(
+        "A1", "Ablation: exact path-based solver vs Frank-Wolfe",
+        headers=("instance", "kind", "path-based cost", "Frank-Wolfe cost",
+                 "relative gap"))
+    worst = 0.0
+    for seed in seeds:
+        instance = grid_network(3, 3, demand=2.0, seed=seed)
+        for kind in ("nash", "optimum"):
+            exact = path_based_flow(instance, kind)
+            iterative = frank_wolfe(instance, kind,
+                                    FrankWolfeOptions(tolerance=fw_tolerance))
+            gap = relative_gap(iterative.cost, exact.cost)
+            worst = max(worst, gap)
+            record.add_row(f"grid 3x3 (seed {seed})", kind, exact.cost,
+                           iterative.cost, gap)
+    record.add_claim("Both solvers compute the same flows/costs "
+                     "(the choice is an implementation detail)",
+                     f"worst relative cost gap {worst:.2e}", worst < 1e-4)
+    return record
+
+
+def _greedy_free_flow(instance, result) -> float:
+    """Free flow according to a naive greedy path decomposition of the optimum.
+
+    Decomposes the optimum into paths and counts as *free* only the flow on
+    decomposed paths whose latency equals the shortest-path distance.  This is
+    the obvious alternative to the max-flow rule; it depends on the (arbitrary)
+    decomposition and can only under-estimate the free flow.
+    """
+    costs = instance.latencies_at(result.optimum.edge_flows)
+    free_total = 0.0
+    remaining = result.optimum.edge_flows.copy()
+    for commodity in instance.commodities:
+        dist, _ = shortest_distances(instance.network, commodity.source, costs)
+        target = dist[commodity.sink]
+        paths = decompose_flow(instance.network, remaining, commodity.source,
+                               commodity.sink)
+        shipped = 0.0
+        for path, value in paths:
+            take = min(value, commodity.demand - shipped)
+            if take <= 0.0:
+                break
+            length = float(sum(costs[idx] for idx in path))
+            if length <= target + 1e-6:
+                free_total += take
+            for idx in path:
+                remaining[idx] -= take
+            shipped += take
+    return free_total
+
+
+def ablation_free_flow_rule(*, seeds: Sequence[int] = (0, 1, 2)) -> ExperimentRecord:
+    """MOP's max-flow free flow is never smaller than a greedy decomposition's."""
+    record = ExperimentRecord(
+        "A2", "Ablation: max-flow free flow vs greedy path-decomposition",
+        headers=("instance", "beta (max-flow)", "beta (greedy)",
+                 "induced = optimum"))
+    consistent = True
+    induced_ok = True
+    cases = [("roughgarden", roughgarden_example())]
+    for seed in seeds:
+        cases.append((f"grid 3x3 (seed {seed})",
+                      grid_network(3, 3, demand=2.0, seed=seed)))
+        cases.append((f"layered (seed {seed})",
+                      layered_network(3, 3, demand=2.0, seed=seed)))
+    for name, instance in cases:
+        result = mop(instance)
+        greedy_free = _greedy_free_flow(instance, result)
+        greedy_beta = 1.0 - greedy_free / instance.total_demand
+        reaches_optimum = relative_gap(result.induced_cost,
+                                       result.optimum_cost) < 1e-5
+        record.add_row(name, result.beta, greedy_beta,
+                       "yes" if reaches_optimum else "NO")
+        if result.beta > greedy_beta + 1e-6:
+            consistent = False
+        if not reaches_optimum:
+            induced_ok = False
+    record.add_claim("The max-flow rule never demands more control than the "
+                     "greedy decomposition rule",
+                     "beta(max-flow) <= beta(greedy) on every instance",
+                     consistent)
+    record.add_claim("The max-flow strategy still induces the optimum cost",
+                     "holds on every instance", induced_ok)
+    return record
+
+
+def ablation_shortest_path_tolerance(
+        *, tolerances: Sequence[float] = (1e-6, 1e-5, 1e-4, 1e-3),
+        seeds: Sequence[int] = (0, 1)) -> ExperimentRecord:
+    """beta is insensitive to the shortest-path classification slack."""
+    record = ExperimentRecord(
+        "A3", "Ablation: sensitivity of beta to shortest_path_atol",
+        headers=("instance",) + tuple(f"atol={tol:g}" for tol in tolerances))
+    stable = True
+    cases = [("roughgarden", roughgarden_example())]
+    for seed in seeds:
+        cases.append((f"grid 3x3 (seed {seed})",
+                      grid_network(3, 3, demand=2.0, seed=seed)))
+    for name, instance in cases:
+        betas = [mop(instance, shortest_path_atol=tol, compute_induced=False).beta
+                 for tol in tolerances]
+        record.add_row(name, *betas)
+        if max(betas) - min(betas) > 1e-3:
+            stable = False
+    record.add_claim("beta varies by < 1e-3 across three orders of magnitude "
+                     "of the tolerance", "holds on every instance", stable)
+    return record

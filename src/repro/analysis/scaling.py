@@ -1,0 +1,57 @@
+"""Empirical runtime scaling of OpTop and MOP (polynomial-time claims)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.mop import mop
+from repro.core.optop import optop
+from repro.instances.random_parallel import random_linear_parallel
+from repro.instances.random_networks import grid_network
+
+__all__ = ["ScalingPoint", "optop_scaling", "mop_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One measured point of a runtime-scaling curve."""
+
+    size: int
+    seconds: float
+    beta: float
+
+
+def optop_scaling(sizes: Sequence[int], *, demand: float = 5.0,
+                  seed: int = 0, repeats: int = 1) -> List[ScalingPoint]:
+    """Wall-clock time of OpTop on random linear instances of growing size."""
+    points: List[ScalingPoint] = []
+    for m in sizes:
+        instance = random_linear_parallel(int(m), demand=demand, seed=seed + int(m))
+        start = time.perf_counter()
+        for _ in range(max(1, repeats)):
+            result = optop(instance)
+        elapsed = (time.perf_counter() - start) / max(1, repeats)
+        points.append(ScalingPoint(size=int(m), seconds=elapsed, beta=result.beta))
+    return points
+
+
+def mop_scaling(grid_sizes: Sequence[int], *, demand: float = 2.0,
+                seed: int = 0, repeats: int = 1) -> List[ScalingPoint]:
+    """Wall-clock time of MOP on square grid networks of growing size.
+
+    ``grid_sizes`` lists the grid side lengths; the number of edges grows
+    quadratically with the side.
+    """
+    points: List[ScalingPoint] = []
+    for side in grid_sizes:
+        instance = grid_network(int(side), int(side), demand=demand,
+                                seed=seed + int(side))
+        start = time.perf_counter()
+        for _ in range(max(1, repeats)):
+            result = mop(instance, compute_induced=False)
+        elapsed = (time.perf_counter() - start) / max(1, repeats)
+        points.append(ScalingPoint(size=int(side), seconds=elapsed,
+                                   beta=result.beta))
+    return points

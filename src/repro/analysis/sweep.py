@@ -1,0 +1,136 @@
+"""Parameter sweeps: a-posteriori cost versus alpha, beta statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.parallel import ParallelLinkInstance
+from repro.equilibrium.parallel import parallel_nash, parallel_optimum
+from repro.baselines.llf import llf
+from repro.baselines.scale import scale
+from repro.core.optop import optop
+from repro.core.linear_optimal import optimal_restricted_strategy
+from repro.exceptions import ModelError
+
+__all__ = ["AlphaSweepRow", "alpha_sweep", "beta_statistics", "beta_demand_sweep"]
+
+
+@dataclass(frozen=True)
+class AlphaSweepRow:
+    """Ratio ``C(S+T)/C(O)`` of each strategy at one value of alpha."""
+
+    alpha: float
+    ratios: Dict[str, float]
+
+
+_STRATEGY_BUILDERS: Dict[str, Callable] = {
+    "llf": llf,
+    "scale": scale,
+}
+
+
+def alpha_sweep(instance: ParallelLinkInstance, alphas: Sequence[float],
+                *, strategies: Sequence[str] = ("llf", "scale"),
+                include_optimal_restricted: bool = False) -> List[AlphaSweepRow]:
+    """Sweep the Leader's share alpha and record each strategy's cost ratio.
+
+    ``strategies`` selects among the named baselines (``"llf"``, ``"scale"``);
+    ``include_optimal_restricted`` additionally runs the Theorem 2.4 optimal
+    strategy (only valid for common-slope linear instances).
+    """
+    optimum_cost = parallel_optimum(instance).cost
+    if optimum_cost <= 0.0:
+        raise ModelError("the instance has zero optimum cost; sweep is meaningless")
+    rows: List[AlphaSweepRow] = []
+    for alpha in alphas:
+        ratios: Dict[str, float] = {}
+        for name in strategies:
+            builder = _STRATEGY_BUILDERS.get(name)
+            if builder is None:
+                raise ModelError(f"unknown strategy {name!r} in alpha_sweep")
+            strategy = builder(instance, float(alpha))
+            ratios[name] = strategy.induce(instance).cost / optimum_cost
+        if include_optimal_restricted:
+            restricted = optimal_restricted_strategy(instance, float(alpha))
+            ratios["optimal"] = restricted.cost / optimum_cost
+        rows.append(AlphaSweepRow(alpha=float(alpha), ratios=ratios))
+    return rows
+
+
+@dataclass(frozen=True)
+class BetaStatistics:
+    """Summary statistics of the Price of Optimum over an instance family."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    mean_poa: float
+
+    @classmethod
+    def from_samples(cls, betas: Sequence[float],
+                     poas: Sequence[float]) -> "BetaStatistics":
+        arr = np.asarray(betas, dtype=float)
+        return cls(count=int(arr.size), mean=float(arr.mean()),
+                   std=float(arr.std()), minimum=float(arr.min()),
+                   maximum=float(arr.max()),
+                   mean_poa=float(np.mean(np.asarray(poas, dtype=float))))
+
+
+@dataclass(frozen=True)
+class BetaDemandPoint:
+    """The Price of Optimum and anarchy gap of one demand level."""
+
+    demand: float
+    beta: float
+    price_of_anarchy: float
+    nash_cost: float
+    optimum_cost: float
+
+
+def beta_demand_sweep(instance: ParallelLinkInstance,
+                      demands: Sequence[float]) -> List[BetaDemandPoint]:
+    """How the Price of Optimum varies with the congestion level.
+
+    Re-solves the instance at each total flow in ``demands`` and records beta
+    together with the price of anarchy.  Useful to see where Stackelberg
+    control matters: at very low and very high congestion the Nash equilibrium
+    often coincides with the optimum (beta ~ 0), with a worst case in between.
+    """
+    points: List[BetaDemandPoint] = []
+    for demand in demands:
+        if demand <= 0.0:
+            raise ModelError(f"demands must be > 0, got {demand!r}")
+        scaled = instance.with_demand(float(demand))
+        result = optop(scaled)
+        nash_cost = parallel_nash(scaled).cost
+        poa = nash_cost / result.optimum_cost if result.optimum_cost > 0 else 1.0
+        points.append(BetaDemandPoint(
+            demand=float(demand), beta=result.beta, price_of_anarchy=poa,
+            nash_cost=nash_cost, optimum_cost=result.optimum_cost))
+    return points
+
+
+def beta_statistics(instances: Iterable[ParallelLinkInstance]) -> Tuple[BetaStatistics,
+                                                                        List[float]]:
+    """Run OpTop over an instance family and summarise the observed betas.
+
+    Returns ``(statistics, betas)``; the per-instance price of anarchy is also
+    aggregated so benchmarks can relate "how bad selfishness is" to "how much
+    control restores the optimum".
+    """
+    betas: List[float] = []
+    poas: List[float] = []
+    for instance in instances:
+        result = optop(instance)
+        betas.append(result.beta)
+        nash_cost = parallel_nash(instance).cost
+        optimum_cost = result.optimum_cost
+        poas.append(nash_cost / optimum_cost if optimum_cost > 0 else 1.0)
+    if not betas:
+        raise ModelError("beta_statistics needs at least one instance")
+    return BetaStatistics.from_samples(betas, poas), betas

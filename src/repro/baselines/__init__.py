@@ -1,0 +1,24 @@
+"""Baseline Stackelberg strategies the paper compares against.
+
+* :func:`llf` — Roughgarden's Largest-Latency-First heuristic, which achieves
+  the ``1/alpha`` guarantee on parallel links but is not always optimal.
+* :func:`scale` — the SCALE strategy ``S = alpha * O`` studied by Roughgarden
+  and, on general networks, by Karakostas–Kolliopoulos and Swamy.
+* :func:`aloof` — the null strategy (the Leader routes nothing); its outcome
+  is the plain Nash equilibrium and anchors the price-of-anarchy comparisons.
+* :func:`brute_force_strategy` — grid search over the Leader's simplex, used
+  by the tests to certify optimality claims on small instances.
+"""
+
+from repro.baselines.llf import llf
+from repro.baselines.scale import scale
+from repro.baselines.aloof import aloof
+from repro.baselines.brute_force import brute_force_strategy, enumerate_strategies
+
+__all__ = [
+    "llf",
+    "scale",
+    "aloof",
+    "brute_force_strategy",
+    "enumerate_strategies",
+]

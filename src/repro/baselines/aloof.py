@@ -1,0 +1,36 @@
+"""Aloof — the null Stackelberg strategy (the Leader routes nothing).
+
+Against the Aloof strategy the Followers simply reach the plain Nash
+equilibrium of the instance, so its induced cost is ``C(N)`` and its
+a-posteriori anarchy cost equals the ordinary price of anarchy.  It serves as
+the "do nothing" baseline of every comparison benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import StrategyError
+from repro.network.instance import NetworkInstance
+from repro.network.parallel import ParallelLinkInstance
+from repro.core.strategy import NetworkStackelbergStrategy, ParallelStackelbergStrategy
+
+__all__ = ["aloof"]
+
+
+def aloof(instance: Union[ParallelLinkInstance, NetworkInstance],
+          ) -> Union[ParallelStackelbergStrategy, NetworkStackelbergStrategy]:
+    """The strategy that controls zero flow."""
+    if isinstance(instance, ParallelLinkInstance):
+        return ParallelStackelbergStrategy(
+            flows=np.zeros(instance.num_links), total_demand=instance.demand)
+    if isinstance(instance, NetworkInstance):
+        return NetworkStackelbergStrategy(
+            edge_flows=np.zeros(instance.network.num_edges),
+            controlled_demands=tuple(0.0 for _ in instance.commodities),
+            total_demand=instance.total_demand)
+    raise StrategyError(
+        f"aloof expects a ParallelLinkInstance or NetworkInstance, "
+        f"got {type(instance).__name__}")

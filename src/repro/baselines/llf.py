@@ -1,0 +1,43 @@
+"""LLF — Largest Latency First (Roughgarden, STOC 2001).
+
+Given a Stackelberg scheduling instance ``(M, r, alpha)``, LLF computes the
+optimum assignment ``O`` and lets the Leader saturate links at their optimum
+flow in order of *decreasing* optimal latency ``l_i(o_i)`` until her budget
+``alpha * r`` runs out (the last link may be filled partially).  Roughgarden
+proved the induced cost satisfies ``C(S+T) <= (1/alpha) * C(O)`` for arbitrary
+latencies, and ``C(S+T) <= (4 / (3 + alpha)) * C(O)`` for linear latencies —
+the bounds benchmark E7 verifies empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import StrategyError
+from repro.network.parallel import ParallelLinkInstance
+from repro.equilibrium.parallel import parallel_optimum
+from repro.core.strategy import ParallelStackelbergStrategy
+
+__all__ = ["llf"]
+
+
+def llf(instance: ParallelLinkInstance, alpha: float) -> ParallelStackelbergStrategy:
+    """The Largest-Latency-First strategy controlling an ``alpha`` portion."""
+    if not 0.0 <= alpha <= 1.0:
+        raise StrategyError(f"alpha must lie in [0, 1], got {alpha!r}")
+    optimum = parallel_optimum(instance)
+    opt_flows = optimum.flows
+    latencies = instance.latencies_at(opt_flows)
+
+    budget = alpha * instance.demand
+    strategy = np.zeros(instance.num_links, dtype=float)
+    # Saturate links by decreasing optimal latency; ties broken by index for
+    # determinism.
+    order = sorted(range(instance.num_links), key=lambda i: (-latencies[i], i))
+    for i in order:
+        if budget <= 0.0:
+            break
+        take = min(float(opt_flows[i]), budget)
+        strategy[i] = take
+        budget -= take
+    return ParallelStackelbergStrategy(flows=strategy, total_demand=instance.demand)

@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+Three subcommands cover the typical workflows:
+
+``repro analyze``
+    Load an instance from a JSON file (see :mod:`repro.serialization`) or pick
+    a named canonical instance, and print the Nash equilibrium, the optimum,
+    the price of anarchy, the Price of Optimum and the optimal Leader
+    strategy.
+
+``repro sweep``
+    Sweep the Leader's share alpha on a parallel-link instance and print the
+    cost ratios of the LLF and SCALE baselines against the theoretical bounds.
+
+``repro experiments``
+    Re-run the paper-reproduction experiments (E1–E12) and print their tables
+    — the same output the benchmark harness produces.
+
+Invoke with ``python -m repro <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis import experiments as experiments_module
+from repro.analysis.sweep import alpha_sweep
+from repro.core import mop, optop
+from repro.exceptions import ReproError
+from repro.instances import (
+    braess_paradox,
+    figure_4_example,
+    pigou,
+    roughgarden_example,
+)
+from repro.metrics import general_latency_bound, linear_latency_bound, price_of_anarchy
+from repro.network import NetworkInstance, ParallelLinkInstance
+from repro.serialization import load_instance
+from repro.utils.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+#: Canonical instances addressable by name from the command line.
+NAMED_INSTANCES: Dict[str, Callable[[], object]] = {
+    "pigou": pigou,
+    "figure4": figure_4_example,
+    "braess": braess_paradox,
+    "roughgarden": roughgarden_example,
+}
+
+_EXPERIMENTS: Dict[str, Callable] = {
+    "E1": experiments_module.experiment_pigou,
+    "E2": experiments_module.experiment_figure4_optop,
+    "E3": experiments_module.experiment_roughgarden_mop,
+    "E4": experiments_module.experiment_optop_random_families,
+    "E5": experiments_module.experiment_mop_networks,
+    "E6": experiments_module.experiment_linear_optimal,
+    "E7": experiments_module.experiment_bound_sweep,
+    "E8": experiments_module.experiment_mm1_beta,
+    "E9": experiments_module.experiment_monotonicity,
+    "E10": experiments_module.experiment_frozen_links,
+    "E11": experiments_module.experiment_scaling,
+    "E12": experiments_module.experiment_thresholds,
+    "E13": experiments_module.experiment_weak_strong,
+    "E14": experiments_module.experiment_beta_vs_demand,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stackelberg routing and the Price of Optimum "
+                    "(Kaporis & Spirakis, SPAA 2006)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="compute Nash, optimum, PoA and the Price of Optimum")
+    source = analyze.add_mutually_exclusive_group(required=True)
+    source.add_argument("--instance", choices=sorted(NAMED_INSTANCES),
+                        help="a canonical instance from the paper")
+    source.add_argument("--file", help="JSON instance file (see repro.serialization)")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="sweep the Leader share alpha on a parallel-link instance")
+    sweep_source = sweep.add_mutually_exclusive_group(required=True)
+    sweep_source.add_argument("--instance", choices=sorted(NAMED_INSTANCES))
+    sweep_source.add_argument("--file")
+    sweep.add_argument("--alphas", type=float, nargs="+",
+                       default=[0.1, 0.25, 0.5, 0.75, 1.0],
+                       help="values of alpha to evaluate")
+
+    experiments = subparsers.add_parser(
+        "experiments", help="re-run the paper-reproduction experiments (E1-E12)")
+    experiments.add_argument("--only", nargs="+", choices=sorted(_EXPERIMENTS),
+                             help="restrict to specific experiment ids")
+    return parser
+
+
+def _load(args: argparse.Namespace):
+    if getattr(args, "instance", None):
+        return NAMED_INSTANCES[args.instance]()
+    return load_instance(args.file)
+
+
+def _print_parallel_analysis(instance: ParallelLinkInstance) -> None:
+    result = optop(instance)
+    rows = []
+    for i in range(instance.num_links):
+        rows.append((instance.names[i],
+                     float(result.initial_nash.flows[i]),
+                     float(result.optimum.flows[i]),
+                     float(result.strategy.flows[i]),
+                     float(result.outcome.combined_flows[i])))
+    print(format_table(("link", "nash flow", "optimum flow", "leader flow",
+                        "induced flow"), rows,
+                       title="Parallel-link instance analysis"))
+    print(f"C(N) = {result.nash_cost:.6f}  C(O) = {result.optimum_cost:.6f}  "
+          f"price of anarchy = {price_of_anarchy(instance):.6f}")
+    print(f"price of optimum beta = {result.beta:.6f}  "
+          f"induced cost = {result.induced_cost:.6f}")
+
+
+def _print_network_analysis(instance: NetworkInstance) -> None:
+    result = mop(instance, compute_nash=True)
+    rows = []
+    for i, edge in enumerate(instance.network.edges):
+        rows.append((f"{edge.tail}->{edge.head}",
+                     float(result.nash.edge_flows[i]),
+                     float(result.optimum.edge_flows[i]),
+                     float(result.strategy.edge_flows[i])))
+    print(format_table(("edge", "nash flow", "optimum flow", "leader flow"), rows,
+                       title="Network instance analysis"))
+    print(f"C(N) = {result.nash.cost:.6f}  C(O) = {result.optimum_cost:.6f}  "
+          f"price of anarchy = {result.nash.cost / result.optimum_cost:.6f}")
+    print(f"price of optimum beta = {result.beta:.6f}  "
+          f"induced cost = {result.induced_cost:.6f}")
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    instance = _load(args)
+    if isinstance(instance, ParallelLinkInstance):
+        _print_parallel_analysis(instance)
+    else:
+        _print_network_analysis(instance)
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    instance = _load(args)
+    if not isinstance(instance, ParallelLinkInstance):
+        print("error: the sweep command needs a parallel-link instance",
+              file=sys.stderr)
+        return 2
+    beta = optop(instance).beta
+    rows = []
+    for row in alpha_sweep(instance, args.alphas):
+        rows.append((row.alpha, row.ratios["llf"], row.ratios["scale"],
+                     general_latency_bound(row.alpha),
+                     linear_latency_bound(row.alpha),
+                     "yes" if row.alpha >= beta else ""))
+    print(format_table(("alpha", "LLF ratio", "SCALE ratio", "1/alpha",
+                        "4/(3+alpha)", "alpha >= beta"), rows,
+                       title=f"Alpha sweep (price of optimum beta = {beta:.6f})"))
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    ids: Sequence[str] = args.only or sorted(_EXPERIMENTS,
+                                             key=lambda e: int(e[1:]))
+    failures: List[str] = []
+    for experiment_id in ids:
+        record = _EXPERIMENTS[experiment_id]()
+        print(record.to_table())
+        print()
+        if not record.all_claims_hold:
+            failures.append(experiment_id)
+    if failures:
+        print(f"experiments with failing claims: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` (returns a process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "analyze": _command_analyze,
+        "sweep": _command_sweep,
+        "experiments": _command_experiments,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,100 @@
+"""Weak versus strong Stackelberg strategies on multicommodity instances.
+
+Section 4 of the paper distinguishes, for k-commodity instances, two ways a
+Leader controlling an overall ``alpha`` portion of the flow may spread it:
+
+* a **weak** Stackelberg strategy controls the *same* fraction ``alpha`` of
+  every commodity ``i`` (``alpha_i = alpha``), while
+* a **strong** Stackelberg strategy may choose per-commodity fractions
+  ``alpha_i`` freely subject to ``sum_i alpha_i r_i = alpha r``.
+
+MOP naturally produces a *strong* strategy: the controlled amount of commodity
+``i`` is the optimum flow on its non-shortest paths, which generally differs
+across commodities.  This module reports both prices:
+
+* the (strong) Price of Optimum ``beta`` — what MOP returns, and
+* the **weak Price of Optimum** — the smallest uniform fraction ``alpha`` such
+  that controlling ``alpha`` of *every* commodity covers each commodity's
+  required controlled flow, i.e. ``max_i (controlled_i / r_i)``.
+
+The gap between the two quantifies how much coordination across commodities
+buys the Leader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.mop import MOPResult, mop
+from repro.network.instance import NetworkInstance
+
+__all__ = ["CommoditySplit", "commodity_control_split"]
+
+
+@dataclass(frozen=True)
+class CommoditySplit:
+    """Per-commodity control requirements of the MOP strategy.
+
+    Attributes
+    ----------
+    strong_beta:
+        The Price of Optimum under strong strategies (MOP's ``beta``): total
+        controlled flow divided by the total demand.
+    weak_beta:
+        The smallest uniform per-commodity fraction that covers every
+        commodity's required controlled flow (``max_i controlled_i / r_i``).
+    fractions:
+        The per-commodity fractions ``controlled_i / r_i``.
+    controlled:
+        The per-commodity controlled flows.
+    demands:
+        The per-commodity demands ``r_i``.
+    """
+
+    strong_beta: float
+    weak_beta: float
+    fractions: Tuple[float, ...]
+    controlled: Tuple[float, ...]
+    demands: Tuple[float, ...]
+
+    @property
+    def coordination_gain(self) -> float:
+        """How much a strong Leader saves over a weak one (``weak - strong``).
+
+        Zero when every commodity needs the same fraction (e.g. single
+        commodity instances); positive when the control requirement is skewed
+        toward some commodities.
+        """
+        return self.weak_beta - self.strong_beta
+
+    @property
+    def num_commodities(self) -> int:
+        return len(self.fractions)
+
+
+def commodity_control_split(instance: NetworkInstance,
+                            *, result: MOPResult | None = None,
+                            **mop_kwargs) -> CommoditySplit:
+    """Compute the weak and strong Price of Optimum of a network instance.
+
+    ``result`` may be a previously computed :class:`MOPResult` for the same
+    instance (to avoid re-running MOP); otherwise MOP is run here with
+    ``mop_kwargs`` forwarded (``compute_induced`` defaults to ``False`` since
+    only the control amounts are needed).
+    """
+    if result is None:
+        mop_kwargs.setdefault("compute_induced", False)
+        result = mop(instance, **mop_kwargs)
+    demands = tuple(com.demand for com in instance.commodities)
+    controlled = tuple(result.strategy.controlled_demands)
+    fractions = tuple(min(1.0, c / r) if r > 0 else 0.0
+                      for c, r in zip(controlled, demands))
+    weak_beta = max(fractions) if fractions else 0.0
+    return CommoditySplit(
+        strong_beta=result.beta,
+        weak_beta=float(weak_beta),
+        fractions=fractions,
+        controlled=controlled,
+        demands=demands,
+    )

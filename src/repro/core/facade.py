@@ -1,0 +1,34 @@
+"""Type-dispatching facade for the Price of Optimum."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.exceptions import ModelError
+from repro.network.instance import NetworkInstance
+from repro.network.parallel import ParallelLinkInstance
+from repro.core.mop import MOPResult, mop
+from repro.core.optop import OpTopResult, optop
+
+__all__ = ["price_of_optimum"]
+
+
+def price_of_optimum(instance: Union[ParallelLinkInstance, NetworkInstance],
+                     **kwargs) -> Union[OpTopResult, MOPResult]:
+    """Compute the Price of Optimum ``beta`` and the optimal Leader strategy.
+
+    Dispatches to :func:`repro.core.optop` for parallel-link instances and to
+    :func:`repro.core.mop` for network instances; keyword arguments are
+    forwarded to the selected algorithm.
+
+    This is the headline quantity of the paper (Theorem 2.1): the minimum
+    portion of flow a Leader must control to induce the optimum routing, plus
+    the strategy achieving it — both computable in polynomial time.
+    """
+    if isinstance(instance, ParallelLinkInstance):
+        return optop(instance, **kwargs)
+    if isinstance(instance, NetworkInstance):
+        return mop(instance, **kwargs)
+    raise ModelError(
+        f"price_of_optimum expects a ParallelLinkInstance or NetworkInstance, "
+        f"got {type(instance).__name__}")

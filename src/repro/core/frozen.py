@@ -1,0 +1,130 @@
+"""Frozen-link theory: Definitions 4.3/4.4, Theorem 7.2, Theorem 7.4, Lemma 7.5.
+
+These predicates expose the structural facts OpTop's correctness rests on, so
+that tests and benchmarks can check them empirically on arbitrary instances:
+
+* a link is *over/under/optimum-loaded* by comparing its Nash and optimum
+  flows (Definition 4.3);
+* a strategy *freezes* a link when it pre-loads at least the link's initial
+  Nash flow (Definition 4.4);
+* a strategy with ``s_i <= n_i`` everywhere is *useless*: the induced
+  equilibrium recreates the initial Nash assignment (Theorem 7.2);
+* frozen links receive **no** induced selfish flow, regardless of what the
+  strategy does elsewhere (Theorem 7.4 and Lemma 7.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.parallel import ParallelLinkInstance
+from repro.equilibrium.parallel import parallel_nash, parallel_optimum
+from repro.equilibrium.induced import induced_parallel_equilibrium
+
+__all__ = [
+    "LinkClassification",
+    "classify_links",
+    "frozen_link_mask",
+    "is_useless_strategy",
+    "induced_flow_on_frozen_links",
+]
+
+
+@dataclass(frozen=True)
+class LinkClassification:
+    """Partition of the links into over-, under- and optimum-loaded (Def. 4.3)."""
+
+    over_loaded: Tuple[int, ...]
+    under_loaded: Tuple[int, ...]
+    optimum_loaded: Tuple[int, ...]
+    nash_flows: np.ndarray
+    optimum_flows: np.ndarray
+
+
+def classify_links(instance: ParallelLinkInstance, *,
+                   nash_flows: Optional[np.ndarray] = None,
+                   optimum_flows: Optional[np.ndarray] = None,
+                   atol: float = 1e-8) -> LinkClassification:
+    """Classify every link as over-, under- or optimum-loaded (Definition 4.3).
+
+    ``nash_flows`` and ``optimum_flows`` may be supplied to avoid recomputing
+    the equilibria; otherwise they are computed here.
+    """
+    if nash_flows is None:
+        nash_flows = parallel_nash(instance).flows
+    if optimum_flows is None:
+        optimum_flows = parallel_optimum(instance).flows
+    nash_flows = np.asarray(nash_flows, dtype=float)
+    optimum_flows = np.asarray(optimum_flows, dtype=float)
+    scale = max(1.0, instance.demand)
+    over, under, exact = [], [], []
+    for i in range(instance.num_links):
+        if nash_flows[i] > optimum_flows[i] + atol * scale:
+            over.append(i)
+        elif nash_flows[i] < optimum_flows[i] - atol * scale:
+            under.append(i)
+        else:
+            exact.append(i)
+    return LinkClassification(
+        over_loaded=tuple(over),
+        under_loaded=tuple(under),
+        optimum_loaded=tuple(exact),
+        nash_flows=nash_flows,
+        optimum_flows=optimum_flows,
+    )
+
+
+def frozen_link_mask(instance: ParallelLinkInstance,
+                     strategy_flows: Sequence[float], *,
+                     nash_flows: Optional[np.ndarray] = None,
+                     atol: float = 1e-9) -> np.ndarray:
+    """Boolean mask of links frozen by the strategy (Definition 4.4).
+
+    A link is frozen when the Leader pre-loads it with at least its flow in
+    the *initial* Nash assignment ``N`` (and with a strictly positive amount
+    when its Nash flow is zero, so that "empty" links are not trivially
+    counted as frozen).
+    """
+    if nash_flows is None:
+        nash_flows = parallel_nash(instance).flows
+    nash_flows = np.asarray(nash_flows, dtype=float)
+    strategy = np.asarray(strategy_flows, dtype=float)
+    scale = max(1.0, instance.demand)
+    return (strategy >= nash_flows - atol * scale) & (strategy > atol * scale)
+
+
+def is_useless_strategy(instance: ParallelLinkInstance,
+                        strategy_flows: Sequence[float], *,
+                        nash_flows: Optional[np.ndarray] = None,
+                        atol: float = 1e-9) -> bool:
+    """``True`` when the strategy satisfies the Theorem 7.2 hypothesis.
+
+    A strategy with ``s_i <= n_i`` on every link is *useless*: the Followers
+    rebuild the initial Nash assignment and the induced cost equals ``C(N)``.
+    """
+    if nash_flows is None:
+        nash_flows = parallel_nash(instance).flows
+    nash_flows = np.asarray(nash_flows, dtype=float)
+    strategy = np.asarray(strategy_flows, dtype=float)
+    scale = max(1.0, instance.demand)
+    return bool(np.all(strategy <= nash_flows + atol * scale))
+
+
+def induced_flow_on_frozen_links(instance: ParallelLinkInstance,
+                                 strategy_flows: Sequence[float], *,
+                                 atol: float = 1e-9) -> float:
+    """Largest induced selfish flow landing on a frozen link.
+
+    Theorem 7.4 and Lemma 7.5 assert this is zero for every strategy; the
+    benchmarks report the empirical maximum as a validation of the theory (and
+    of the induced-equilibrium solver).
+    """
+    nash_flows = parallel_nash(instance).flows
+    mask = frozen_link_mask(instance, strategy_flows, nash_flows=nash_flows, atol=atol)
+    outcome = induced_parallel_equilibrium(instance, strategy_flows)
+    if not np.any(mask):
+        return 0.0
+    return float(np.max(outcome.follower_flows[mask]))

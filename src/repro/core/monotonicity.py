@@ -1,0 +1,43 @@
+"""Proposition 7.1: Nash link flows are monotone in the total demand.
+
+If ``r' <= r`` then the Nash assignments satisfy ``n'_i <= n_i`` on every
+link.  This monotonicity is what lets OpTop discard frozen links: after the
+Leader captures the under-loaded links' optimum flow, the remaining selfish
+flow is smaller, so no remaining link can end up with more selfish flow than
+before — frozen links stay unattractive.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.network.parallel import ParallelLinkInstance
+from repro.equilibrium.parallel import parallel_nash
+
+__all__ = ["nash_flow_monotonicity_violation"]
+
+
+def nash_flow_monotonicity_violation(instance: ParallelLinkInstance,
+                                     demands: Sequence[float]) -> float:
+    """Empirical check of Proposition 7.1 over a set of demands.
+
+    Computes the Nash equilibrium of the instance at every demand in
+    ``demands`` (sorted increasingly) and returns the largest *decrease* of
+    any link flow when the demand increases — which the proposition asserts is
+    zero (up to solver tolerance).
+    """
+    demand_list = sorted(float(d) for d in demands)
+    if any(d < 0.0 for d in demand_list):
+        raise ModelError("demands must be non-negative")
+    worst = 0.0
+    previous: np.ndarray | None = None
+    for demand in demand_list:
+        flows = parallel_nash(instance.with_demand(demand)).flows
+        if previous is not None:
+            decrease = float(np.max(previous - flows))
+            worst = max(worst, decrease)
+        previous = flows
+    return worst

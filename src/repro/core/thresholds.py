@@ -1,0 +1,54 @@
+"""Minimum useful control: footnote 6 and the Sharma–Williamson threshold.
+
+Theorem 7.2 says a strategy that nowhere exceeds the Nash load is useless.
+Footnote 6 (quoting Sharma & Williamson, EC 2007, Eq. (1)) sharpens this on
+parallel links: any strategy that *improves* on ``C(N)`` must control at least
+
+    ``min { n_i : n_i < o_i }``
+
+i.e. the smallest Nash load among under-loaded links.  This module computes
+that threshold, both as an absolute flow and as a fraction of the demand, so
+the benchmarks can compare it against the Price of Optimum ``beta_M``
+(threshold <= beta_M, with equality only in degenerate cases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.parallel import ParallelLinkInstance
+from repro.equilibrium.parallel import parallel_nash, parallel_optimum
+from repro.core.frozen import classify_links
+
+__all__ = ["UsefulControlThreshold", "minimum_useful_control"]
+
+
+@dataclass(frozen=True)
+class UsefulControlThreshold:
+    """Result of :func:`minimum_useful_control`.
+
+    ``flow`` is the minimum amount of flow a useful (cost-improving) strategy
+    must control; ``fraction`` expresses it as a share of the total demand.
+    ``is_improvable`` is ``False`` when the Nash equilibrium already attains
+    the optimum cost (no under-loaded link exists), in which case the
+    threshold is reported as zero.
+    """
+
+    flow: float
+    fraction: float
+    is_improvable: bool
+
+
+def minimum_useful_control(instance: ParallelLinkInstance, *,
+                           atol: float = 1e-8) -> UsefulControlThreshold:
+    """Minimum controlled flow needed for any strategy to beat ``C(N)``."""
+    nash = parallel_nash(instance)
+    optimum = parallel_optimum(instance)
+    classification = classify_links(
+        instance, nash_flows=nash.flows, optimum_flows=optimum.flows, atol=atol)
+    if not classification.under_loaded:
+        return UsefulControlThreshold(flow=0.0, fraction=0.0, is_improvable=False)
+    threshold = min(float(nash.flows[i]) for i in classification.under_loaded)
+    fraction = threshold / instance.demand if instance.demand > 0.0 else 0.0
+    return UsefulControlThreshold(flow=threshold, fraction=fraction,
+                                  is_improvable=True)

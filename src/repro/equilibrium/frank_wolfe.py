@@ -1,0 +1,128 @@
+"""Frank–Wolfe (conditional gradient) solver for network flows.
+
+Both the Wardrop equilibrium (minimise the Beckmann potential) and the system
+optimum (minimise the total cost) of a multicommodity instance are convex
+programs over the polytope of feasible edge flows.  Frank–Wolfe alternates:
+
+1. linearise the objective at the current flow (per-edge costs: latencies for
+   the Beckmann objective, marginal costs for the total-cost objective),
+2. solve the linearised problem — an all-or-nothing assignment that routes
+   each commodity along its shortest path under those costs,
+3. move towards the all-or-nothing flow with the step that minimises the true
+   objective along the segment (golden-section line search; the restriction of
+   a convex function to a segment is unimodal).
+
+The *relative gap* ``costs . (f - y) / costs . f`` upper-bounds the relative
+sub-optimality and is the stopping criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, ModelError
+from repro.network.instance import NetworkInstance
+from repro.paths.dijkstra import shortest_path_edges
+from repro.equilibrium.result import NetworkFlowResult
+from repro.utils.optimize import golden_section_minimize
+
+__all__ = ["FrankWolfeOptions", "all_or_nothing", "frank_wolfe"]
+
+
+@dataclass(frozen=True)
+class FrankWolfeOptions:
+    """Tuning knobs for :func:`frank_wolfe`.
+
+    Attributes
+    ----------
+    tolerance:
+        Target relative gap.
+    max_iterations:
+        Iteration budget; exceeding it raises :class:`ConvergenceError` when
+        ``raise_on_failure`` is set, otherwise the best iterate is returned
+        with ``converged=False``.
+    line_search_tol:
+        Bracket width tolerance of the golden-section line search.
+    raise_on_failure:
+        Whether a missed tolerance is an error or a soft warning flag.
+    """
+
+    tolerance: float = 1e-8
+    max_iterations: int = 20_000
+    line_search_tol: float = 1e-12
+    raise_on_failure: bool = False
+
+
+def all_or_nothing(instance: NetworkInstance, edge_costs: np.ndarray) -> np.ndarray:
+    """Route every commodity entirely along its shortest path under ``edge_costs``."""
+    flows = np.zeros(instance.network.num_edges, dtype=float)
+    for commodity in instance.commodities:
+        path = shortest_path_edges(instance.network, commodity.source,
+                                   commodity.sink, edge_costs)
+        for idx in path:
+            flows[idx] += commodity.demand
+    return flows
+
+
+def frank_wolfe(instance: NetworkInstance, kind: str,
+                options: FrankWolfeOptions | None = None) -> NetworkFlowResult:
+    """Compute the Nash equilibrium or system optimum of ``instance``.
+
+    ``kind`` is ``"nash"`` (minimise the Beckmann potential; direction costs
+    are the latencies) or ``"optimum"`` (minimise the total cost; direction
+    costs are the marginal costs).
+    """
+    options = options or FrankWolfeOptions()
+    if kind == "nash":
+        direction_costs = instance.latencies_at
+        objective = instance.beckmann
+    elif kind == "optimum":
+        direction_costs = instance.marginal_costs_at
+        objective = instance.cost
+    else:
+        raise ModelError(f"unknown Frank-Wolfe kind {kind!r}")
+
+    zero = np.zeros(instance.network.num_edges, dtype=float)
+    flows = all_or_nothing(instance, direction_costs(zero))
+    gap = float("inf")
+    iteration = 0
+    for iteration in range(1, options.max_iterations + 1):
+        costs = direction_costs(flows)
+        target = all_or_nothing(instance, costs)
+        current_value = float(np.dot(costs, flows))
+        target_value = float(np.dot(costs, target))
+        gap = (current_value - target_value) / max(current_value, 1e-30)
+        if gap <= options.tolerance:
+            break
+        direction = target - flows
+
+        def objective_along(step: float) -> float:
+            return objective(flows + step * direction)
+
+        step, _ = golden_section_minimize(objective_along, 0.0, 1.0,
+                                          tol=options.line_search_tol)
+        if step <= 0.0:
+            # Numerical stagnation: fall back to the classical 2/(k+2) step so
+            # the method keeps its guaranteed O(1/k) convergence.
+            step = 2.0 / (iteration + 2.0)
+        flows = flows + step * direction
+        np.clip(flows, 0.0, None, out=flows)
+
+    converged = gap <= options.tolerance
+    if not converged and options.raise_on_failure:
+        raise ConvergenceError(
+            f"Frank-Wolfe did not reach gap {options.tolerance!r} "
+            f"within {options.max_iterations} iterations (gap={gap!r})",
+            iterations=iteration, residual=gap)
+    return NetworkFlowResult(
+        edge_flows=flows,
+        cost=instance.cost(flows),
+        beckmann=instance.beckmann(flows),
+        kind=kind,
+        relative_gap=float(gap),
+        iterations=iteration,
+        converged=converged,
+        solver="frank-wolfe",
+    )

@@ -1,0 +1,58 @@
+"""High-level entry points for network Nash and optimum flows.
+
+These wrappers choose between the exact path-based solver (small networks)
+and Frank–Wolfe (everything else), and optionally polish a Frank–Wolfe
+solution with the path-based solver seeded by the discovered support.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.exceptions import ModelError
+from repro.network.instance import NetworkInstance
+from repro.equilibrium.frank_wolfe import FrankWolfeOptions, frank_wolfe
+from repro.equilibrium.pathbased import path_based_flow
+from repro.equilibrium.result import NetworkFlowResult
+
+__all__ = ["network_nash", "network_optimum"]
+
+Solver = Literal["auto", "frank-wolfe", "path"]
+
+#: Networks with at most this many edges are considered "small enough" for the
+#: exact path-based solver when ``solver="auto"``.
+_AUTO_PATH_EDGE_LIMIT = 60
+_AUTO_PATH_LIMIT = 2000
+
+
+def _solve(instance: NetworkInstance, kind: str, solver: Solver,
+           tolerance: float, max_iterations: int) -> NetworkFlowResult:
+    if solver not in ("auto", "frank-wolfe", "path"):
+        raise ModelError(f"unknown solver {solver!r}")
+    if solver == "path":
+        return path_based_flow(instance, kind)
+    if solver == "auto" and instance.network.num_edges <= _AUTO_PATH_EDGE_LIMIT:
+        try:
+            return path_based_flow(instance, kind, max_paths=_AUTO_PATH_LIMIT)
+        except ModelError:
+            pass  # too many paths -> fall through to Frank-Wolfe
+    options = FrankWolfeOptions(tolerance=tolerance, max_iterations=max_iterations)
+    return frank_wolfe(instance, kind, options)
+
+
+def network_nash(instance: NetworkInstance, *, solver: Solver = "auto",
+                 tolerance: float = 1e-9,
+                 max_iterations: int = 20_000) -> NetworkFlowResult:
+    """Wardrop/Nash equilibrium edge flows of a network instance.
+
+    The equilibrium minimises the Beckmann potential; for strictly increasing
+    latencies the edge flows are unique ([41, Cor 2.6.4], Remark 2.5).
+    """
+    return _solve(instance, "nash", solver, tolerance, max_iterations)
+
+
+def network_optimum(instance: NetworkInstance, *, solver: Solver = "auto",
+                    tolerance: float = 1e-9,
+                    max_iterations: int = 20_000) -> NetworkFlowResult:
+    """System-optimum edge flows of a network instance (minimum total cost)."""
+    return _solve(instance, "optimum", solver, tolerance, max_iterations)

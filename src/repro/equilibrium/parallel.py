@@ -1,0 +1,154 @@
+"""Exact water-filling solvers for parallel-link instances.
+
+A Nash (Wardrop) equilibrium on parallel links equalises *latencies* on used
+links (Remark 4.1); a system optimum equalises *marginal costs* (the KKT
+condition of minimising the convex cost ``sum_i x_i l_i(x_i)`` over the
+simplex).  In both cases the flow on every strictly increasing link is a
+non-decreasing function of the common level, so the level solves a monotone
+scalar equation computed here by bracketing plus bisection.
+
+Constant-latency links (the documented extension; Pigou's example uses one)
+act as flow sinks: once the common level of the increasing links would exceed
+the smallest constant, the corresponding links absorb the excess flow at that
+fixed latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, ModelError
+from repro.latency.base import LatencyFunction
+from repro.network.parallel import ParallelLinkInstance
+from repro.equilibrium.result import ParallelFlowResult
+from repro.utils.rootfind import bisect_root, expand_upper_bracket
+
+__all__ = ["parallel_nash", "parallel_optimum", "water_fill"]
+
+
+def _link_level_and_inverse(kind: str) -> Tuple[Callable[[LatencyFunction, float], float],
+                                                Callable[[LatencyFunction, float], float]]:
+    """Per-link level function and its inverse for the requested solve kind."""
+    if kind == "nash":
+        return (lambda lat, x: float(lat.value(x)),
+                lambda lat, y: float(lat.inverse_value(y)))
+    if kind == "optimum":
+        return (lambda lat, x: float(lat.marginal_cost(x)),
+                lambda lat, y: float(lat.inverse_marginal(y)))
+    raise ModelError(f"unknown water-filling kind {kind!r}")
+
+
+def water_fill(latencies: Sequence[LatencyFunction], demand: float,
+               kind: str, *, tol: float = 1e-12) -> Tuple[np.ndarray, float]:
+    """Distribute ``demand`` across ``latencies`` equalising the chosen level.
+
+    ``kind`` is ``"nash"`` (equalise latencies) or ``"optimum"`` (equalise
+    marginal costs).  Returns ``(flows, common_level)`` where ``common_level``
+    is the equalised value on loaded links; unloaded links have a level at
+    least as large.
+    """
+    latencies = list(latencies)
+    m = len(latencies)
+    if m == 0:
+        raise ModelError("water_fill needs at least one link")
+    if demand < 0.0:
+        raise ModelError(f"demand must be >= 0, got {demand!r}")
+    level_of, inverse_of = _link_level_and_inverse(kind)
+
+    flows = np.zeros(m, dtype=float)
+    if demand == 0.0:
+        level = min(level_of(lat, 0.0) for lat in latencies)
+        return flows, level
+
+    increasing: List[int] = [i for i, lat in enumerate(latencies)
+                             if not lat.is_constant]
+    constants: List[int] = [i for i, lat in enumerate(latencies) if lat.is_constant]
+
+    def filled_at(level: float) -> float:
+        return sum(inverse_of(latencies[i], level) for i in increasing)
+
+    constant_floor = min((level_of(latencies[i], 0.0) for i in constants),
+                         default=float("inf"))
+
+    if increasing:
+        lo = min(level_of(latencies[i], 0.0) for i in increasing)
+        # Bracket the level at which the increasing links alone absorb the demand.
+        try:
+            hi = expand_upper_bracket(lambda lv: filled_at(lv) - demand, lo,
+                                      initial=max(1.0, abs(lo)))
+            level_star = bisect_root(lambda lv: filled_at(lv) - demand, lo, hi, tol=tol)
+        except (ModelError, ConvergenceError):
+            level_star = float("inf")
+    else:
+        level_star = float("inf")
+
+    if level_star <= constant_floor:
+        # The strictly increasing links absorb everything below the cheapest
+        # constant link; constants stay empty.
+        for i in increasing:
+            flows[i] = inverse_of(latencies[i], level_star)
+        level = level_star
+    else:
+        # Constants at the floor latency absorb the excess flow.
+        if not constants:
+            raise ModelError(
+                "demand cannot be routed: no constant links and the increasing "
+                "links cannot absorb the demand")
+        level = constant_floor
+        for i in increasing:
+            flows[i] = inverse_of(latencies[i], level)
+        leftover = demand - float(flows.sum())
+        if leftover < 0.0:
+            leftover = 0.0
+        sinks = [i for i in constants
+                 if level_of(latencies[i], 0.0) <= constant_floor + 1e-12]
+        share = leftover / len(sinks)
+        for i in sinks:
+            flows[i] = share
+
+    # Normalise tiny rounding so the flows sum exactly to the demand.
+    total = float(flows.sum())
+    if total > 0.0 and abs(total - demand) > 0.0:
+        # Spread the correction over loaded links proportionally.
+        correction = demand - total
+        loaded = flows > 0.0
+        if np.any(loaded):
+            flows[loaded] += correction * flows[loaded] / flows[loaded].sum()
+    return np.clip(flows, 0.0, None), float(level)
+
+
+def parallel_nash(instance: ParallelLinkInstance, *,
+                  tol: float = 1e-12) -> ParallelFlowResult:
+    """The Nash (Wardrop) equilibrium ``N`` of a parallel-link instance.
+
+    All loaded links share the common latency ``L_N`` returned in
+    ``common_value``; empty links have latency at least ``L_N`` (Remark 4.1).
+    The flow is unique on strictly increasing links.
+    """
+    flows, level = water_fill(instance.latencies, instance.demand, "nash", tol=tol)
+    return ParallelFlowResult(
+        flows=flows,
+        common_value=level,
+        cost=instance.cost(flows),
+        beckmann=instance.beckmann(flows),
+        kind="nash",
+    )
+
+
+def parallel_optimum(instance: ParallelLinkInstance, *,
+                     tol: float = 1e-12) -> ParallelFlowResult:
+    """The system optimum ``O`` of a parallel-link instance.
+
+    All loaded links share the common marginal cost returned in
+    ``common_value``; empty links have marginal cost at least that value.
+    """
+    flows, level = water_fill(instance.latencies, instance.demand, "optimum", tol=tol)
+    return ParallelFlowResult(
+        flows=flows,
+        common_value=level,
+        cost=instance.cost(flows),
+        beckmann=instance.beckmann(flows),
+        kind="optimum",
+    )

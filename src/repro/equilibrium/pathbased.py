@@ -1,0 +1,137 @@
+"""Exact path-based solver for small networks.
+
+On networks small enough to enumerate all simple source–sink paths, both the
+Nash equilibrium (Beckmann potential) and the system optimum (total cost) can
+be solved directly as smooth convex programs over path flows with SLSQP.
+The path formulation gives much tighter accuracy than Frank–Wolfe on the
+canonical 4-node examples, which matters when MOP compares the induced cost
+against the optimum cost at tolerance 1e-6.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize as sciopt
+
+from repro.exceptions import ConvergenceError, ModelError
+from repro.network.instance import NetworkInstance
+from repro.paths.enumeration import all_simple_paths
+from repro.equilibrium.result import NetworkFlowResult
+
+__all__ = ["path_based_flow", "enumerate_commodity_paths"]
+
+
+def enumerate_commodity_paths(instance: NetworkInstance,
+                              *, max_paths: int = 5000) -> List[List[Tuple[int, ...]]]:
+    """All simple paths of every commodity (one list per commodity)."""
+    result = []
+    for commodity in instance.commodities:
+        paths = all_simple_paths(instance.network, commodity.source,
+                                 commodity.sink, max_paths=max_paths)
+        if not paths:
+            raise ModelError(
+                f"commodity ({commodity.source!r} -> {commodity.sink!r}) has no path")
+        result.append(paths)
+    return result
+
+
+def _edge_incidence(instance: NetworkInstance,
+                    commodity_paths: List[List[Tuple[int, ...]]]) -> np.ndarray:
+    """0/1 matrix mapping path-flow variables to edge flows."""
+    num_edges = instance.network.num_edges
+    total_paths = sum(len(paths) for paths in commodity_paths)
+    incidence = np.zeros((num_edges, total_paths), dtype=float)
+    col = 0
+    for paths in commodity_paths:
+        for path in paths:
+            for idx in path:
+                incidence[idx, col] += 1.0
+            col += 1
+    return incidence
+
+
+def path_based_flow(instance: NetworkInstance, kind: str,
+                    *, max_paths: int = 5000, tol: float = 1e-12,
+                    max_iterations: int = 800) -> NetworkFlowResult:
+    """Solve the Nash or optimum flow via the explicit path formulation.
+
+    ``kind`` is ``"nash"`` or ``"optimum"``.  Raises :class:`ModelError` when
+    a commodity has more than ``max_paths`` simple paths (use Frank–Wolfe for
+    such instances) and :class:`ConvergenceError` when SLSQP fails.
+    """
+    if kind not in ("nash", "optimum"):
+        raise ModelError(f"unknown path-based kind {kind!r}")
+    commodity_paths = enumerate_commodity_paths(instance, max_paths=max_paths)
+    incidence = _edge_incidence(instance, commodity_paths)
+    num_vars = incidence.shape[1]
+
+    # Start from an even split of every commodity across its paths.
+    x0 = np.zeros(num_vars)
+    col = 0
+    for commodity, paths in zip(instance.commodities, commodity_paths):
+        share = commodity.demand / len(paths)
+        x0[col:col + len(paths)] = share
+        col += len(paths)
+
+    def edge_flows_of(path_flows: np.ndarray) -> np.ndarray:
+        return incidence @ path_flows
+
+    if kind == "nash":
+        def objective(path_flows: np.ndarray) -> float:
+            return instance.beckmann(edge_flows_of(path_flows))
+
+        def gradient(path_flows: np.ndarray) -> np.ndarray:
+            latencies = instance.latencies_at(edge_flows_of(path_flows))
+            return incidence.T @ latencies
+    else:
+        def objective(path_flows: np.ndarray) -> float:
+            return instance.cost(edge_flows_of(path_flows))
+
+        def gradient(path_flows: np.ndarray) -> np.ndarray:
+            marginals = instance.marginal_costs_at(edge_flows_of(path_flows))
+            return incidence.T @ marginals
+
+    # One equality constraint per commodity: its path flows sum to its demand.
+    constraints = []
+    col = 0
+    for commodity, paths in zip(instance.commodities, commodity_paths):
+        indices = np.arange(col, col + len(paths))
+
+        def make_constraint(idx: np.ndarray, demand: float):
+            return {
+                "type": "eq",
+                "fun": lambda x, idx=idx, demand=demand: float(x[idx].sum() - demand),
+                "jac": lambda x, idx=idx: _indicator(num_vars, idx),
+            }
+
+        constraints.append(make_constraint(indices, commodity.demand))
+        col += len(paths)
+
+    bounds = [(0.0, None)] * num_vars
+    solution = sciopt.minimize(
+        objective, x0, jac=gradient, bounds=bounds, constraints=constraints,
+        method="SLSQP", options={"maxiter": max_iterations, "ftol": tol})
+    if not solution.success:
+        raise ConvergenceError(
+            f"path-based {kind} solve failed: {solution.message}",
+            iterations=int(solution.get("nit", 0)))
+    path_flows = np.clip(solution.x, 0.0, None)
+    flows = edge_flows_of(path_flows)
+    return NetworkFlowResult(
+        edge_flows=flows,
+        cost=instance.cost(flows),
+        beckmann=instance.beckmann(flows),
+        kind=kind,
+        relative_gap=0.0,
+        iterations=int(solution.nit),
+        converged=True,
+        solver="path-based",
+    )
+
+
+def _indicator(size: int, indices: np.ndarray) -> np.ndarray:
+    row = np.zeros(size)
+    row[indices] = 1.0
+    return row

@@ -1,0 +1,91 @@
+"""Verification of equilibrium and optimality conditions.
+
+The tests and the experiment harness use these residuals to certify that the
+flows produced by the solvers really satisfy the defining conditions of the
+paper's model rather than merely being fixed points of our own iterations:
+
+* Wardrop condition (Remark 4.1 / Section 4): every used link/path has
+  latency no larger than any alternative.
+* Optimality condition: every used link has marginal cost no larger than any
+  alternative (KKT conditions of the convex cost minimisation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.network.instance import NetworkInstance
+from repro.network.parallel import ParallelLinkInstance
+from repro.paths.dijkstra import shortest_distances
+
+__all__ = [
+    "parallel_wardrop_gap",
+    "parallel_optimality_gap",
+    "network_wardrop_gap",
+]
+
+
+def _support_violation(levels: np.ndarray, flows: np.ndarray,
+                       *, flow_atol: float) -> float:
+    """Largest amount by which a *used* entry exceeds the smallest level."""
+    used = flows > flow_atol
+    if not np.any(used):
+        return 0.0
+    return float(np.max(levels[used]) - np.min(levels))
+
+
+def parallel_wardrop_gap(instance: ParallelLinkInstance, flows: Sequence[float],
+                         *, flow_atol: float = 1e-9) -> float:
+    """How far ``flows`` is from a Wardrop equilibrium.
+
+    Returns the largest excess latency of a used link over the minimum latency
+    across all links; a true Nash equilibrium has gap ~0.
+    """
+    arr = np.asarray(flows, dtype=float)
+    latencies = instance.latencies_at(arr)
+    return _support_violation(latencies, arr, flow_atol=flow_atol)
+
+
+def parallel_optimality_gap(instance: ParallelLinkInstance, flows: Sequence[float],
+                            *, flow_atol: float = 1e-9) -> float:
+    """How far ``flows`` is from satisfying the optimum's KKT conditions.
+
+    Returns the largest excess marginal cost of a used link over the minimum
+    marginal cost across all links.
+    """
+    arr = np.asarray(flows, dtype=float)
+    marginals = instance.marginal_costs_at(arr)
+    return _support_violation(marginals, arr, flow_atol=flow_atol)
+
+
+def network_wardrop_gap(instance: NetworkInstance, edge_flows: Sequence[float],
+                        *, flow_atol: float = 1e-7) -> float:
+    """Wardrop residual of a network flow.
+
+    For each commodity the gap compares the latency of used paths against the
+    shortest-path latency under the flow-induced edge costs.  Because path
+    flows are not stored, the per-commodity residual is measured edge-wise on
+    the shortest-path DAG: it is the largest violation of
+    ``dist(tail) + l_e(f_e) >= dist(head)`` complementarity over edges carrying
+    flow, i.e. how much a used edge "overshoots" the label of its head node.
+    A Wardrop equilibrium has residual ~0; the converse holds for
+    single-commodity instances (every used path then has minimal latency).
+    """
+    flows = np.asarray(edge_flows, dtype=float)
+    costs = instance.latencies_at(flows)
+    worst = 0.0
+    for commodity in instance.commodities:
+        dist, _ = shortest_distances(instance.network, commodity.source, costs)
+        for idx, edge in enumerate(instance.network.edges):
+            if flows[idx] <= flow_atol:
+                continue
+            du = dist.get(edge.tail, math.inf)
+            dv = dist.get(edge.head, math.inf)
+            if math.isinf(du) or math.isinf(dv):
+                continue
+            slack = du + costs[idx] - dv
+            worst = max(worst, slack)
+    return float(worst)

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  More specific subclasses communicate *where* the
+failure happened (model construction, solver convergence, strategy validation)
+without requiring the caller to parse messages.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "LatencyDomainError",
+    "InfeasibleFlowError",
+    "ConvergenceError",
+    "StrategyError",
+    "InstanceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """Raised when a network / instance model is structurally invalid.
+
+    Examples: negative demand, a link with a non-increasing latency where a
+    strictly increasing one is required, a commodity whose sink is unreachable
+    from its source.
+    """
+
+
+class LatencyDomainError(ModelError):
+    """Raised when a latency function is evaluated outside of its domain.
+
+    The main producer of this error is :class:`repro.latency.MM1Latency`,
+    which is only defined for loads strictly below its capacity.
+    """
+
+
+class InfeasibleFlowError(ModelError):
+    """Raised when a flow vector violates feasibility (non-negativity or
+    demand conservation) beyond the configured tolerance."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative solver fails to reach its tolerance within the
+    configured iteration budget."""
+
+    def __init__(self, message: str, *, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        #: Number of iterations performed before giving up (if known).
+        self.iterations = iterations
+        #: Last observed residual / gap (if known).
+        self.residual = residual
+
+
+class StrategyError(ReproError):
+    """Raised when a Stackelberg strategy is invalid for its instance.
+
+    Examples: strategy flow exceeding the total demand, negative flow on a
+    link, a strategy defined on the wrong number of links/edges.
+    """
+
+
+class InstanceError(ReproError):
+    """Raised by instance generators when parameters are out of range."""

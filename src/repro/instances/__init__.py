@@ -1,0 +1,49 @@
+"""Instance library: canonical examples from the paper plus random generators.
+
+Canonical instances (each reproduces a figure of the paper):
+
+* :func:`pigou` — Figures 1–3 (Pigou's example, PoA 4/3, beta = 1/2).
+* :func:`figure_4_example` — Figures 4–6 (the five-link OpTop walk-through).
+* :func:`braess_paradox` — the classic Braess graph (PoA 4/3 on networks).
+* :func:`roughgarden_example` — the 4-node graph of Figure 7 / Roughgarden's
+  Example 6.5.1, on which no strategy can guarantee ``(1/alpha) C(O)`` yet MOP
+  attains the optimum with beta ~ 1/2.
+
+Random generators (seeded, deterministic) cover the families the benchmarks
+sweep: linear / common-slope / polynomial / M/M/1 parallel links, grid and
+layered s–t networks, and k-commodity variants.
+"""
+
+from repro.instances.pigou import pigou, pigou_nonlinear
+from repro.instances.canonical import figure_4_example, two_speed_example
+from repro.instances.braess import braess_paradox, roughgarden_example
+from repro.instances.random_parallel import (
+    random_affine_common_slope,
+    random_linear_parallel,
+    random_mixed_parallel,
+    random_polynomial_parallel,
+)
+from repro.instances.mm1_farm import mm1_server_farm, random_mm1_parallel
+from repro.instances.random_networks import (
+    grid_network,
+    layered_network,
+    random_multicommodity_instance,
+)
+
+__all__ = [
+    "pigou",
+    "pigou_nonlinear",
+    "figure_4_example",
+    "two_speed_example",
+    "braess_paradox",
+    "roughgarden_example",
+    "random_linear_parallel",
+    "random_affine_common_slope",
+    "random_polynomial_parallel",
+    "random_mixed_parallel",
+    "mm1_server_farm",
+    "random_mm1_parallel",
+    "grid_network",
+    "layered_network",
+    "random_multicommodity_instance",
+]

@@ -1,0 +1,76 @@
+"""Braess-type 4-node networks, including the paper's Figure 7 graph."""
+
+from __future__ import annotations
+
+from repro.exceptions import InstanceError
+from repro.latency.linear import ConstantLatency, LinearLatency
+from repro.network.graph import Network
+from repro.network.instance import NetworkInstance
+
+__all__ = ["braess_paradox", "roughgarden_example"]
+
+
+def braess_paradox(demand: float = 1.0) -> NetworkInstance:
+    """The classic Braess paradox graph.
+
+    Nodes ``s, v, w, t``; latencies ``l(x) = x`` on ``s->v`` and ``w->t``,
+    constant 1 on ``s->w`` and ``v->t``, constant 0 on the cross edge
+    ``v->w``.  With unit demand the selfish flow all takes the zig-zag path
+    (cost 2) while the optimum splits over the two outer paths (cost 3/2),
+    so the price of anarchy is 4/3.
+
+    Interestingly, the Price of Optimum of this instance is 1: at the optimum
+    the (empty) zig-zag path is strictly shorter than both used paths, so any
+    uncontrolled flow would deviate onto it — the Leader must control
+    everything to enforce the optimum.
+    """
+    network = Network()
+    network.add_edge("s", "v", LinearLatency(1.0, 0.0))
+    network.add_edge("s", "w", ConstantLatency(1.0))
+    network.add_edge("v", "w", ConstantLatency(0.0))
+    network.add_edge("v", "t", ConstantLatency(1.0))
+    network.add_edge("w", "t", LinearLatency(1.0, 0.0))
+    return NetworkInstance.single_commodity(network, "s", "t", demand)
+
+
+def roughgarden_example(epsilon: float = 0.0, demand: float = 1.0) -> NetworkInstance:
+    """The 4-node graph of the paper's Figure 7 (Roughgarden's Example 6.5.1).
+
+    Nodes ``s, v, w, t`` and edges
+
+    * ``s->v`` and ``w->t`` with latency ``x``,
+    * ``v->w`` with latency ``x``,
+    * ``s->w`` and ``v->t`` with constant latency ``5/2 - 6*epsilon``.
+
+    With unit demand the optimum flow is exactly the one reported in the
+    paper's Figure 7:
+
+    * ``o_{s->v} = o_{w->t} = 3/4 - epsilon``,
+    * ``o_{v->w} = 1/2 - 2*epsilon``,
+    * ``o_{s->w} = o_{v->t} = 1/4 + epsilon``,
+
+    the unique shortest path under the optimal latencies is the middle path
+    ``P0 = s->v->w->t`` carrying ``1/2 - 2*epsilon``, and the two outer paths
+    are non-shortest.  MOP therefore controls the optimal flow of the outer
+    paths and the Price of Optimum is ``beta_G = 1/2 + 2*epsilon`` — while the
+    instance is exactly the structure on which Roughgarden showed that no
+    strategy can guarantee cost within ``1/alpha`` of the optimum.
+
+    Roughgarden's book states the example with slightly different (unpublished
+    here) latency constants; this reconstruction preserves the optimal flow
+    pattern, the shortest/non-shortest path structure and the value of
+    ``beta_G``, which is all the paper's argument uses (see DESIGN.md,
+    Substitutions).
+    """
+    if not 0.0 <= epsilon < 0.25:
+        raise InstanceError(
+            f"epsilon must lie in [0, 1/4) to keep all optimal path flows "
+            f"positive, got {epsilon!r}")
+    constant = 2.5 - 6.0 * epsilon
+    network = Network()
+    network.add_edge("s", "v", LinearLatency(1.0, 0.0))
+    network.add_edge("s", "w", ConstantLatency(constant))
+    network.add_edge("v", "w", LinearLatency(1.0, 0.0))
+    network.add_edge("v", "t", ConstantLatency(constant))
+    network.add_edge("w", "t", LinearLatency(1.0, 0.0))
+    return NetworkInstance.single_commodity(network, "s", "t", demand)

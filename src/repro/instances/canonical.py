@@ -1,0 +1,45 @@
+"""Canonical parallel-link examples from the paper's figures."""
+
+from __future__ import annotations
+
+from repro.latency.linear import ConstantLatency, LinearLatency
+from repro.network.parallel import ParallelLinkInstance
+
+__all__ = ["figure_4_example", "two_speed_example"]
+
+
+def figure_4_example(demand: float = 1.0) -> ParallelLinkInstance:
+    """The five-link instance of Figures 4–6.
+
+    Latencies: ``l1(x) = x``, ``l2(x) = 3/2 x``, ``l3(x) = 2 x``,
+    ``l4(x) = 5/2 x + 1/6``, ``l5(x) = 7/10`` with total flow 1.
+
+    At the Nash equilibrium links M4 and M5 are under-loaded; OpTop freezes
+    them at their optimum flows (o4 = 8/75, o5 = 27/200, so beta = 29/120)
+    and the remaining selfish flow reproduces the optimum on M1–M3
+    (Figure 6).
+    """
+    return ParallelLinkInstance(
+        [
+            LinearLatency(1.0, 0.0),
+            LinearLatency(1.5, 0.0),
+            LinearLatency(2.0, 0.0),
+            LinearLatency(2.5, 1.0 / 6.0),
+            ConstantLatency(0.7),
+        ],
+        demand,
+        names=("M1", "M2", "M3", "M4", "M5"),
+    )
+
+
+def two_speed_example(fast_slope: float = 1.0, slow_constant: float = 1.0,
+                      demand: float = 1.0) -> ParallelLinkInstance:
+    """A parametrised Pigou-like instance with one fast and one slow link.
+
+    ``l_fast(x) = fast_slope * x`` and ``l_slow(x) = slow_constant``; useful
+    for sweeping the Price of Optimum as the relative appeal of the links
+    varies.
+    """
+    return ParallelLinkInstance(
+        [LinearLatency(fast_slope, 0.0), ConstantLatency(slow_constant)], demand,
+        names=("fast", "slow"))

@@ -1,0 +1,68 @@
+"""M/M/1 server farms (Korilis–Lazar–Orda style systems).
+
+The paper remarks, after Corollary 2.2, that on M/M/1 systems the Price of
+Optimum ``beta_M`` can be significantly small when the system contains *small
+groups of highly appealing links* or *large groups of identical links*.
+Benchmark E8 sweeps exactly these families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InstanceError
+from repro.latency.mm1 import MM1Latency
+from repro.network.parallel import ParallelLinkInstance
+
+__all__ = ["mm1_server_farm", "random_mm1_parallel"]
+
+
+def mm1_server_farm(num_fast: int, num_slow: int, *, fast_capacity: float = 10.0,
+                    slow_capacity: float = 2.0, demand: float | None = None,
+                    utilisation: float = 0.6) -> ParallelLinkInstance:
+    """A server farm with a group of fast and a group of slow M/M/1 links.
+
+    ``demand`` defaults to ``utilisation`` times the total capacity.  The fast
+    group models the "highly appealing links"; growing ``num_slow`` with
+    identical capacities produces the "large groups of identical links"
+    regime.
+    """
+    if num_fast < 0 or num_slow < 0 or num_fast + num_slow == 0:
+        raise InstanceError("need at least one link in the farm")
+    if fast_capacity <= 0.0 or slow_capacity <= 0.0:
+        raise InstanceError("capacities must be > 0")
+    latencies = ([MM1Latency(fast_capacity)] * num_fast
+                 + [MM1Latency(slow_capacity)] * num_slow)
+    total_capacity = num_fast * fast_capacity + num_slow * slow_capacity
+    if demand is None:
+        if not 0.0 < utilisation < 1.0:
+            raise InstanceError(
+                f"utilisation must lie in (0, 1), got {utilisation!r}")
+        demand = utilisation * total_capacity
+    if demand >= total_capacity:
+        raise InstanceError(
+            f"demand {demand!r} must be below the total capacity {total_capacity!r}")
+    names = tuple(f"fast{i + 1}" for i in range(num_fast)) \
+        + tuple(f"slow{i + 1}" for i in range(num_slow))
+    return ParallelLinkInstance(latencies, demand, names=names)
+
+
+def random_mm1_parallel(num_links: int, demand_fraction: float = 0.7, *,
+                        seed: int = 0,
+                        capacity_range: tuple[float, float] = (1.0, 10.0),
+                        ) -> ParallelLinkInstance:
+    """Parallel M/M/1 links with capacities drawn uniformly at random.
+
+    ``demand_fraction`` scales the demand relative to the total capacity
+    (strictly below 1 to keep the instance feasible).
+    """
+    if num_links < 1:
+        raise InstanceError(f"num_links must be >= 1, got {num_links!r}")
+    if not 0.0 < demand_fraction < 1.0:
+        raise InstanceError(
+            f"demand_fraction must lie in (0, 1), got {demand_fraction!r}")
+    rng = np.random.default_rng(seed)
+    capacities = rng.uniform(*capacity_range, size=num_links)
+    latencies = [MM1Latency(float(c)) for c in capacities]
+    demand = demand_fraction * float(capacities.sum())
+    return ParallelLinkInstance(latencies, demand)

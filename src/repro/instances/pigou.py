@@ -1,0 +1,36 @@
+"""Pigou's example (Figures 1–3 of the paper)."""
+
+from __future__ import annotations
+
+from repro.latency.linear import ConstantLatency, LinearLatency
+from repro.latency.polynomial import MonomialLatency
+from repro.network.parallel import ParallelLinkInstance
+
+__all__ = ["pigou", "pigou_nonlinear"]
+
+
+def pigou(demand: float = 1.0) -> ParallelLinkInstance:
+    """The two-link Pigou instance: ``l_1(x) = x`` and ``l_2(x) = 1``.
+
+    With unit demand the Nash equilibrium floods the first link
+    (``N = <1, 0>``, cost 1) while the optimum balances the flow
+    (``O = <1/2, 1/2>``, cost 3/4), giving the worst-case linear price of
+    anarchy 4/3.  The Leader only needs to control half the flow — routed on
+    the slow constant link — to induce the optimum (Figures 2–3), so the
+    Price of Optimum is ``beta = 1/2``.
+    """
+    return ParallelLinkInstance(
+        [LinearLatency(1.0, 0.0), ConstantLatency(1.0)], demand,
+        names=("M1", "M2"))
+
+
+def pigou_nonlinear(degree: float, demand: float = 1.0) -> ParallelLinkInstance:
+    """The nonlinear Pigou instance: ``l_1(x) = x^degree`` and ``l_2(x) = 1``.
+
+    As the degree grows the price of anarchy approaches infinity — the
+    "unbounded coordination ratio" that motivates Stackelberg control in the
+    paper's abstract.
+    """
+    return ParallelLinkInstance(
+        [MonomialLatency(1.0, degree), ConstantLatency(1.0)], demand,
+        names=("M1", "M2"))

@@ -1,0 +1,115 @@
+"""Random parallel-link instance generators (seeded and deterministic)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InstanceError
+from repro.latency.linear import ConstantLatency, LinearLatency
+from repro.latency.polynomial import MonomialLatency, PolynomialLatency
+from repro.network.parallel import ParallelLinkInstance
+
+__all__ = [
+    "random_linear_parallel",
+    "random_affine_common_slope",
+    "random_polynomial_parallel",
+    "random_mixed_parallel",
+]
+
+
+def _check_num_links(num_links: int) -> None:
+    if num_links < 1:
+        raise InstanceError(f"num_links must be >= 1, got {num_links!r}")
+
+
+def random_linear_parallel(num_links: int, demand: float = 1.0, *, seed: int = 0,
+                           slope_range: tuple[float, float] = (0.5, 3.0),
+                           intercept_range: tuple[float, float] = (0.0, 1.0),
+                           ) -> ParallelLinkInstance:
+    """Parallel links with independent affine latencies ``a_i x + b_i``.
+
+    Slopes and intercepts are drawn uniformly from the given ranges; the
+    family that the 4/3 price-of-anarchy bound and the ``4/(3+alpha)`` LLF
+    bound apply to.
+    """
+    _check_num_links(num_links)
+    rng = np.random.default_rng(seed)
+    slopes = rng.uniform(*slope_range, size=num_links)
+    intercepts = rng.uniform(*intercept_range, size=num_links)
+    latencies = [LinearLatency(float(a), float(b))
+                 for a, b in zip(slopes, intercepts)]
+    return ParallelLinkInstance(latencies, demand)
+
+
+def random_affine_common_slope(num_links: int, demand: float = 1.0, *, seed: int = 0,
+                               slope: float = 1.0,
+                               intercept_range: tuple[float, float] = (0.0, 1.0),
+                               ) -> ParallelLinkInstance:
+    """Parallel links with latencies ``a x + b_i`` sharing a common slope ``a``.
+
+    This is exactly the family of Theorem 2.4, for which the optimal
+    Stackelberg strategy is polynomial even on hard instances
+    ``(M, r, alpha < beta_M)``.
+    """
+    _check_num_links(num_links)
+    if slope <= 0.0:
+        raise InstanceError(f"the common slope must be > 0, got {slope!r}")
+    rng = np.random.default_rng(seed)
+    intercepts = np.sort(rng.uniform(*intercept_range, size=num_links))
+    latencies = [LinearLatency(slope, float(b)) for b in intercepts]
+    return ParallelLinkInstance(latencies, demand)
+
+
+def random_polynomial_parallel(num_links: int, demand: float = 1.0, *, seed: int = 0,
+                               max_degree: int = 3,
+                               coefficient_range: tuple[float, float] = (0.1, 2.0),
+                               ) -> ParallelLinkInstance:
+    """Parallel links with random increasing polynomial latencies.
+
+    Every link gets a polynomial of random degree between 1 and
+    ``max_degree`` with non-negative coefficients (constant term included), so
+    the latencies are strictly increasing and ``x l(x)`` is convex.
+    """
+    _check_num_links(num_links)
+    if max_degree < 1:
+        raise InstanceError(f"max_degree must be >= 1, got {max_degree!r}")
+    rng = np.random.default_rng(seed)
+    latencies = []
+    for _ in range(num_links):
+        degree = int(rng.integers(1, max_degree + 1))
+        coeffs = rng.uniform(*coefficient_range, size=degree + 1)
+        coeffs[0] = rng.uniform(0.0, coefficient_range[1])  # free-flow latency
+        latencies.append(PolynomialLatency([float(c) for c in coeffs]))
+    return ParallelLinkInstance(latencies, demand)
+
+
+def random_mixed_parallel(num_links: int, demand: float = 1.0, *, seed: int = 0,
+                          constant_fraction: float = 0.25,
+                          ) -> ParallelLinkInstance:
+    """A mixture of affine, monomial and constant latencies.
+
+    Roughly ``constant_fraction`` of the links get constant latencies (the
+    documented model extension); the rest alternate between affine and
+    monomial latencies.  Exercises the solvers on heterogeneous systems.
+    """
+    _check_num_links(num_links)
+    if not 0.0 <= constant_fraction <= 1.0:
+        raise InstanceError(
+            f"constant_fraction must lie in [0, 1], got {constant_fraction!r}")
+    rng = np.random.default_rng(seed)
+    latencies = []
+    for i in range(num_links):
+        draw = rng.uniform()
+        if draw < constant_fraction:
+            latencies.append(ConstantLatency(float(rng.uniform(0.5, 2.0))))
+        elif i % 2 == 0:
+            latencies.append(LinearLatency(float(rng.uniform(0.5, 2.5)),
+                                           float(rng.uniform(0.0, 1.0))))
+        else:
+            latencies.append(MonomialLatency(float(rng.uniform(0.5, 2.0)),
+                                             float(rng.integers(2, 4)),
+                                             float(rng.uniform(0.0, 0.5))))
+    # Guarantee at least one strictly increasing link so every demand is routable.
+    if all(lat.is_constant for lat in latencies):
+        latencies[0] = LinearLatency(1.0, 0.0)
+    return ParallelLinkInstance(latencies, demand)

@@ -1,0 +1,40 @@
+"""Latency (load-dependent delay) functions.
+
+The paper's model endows every link / edge with a *standard* latency function
+``l(x)``: non-negative, differentiable, strictly increasing, with ``x*l(x)``
+convex (Section 4, Remark 2.5).  This package provides the analytic families
+used throughout the reproduction together with the calculus every solver needs:
+
+* values ``l(x)``,
+* derivatives ``l'(x)``,
+* Beckmann integrals ``\\int_0^x l(t) dt`` (the potential minimised by a
+  Wardrop/Nash equilibrium),
+* marginal costs ``(x*l(x))' = l(x) + x*l'(x)`` (whose equalisation
+  characterises the system optimum),
+* inverses of the value and of the marginal cost (used by the exact
+  water-filling solvers on parallel links), and
+* the *shifted* latency ``l(x + s)`` describing what Followers experience on a
+  link pre-loaded with Stackelberg flow ``s``.
+
+Constant latencies are supported as a documented extension (the paper's Pigou
+example needs one); they are flagged via ``is_constant`` so the solvers can
+treat them as flow sinks at a fixed delay.
+"""
+
+from repro.latency.base import LatencyFunction
+from repro.latency.linear import ConstantLatency, LinearLatency
+from repro.latency.polynomial import BPRLatency, MonomialLatency, PolynomialLatency
+from repro.latency.mm1 import MM1Latency
+from repro.latency.shifted import ScaledLatency, ShiftedLatency
+
+__all__ = [
+    "LatencyFunction",
+    "LinearLatency",
+    "ConstantLatency",
+    "PolynomialLatency",
+    "MonomialLatency",
+    "BPRLatency",
+    "MM1Latency",
+    "ShiftedLatency",
+    "ScaledLatency",
+]

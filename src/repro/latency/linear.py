@@ -1,0 +1,114 @@
+"""Linear / affine and constant latency functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.latency.base import ArrayLike, LatencyFunction
+
+__all__ = ["LinearLatency", "ConstantLatency"]
+
+
+class LinearLatency(LatencyFunction):
+    """Affine latency ``l(x) = slope * x + intercept``.
+
+    ``slope > 0`` gives the strictly increasing latencies assumed by the paper
+    (Remark 2.5); ``slope == 0`` is permitted and yields a constant latency
+    (prefer :class:`ConstantLatency` for clarity).  The Koutsoupias–
+    Papadimitriou / Roughgarden–Tardos 4/3 price-of-anarchy bound applies to
+    systems whose latencies are all of this form.
+    """
+
+    __slots__ = ("slope", "intercept")
+
+    def __init__(self, slope: float, intercept: float = 0.0) -> None:
+        if slope < 0.0:
+            raise ModelError(f"latency slope must be >= 0, got {slope!r}")
+        if intercept < 0.0:
+            raise ModelError(f"latency intercept must be >= 0, got {intercept!r}")
+        self.slope = float(slope)
+        self.intercept = float(intercept)
+
+    # calculus ---------------------------------------------------------- #
+    def value(self, x: ArrayLike) -> ArrayLike:
+        return self.slope * x + self.intercept
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        if np.isscalar(x):
+            return self.slope
+        return np.full_like(np.asarray(x, dtype=float), self.slope)
+
+    def integral(self, x: ArrayLike) -> ArrayLike:
+        if np.isscalar(x):
+            return 0.5 * self.slope * x * x + self.intercept * x
+        x_arr = np.asarray(x, dtype=float)
+        return 0.5 * self.slope * x_arr * x_arr + self.intercept * x_arr
+
+    def marginal_cost(self, x: ArrayLike) -> ArrayLike:
+        return 2.0 * self.slope * x + self.intercept
+
+    # inverses ---------------------------------------------------------- #
+    @property
+    def is_constant(self) -> bool:
+        return self.slope == 0.0
+
+    def inverse_value(self, y: float) -> float:
+        if self.is_constant:
+            return super().inverse_value(y)  # raises LatencyDomainError
+        if y <= self.intercept:
+            return 0.0
+        return (y - self.intercept) / self.slope
+
+    def inverse_marginal(self, y: float) -> float:
+        if self.is_constant:
+            return super().inverse_marginal(y)  # raises LatencyDomainError
+        if y <= self.intercept:
+            return 0.0
+        return (y - self.intercept) / (2.0 * self.slope)
+
+    def __repr__(self) -> str:
+        return f"LinearLatency(slope={self.slope!r}, intercept={self.intercept!r})"
+
+
+class ConstantLatency(LatencyFunction):
+    """Load-independent latency ``l(x) = c``.
+
+    Constant latencies are the documented extension of the paper's model
+    (Remark 2.5 and [16]): the optimum and Nash *edge* latencies remain unique
+    even though the split of flow among identical constant links may not be.
+    The water-filling solvers treat such links as absorbing any flow at delay
+    ``c``.
+    """
+
+    __slots__ = ("constant",)
+
+    def __init__(self, constant: float) -> None:
+        if constant < 0.0:
+            raise ModelError(f"constant latency must be >= 0, got {constant!r}")
+        self.constant = float(constant)
+
+    def value(self, x: ArrayLike) -> ArrayLike:
+        if np.isscalar(x):
+            return self.constant
+        return np.full_like(np.asarray(x, dtype=float), self.constant)
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        if np.isscalar(x):
+            return 0.0
+        return np.zeros_like(np.asarray(x, dtype=float))
+
+    def integral(self, x: ArrayLike) -> ArrayLike:
+        if np.isscalar(x):
+            return self.constant * x
+        return self.constant * np.asarray(x, dtype=float)
+
+    def marginal_cost(self, x: ArrayLike) -> ArrayLike:
+        return self.value(x)
+
+    @property
+    def is_constant(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.constant!r})"

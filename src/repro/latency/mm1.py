@@ -1,0 +1,78 @@
+"""M/M/1 queueing latency, the family behind Korilis–Lazar–Orda instances."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import LatencyDomainError, ModelError
+from repro.latency.base import ArrayLike, LatencyFunction
+
+__all__ = ["MM1Latency"]
+
+
+class MM1Latency(LatencyFunction):
+    """M/M/1 expected delay ``l(x) = 1 / (capacity - x)`` for ``x < capacity``.
+
+    This is the latency of a link modelled as an M/M/1 queue with service rate
+    ``capacity`` (Korilis, Lazar and Orda study Stackelberg routing on systems
+    of such links).  The function is strictly increasing and diverges at the
+    capacity; evaluation at or beyond the capacity raises
+    :class:`LatencyDomainError`.
+    """
+
+    __slots__ = ("capacity",)
+
+    def __init__(self, capacity: float) -> None:
+        if capacity <= 0.0:
+            raise ModelError(f"M/M/1 capacity must be > 0, got {capacity!r}")
+        self.capacity = float(capacity)
+
+    @property
+    def domain_upper(self) -> float:  # type: ignore[override]
+        return self.capacity
+
+    def _check_domain(self, x: ArrayLike) -> None:
+        max_x = float(np.max(x)) if not np.isscalar(x) else float(x)
+        if max_x >= self.capacity:
+            raise LatencyDomainError(
+                f"M/M/1 latency evaluated at load {max_x!r} >= capacity {self.capacity!r}")
+
+    def value(self, x: ArrayLike) -> ArrayLike:
+        self._check_domain(x)
+        return 1.0 / (self.capacity - x) if np.isscalar(x) \
+            else 1.0 / (self.capacity - np.asarray(x, dtype=float))
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        self._check_domain(x)
+        diff = (self.capacity - x) if np.isscalar(x) \
+            else (self.capacity - np.asarray(x, dtype=float))
+        return 1.0 / (diff * diff)
+
+    def integral(self, x: ArrayLike) -> ArrayLike:
+        self._check_domain(x)
+        if np.isscalar(x):
+            return math.log(self.capacity / (self.capacity - x))
+        x_arr = np.asarray(x, dtype=float)
+        return np.log(self.capacity / (self.capacity - x_arr))
+
+    def inverse_value(self, y: float) -> float:
+        if y <= 1.0 / self.capacity:
+            return 0.0
+        return self.capacity - 1.0 / y
+
+    def inverse_marginal(self, y: float) -> float:
+        # marginal cost: 1/(c-x) + x/(c-x)^2 = c/(c-x)^2 ; solve c/(c-x)^2 = y.
+        if y <= 1.0 / self.capacity:
+            return 0.0
+        return self.capacity - math.sqrt(self.capacity / y)
+
+    def marginal_cost(self, x: ArrayLike) -> ArrayLike:
+        self._check_domain(x)
+        diff = (self.capacity - x) if np.isscalar(x) \
+            else (self.capacity - np.asarray(x, dtype=float))
+        return self.capacity / (diff * diff)
+
+    def __repr__(self) -> str:
+        return f"MM1Latency(capacity={self.capacity!r})"

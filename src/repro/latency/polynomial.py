@@ -1,0 +1,175 @@
+"""Polynomial, monomial and BPR latency families."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.latency.base import ArrayLike, LatencyFunction
+
+__all__ = ["PolynomialLatency", "MonomialLatency", "BPRLatency"]
+
+
+class PolynomialLatency(LatencyFunction):
+    """Polynomial latency ``l(x) = sum_k c_k x^k`` with non-negative coefficients.
+
+    Non-negative coefficients guarantee that ``l`` is non-decreasing and that
+    ``x*l(x)`` is convex on ``x >= 0``; strict increase requires at least one
+    positive coefficient of degree >= 1.
+    """
+
+    __slots__ = ("coefficients",)
+
+    def __init__(self, coefficients: Sequence[float]) -> None:
+        coeffs = tuple(float(c) for c in coefficients)
+        if not coeffs:
+            raise ModelError("a polynomial latency needs at least one coefficient")
+        if any(c < 0.0 for c in coeffs):
+            raise ModelError(
+                f"polynomial latency coefficients must be >= 0, got {coeffs!r}")
+        # Trim trailing zero coefficients but keep at least the constant term.
+        while len(coeffs) > 1 and coeffs[-1] == 0.0:
+            coeffs = coeffs[:-1]
+        self.coefficients = coeffs
+
+    # calculus ---------------------------------------------------------- #
+    def value(self, x: ArrayLike) -> ArrayLike:
+        return np.polynomial.polynomial.polyval(x, self.coefficients)
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        deriv = tuple(k * c for k, c in enumerate(self.coefficients))[1:] or (0.0,)
+        return np.polynomial.polynomial.polyval(x, deriv)
+
+    def integral(self, x: ArrayLike) -> ArrayLike:
+        integ = (0.0,) + tuple(c / (k + 1) for k, c in enumerate(self.coefficients))
+        return np.polynomial.polynomial.polyval(x, integ)
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial."""
+        return len(self.coefficients) - 1
+
+    @property
+    def is_constant(self) -> bool:
+        return all(c == 0.0 for c in self.coefficients[1:])
+
+    def __repr__(self) -> str:
+        return f"PolynomialLatency({list(self.coefficients)!r})"
+
+
+class MonomialLatency(LatencyFunction):
+    """Monomial latency ``l(x) = coefficient * x^degree + constant``.
+
+    Pigou-type instances with ``l(x) = x^d`` exhibit a price of anarchy that
+    grows with ``d``; this family is used by the bound-verification benchmarks.
+    """
+
+    __slots__ = ("coefficient", "degree", "constant")
+
+    def __init__(self, coefficient: float, degree: float, constant: float = 0.0) -> None:
+        if coefficient < 0.0:
+            raise ModelError(f"monomial coefficient must be >= 0, got {coefficient!r}")
+        if degree < 1.0:
+            raise ModelError(f"monomial degree must be >= 1, got {degree!r}")
+        if constant < 0.0:
+            raise ModelError(f"monomial constant must be >= 0, got {constant!r}")
+        self.coefficient = float(coefficient)
+        self.degree = float(degree)
+        self.constant = float(constant)
+
+    def value(self, x: ArrayLike) -> ArrayLike:
+        return self.coefficient * np.power(x, self.degree) + self.constant
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        return self.coefficient * self.degree * np.power(x, self.degree - 1.0)
+
+    def integral(self, x: ArrayLike) -> ArrayLike:
+        return (self.coefficient * np.power(x, self.degree + 1.0) / (self.degree + 1.0)
+                + self.constant * np.asarray(x, dtype=float)) if not np.isscalar(x) \
+            else (self.coefficient * x ** (self.degree + 1.0) / (self.degree + 1.0)
+                  + self.constant * x)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.coefficient == 0.0
+
+    def inverse_value(self, y: float) -> float:
+        if self.is_constant:
+            return super().inverse_value(y)
+        if y <= self.constant:
+            return 0.0
+        return ((y - self.constant) / self.coefficient) ** (1.0 / self.degree)
+
+    def inverse_marginal(self, y: float) -> float:
+        if self.is_constant:
+            return super().inverse_marginal(y)
+        if y <= self.constant:
+            return 0.0
+        scale = self.coefficient * (1.0 + self.degree)
+        return ((y - self.constant) / scale) ** (1.0 / self.degree)
+
+    def __repr__(self) -> str:
+        return (f"MonomialLatency(coefficient={self.coefficient!r}, "
+                f"degree={self.degree!r}, constant={self.constant!r})")
+
+
+class BPRLatency(LatencyFunction):
+    """Bureau of Public Roads latency ``l(x) = t0 * (1 + alpha * (x / capacity)^beta)``.
+
+    The standard traffic-assignment volume/delay curve (alpha = 0.15,
+    beta = 4 by default) used by the city-grid example and the network
+    benchmarks.  Strictly increasing for ``alpha, t0 > 0``.
+    """
+
+    __slots__ = ("free_flow_time", "capacity", "alpha", "beta")
+
+    def __init__(self, free_flow_time: float, capacity: float,
+                 alpha: float = 0.15, beta: float = 4.0) -> None:
+        if free_flow_time <= 0.0:
+            raise ModelError(f"free_flow_time must be > 0, got {free_flow_time!r}")
+        if capacity <= 0.0:
+            raise ModelError(f"capacity must be > 0, got {capacity!r}")
+        if alpha < 0.0:
+            raise ModelError(f"alpha must be >= 0, got {alpha!r}")
+        if beta < 1.0:
+            raise ModelError(f"beta must be >= 1, got {beta!r}")
+        self.free_flow_time = float(free_flow_time)
+        self.capacity = float(capacity)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+
+    def value(self, x: ArrayLike) -> ArrayLike:
+        ratio = np.asarray(x, dtype=float) / self.capacity if not np.isscalar(x) \
+            else x / self.capacity
+        return self.free_flow_time * (1.0 + self.alpha * np.power(ratio, self.beta))
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        ratio = np.asarray(x, dtype=float) / self.capacity if not np.isscalar(x) \
+            else x / self.capacity
+        return (self.free_flow_time * self.alpha * self.beta / self.capacity
+                * np.power(ratio, self.beta - 1.0))
+
+    def integral(self, x: ArrayLike) -> ArrayLike:
+        x_arr = x if np.isscalar(x) else np.asarray(x, dtype=float)
+        ratio = x_arr / self.capacity
+        return (self.free_flow_time * x_arr
+                + self.free_flow_time * self.alpha * self.capacity
+                / (self.beta + 1.0) * np.power(ratio, self.beta + 1.0))
+
+    @property
+    def is_constant(self) -> bool:
+        return self.alpha == 0.0
+
+    def inverse_value(self, y: float) -> float:
+        if self.is_constant:
+            return super().inverse_value(y)
+        if y <= self.free_flow_time:
+            return 0.0
+        ratio = (y / self.free_flow_time - 1.0) / self.alpha
+        return self.capacity * ratio ** (1.0 / self.beta)
+
+    def __repr__(self) -> str:
+        return (f"BPRLatency(free_flow_time={self.free_flow_time!r}, "
+                f"capacity={self.capacity!r}, alpha={self.alpha!r}, beta={self.beta!r})")

@@ -1,0 +1,97 @@
+"""Latency wrappers: shifted (Stackelberg a-posteriori) and scaled latencies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.latency.base import ArrayLike, LatencyFunction
+
+__all__ = ["ShiftedLatency", "ScaledLatency"]
+
+
+class ShiftedLatency(LatencyFunction):
+    """A-posteriori latency ``x -> base(x + offset)``.
+
+    This is the latency a Follower experiences on a link to which the Leader
+    has already committed flow ``offset`` (Section 4 of the paper:
+    ``l~_e(t_e) = l_e(t_e + s_e)``).  The induced Nash equilibrium of the
+    Followers is the Wardrop equilibrium of the instance with every latency
+    replaced by its shifted version.
+    """
+
+    __slots__ = ("base", "offset")
+
+    def __init__(self, base: LatencyFunction, offset: float) -> None:
+        if offset < 0.0:
+            raise ModelError(f"Stackelberg offset must be >= 0, got {offset!r}")
+        self.base = base
+        self.offset = float(offset)
+
+    @property
+    def domain_upper(self) -> float:  # type: ignore[override]
+        return self.base.domain_upper - self.offset
+
+    def value(self, x: ArrayLike) -> ArrayLike:
+        return self.base.value(x + self.offset)
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        return self.base.derivative(x + self.offset)
+
+    def integral(self, x: ArrayLike) -> ArrayLike:
+        return self.base.integral(x + self.offset) - self.base.integral(self.offset)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.base.is_constant
+
+    def inverse_value(self, y: float) -> float:
+        inner = self.base.inverse_value(y)
+        return max(0.0, inner - self.offset)
+
+    def shifted(self, offset: float) -> LatencyFunction:
+        if offset == 0.0:
+            return self
+        return ShiftedLatency(self.base, self.offset + offset)
+
+    def __repr__(self) -> str:
+        return f"ShiftedLatency({self.base!r}, offset={self.offset!r})"
+
+
+class ScaledLatency(LatencyFunction):
+    """Latency ``x -> factor * base(x)`` with ``factor > 0``.
+
+    Useful for building families of links that differ only by a speed factor
+    (e.g. the ``m`` identical-up-to-speed links of the random generators).
+    """
+
+    __slots__ = ("base", "factor")
+
+    def __init__(self, base: LatencyFunction, factor: float) -> None:
+        if factor <= 0.0:
+            raise ModelError(f"scale factor must be > 0, got {factor!r}")
+        self.base = base
+        self.factor = float(factor)
+
+    @property
+    def domain_upper(self) -> float:  # type: ignore[override]
+        return self.base.domain_upper
+
+    def value(self, x: ArrayLike) -> ArrayLike:
+        return self.factor * self.base.value(x)
+
+    def derivative(self, x: ArrayLike) -> ArrayLike:
+        return self.factor * self.base.derivative(x)
+
+    def integral(self, x: ArrayLike) -> ArrayLike:
+        return self.factor * self.base.integral(x)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.base.is_constant
+
+    def inverse_value(self, y: float) -> float:
+        return self.base.inverse_value(y / self.factor)
+
+    def __repr__(self) -> str:
+        return f"ScaledLatency({self.base!r}, factor={self.factor!r})"

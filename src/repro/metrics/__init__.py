@@ -1,0 +1,20 @@
+"""Performance metrics: price of anarchy, a-posteriori anarchy cost, bounds."""
+
+from repro.metrics.anarchy import price_of_anarchy, coordination_ratio
+from repro.metrics.stackelberg import (
+    a_posteriori_ratio,
+    general_latency_bound,
+    linear_latency_bound,
+    linear_price_of_anarchy_bound,
+)
+from repro.metrics.bounds import polynomial_price_of_anarchy_bound
+
+__all__ = [
+    "price_of_anarchy",
+    "coordination_ratio",
+    "a_posteriori_ratio",
+    "general_latency_bound",
+    "linear_latency_bound",
+    "linear_price_of_anarchy_bound",
+    "polynomial_price_of_anarchy_bound",
+]

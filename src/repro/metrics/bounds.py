@@ -1,0 +1,31 @@
+"""Worst-case price-of-anarchy bounds per latency class (Pigou bounds).
+
+Roughgarden's "the price of anarchy is independent of the network topology"
+shows that the worst-case coordination ratio of a latency class is attained on
+Pigou-style two-link instances.  For polynomials of degree at most ``d`` with
+non-negative coefficients the tight bound is
+
+    rho(d) = (1 - d * (d+1)^(-(d+1)/d))^(-1),
+
+which evaluates to 4/3 for ``d = 1`` and grows like ``d / ln d``.  The
+bound-verification benchmarks use this to sanity check the Nash/optimum
+solvers on polynomial instances, and :func:`repro.instances.pigou_nonlinear`
+attains it exactly.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ModelError
+
+__all__ = ["polynomial_price_of_anarchy_bound"]
+
+
+def polynomial_price_of_anarchy_bound(degree: float) -> float:
+    """The tight price-of-anarchy bound for polynomial latencies of degree ``d``.
+
+    ``degree`` must be at least 1; ``degree == 1`` returns 4/3.
+    """
+    if degree < 1.0:
+        raise ModelError(f"the degree must be >= 1, got {degree!r}")
+    d = float(degree)
+    return 1.0 / (1.0 - d * (d + 1.0) ** (-(d + 1.0) / d))

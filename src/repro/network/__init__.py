@@ -1,0 +1,35 @@
+"""Network and instance models.
+
+Two families of models cover everything the paper studies:
+
+* :class:`ParallelLinkInstance` — ``m`` parallel links between a source and a
+  sink sharing a total flow ``r`` (the (M, r) *scheduling instances* of
+  Sections 2–4 and 6–7).
+* :class:`Network` + :class:`NetworkInstance` — an arbitrary directed graph
+  with latency-endowed edges and one or more source/destination commodities
+  (the s–t and k-commodity instances of Theorem 2.1 and Corollary 2.3).
+
+Both expose the cost functionals the algorithms need (total cost, Beckmann
+potential, per-link/edge latencies and marginal costs) plus feasibility
+validation helpers.
+"""
+
+from repro.network.parallel import ParallelLinkInstance
+from repro.network.graph import Edge, Network
+from repro.network.instance import Commodity, NetworkInstance
+from repro.network.builders import (
+    network_from_edge_list,
+    parallel_links_from_coefficients,
+    parallel_network_as_graph,
+)
+
+__all__ = [
+    "ParallelLinkInstance",
+    "Edge",
+    "Network",
+    "Commodity",
+    "NetworkInstance",
+    "network_from_edge_list",
+    "parallel_links_from_coefficients",
+    "parallel_network_as_graph",
+]

@@ -1,0 +1,52 @@
+"""Convenience constructors for networks and instances."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence, Tuple
+
+from repro.latency.base import LatencyFunction
+from repro.latency.linear import LinearLatency
+from repro.network.graph import Network
+from repro.network.instance import NetworkInstance
+from repro.network.parallel import ParallelLinkInstance
+
+__all__ = [
+    "parallel_links_from_coefficients",
+    "network_from_edge_list",
+    "parallel_network_as_graph",
+]
+
+Node = Hashable
+
+
+def parallel_links_from_coefficients(coefficients: Sequence[Tuple[float, float]],
+                                     demand: float) -> ParallelLinkInstance:
+    """Build a parallel-link instance from affine latency coefficients.
+
+    ``coefficients`` is a sequence of ``(slope, intercept)`` pairs; link ``i``
+    gets latency ``slope_i * x + intercept_i``.
+    """
+    latencies = [LinearLatency(a, b) for a, b in coefficients]
+    return ParallelLinkInstance(latencies, demand)
+
+
+def network_from_edge_list(edges: Iterable[Tuple[Node, Node, LatencyFunction]]) -> Network:
+    """Build a :class:`Network` from ``(tail, head, latency)`` triples."""
+    network = Network()
+    for tail, head, latency in edges:
+        network.add_edge(tail, head, latency)
+    return network
+
+
+def parallel_network_as_graph(instance: ParallelLinkInstance,
+                              source: Node = "s", sink: Node = "t") -> NetworkInstance:
+    """Embed a parallel-link instance into the general network model.
+
+    Each link becomes a parallel s–t edge with the same latency; the result is
+    a single-commodity :class:`NetworkInstance` with the same demand.  Used by
+    the integration tests to check that MOP and OpTop agree on parallel links.
+    """
+    network = Network()
+    for latency in instance.latencies:
+        network.add_edge(source, sink, latency)
+    return NetworkInstance.single_commodity(network, source, sink, instance.demand)

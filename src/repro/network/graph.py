@@ -1,0 +1,201 @@
+"""Directed networks with latency-endowed edges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.latency.base import LatencyFunction
+
+__all__ = ["Edge", "Network"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge with its latency function.
+
+    ``key`` distinguishes parallel edges between the same pair of nodes (the
+    paper's parallel-link systems embed into the network model as ``m``
+    parallel s–t edges).
+    """
+
+    tail: Node
+    head: Node
+    latency: LatencyFunction
+    key: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tail == self.head:
+            raise ModelError(f"self loops are not allowed (node {self.tail!r})")
+        if not isinstance(self.latency, LatencyFunction):
+            raise ModelError(
+                f"edge ({self.tail!r}, {self.head!r}): expected a LatencyFunction, "
+                f"got {type(self.latency).__name__}")
+
+    @property
+    def endpoints(self) -> Tuple[Node, Node]:
+        return (self.tail, self.head)
+
+
+class Network:
+    """A directed multigraph whose edges carry latency functions.
+
+    Edges are stored in a fixed order so that flows can be represented as
+    dense NumPy vectors indexed by edge id; this is what the Frank–Wolfe
+    solver, the Stackelberg strategies and the benchmarks operate on.
+    """
+
+    def __init__(self, edges: Iterable[Edge] | None = None) -> None:
+        self._edges: List[Edge] = []
+        self._out: Dict[Node, List[int]] = {}
+        self._in: Dict[Node, List[int]] = {}
+        self._nodes: List[Node] = []
+        if edges is not None:
+            for edge in edges:
+                self.add_edge(edge.tail, edge.head, edge.latency)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: Node) -> None:
+        """Register ``node`` (no-op if already present)."""
+        if node not in self._out:
+            self._out[node] = []
+            self._in[node] = []
+            self._nodes.append(node)
+
+    def add_edge(self, tail: Node, head: Node, latency: LatencyFunction) -> int:
+        """Add a directed edge and return its index.
+
+        Parallel edges between the same node pair are allowed; each call adds
+        a new edge with a fresh key.
+        """
+        self.add_node(tail)
+        self.add_node(head)
+        key = sum(1 for e in self._edges if e.tail == tail and e.head == head)
+        edge = Edge(tail, head, latency, key=key)
+        index = len(self._edges)
+        self._edges.append(edge)
+        self._out[tail].append(index)
+        self._in[head].append(index)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All edges in insertion order (the canonical edge indexing)."""
+        return tuple(self._edges)
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes in first-seen order."""
+        return tuple(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def edge(self, index: int) -> Edge:
+        """The edge with the given index."""
+        return self._edges[index]
+
+    def out_edges(self, node: Node) -> Tuple[int, ...]:
+        """Indices of edges leaving ``node``."""
+        return tuple(self._out.get(node, ()))
+
+    def in_edges(self, node: Node) -> Tuple[int, ...]:
+        """Indices of edges entering ``node``."""
+        return tuple(self._in.get(node, ()))
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._out
+
+    def __repr__(self) -> str:
+        return f"Network(num_nodes={self.num_nodes}, num_edges={self.num_edges})"
+
+    # ------------------------------------------------------------------ #
+    # Flow functionals
+    # ------------------------------------------------------------------ #
+    def validate_edge_flows(self, edge_flows: Sequence[float]) -> np.ndarray:
+        """Return ``edge_flows`` as a clipped non-negative array of the right length."""
+        arr = np.asarray(edge_flows, dtype=float)
+        if arr.shape != (self.num_edges,):
+            raise ModelError(
+                f"expected {self.num_edges} edge flows, got shape {arr.shape}")
+        if np.any(arr < -1e-7):
+            raise ModelError(f"negative edge flow: {arr.min()!r}")
+        return np.clip(arr, 0.0, None)
+
+    def latencies_at(self, edge_flows: np.ndarray) -> np.ndarray:
+        """Per-edge latencies ``l_e(f_e)``."""
+        flows = np.asarray(edge_flows, dtype=float)
+        return np.array([float(e.latency.value(x))
+                         for e, x in zip(self._edges, flows)])
+
+    def marginal_costs_at(self, edge_flows: np.ndarray) -> np.ndarray:
+        """Per-edge marginal costs ``l_e(f_e) + f_e l_e'(f_e)``."""
+        flows = np.asarray(edge_flows, dtype=float)
+        return np.array([float(e.latency.marginal_cost(x))
+                         for e, x in zip(self._edges, flows)])
+
+    def cost(self, edge_flows: np.ndarray) -> float:
+        """Total cost ``C(f) = sum_e f_e l_e(f_e)``."""
+        flows = np.asarray(edge_flows, dtype=float)
+        return float(sum(x * float(e.latency.value(x))
+                         for e, x in zip(self._edges, flows)))
+
+    def beckmann(self, edge_flows: np.ndarray) -> float:
+        """Beckmann potential ``sum_e int_0^{f_e} l_e(t) dt``."""
+        flows = np.asarray(edge_flows, dtype=float)
+        return float(sum(float(e.latency.integral(x))
+                         for e, x in zip(self._edges, flows)))
+
+    def path_latency(self, path_edges: Sequence[int], edge_flows: np.ndarray) -> float:
+        """Latency of a path (list of edge indices) under ``edge_flows``."""
+        flows = np.asarray(edge_flows, dtype=float)
+        return float(sum(float(self._edges[i].latency.value(flows[i]))
+                         for i in path_edges))
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def shifted(self, strategy_flows: np.ndarray) -> "Network":
+        """The Followers' network: every latency shifted by the Leader's edge flow."""
+        strategy = self.validate_edge_flows(strategy_flows)
+        shifted_net = Network()
+        for node in self._nodes:
+            shifted_net.add_node(node)
+        for edge, s in zip(self._edges, strategy):
+            shifted_net.add_edge(edge.tail, edge.head, edge.latency.shifted(float(s)))
+        return shifted_net
+
+    def to_networkx(self, edge_flows: np.ndarray | None = None,
+                    capacities: np.ndarray | None = None) -> nx.MultiDiGraph:
+        """Export to a :class:`networkx.MultiDiGraph`.
+
+        Edge attributes: ``index`` (canonical edge id), optionally ``flow`` and
+        ``capacity``.  Used by the max-flow free-flow computation and by the
+        examples for visual inspection.
+        """
+        graph = nx.MultiDiGraph()
+        graph.add_nodes_from(self._nodes)
+        for i, edge in enumerate(self._edges):
+            attrs = {"index": i, "key": edge.key}
+            if edge_flows is not None:
+                attrs["flow"] = float(edge_flows[i])
+            if capacities is not None:
+                attrs["capacity"] = float(capacities[i])
+            graph.add_edge(edge.tail, edge.head, **attrs)
+        return graph

@@ -1,0 +1,173 @@
+"""Parallel-link scheduling instances ``(M, r)``."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InfeasibleFlowError, ModelError
+from repro.latency.base import LatencyFunction
+from repro.utils.numeric import DEFAULT_ATOL
+
+__all__ = ["ParallelLinkInstance"]
+
+
+class ParallelLinkInstance:
+    """An s–t system of ``m`` parallel links sharing a total flow ``r > 0``.
+
+    Parameters
+    ----------
+    latencies:
+        One :class:`~repro.latency.LatencyFunction` per link.
+    demand:
+        Total flow ``r > 0`` to be routed from the source to the sink.
+    names:
+        Optional human-readable link names (defaults to ``M1 .. Mm`` as in the
+        paper's figures).
+
+    The instance is immutable; the OpTop recursion produces new, smaller
+    instances via :meth:`sub_instance`, and the induced-equilibrium code
+    produces the Followers' view via :meth:`shifted`.
+    """
+
+    __slots__ = ("latencies", "demand", "names")
+
+    def __init__(self, latencies: Sequence[LatencyFunction], demand: float,
+                 *, names: Sequence[str] | None = None) -> None:
+        latencies = tuple(latencies)
+        if not latencies:
+            raise ModelError("a parallel-link instance needs at least one link")
+        if demand < 0.0:
+            raise ModelError(f"total demand must be >= 0, got {demand!r}")
+        for i, lat in enumerate(latencies):
+            if not isinstance(lat, LatencyFunction):
+                raise ModelError(
+                    f"link {i}: expected a LatencyFunction, got {type(lat).__name__}")
+        if names is None:
+            names = tuple(f"M{i + 1}" for i in range(len(latencies)))
+        else:
+            names = tuple(str(n) for n in names)
+            if len(names) != len(latencies):
+                raise ModelError(
+                    f"got {len(names)} names for {len(latencies)} links")
+        capacity = sum(lat.domain_upper for lat in latencies)
+        if demand >= capacity:
+            raise ModelError(
+                f"demand {demand!r} exceeds the total link capacity {capacity!r}")
+        self.latencies = latencies
+        self.demand = float(demand)
+        self.names = names
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_links(self) -> int:
+        """Number of parallel links ``m``."""
+        return len(self.latencies)
+
+    @property
+    def has_constant_links(self) -> bool:
+        """``True`` when at least one link has a constant latency."""
+        return any(lat.is_constant for lat in self.latencies)
+
+    def __len__(self) -> int:
+        return self.num_links
+
+    def __repr__(self) -> str:
+        return (f"ParallelLinkInstance(num_links={self.num_links}, "
+                f"demand={self.demand!r})")
+
+    # ------------------------------------------------------------------ #
+    # Flow functionals
+    # ------------------------------------------------------------------ #
+    def validate_flow(self, flows: Iterable[float], *, demand: float | None = None,
+                      atol: float = 1e-6) -> np.ndarray:
+        """Check that ``flows`` is a feasible assignment and return it as an array.
+
+        Feasibility means: one value per link, all non-negative (up to
+        ``atol``) and summing to ``demand`` (default: the instance demand).
+        Raises :class:`InfeasibleFlowError` otherwise.  Tiny negative values
+        within tolerance are clipped to zero.
+        """
+        arr = np.asarray(list(flows) if not isinstance(flows, np.ndarray) else flows,
+                         dtype=float)
+        if arr.shape != (self.num_links,):
+            raise InfeasibleFlowError(
+                f"expected {self.num_links} link flows, got shape {arr.shape}")
+        if np.any(arr < -atol):
+            raise InfeasibleFlowError(
+                f"negative link flow: {arr.min()!r}")
+        target = self.demand if demand is None else float(demand)
+        total = float(arr.sum())
+        if abs(total - target) > atol * max(1.0, target):
+            raise InfeasibleFlowError(
+                f"link flows sum to {total!r}, expected {target!r}")
+        return np.clip(arr, 0.0, None)
+
+    def latencies_at(self, flows: np.ndarray) -> np.ndarray:
+        """Per-link latencies ``l_i(x_i)``."""
+        flows = np.asarray(flows, dtype=float)
+        return np.array([float(lat.value(x)) for lat, x in zip(self.latencies, flows)])
+
+    def marginal_costs_at(self, flows: np.ndarray) -> np.ndarray:
+        """Per-link marginal costs ``l_i(x_i) + x_i l_i'(x_i)``."""
+        flows = np.asarray(flows, dtype=float)
+        return np.array([float(lat.marginal_cost(x))
+                         for lat, x in zip(self.latencies, flows)])
+
+    def cost(self, flows: np.ndarray) -> float:
+        """Total cost ``C(X) = sum_i x_i l_i(x_i)``."""
+        flows = np.asarray(flows, dtype=float)
+        return float(sum(x * float(lat.value(x))
+                         for lat, x in zip(self.latencies, flows)))
+
+    def beckmann(self, flows: np.ndarray) -> float:
+        """Beckmann potential ``sum_i int_0^{x_i} l_i(t) dt``."""
+        flows = np.asarray(flows, dtype=float)
+        return float(sum(float(lat.integral(x))
+                         for lat, x in zip(self.latencies, flows)))
+
+    # ------------------------------------------------------------------ #
+    # Derived instances
+    # ------------------------------------------------------------------ #
+    def with_demand(self, demand: float) -> "ParallelLinkInstance":
+        """A copy of this instance with a different total flow."""
+        return ParallelLinkInstance(self.latencies, demand, names=self.names)
+
+    def sub_instance(self, link_indices: Sequence[int],
+                     demand: float) -> "ParallelLinkInstance":
+        """The restriction of the system to ``link_indices`` with flow ``demand``.
+
+        Used by OpTop when it discards optimally frozen links and recurses on
+        the remaining subsystem.
+        """
+        indices = list(link_indices)
+        if not indices:
+            raise ModelError("sub_instance needs at least one link")
+        return ParallelLinkInstance(
+            [self.latencies[i] for i in indices], demand,
+            names=[self.names[i] for i in indices])
+
+    def shifted(self, strategy_flows: np.ndarray) -> "ParallelLinkInstance":
+        """The Followers' view of the system under a Stackelberg pre-load.
+
+        Every latency becomes ``l_i(x + s_i)`` and the demand drops by the
+        controlled amount ``sum_i s_i``.
+        """
+        strategy = np.asarray(strategy_flows, dtype=float)
+        if strategy.shape != (self.num_links,):
+            raise ModelError(
+                f"expected {self.num_links} strategy flows, got shape {strategy.shape}")
+        if np.any(strategy < -DEFAULT_ATOL):
+            raise ModelError("Stackelberg strategy flows must be non-negative")
+        strategy = np.clip(strategy, 0.0, None)
+        remaining = self.demand - float(strategy.sum())
+        if remaining < -1e-9 * max(1.0, self.demand):
+            raise ModelError(
+                f"strategy routes {strategy.sum()!r} > total demand {self.demand!r}")
+        remaining = max(0.0, remaining)
+        shifted_lats = [lat.shifted(float(s))
+                        for lat, s in zip(self.latencies, strategy)]
+        return ParallelLinkInstance(shifted_lats, remaining, names=self.names)

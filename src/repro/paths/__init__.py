@@ -1,0 +1,27 @@
+"""Path-level substrate: shortest paths, enumeration, decomposition, max-flow.
+
+These utilities power both the Frank–Wolfe equilibrium solver (shortest-path /
+all-or-nothing steps) and the MOP algorithm (shortest-path subgraph w.r.t.
+optimal latencies, flow decomposition into shortest and non-shortest paths,
+max-flow computation of the *free* uncontrolled flow).
+"""
+
+from repro.paths.dijkstra import (
+    shortest_distances,
+    shortest_path_edges,
+    shortest_path_edge_set,
+)
+from repro.paths.enumeration import all_simple_paths, path_nodes
+from repro.paths.decomposition import decompose_flow, remove_flow_cycles
+from repro.paths.maxflow import max_flow
+
+__all__ = [
+    "shortest_distances",
+    "shortest_path_edges",
+    "shortest_path_edge_set",
+    "all_simple_paths",
+    "path_nodes",
+    "decompose_flow",
+    "remove_flow_cycles",
+    "max_flow",
+]

@@ -1,0 +1,126 @@
+"""Flow decomposition: edge flows -> path flows.
+
+The optimum flow computed by Frank–Wolfe is an edge-flow vector; MOP needs to
+know how much of it travels along shortest paths versus non-shortest paths.
+The decomposition below repeatedly peels off source-to-sink paths carrying the
+bottleneck flow (after removing any flow cycles, which cannot appear in an
+optimum of strictly increasing latencies but may appear due to numerical
+noise).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.network.graph import Network
+
+__all__ = ["remove_flow_cycles", "decompose_flow"]
+
+Node = Hashable
+
+
+def remove_flow_cycles(network: Network, edge_flows: Sequence[float],
+                       *, atol: float = 1e-12) -> np.ndarray:
+    """Cancel directed cycles carrying positive flow.
+
+    Returns a new edge-flow vector with the same node divergences but no
+    directed cycle of edges all carrying flow above ``atol``.
+    """
+    flows = np.array(edge_flows, dtype=float)
+    flows[flows < atol] = 0.0
+
+    def find_cycle() -> List[int] | None:
+        color: Dict[Node, int] = {node: 0 for node in network.nodes}
+        stack_edges: List[int] = []
+        on_stack: Dict[Node, int] = {}
+
+        def dfs(node: Node) -> List[int] | None:
+            color[node] = 1
+            on_stack[node] = len(stack_edges)
+            for idx in network.out_edges(node):
+                if flows[idx] <= atol:
+                    continue
+                head = network.edge(idx).head
+                if color[head] == 1:
+                    cycle = stack_edges[on_stack[head]:] + [idx]
+                    return cycle
+                if color[head] == 0:
+                    stack_edges.append(idx)
+                    found = dfs(head)
+                    stack_edges.pop()
+                    if found is not None:
+                        return found
+            color[node] = 2
+            del on_stack[node]
+            return None
+
+        for start in network.nodes:
+            if color[start] == 0:
+                found = dfs(start)
+                if found is not None:
+                    return found
+        return None
+
+    for _ in range(network.num_edges + 1):
+        cycle = find_cycle()
+        if cycle is None:
+            break
+        bottleneck = min(flows[idx] for idx in cycle)
+        for idx in cycle:
+            flows[idx] -= bottleneck
+        flows[flows < atol] = 0.0
+    return flows
+
+
+def decompose_flow(network: Network, edge_flows: Sequence[float],
+                   source: Node, sink: Node,
+                   *, atol: float = 1e-9) -> List[Tuple[Tuple[int, ...], float]]:
+    """Decompose a single-commodity edge flow into simple s–t path flows.
+
+    Returns ``[(path_edge_indices, flow), ...]`` whose flows sum to the net
+    flow shipped from ``source`` to ``sink`` (up to ``atol`` per extraction).
+    The decomposition greedily follows, from each node, the outgoing edge with
+    the largest remaining flow, which keeps the number of extracted paths at
+    most the number of edges.
+    """
+    remaining = remove_flow_cycles(network, edge_flows, atol=atol)
+    result: List[Tuple[Tuple[int, ...], float]] = []
+    guard = 4 * network.num_edges + 4
+    for _ in range(guard):
+        # Follow the largest-flow outgoing edge from source to sink.
+        path: List[int] = []
+        node = source
+        visited = {source}
+        while node != sink:
+            candidates = [idx for idx in network.out_edges(node)
+                          if remaining[idx] > atol]
+            if not candidates:
+                path = []
+                break
+            idx = max(candidates, key=lambda i: remaining[i])
+            head = network.edge(idx).head
+            if head in visited:
+                # Residual numerical cycle; cancel it and restart.
+                start = next(k for k, e in enumerate(path)
+                             if network.edge(e).tail == head)
+                cycle = path[start:] + [idx]
+                bottleneck = min(remaining[e] for e in cycle)
+                for e in cycle:
+                    remaining[e] -= bottleneck
+                path = []
+                break
+            path.append(idx)
+            visited.add(head)
+            node = head
+        if not path:
+            break
+        bottleneck = min(remaining[idx] for idx in path)
+        if bottleneck <= atol:
+            break
+        for idx in path:
+            remaining[idx] -= bottleneck
+        result.append((tuple(path), float(bottleneck)))
+    return result

@@ -1,0 +1,125 @@
+"""Dijkstra shortest paths over edge-indexed cost vectors.
+
+The implementation follows the paper's footnote 5: shortest paths are computed
+with respect to *fixed* edge costs (typically the latencies ``l_e(o_e)``
+induced by the optimum flow), and the union of all edges lying on some
+shortest s–t path forms the subgraph the free Followers are allowed to use.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.network.graph import Network
+
+__all__ = [
+    "shortest_distances",
+    "shortest_path_edges",
+    "shortest_path_edge_set",
+]
+
+Node = Hashable
+
+
+def _validate_costs(network: Network, edge_costs: Sequence[float]) -> np.ndarray:
+    costs = np.asarray(edge_costs, dtype=float)
+    if costs.shape != (network.num_edges,):
+        raise ModelError(
+            f"expected {network.num_edges} edge costs, got shape {costs.shape}")
+    if np.any(costs < -1e-12):
+        raise ModelError("Dijkstra requires non-negative edge costs")
+    return np.clip(costs, 0.0, None)
+
+
+def shortest_distances(network: Network, source: Node,
+                       edge_costs: Sequence[float],
+                       *, reverse: bool = False) -> Tuple[Dict[Node, float],
+                                                          Dict[Node, Optional[int]]]:
+    """Single-source shortest distances with non-negative edge costs.
+
+    Returns ``(dist, pred_edge)`` where ``dist[v]`` is the cost of the
+    cheapest path from ``source`` to ``v`` (``inf`` when unreachable) and
+    ``pred_edge[v]`` is the index of the final edge of one such path.
+
+    With ``reverse=True`` the edges are traversed backwards, yielding
+    distances *to* ``source`` — used to classify edges by
+    ``dist_s(tail) + cost(e) + dist_t(head) == dist_s(t)``.
+    """
+    costs = _validate_costs(network, edge_costs)
+    dist: Dict[Node, float] = {node: math.inf for node in network.nodes}
+    pred: Dict[Node, Optional[int]] = {node: None for node in network.nodes}
+    if source not in dist:
+        raise ModelError(f"source node {source!r} is not in the network")
+    dist[source] = 0.0
+    counter = 0
+    heap: List[Tuple[float, int, Node]] = [(0.0, counter, source)]
+    visited: Set[Node] = set()
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        edge_indices = network.in_edges(node) if reverse else network.out_edges(node)
+        for idx in edge_indices:
+            edge = network.edge(idx)
+            neighbor = edge.tail if reverse else edge.head
+            candidate = d + costs[idx]
+            if candidate < dist[neighbor] - 1e-15:
+                dist[neighbor] = candidate
+                pred[neighbor] = idx
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+    return dist, pred
+
+
+def shortest_path_edges(network: Network, source: Node, sink: Node,
+                        edge_costs: Sequence[float]) -> List[int]:
+    """Edge indices of one shortest ``source -> sink`` path.
+
+    Raises :class:`ModelError` when the sink is unreachable.
+    """
+    dist, pred = shortest_distances(network, source, edge_costs)
+    if math.isinf(dist.get(sink, math.inf)):
+        raise ModelError(f"node {sink!r} is unreachable from {source!r}")
+    path: List[int] = []
+    node = sink
+    while node != source:
+        idx = pred[node]
+        if idx is None:
+            raise ModelError(f"no predecessor recorded for node {node!r}")
+        path.append(idx)
+        node = network.edge(idx).tail
+    path.reverse()
+    return path
+
+
+def shortest_path_edge_set(network: Network, source: Node, sink: Node,
+                           edge_costs: Sequence[float],
+                           *, atol: float = 1e-9) -> Set[int]:
+    """Indices of all edges lying on *some* shortest ``source -> sink`` path.
+
+    An edge ``e = (u, v)`` qualifies iff
+    ``dist_source(u) + cost(e) + dist_sink(v) <= dist_source(sink) + atol``.
+    This is the subgraph ``G^`` of the paper's footnote 5.
+    """
+    costs = _validate_costs(network, edge_costs)
+    dist_from_source, _ = shortest_distances(network, source, costs)
+    dist_to_sink, _ = shortest_distances(network, sink, costs, reverse=True)
+    target = dist_from_source.get(sink, math.inf)
+    if math.isinf(target):
+        raise ModelError(f"node {sink!r} is unreachable from {source!r}")
+    scale = max(1.0, abs(target))
+    result: Set[int] = set()
+    for idx, edge in enumerate(network.edges):
+        du = dist_from_source.get(edge.tail, math.inf)
+        dv = dist_to_sink.get(edge.head, math.inf)
+        if math.isinf(du) or math.isinf(dv):
+            continue
+        if du + costs[idx] + dv <= target + atol * scale:
+            result.add(idx)
+    return result

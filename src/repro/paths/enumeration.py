@@ -1,0 +1,75 @@
+"""Explicit path enumeration for small networks.
+
+Enumerating all simple s–t paths is exponential in general, so these helpers
+are meant for the small canonical instances (Pigou, Braess, grids up to a few
+dozen nodes) where the tests and brute-force baselines need a path-based view
+of a flow.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence, Tuple
+
+from repro.exceptions import ModelError
+from repro.network.graph import Network
+
+__all__ = ["all_simple_paths", "path_nodes"]
+
+Node = Hashable
+
+
+def all_simple_paths(network: Network, source: Node, sink: Node,
+                     *, max_length: int | None = None,
+                     max_paths: int = 100_000) -> List[Tuple[int, ...]]:
+    """All simple ``source -> sink`` paths as tuples of edge indices.
+
+    ``max_length`` bounds the number of edges per path; ``max_paths`` guards
+    against accidental exponential blow-ups (a :class:`ModelError` is raised
+    when exceeded, signalling that the instance is too large for explicit
+    enumeration).
+    """
+    if not network.has_node(source):
+        raise ModelError(f"source node {source!r} is not in the network")
+    if not network.has_node(sink):
+        raise ModelError(f"sink node {sink!r} is not in the network")
+    limit = max_length if max_length is not None else network.num_nodes
+    paths: List[Tuple[int, ...]] = []
+    stack: List[int] = []
+    visited = {source}
+
+    def dfs(node: Node) -> None:
+        if len(paths) > max_paths:
+            raise ModelError(
+                f"more than {max_paths} simple paths; instance too large to enumerate")
+        if node == sink:
+            paths.append(tuple(stack))
+            return
+        if len(stack) >= limit:
+            return
+        for idx in network.out_edges(node):
+            head = network.edge(idx).head
+            if head in visited:
+                continue
+            visited.add(head)
+            stack.append(idx)
+            dfs(head)
+            stack.pop()
+            visited.remove(head)
+
+    dfs(source)
+    return paths
+
+
+def path_nodes(network: Network, path_edges: Sequence[int]) -> Tuple[Node, ...]:
+    """The node sequence visited by a path given as edge indices."""
+    if not path_edges:
+        return ()
+    nodes = [network.edge(path_edges[0]).tail]
+    for idx in path_edges:
+        edge = network.edge(idx)
+        if edge.tail != nodes[-1]:
+            raise ModelError(
+                f"edge {idx} (tail {edge.tail!r}) does not continue the path "
+                f"ending at {nodes[-1]!r}")
+        nodes.append(edge.head)
+    return tuple(nodes)

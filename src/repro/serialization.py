@@ -1,0 +1,172 @@
+"""JSON (de)serialisation of latencies and instances.
+
+The command-line interface and downstream users need a way to describe
+instances in plain files.  The format is deliberately simple:
+
+.. code-block:: json
+
+    {
+      "type": "parallel",
+      "demand": 1.0,
+      "links": [
+        {"type": "linear", "slope": 1.0, "intercept": 0.0},
+        {"type": "constant", "value": 1.0}
+      ]
+    }
+
+    {
+      "type": "network",
+      "edges": [
+        {"tail": "s", "head": "v", "latency": {"type": "linear", "slope": 1.0}},
+        {"tail": "v", "head": "t", "latency": {"type": "constant", "value": 1.0}}
+      ],
+      "commodities": [{"source": "s", "sink": "t", "demand": 1.0}]
+    }
+
+Every canonical instance of :mod:`repro.instances` round-trips through this
+format (see the tests), so files produced by :func:`instance_to_dict` can be
+re-loaded with :func:`instance_from_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.exceptions import ModelError
+from repro.latency import (
+    BPRLatency,
+    ConstantLatency,
+    LatencyFunction,
+    LinearLatency,
+    MM1Latency,
+    MonomialLatency,
+    PolynomialLatency,
+)
+from repro.network import Commodity, Network, NetworkInstance, ParallelLinkInstance
+
+__all__ = [
+    "latency_to_dict",
+    "latency_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+]
+
+AnyInstance = Union[ParallelLinkInstance, NetworkInstance]
+
+
+# --------------------------------------------------------------------------- #
+# Latency functions
+# --------------------------------------------------------------------------- #
+def latency_to_dict(latency: LatencyFunction) -> Dict[str, Any]:
+    """Serialise a latency function to a plain dictionary."""
+    if isinstance(latency, LinearLatency):
+        return {"type": "linear", "slope": latency.slope,
+                "intercept": latency.intercept}
+    if isinstance(latency, ConstantLatency):
+        return {"type": "constant", "value": latency.constant}
+    if isinstance(latency, MonomialLatency):
+        return {"type": "monomial", "coefficient": latency.coefficient,
+                "degree": latency.degree, "constant": latency.constant}
+    if isinstance(latency, PolynomialLatency):
+        return {"type": "polynomial", "coefficients": list(latency.coefficients)}
+    if isinstance(latency, BPRLatency):
+        return {"type": "bpr", "free_flow_time": latency.free_flow_time,
+                "capacity": latency.capacity, "alpha": latency.alpha,
+                "beta": latency.beta}
+    if isinstance(latency, MM1Latency):
+        return {"type": "mm1", "capacity": latency.capacity}
+    raise ModelError(
+        f"cannot serialise latency of type {type(latency).__name__}")
+
+
+def latency_from_dict(data: Dict[str, Any]) -> LatencyFunction:
+    """Deserialise a latency function from a dictionary."""
+    if not isinstance(data, dict) or "type" not in data:
+        raise ModelError(f"invalid latency specification: {data!r}")
+    kind = data["type"]
+    if kind == "linear":
+        return LinearLatency(float(data.get("slope", 0.0)),
+                             float(data.get("intercept", 0.0)))
+    if kind == "constant":
+        return ConstantLatency(float(data["value"]))
+    if kind == "monomial":
+        return MonomialLatency(float(data["coefficient"]), float(data["degree"]),
+                               float(data.get("constant", 0.0)))
+    if kind == "polynomial":
+        return PolynomialLatency([float(c) for c in data["coefficients"]])
+    if kind == "bpr":
+        return BPRLatency(float(data["free_flow_time"]), float(data["capacity"]),
+                          float(data.get("alpha", 0.15)),
+                          float(data.get("beta", 4.0)))
+    if kind == "mm1":
+        return MM1Latency(float(data["capacity"]))
+    raise ModelError(f"unknown latency type {kind!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Instances
+# --------------------------------------------------------------------------- #
+def instance_to_dict(instance: AnyInstance) -> Dict[str, Any]:
+    """Serialise a parallel-link or network instance to a dictionary."""
+    if isinstance(instance, ParallelLinkInstance):
+        return {
+            "type": "parallel",
+            "demand": instance.demand,
+            "names": list(instance.names),
+            "links": [latency_to_dict(lat) for lat in instance.latencies],
+        }
+    if isinstance(instance, NetworkInstance):
+        return {
+            "type": "network",
+            "edges": [
+                {"tail": edge.tail, "head": edge.head,
+                 "latency": latency_to_dict(edge.latency)}
+                for edge in instance.network.edges
+            ],
+            "commodities": [
+                {"source": com.source, "sink": com.sink, "demand": com.demand}
+                for com in instance.commodities
+            ],
+        }
+    raise ModelError(
+        f"cannot serialise instance of type {type(instance).__name__}")
+
+
+def instance_from_dict(data: Dict[str, Any]) -> AnyInstance:
+    """Deserialise an instance description produced by :func:`instance_to_dict`."""
+    if not isinstance(data, dict) or "type" not in data:
+        raise ModelError(f"invalid instance specification: {data!r}")
+    kind = data["type"]
+    if kind == "parallel":
+        links = [latency_from_dict(spec) for spec in data.get("links", [])]
+        names = data.get("names")
+        return ParallelLinkInstance(links, float(data["demand"]), names=names)
+    if kind == "network":
+        network = Network()
+        for edge_spec in data.get("edges", []):
+            network.add_edge(edge_spec["tail"], edge_spec["head"],
+                             latency_from_dict(edge_spec["latency"]))
+        commodities = [Commodity(spec["source"], spec["sink"], float(spec["demand"]))
+                       for spec in data.get("commodities", [])]
+        return NetworkInstance(network, commodities)
+    raise ModelError(f"unknown instance type {kind!r}")
+
+
+def save_instance(instance: AnyInstance, path: Union[str, Path]) -> None:
+    """Write an instance to a JSON file."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def load_instance(path: Union[str, Path]) -> AnyInstance:
+    """Read an instance from a JSON file."""
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelError(f"invalid JSON in {path}: {exc}") from exc
+    return instance_from_dict(data)

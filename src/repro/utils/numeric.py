@@ -1,0 +1,56 @@
+"""Tolerance-aware scalar comparisons used throughout the library.
+
+Equilibrium computations are numerical, so every comparison of flows, costs
+and latencies must be made up to a tolerance.  Centralising the defaults here
+keeps the algorithms (OpTop, MOP, frozen-link predicates) consistent with the
+solvers that produce their inputs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Default absolute tolerance for flow / latency comparisons.
+DEFAULT_ATOL: float = 1e-9
+
+#: Default relative tolerance for cost comparisons.
+DEFAULT_RTOL: float = 1e-7
+
+
+def close(a: float, b: float, *, atol: float = DEFAULT_ATOL,
+          rtol: float = DEFAULT_RTOL) -> bool:
+    """Return ``True`` when ``a`` and ``b`` are equal up to tolerances.
+
+    Combines absolute and relative criteria, mirroring :func:`math.isclose`
+    but with library-wide defaults.
+    """
+    return math.isclose(a, b, rel_tol=rtol, abs_tol=atol)
+
+
+def leq(a: float, b: float, *, atol: float = DEFAULT_ATOL) -> bool:
+    """Tolerant ``a <= b``."""
+    return a <= b + atol
+
+
+def geq(a: float, b: float, *, atol: float = DEFAULT_ATOL) -> bool:
+    """Tolerant ``a >= b``."""
+    return a >= b - atol
+
+
+def positive_part(x: np.ndarray | float) -> np.ndarray | float:
+    """Element-wise ``max(x, 0)`` that works for scalars and arrays."""
+    if np.isscalar(x):
+        return x if x > 0.0 else 0.0
+    return np.maximum(np.asarray(x, dtype=float), 0.0)
+
+
+def relative_gap(value: float, reference: float, *, floor: float = 1e-30) -> float:
+    """Relative difference ``|value - reference| / max(|reference|, floor)``.
+
+    Used to express convergence gaps and paper-vs-measured deviations in a
+    scale-free way.
+    """
+    denom = max(abs(reference), floor)
+    return abs(value - reference) / denom

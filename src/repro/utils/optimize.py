@@ -1,0 +1,87 @@
+"""Scalar minimisation helpers.
+
+Two strategies are provided:
+
+* :func:`golden_section_minimize` — classic golden-section search for unimodal
+  objectives (used by the Frank–Wolfe line search, where the restriction of a
+  convex objective to a segment is convex, hence unimodal).
+* :func:`grid_refine_minimize` — a dense-grid scan followed by golden-section
+  refinement around the best bracket.  Used by the Theorem 2.4 solver, whose
+  one-dimensional objective is piecewise smooth but not guaranteed unimodal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Tuple
+
+import numpy as np
+
+__all__ = ["golden_section_minimize", "grid_refine_minimize"]
+
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0  # 1/phi
+_INV_PHI2 = (3.0 - math.sqrt(5.0)) / 2.0  # 1/phi^2
+
+
+def golden_section_minimize(func: Callable[[float], float], lo: float, hi: float,
+                            *, tol: float = 1e-10,
+                            max_iter: int = 200) -> Tuple[float, float]:
+    """Minimise a unimodal ``func`` on ``[lo, hi]``.
+
+    Returns ``(x_min, f(x_min))``.  The search shrinks the bracket by the
+    golden ratio each iteration, so ``max_iter=200`` is far more than enough
+    for double precision; the loop normally exits on the width criterion.
+    """
+    if hi < lo:
+        lo, hi = hi, lo
+    width = hi - lo
+    if width <= tol:
+        x = 0.5 * (lo + hi)
+        return x, func(x)
+
+    x1 = lo + _INV_PHI2 * width
+    x2 = lo + _INV_PHI * width
+    f1 = func(x1)
+    f2 = func(x2)
+    for _ in range(max_iter):
+        if f1 <= f2:
+            hi = x2
+            x2, f2 = x1, f1
+            width = hi - lo
+            x1 = lo + _INV_PHI2 * width
+            f1 = func(x1)
+        else:
+            lo = x1
+            x1, f1 = x2, f2
+            width = hi - lo
+            x2 = lo + _INV_PHI * width
+            f2 = func(x2)
+        if width <= tol:
+            break
+    if f1 <= f2:
+        return x1, f1
+    return x2, f2
+
+
+def grid_refine_minimize(func: Callable[[float], float], lo: float, hi: float,
+                         *, grid_points: int = 129,
+                         tol: float = 1e-10) -> Tuple[float, float]:
+    """Minimise ``func`` on ``[lo, hi]`` without assuming unimodality.
+
+    A uniform grid of ``grid_points`` evaluations locates the best cell, which
+    is then refined with golden-section search (valid locally because the
+    objectives we pass are piecewise smooth with finitely many kinks).
+    Returns ``(x_min, f(x_min))``.
+    """
+    if hi <= lo:
+        x = lo
+        return x, func(x)
+    xs = np.linspace(lo, hi, max(3, grid_points))
+    vals = np.array([func(float(x)) for x in xs])
+    best = int(np.argmin(vals))
+    left = xs[max(0, best - 1)]
+    right = xs[min(len(xs) - 1, best + 1)]
+    x_ref, f_ref = golden_section_minimize(func, float(left), float(right), tol=tol)
+    if f_ref <= vals[best]:
+        return x_ref, f_ref
+    return float(xs[best]), float(vals[best])

@@ -1,0 +1,72 @@
+"""Robust scalar root finding.
+
+The equilibrium solvers repeatedly need the unique root of a monotone
+function (e.g. "total water-filled flow at common latency L minus demand").
+:func:`bisect_root` implements guarded bisection that tolerates flat regions
+and returns the left-most root of non-decreasing functions, which is the
+behaviour the water-filling solvers rely on when constant latencies produce
+plateaus.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ConvergenceError
+
+__all__ = ["bisect_root", "expand_upper_bracket"]
+
+
+def expand_upper_bracket(func: Callable[[float], float], lo: float,
+                         *, initial: float = 1.0, factor: float = 2.0,
+                         max_expansions: int = 200) -> float:
+    """Find ``hi > lo`` with ``func(hi) >= 0`` by geometric expansion.
+
+    ``func`` must be non-decreasing.  Raises :class:`ConvergenceError` when no
+    sign change is found after ``max_expansions`` doublings.
+    """
+    hi = lo + initial
+    for _ in range(max_expansions):
+        if func(hi) >= 0.0:
+            return hi
+        hi = lo + (hi - lo) * factor
+    raise ConvergenceError(
+        f"could not bracket a root above {lo!r} after {max_expansions} expansions",
+        iterations=max_expansions,
+    )
+
+
+def bisect_root(func: Callable[[float], float], lo: float, hi: float,
+                *, tol: float = 1e-12, max_iter: int = 200) -> float:
+    """Return ``x`` in ``[lo, hi]`` with ``func(x) ~= 0`` for non-decreasing ``func``.
+
+    Assumes ``func(lo) <= 0 <= func(hi)`` (verified with a small slack).  The
+    iteration stops when the bracket width drops below ``tol`` times the scale
+    of the bracket, or after ``max_iter`` halvings (which for a 200-iteration
+    budget is far below double precision resolution, so it never raises in
+    practice).
+    """
+    flo = func(lo)
+    fhi = func(hi)
+    if flo > 0.0 and flo < 1e-9:
+        return lo
+    if flo > 0.0:
+        raise ConvergenceError(
+            f"bisect_root: func(lo)={flo!r} > 0; root is not bracketed below {lo!r}")
+    if fhi < 0.0 and fhi > -1e-9:
+        return hi
+    if fhi < 0.0:
+        raise ConvergenceError(
+            f"bisect_root: func(hi)={fhi!r} < 0; root is not bracketed above {hi!r}")
+
+    scale = max(abs(lo), abs(hi), 1.0)
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        fmid = func(mid)
+        if fmid < 0.0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tol * scale:
+            break
+    return 0.5 * (lo + hi)

@@ -1,0 +1,52 @@
+"""Minimal ASCII table rendering for the experiment harness.
+
+The benchmark modules print the same rows the paper's worked examples report
+(flows, costs, β values).  Keeping the formatting here avoids pulling in any
+plotting or tabulation dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def _fmt_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 *, float_fmt: str = ".6g", title: str | None = None) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table.
+
+    Floats are formatted with ``float_fmt``; every other cell is ``str()``-ed.
+    Returns the table as a single string (no trailing newline).
+    """
+    str_rows = [[_fmt_cell(cell, float_fmt) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cells[i].ljust(widths[i]) if i < len(cells) else " " * widths[i]
+                  for i in range(len(widths))]
+        return "| " + " | ".join(padded) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(render_row(list(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(render_row(row))
+    lines.append(sep)
+    return "\n".join(lines)

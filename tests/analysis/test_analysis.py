@@ -1,0 +1,89 @@
+"""Tests for the experiment harness: sweeps, statistics, reporting, scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.analysis import (
+    ExperimentRecord,
+    alpha_sweep,
+    beta_statistics,
+    mop_scaling,
+    optop_scaling,
+)
+from repro.instances import pigou, random_affine_common_slope, random_linear_parallel
+
+
+class TestAlphaSweep:
+    def test_rows_cover_requested_alphas(self):
+        instance = random_linear_parallel(4, demand=2.0, seed=0)
+        rows = alpha_sweep(instance, [0.2, 0.5, 0.8])
+        assert [row.alpha for row in rows] == [0.2, 0.5, 0.8]
+        assert set(rows[0].ratios) == {"llf", "scale"}
+
+    def test_ratios_at_least_one(self):
+        instance = random_linear_parallel(4, demand=2.0, seed=1)
+        for row in alpha_sweep(instance, [0.1, 0.9]):
+            assert all(ratio >= 1.0 - 1e-9 for ratio in row.ratios.values())
+
+    def test_optimal_restricted_included_on_request(self):
+        instance = random_affine_common_slope(3, demand=1.0, seed=2)
+        rows = alpha_sweep(instance, [0.5], include_optimal_restricted=True)
+        assert "optimal" in rows[0].ratios
+        assert rows[0].ratios["optimal"] <= rows[0].ratios["llf"] + 1e-6
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ModelError):
+            alpha_sweep(pigou(), [0.5], strategies=("bogus",))
+
+    def test_ratio_non_increasing_in_alpha_for_llf(self):
+        instance = random_linear_parallel(4, demand=2.0, seed=3)
+        rows = alpha_sweep(instance, [0.2, 0.4, 0.6, 0.8, 1.0])
+        llf_ratios = [row.ratios["llf"] for row in rows]
+        for earlier, later in zip(llf_ratios, llf_ratios[1:]):
+            assert later <= earlier + 1e-6
+
+
+class TestBetaStatistics:
+    def test_summary_fields(self):
+        family = [random_linear_parallel(4, demand=1.0, seed=s) for s in range(4)]
+        stats, betas = beta_statistics(family)
+        assert stats.count == 4
+        assert len(betas) == 4
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert 0.0 <= stats.minimum and stats.maximum <= 1.0
+        assert stats.mean_poa >= 1.0 - 1e-9
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ModelError):
+            beta_statistics([])
+
+
+class TestExperimentRecord:
+    def test_add_row_and_claim(self):
+        record = ExperimentRecord("EX", "demo", headers=("a", "b"))
+        record.add_row(1, 2.0)
+        record.add_claim("claim", "measured", True)
+        assert record.all_claims_hold
+        text = record.to_table()
+        assert "EX" in text and "claim" in text
+
+    def test_failed_claim_detected(self):
+        record = ExperimentRecord("EX", "demo", headers=("a",))
+        record.add_claim("bad claim", "zzz", False)
+        assert not record.all_claims_hold
+        assert "NO" in record.to_table()
+
+
+class TestScaling:
+    def test_optop_scaling_points(self):
+        points = optop_scaling([4, 8])
+        assert [p.size for p in points] == [4, 8]
+        assert all(p.seconds >= 0.0 for p in points)
+        assert all(0.0 <= p.beta <= 1.0 for p in points)
+
+    def test_mop_scaling_points(self):
+        points = mop_scaling([3])
+        assert points[0].size == 3
+        assert points[0].seconds >= 0.0

@@ -1,0 +1,94 @@
+"""Tests for the LLF (Largest Latency First) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import StrategyError
+from repro.baselines import llf
+from repro.core import optop
+from repro.equilibrium import parallel_optimum, parallel_nash
+from repro.instances import pigou, random_linear_parallel, random_polynomial_parallel
+
+
+class TestLLFConstruction:
+    def test_alpha_out_of_range_rejected(self, pigou_instance):
+        with pytest.raises(StrategyError):
+            llf(pigou_instance, 1.2)
+        with pytest.raises(StrategyError):
+            llf(pigou_instance, -0.2)
+
+    def test_budget_respected(self, random_linear_instance):
+        strategy = llf(random_linear_instance, 0.4)
+        assert strategy.controlled_flow == pytest.approx(
+            0.4 * random_linear_instance.demand, abs=1e-9)
+
+    def test_alpha_zero_is_null_strategy(self, random_linear_instance):
+        strategy = llf(random_linear_instance, 0.0)
+        assert strategy.controlled_flow == 0.0
+
+    def test_alpha_one_plays_full_optimum(self, random_linear_instance):
+        strategy = llf(random_linear_instance, 1.0)
+        optimum = parallel_optimum(random_linear_instance)
+        assert strategy.flows == pytest.approx(optimum.flows, abs=1e-8)
+
+    def test_fills_largest_latency_links_first(self, pigou_instance):
+        # On Pigou the optimum latencies are l1(1/2)=1/2 and l2(1/2)=1, so LLF
+        # loads the constant link first.
+        strategy = llf(pigou_instance, 0.5)
+        assert strategy.flows == pytest.approx([0.0, 0.5], abs=1e-9)
+
+    def test_partial_fill_of_last_link(self, pigou_instance):
+        strategy = llf(pigou_instance, 0.25)
+        assert strategy.flows == pytest.approx([0.0, 0.25], abs=1e-9)
+
+    def test_never_exceeds_optimum_per_link(self, random_linear_instance):
+        optimum = parallel_optimum(random_linear_instance)
+        for alpha in (0.2, 0.5, 0.9):
+            strategy = llf(random_linear_instance, alpha)
+            assert np.all(strategy.flows <= optimum.flows + 1e-9)
+
+
+class TestLLFGuarantees:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=30),
+           st.floats(min_value=0.15, max_value=1.0))
+    def test_one_over_alpha_bound(self, seed, alpha):
+        """Roughgarden: C(S+T) <= (1/alpha) C(O)."""
+        instance = random_polynomial_parallel(5, demand=2.0, seed=seed)
+        strategy = llf(instance, alpha)
+        cost = strategy.induce(instance).cost
+        optimum_cost = parallel_optimum(instance).cost
+        assert cost <= optimum_cost / alpha * (1.0 + 1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=30),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_linear_bound(self, seed, alpha):
+        """Roughgarden: C(S+T) <= 4/(3+alpha) C(O) for linear latencies."""
+        instance = random_linear_parallel(5, demand=2.0, seed=seed)
+        strategy = llf(instance, alpha)
+        cost = strategy.induce(instance).cost
+        optimum_cost = parallel_optimum(instance).cost
+        assert cost <= optimum_cost * 4.0 / (3.0 + alpha) * (1.0 + 1e-6)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_llf_never_worse_than_doing_nothing(self, seed):
+        instance = random_linear_parallel(5, demand=2.0, seed=seed)
+        nash_cost = parallel_nash(instance).cost
+        for alpha in (0.25, 0.5, 0.75):
+            assert llf(instance, alpha).induce(instance).cost <= nash_cost + 1e-9
+
+    def test_llf_at_pigou_beta_reaches_optimum(self, pigou_instance):
+        strategy = llf(pigou_instance, 0.5)
+        assert strategy.induce(pigou_instance).cost == pytest.approx(0.75, abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_llf_not_better_than_optop_at_beta(self, seed):
+        """OpTop's strategy is optimal at alpha = beta; LLF can only match it."""
+        instance = random_linear_parallel(5, demand=2.0, seed=seed)
+        result = optop(instance)
+        llf_cost = llf(instance, result.beta).induce(instance).cost
+        assert llf_cost >= result.optimum_cost - 1e-9

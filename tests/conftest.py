@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instances import (
+    braess_paradox,
+    figure_4_example,
+    pigou,
+    random_affine_common_slope,
+    random_linear_parallel,
+    roughgarden_example,
+)
+
+
+@pytest.fixture
+def pigou_instance():
+    """Pigou's two-link example with unit demand."""
+    return pigou()
+
+
+@pytest.fixture
+def figure4_instance():
+    """The five-link instance of the paper's Figures 4-6."""
+    return figure_4_example()
+
+
+@pytest.fixture
+def braess_instance():
+    """The classic Braess paradox network."""
+    return braess_paradox()
+
+
+@pytest.fixture
+def roughgarden_instance():
+    """The paper's Figure 7 network (Roughgarden Example 6.5.1 structure)."""
+    return roughgarden_example()
+
+
+@pytest.fixture
+def random_linear_instance():
+    """A deterministic random 5-link instance with affine latencies."""
+    return random_linear_parallel(5, demand=2.0, seed=123)
+
+
+@pytest.fixture
+def common_slope_instance():
+    """A deterministic 4-link common-slope instance (Theorem 2.4 family)."""
+    return random_affine_common_slope(4, demand=2.0, seed=7, slope=1.0)

@@ -1,0 +1,59 @@
+"""Tests for weak vs strong Stackelberg control splits (Section 4 definitions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import commodity_control_split, mop
+from repro.instances import (
+    braess_paradox,
+    random_multicommodity_instance,
+    roughgarden_example,
+)
+
+
+class TestSingleCommodity:
+    def test_weak_equals_strong_on_single_commodity(self):
+        split = commodity_control_split(roughgarden_example())
+        assert split.num_commodities == 1
+        assert split.weak_beta == pytest.approx(split.strong_beta, abs=1e-9)
+        assert split.coordination_gain == pytest.approx(0.0, abs=1e-9)
+
+    def test_braess_requires_full_control(self):
+        split = commodity_control_split(braess_paradox())
+        assert split.weak_beta == pytest.approx(1.0, abs=1e-9)
+        assert split.fractions == (pytest.approx(1.0),)
+
+    def test_reuses_existing_mop_result(self):
+        instance = roughgarden_example()
+        result = mop(instance, compute_induced=False)
+        split = commodity_control_split(instance, result=result)
+        assert split.strong_beta == pytest.approx(result.beta)
+
+
+class TestMultiCommodity:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_weak_at_least_strong(self, seed):
+        instance = random_multicommodity_instance(3, 3, num_commodities=3, seed=seed)
+        split = commodity_control_split(instance)
+        assert split.weak_beta >= split.strong_beta - 1e-9
+        assert split.coordination_gain >= -1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fractions_within_unit_interval(self, seed):
+        instance = random_multicommodity_instance(3, 3, num_commodities=2, seed=seed)
+        split = commodity_control_split(instance)
+        assert all(0.0 <= f <= 1.0 + 1e-12 for f in split.fractions)
+        assert len(split.fractions) == 2
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_strong_beta_is_demand_weighted_average(self, seed):
+        instance = random_multicommodity_instance(3, 3, num_commodities=2, seed=seed)
+        split = commodity_control_split(instance)
+        weighted = sum(c for c in split.controlled) / sum(split.demands)
+        assert split.strong_beta == pytest.approx(weighted, abs=1e-9)
+
+    def test_weak_is_max_fraction(self):
+        instance = random_multicommodity_instance(3, 3, num_commodities=3, seed=7)
+        split = commodity_control_split(instance)
+        assert split.weak_beta == pytest.approx(max(split.fractions), abs=1e-12)

@@ -1,0 +1,115 @@
+"""Tests for the Theorem 2.4 optimal restricted strategy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, StrategyError
+from repro.baselines import brute_force_strategy
+from repro.core import optimal_restricted_strategy, optop
+from repro.equilibrium import parallel_nash, parallel_optimum
+from repro.instances import random_affine_common_slope, random_linear_parallel
+from repro.latency import LinearLatency, MonomialLatency
+from repro.network import ParallelLinkInstance
+
+
+class TestHypothesisValidation:
+    def test_non_linear_latencies_rejected(self):
+        instance = ParallelLinkInstance(
+            [MonomialLatency(1.0, 2.0), LinearLatency(1.0, 0.0)], 1.0)
+        with pytest.raises(ModelError):
+            optimal_restricted_strategy(instance, 0.5)
+
+    def test_different_slopes_rejected(self):
+        instance = ParallelLinkInstance(
+            [LinearLatency(1.0, 0.0), LinearLatency(2.0, 0.0)], 1.0)
+        with pytest.raises(ModelError):
+            optimal_restricted_strategy(instance, 0.5)
+
+    def test_zero_slope_rejected(self):
+        instance = ParallelLinkInstance(
+            [LinearLatency(0.0, 1.0), LinearLatency(0.0, 2.0)], 1.0)
+        with pytest.raises(ModelError):
+            optimal_restricted_strategy(instance, 0.5)
+
+    def test_alpha_out_of_range_rejected(self, common_slope_instance):
+        with pytest.raises(StrategyError):
+            optimal_restricted_strategy(common_slope_instance, 1.5)
+        with pytest.raises(StrategyError):
+            optimal_restricted_strategy(common_slope_instance, -0.1)
+
+
+class TestOptimality:
+    def test_prediction_matches_induced_cost(self, common_slope_instance):
+        beta = optop(common_slope_instance).beta
+        result = optimal_restricted_strategy(common_slope_instance, 0.5 * beta)
+        assert result.cost == pytest.approx(result.predicted_cost, rel=1e-5)
+
+    @pytest.mark.parametrize("fraction", [0.3, 0.6, 0.9])
+    def test_never_worse_than_brute_force(self, common_slope_instance, fraction):
+        beta = optop(common_slope_instance).beta
+        alpha = fraction * beta
+        restricted = optimal_restricted_strategy(common_slope_instance, alpha)
+        brute = brute_force_strategy(common_slope_instance, alpha, resolution=16)
+        assert restricted.cost <= brute.cost * (1.0 + 1e-6)
+
+    def test_cost_never_exceeds_nash(self, common_slope_instance):
+        nash_cost = parallel_nash(common_slope_instance).cost
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+            result = optimal_restricted_strategy(common_slope_instance, fraction)
+            assert result.cost <= nash_cost * (1.0 + 1e-9)
+
+    def test_cost_never_below_optimum(self, common_slope_instance):
+        optimum_cost = parallel_optimum(common_slope_instance).cost
+        for fraction in (0.1, 0.4, 0.8):
+            result = optimal_restricted_strategy(common_slope_instance, fraction)
+            assert result.cost >= optimum_cost - 1e-9
+
+    def test_at_beta_recovers_optimum(self, common_slope_instance):
+        full = optop(common_slope_instance)
+        result = optimal_restricted_strategy(common_slope_instance, full.beta)
+        assert result.cost == pytest.approx(full.optimum_cost, rel=1e-6)
+
+    def test_above_beta_recovers_optimum(self, common_slope_instance):
+        full = optop(common_slope_instance)
+        alpha = min(1.0, full.beta + 0.1)
+        result = optimal_restricted_strategy(common_slope_instance, alpha)
+        assert result.cost == pytest.approx(full.optimum_cost, rel=1e-6)
+
+    def test_alpha_zero_recovers_nash(self, common_slope_instance):
+        nash_cost = parallel_nash(common_slope_instance).cost
+        result = optimal_restricted_strategy(common_slope_instance, 0.0)
+        assert result.cost == pytest.approx(nash_cost, rel=1e-8)
+
+    def test_cost_monotone_in_alpha(self, common_slope_instance):
+        """More control can never hurt the Leader."""
+        costs = [optimal_restricted_strategy(common_slope_instance, a).cost
+                 for a in np.linspace(0.0, 1.0, 6)]
+        for earlier, later in zip(costs, costs[1:]):
+            assert later <= earlier * (1.0 + 1e-7)
+
+
+class TestStrategyStructure:
+    def test_strategy_respects_budget(self, common_slope_instance):
+        alpha = 0.4
+        result = optimal_restricted_strategy(common_slope_instance, alpha)
+        assert result.strategy.controlled_flow <= \
+            alpha * common_slope_instance.demand + 1e-8
+
+    def test_split_partitions_by_intercept_order(self, common_slope_instance):
+        result = optimal_restricted_strategy(common_slope_instance, 0.3)
+        assert 1 <= result.split_index <= common_slope_instance.num_links
+        # The order must sort intercepts increasingly.
+        intercepts = [common_slope_instance.latencies[i].intercept
+                      for i in result.order]
+        assert intercepts == sorted(intercepts)
+
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_other_instances(self, seed):
+        instance = random_affine_common_slope(5, demand=3.0, seed=seed, slope=2.0)
+        beta = optop(instance).beta
+        alpha = 0.5 * beta
+        restricted = optimal_restricted_strategy(instance, alpha)
+        brute = brute_force_strategy(instance, alpha, resolution=12)
+        assert restricted.cost <= brute.cost * (1.0 + 1e-6)

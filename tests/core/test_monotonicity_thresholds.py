@@ -1,0 +1,88 @@
+"""Tests for Proposition 7.1 monotonicity and the useful-control threshold."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.core import minimum_useful_control, nash_flow_monotonicity_violation, optop
+from repro.instances import (
+    figure_4_example,
+    pigou,
+    random_linear_parallel,
+    random_mixed_parallel,
+    random_polynomial_parallel,
+)
+from repro.latency import LinearLatency
+from repro.network import ParallelLinkInstance
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_no_violation_on_linear_instances(self, seed):
+        instance = random_linear_parallel(5, demand=1.0, seed=seed)
+        violation = nash_flow_monotonicity_violation(
+            instance, np.linspace(0.1, 3.0, 10))
+        assert violation < 1e-7
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_no_violation_on_polynomial_instances(self, seed):
+        instance = random_polynomial_parallel(5, demand=1.0, seed=seed)
+        violation = nash_flow_monotonicity_violation(
+            instance, np.linspace(0.1, 2.0, 8))
+        assert violation < 1e-6
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_no_violation_on_mixed_instances(self, seed):
+        instance = random_mixed_parallel(5, demand=1.0, seed=seed)
+        violation = nash_flow_monotonicity_violation(
+            instance, np.linspace(0.1, 2.0, 8))
+        assert violation < 1e-6
+
+    def test_negative_demand_rejected(self):
+        instance = pigou()
+        with pytest.raises(ModelError):
+            nash_flow_monotonicity_violation(instance, [-1.0, 1.0])
+
+    def test_unsorted_demands_are_sorted_internally(self):
+        instance = pigou()
+        assert nash_flow_monotonicity_violation(instance, [2.0, 0.5, 1.0]) < 1e-9
+
+
+class TestMinimumUsefulControl:
+    def test_pigou_threshold_is_zero(self):
+        threshold = minimum_useful_control(pigou())
+        assert threshold.flow == pytest.approx(0.0, abs=1e-12)
+        assert threshold.is_improvable
+
+    def test_figure4_threshold_is_nash_load_of_m4(self):
+        instance = figure_4_example()
+        from repro.equilibrium import parallel_nash
+        nash = parallel_nash(instance)
+        threshold = minimum_useful_control(instance)
+        # Under-loaded links are M4 (positive Nash load) and M5 (zero); the
+        # minimum is therefore M5's zero load.
+        assert threshold.flow == pytest.approx(min(nash.flows[3], nash.flows[4]),
+                                               abs=1e-9)
+
+    def test_already_optimal_instance_not_improvable(self):
+        instance = ParallelLinkInstance([LinearLatency(1.0)] * 3, 1.5)
+        threshold = minimum_useful_control(instance)
+        assert not threshold.is_improvable
+        assert threshold.flow == 0.0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_threshold_never_exceeds_beta(self, seed):
+        """A useful strategy needs at least the threshold; the optimum needs beta."""
+        instance = random_linear_parallel(5, demand=2.0, seed=seed)
+        threshold = minimum_useful_control(instance)
+        beta = optop(instance).beta
+        assert threshold.fraction <= beta + 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fraction_consistent_with_flow(self, seed):
+        instance = random_linear_parallel(5, demand=2.0, seed=seed)
+        threshold = minimum_useful_control(instance)
+        assert threshold.fraction == pytest.approx(
+            threshold.flow / instance.demand, abs=1e-12)

@@ -1,0 +1,151 @@
+"""Tests for algorithm OpTop (Corollary 2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import optop
+from repro.equilibrium import parallel_nash, parallel_optimum
+from repro.instances import (
+    figure_4_example,
+    mm1_server_farm,
+    pigou,
+    pigou_nonlinear,
+    random_linear_parallel,
+    random_mixed_parallel,
+    random_polynomial_parallel,
+)
+from repro.latency import LinearLatency
+from repro.network import ParallelLinkInstance
+
+
+class TestPigou:
+    def test_beta_is_one_half(self, pigou_instance):
+        assert optop(pigou_instance).beta == pytest.approx(0.5, abs=1e-9)
+
+    def test_strategy_matches_figure_2(self, pigou_instance):
+        result = optop(pigou_instance)
+        assert result.strategy.flows == pytest.approx([0.0, 0.5], abs=1e-9)
+
+    def test_induced_equilibrium_matches_figure_3(self, pigou_instance):
+        result = optop(pigou_instance)
+        assert result.outcome.follower_flows == pytest.approx([0.5, 0.0], abs=1e-9)
+        assert result.induced_cost == pytest.approx(result.optimum_cost, abs=1e-12)
+
+    def test_costs_exposed(self, pigou_instance):
+        result = optop(pigou_instance)
+        assert result.nash_cost == pytest.approx(1.0)
+        assert result.optimum_cost == pytest.approx(0.75)
+        assert result.controlled_flow == pytest.approx(0.5)
+
+
+class TestFigure4:
+    def test_beta_matches_paper(self, figure4_instance):
+        result = optop(figure4_instance)
+        assert result.beta == pytest.approx(29.0 / 120.0, abs=1e-9)
+
+    def test_first_round_freezes_m4_m5(self, figure4_instance):
+        result = optop(figure4_instance)
+        assert result.rounds[0].frozen_links == (3, 4)
+
+    def test_terminates_in_two_rounds(self, figure4_instance):
+        result = optop(figure4_instance)
+        assert result.num_rounds == 2
+        assert result.rounds[1].frozen_links == ()
+
+    def test_strategy_loads_frozen_links_optimally(self, figure4_instance):
+        result = optop(figure4_instance)
+        optimum = parallel_optimum(figure4_instance)
+        assert result.strategy.flows[3] == pytest.approx(optimum.flows[3], abs=1e-9)
+        assert result.strategy.flows[4] == pytest.approx(optimum.flows[4], abs=1e-9)
+        assert result.strategy.flows[:3] == pytest.approx([0.0, 0.0, 0.0], abs=1e-12)
+
+    def test_induced_equilibrium_is_optimum(self, figure4_instance):
+        result = optop(figure4_instance)
+        optimum = parallel_optimum(figure4_instance)
+        assert result.outcome.combined_flows == pytest.approx(optimum.flows, abs=1e-7)
+
+
+class TestDegenerateCases:
+    def test_identical_links_need_no_control(self):
+        instance = ParallelLinkInstance([LinearLatency(1.0)] * 3, 1.5)
+        result = optop(instance)
+        assert result.beta == pytest.approx(0.0, abs=1e-9)
+        assert result.num_rounds == 1
+
+    def test_nash_equals_optimum_gives_zero_beta(self):
+        # Single link: Nash trivially equals the optimum.
+        instance = ParallelLinkInstance([LinearLatency(2.0, 0.3)], 1.0)
+        result = optop(instance)
+        assert result.beta == 0.0
+        assert result.induced_cost == pytest.approx(result.optimum_cost)
+
+    def test_nonlinear_pigou(self):
+        instance = pigou_nonlinear(4.0)
+        result = optop(instance)
+        assert 0.0 < result.beta < 1.0
+        assert result.induced_cost == pytest.approx(result.optimum_cost, rel=1e-8)
+
+
+class TestRandomInstances:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_induces_optimum_on_linear_instances(self, seed):
+        instance = random_linear_parallel(6, demand=2.0, seed=seed)
+        result = optop(instance)
+        assert result.induced_cost == pytest.approx(result.optimum_cost, rel=1e-7)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_induces_optimum_on_polynomial_instances(self, seed):
+        instance = random_polynomial_parallel(5, demand=2.0, seed=seed)
+        result = optop(instance)
+        assert result.induced_cost == pytest.approx(result.optimum_cost, rel=1e-6)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_induces_optimum_on_mixed_instances(self, seed):
+        instance = random_mixed_parallel(6, demand=2.0, seed=seed)
+        result = optop(instance)
+        assert result.induced_cost == pytest.approx(result.optimum_cost, rel=1e-6)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_beta_in_unit_interval(self, seed):
+        instance = random_linear_parallel(5, demand=1.0, seed=seed)
+        assert 0.0 <= optop(instance).beta <= 1.0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_frozen_links_were_under_loaded_in_their_round(self, seed):
+        """OpTop only freezes links that are under-loaded in the current round."""
+        instance = random_linear_parallel(6, demand=2.0, seed=seed)
+        result = optop(instance)
+        optimum = parallel_optimum(instance)
+        for round_ in result.rounds:
+            position = {orig: pos for pos, orig in enumerate(round_.active_links)}
+            for frozen in round_.frozen_links:
+                round_nash_flow = round_.nash_flows[position[frozen]]
+                assert round_nash_flow < optimum.flows[frozen] + 1e-6
+
+    def test_mm1_farm(self):
+        instance = mm1_server_farm(2, 6, fast_capacity=8.0, slow_capacity=2.0)
+        result = optop(instance)
+        assert result.induced_cost == pytest.approx(result.optimum_cost, rel=1e-7)
+        assert 0.0 <= result.beta < 1.0
+
+
+class TestMinimality:
+    """beta_M is the *minimum* control needed: less control cannot reach C(O)."""
+
+    @pytest.mark.parametrize("seed", [11, 17])
+    def test_grid_search_below_beta_fails_to_reach_optimum(self, seed):
+        from repro.baselines import brute_force_strategy
+        instance = random_linear_parallel(3, demand=1.5, seed=seed)
+        result = optop(instance)
+        if result.beta < 0.1:
+            pytest.skip("beta too small for a meaningful sub-beta grid search")
+        brute = brute_force_strategy(instance, result.beta * 0.7, resolution=14)
+        assert brute.cost > result.optimum_cost * (1.0 + 1e-7)
+
+    def test_pigou_just_below_half_cannot_reach_optimum(self, pigou_instance):
+        from repro.equilibrium import induced_parallel_equilibrium
+        # With only 0.45 the best the Leader can do is put it all on link 2.
+        outcome = induced_parallel_equilibrium(pigou_instance, [0.0, 0.45])
+        assert outcome.cost > parallel_optimum(pigou_instance).cost + 1e-4

@@ -1,0 +1,88 @@
+"""Property-based tests for OpTop (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import optop
+from repro.latency import ConstantLatency, LinearLatency, MonomialLatency
+from repro.network import ParallelLinkInstance
+
+
+def parallel_instances():
+    affine = st.builds(LinearLatency,
+                       st.floats(min_value=0.05, max_value=3.0),
+                       st.floats(min_value=0.0, max_value=2.0))
+    mono = st.builds(MonomialLatency,
+                     st.floats(min_value=0.1, max_value=2.0),
+                     st.floats(min_value=1.0, max_value=3.0),
+                     st.floats(min_value=0.0, max_value=1.0))
+    const = st.builds(ConstantLatency, st.floats(min_value=0.2, max_value=2.5))
+    return st.builds(
+        lambda first, rest, demand: ParallelLinkInstance([first] + rest, demand),
+        affine,
+        st.lists(st.one_of(affine, mono, const), min_size=1, max_size=5),
+        st.floats(min_value=0.05, max_value=4.0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(parallel_instances())
+def test_beta_is_a_fraction(instance):
+    result = optop(instance)
+    assert -1e-9 <= result.beta <= 1.0 + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(parallel_instances())
+def test_strategy_induces_optimum_cost(instance):
+    """Corollary 2.2: the OpTop strategy always enforces C(O)."""
+    result = optop(instance)
+    assert result.induced_cost == pytest.approx(result.optimum_cost,
+                                                rel=1e-5, abs=1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(parallel_instances())
+def test_strategy_flows_are_subset_of_optimum(instance):
+    """The Leader only ever plays optimum loads on (a subset of) the links."""
+    result = optop(instance)
+    optimum_flows = result.optimum.flows
+    for s, o in zip(result.strategy.flows, optimum_flows):
+        assert s <= o + 1e-6
+        # Each strategy entry is either ~0 or the full optimum load of the link.
+        assert s <= 1e-6 or s == pytest.approx(o, rel=1e-5, abs=1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(parallel_instances())
+def test_controlled_flow_matches_beta(instance):
+    result = optop(instance)
+    assert result.controlled_flow == pytest.approx(result.beta * instance.demand,
+                                                   rel=1e-6, abs=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(parallel_instances())
+def test_rounds_shrink_the_active_set(instance):
+    result = optop(instance)
+    previous = None
+    for round_ in result.rounds:
+        if previous is not None:
+            assert len(round_.active_links) < previous
+            assert set(round_.active_links) <= set(previous_links)
+        previous = len(round_.active_links)
+        previous_links = round_.active_links
+
+
+@settings(max_examples=40, deadline=None)
+@given(parallel_instances())
+def test_beta_zero_iff_nash_already_optimal(instance):
+    """beta = 0 exactly when the anarchy gap is already closed."""
+    result = optop(instance)
+    gap = result.nash_cost - result.optimum_cost
+    if result.beta <= 1e-9:
+        assert gap <= 1e-6 * max(1.0, result.optimum_cost)
+    if gap > 1e-5 * max(1.0, result.optimum_cost):
+        assert result.beta > 1e-9

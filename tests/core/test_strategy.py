@@ -1,0 +1,85 @@
+"""Tests for Stackelberg strategy objects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StrategyError
+from repro.core import NetworkStackelbergStrategy, ParallelStackelbergStrategy
+from repro.equilibrium import parallel_optimum
+from repro.instances import pigou, roughgarden_example
+
+
+class TestParallelStrategy:
+    def test_alpha_and_controlled_flow(self):
+        strategy = ParallelStackelbergStrategy(flows=np.array([0.0, 0.5]),
+                                               total_demand=1.0)
+        assert strategy.controlled_flow == pytest.approx(0.5)
+        assert strategy.alpha == pytest.approx(0.5)
+        assert strategy.num_links == 2
+
+    def test_negative_flows_rejected(self):
+        with pytest.raises(StrategyError):
+            ParallelStackelbergStrategy(flows=np.array([-0.1, 0.2]), total_demand=1.0)
+
+    def test_overcommitted_strategy_rejected(self):
+        with pytest.raises(StrategyError):
+            ParallelStackelbergStrategy(flows=np.array([0.8, 0.5]), total_demand=1.0)
+
+    def test_zero_demand_rejected(self):
+        with pytest.raises(StrategyError):
+            ParallelStackelbergStrategy(flows=np.array([0.0]), total_demand=0.0)
+
+    def test_induce_on_pigou(self):
+        instance = pigou()
+        strategy = ParallelStackelbergStrategy(flows=np.array([0.0, 0.5]),
+                                               total_demand=1.0)
+        outcome = strategy.induce(instance)
+        assert outcome.cost == pytest.approx(parallel_optimum(instance).cost)
+
+    def test_induce_rejects_mismatched_instance(self):
+        strategy = ParallelStackelbergStrategy(flows=np.array([0.0, 0.5, 0.0]),
+                                               total_demand=1.0)
+        with pytest.raises(StrategyError):
+            strategy.induce(pigou())
+
+    def test_tiny_negative_flows_clipped(self):
+        strategy = ParallelStackelbergStrategy(flows=np.array([-1e-15, 0.5]),
+                                               total_demand=1.0)
+        assert np.all(strategy.flows >= 0.0)
+
+
+class TestNetworkStrategy:
+    def test_alpha_and_remaining_demands(self):
+        instance = roughgarden_example()
+        strategy = NetworkStackelbergStrategy(
+            edge_flows=np.array([0.25, 0.25, 0.0, 0.25, 0.25]),
+            controlled_demands=(0.5,), total_demand=1.0)
+        assert strategy.alpha == pytest.approx(0.5)
+        assert strategy.remaining_demands(instance) == (pytest.approx(0.5),)
+
+    def test_negative_edge_flows_rejected(self):
+        with pytest.raises(StrategyError):
+            NetworkStackelbergStrategy(edge_flows=np.array([-0.1]),
+                                       controlled_demands=(0.1,), total_demand=1.0)
+
+    def test_negative_controlled_demand_rejected(self):
+        with pytest.raises(StrategyError):
+            NetworkStackelbergStrategy(edge_flows=np.array([0.1]),
+                                       controlled_demands=(-0.1,), total_demand=1.0)
+
+    def test_commodity_count_mismatch_rejected(self):
+        instance = roughgarden_example()
+        strategy = NetworkStackelbergStrategy(
+            edge_flows=np.zeros(5), controlled_demands=(0.2, 0.3), total_demand=1.0)
+        with pytest.raises(StrategyError):
+            strategy.remaining_demands(instance)
+
+    def test_induce_null_strategy_matches_nash(self):
+        instance = roughgarden_example()
+        strategy = NetworkStackelbergStrategy(
+            edge_flows=np.zeros(5), controlled_demands=(0.0,), total_demand=1.0)
+        outcome = strategy.induce(instance)
+        from repro.equilibrium import network_nash
+        assert outcome.cost == pytest.approx(network_nash(instance).cost, rel=1e-5)

@@ -1,0 +1,100 @@
+"""Tests for the Frank–Wolfe network flow solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, ModelError
+from repro.latency import ConstantLatency, LinearLatency
+from repro.network import Commodity, Network, NetworkInstance
+from repro.equilibrium import FrankWolfeOptions, frank_wolfe, network_wardrop_gap
+from repro.equilibrium.frank_wolfe import all_or_nothing
+from repro.instances import braess_paradox, grid_network
+
+
+@pytest.fixture
+def two_route_instance():
+    """Pigou embedded as a network: two parallel s-t edges."""
+    net = Network()
+    net.add_edge("s", "t", LinearLatency(1.0, 0.0))
+    net.add_edge("s", "t", ConstantLatency(1.0))
+    return NetworkInstance.single_commodity(net, "s", "t", 1.0)
+
+
+class TestAllOrNothing:
+    def test_routes_everything_on_cheapest_path(self, two_route_instance):
+        flows = all_or_nothing(two_route_instance, np.array([0.2, 1.0]))
+        assert flows == pytest.approx([1.0, 0.0])
+
+    def test_multicommodity_accumulates(self):
+        net = Network()
+        net.add_edge("s", "m", LinearLatency(1.0))
+        net.add_edge("m", "t", LinearLatency(1.0))
+        instance = NetworkInstance(net, [Commodity("s", "t", 1.0),
+                                         Commodity("m", "t", 2.0)])
+        flows = all_or_nothing(instance, np.array([1.0, 1.0]))
+        assert flows == pytest.approx([1.0, 3.0])
+
+
+class TestFrankWolfeOnPigou:
+    def test_nash_matches_closed_form(self, two_route_instance):
+        result = frank_wolfe(two_route_instance, "nash",
+                             FrankWolfeOptions(tolerance=1e-7))
+        assert result.edge_flows == pytest.approx([1.0, 0.0], abs=1e-4)
+        assert result.cost == pytest.approx(1.0, abs=1e-4)
+        assert result.converged
+
+    def test_optimum_matches_closed_form(self, two_route_instance):
+        result = frank_wolfe(two_route_instance, "optimum",
+                             FrankWolfeOptions(tolerance=1e-7))
+        assert result.edge_flows == pytest.approx([0.5, 0.5], abs=1e-3)
+        assert result.cost == pytest.approx(0.75, abs=1e-5)
+
+    def test_unknown_kind_rejected(self, two_route_instance):
+        with pytest.raises(ModelError):
+            frank_wolfe(two_route_instance, "bogus")
+
+
+class TestFrankWolfeOnNetworks:
+    def test_braess_nash_cost(self):
+        instance = braess_paradox()
+        result = frank_wolfe(instance, "nash", FrankWolfeOptions(tolerance=1e-7))
+        assert result.cost == pytest.approx(2.0, abs=1e-3)
+
+    def test_braess_optimum_cost(self):
+        instance = braess_paradox()
+        result = frank_wolfe(instance, "optimum", FrankWolfeOptions(tolerance=1e-7))
+        assert result.cost == pytest.approx(1.5, abs=1e-3)
+
+    def test_wardrop_residual_small_on_grid(self):
+        instance = grid_network(3, 3, demand=2.0, seed=0)
+        result = frank_wolfe(instance, "nash", FrankWolfeOptions(tolerance=1e-8))
+        assert network_wardrop_gap(instance, result.edge_flows) < 1e-3
+
+    def test_flow_conservation_on_grid(self):
+        instance = grid_network(3, 3, demand=2.0, seed=1)
+        result = frank_wolfe(instance, "nash", FrankWolfeOptions(tolerance=1e-7))
+        instance.check_flow_conservation(result.edge_flows, atol=1e-5)
+
+    def test_iteration_budget_flag(self):
+        instance = grid_network(3, 3, demand=2.0, seed=2)
+        result = frank_wolfe(instance, "nash",
+                             FrankWolfeOptions(tolerance=1e-14, max_iterations=5))
+        assert not result.converged
+        assert result.iterations == 5
+
+    def test_iteration_budget_raise(self):
+        instance = grid_network(3, 3, demand=2.0, seed=2)
+        with pytest.raises(ConvergenceError):
+            frank_wolfe(instance, "nash",
+                        FrankWolfeOptions(tolerance=1e-14, max_iterations=5,
+                                          raise_on_failure=True))
+
+    def test_gap_decreases_with_budget(self):
+        instance = grid_network(3, 3, demand=2.0, seed=3)
+        loose = frank_wolfe(instance, "nash",
+                            FrankWolfeOptions(tolerance=1e-16, max_iterations=10))
+        tight = frank_wolfe(instance, "nash",
+                            FrankWolfeOptions(tolerance=1e-16, max_iterations=200))
+        assert tight.relative_gap <= loose.relative_gap + 1e-12

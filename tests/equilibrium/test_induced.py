@@ -1,0 +1,108 @@
+"""Tests for induced Stackelberg equilibria (Followers' reaction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import StrategyError
+from repro.equilibrium import (
+    induced_network_equilibrium,
+    induced_parallel_equilibrium,
+    parallel_nash,
+    parallel_optimum,
+    network_optimum,
+)
+from repro.instances import pigou, random_linear_parallel, roughgarden_example
+
+
+class TestInducedParallel:
+    def test_null_strategy_reproduces_nash(self, pigou_instance):
+        outcome = induced_parallel_equilibrium(pigou_instance, [0.0, 0.0])
+        nash = parallel_nash(pigou_instance)
+        assert outcome.cost == pytest.approx(nash.cost, abs=1e-9)
+        assert outcome.combined_flows == pytest.approx(nash.flows, abs=1e-9)
+
+    def test_paper_strategy_induces_optimum(self, pigou_instance):
+        """The Figure 2 strategy <0, 1/2> induces the optimum (Figure 3)."""
+        outcome = induced_parallel_equilibrium(pigou_instance, [0.0, 0.5])
+        optimum = parallel_optimum(pigou_instance)
+        assert outcome.cost == pytest.approx(optimum.cost, abs=1e-9)
+        assert outcome.combined_flows == pytest.approx(optimum.flows, abs=1e-9)
+        assert outcome.follower_flows == pytest.approx([0.5, 0.0], abs=1e-9)
+
+    def test_leader_share_property(self, pigou_instance):
+        outcome = induced_parallel_equilibrium(pigou_instance, [0.0, 0.5])
+        assert outcome.leader_share == pytest.approx(0.5)
+
+    def test_full_control_leaves_no_follower_flow(self, pigou_instance):
+        outcome = induced_parallel_equilibrium(pigou_instance, [0.5, 0.5])
+        assert outcome.follower_flows.sum() == pytest.approx(0.0, abs=1e-9)
+        assert outcome.follower_common_latency is None
+
+    def test_wrong_shape_rejected(self, pigou_instance):
+        with pytest.raises(StrategyError):
+            induced_parallel_equilibrium(pigou_instance, [0.1])
+
+    def test_negative_strategy_rejected(self, pigou_instance):
+        with pytest.raises(StrategyError):
+            induced_parallel_equilibrium(pigou_instance, [-0.1, 0.0])
+
+    def test_overfull_strategy_rejected(self, pigou_instance):
+        with pytest.raises(StrategyError):
+            induced_parallel_equilibrium(pigou_instance, [1.0, 0.5])
+
+    def test_followers_equalise_latencies(self):
+        instance = random_linear_parallel(4, demand=2.0, seed=2)
+        strategy = np.array([0.3, 0.0, 0.2, 0.0])
+        outcome = induced_parallel_equilibrium(instance, strategy)
+        latencies = instance.latencies_at(outcome.combined_flows)
+        used = outcome.follower_flows > 1e-9
+        if np.any(used):
+            spread = latencies[used].max() - latencies[used].min()
+            assert spread < 1e-7
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=0.4), min_size=4, max_size=4))
+    def test_total_flow_conserved(self, strategy):
+        instance = random_linear_parallel(4, demand=2.0, seed=3)
+        outcome = induced_parallel_equilibrium(instance, strategy)
+        assert outcome.combined_flows.sum() == pytest.approx(2.0, abs=1e-7)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=0.4), min_size=4, max_size=4))
+    def test_induced_cost_at_least_optimum(self, strategy):
+        instance = random_linear_parallel(4, demand=2.0, seed=3)
+        outcome = induced_parallel_equilibrium(instance, strategy)
+        optimum = parallel_optimum(instance)
+        assert outcome.cost >= optimum.cost - 1e-9
+
+
+class TestInducedNetwork:
+    def test_null_strategy_reproduces_network_nash(self):
+        instance = roughgarden_example()
+        zero = np.zeros(instance.network.num_edges)
+        outcome = induced_network_equilibrium(instance, zero, [1.0])
+        from repro.equilibrium import network_nash
+        nash = network_nash(instance)
+        assert outcome.cost == pytest.approx(nash.cost, rel=1e-5)
+
+    def test_optimum_strategy_keeps_optimum(self):
+        """Pre-loading the entire optimum leaves no room for deviation."""
+        instance = roughgarden_example()
+        optimum = network_optimum(instance)
+        outcome = induced_network_equilibrium(instance, optimum.edge_flows, [0.0])
+        assert outcome.cost == pytest.approx(optimum.cost, rel=1e-6)
+
+    def test_wrong_remaining_demand_rejected(self):
+        instance = roughgarden_example()
+        zero = np.zeros(instance.network.num_edges)
+        with pytest.raises(StrategyError):
+            induced_network_equilibrium(instance, zero, [2.0])
+
+    def test_wrong_demand_count_rejected(self):
+        instance = roughgarden_example()
+        zero = np.zeros(instance.network.num_edges)
+        with pytest.raises(StrategyError):
+            induced_network_equilibrium(instance, zero, [0.5, 0.5])

@@ -1,0 +1,92 @@
+"""Tests for the exact path-based solver and the high-level network entry points."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.latency import ConstantLatency, LinearLatency
+from repro.network import Network, NetworkInstance
+from repro.equilibrium import (
+    frank_wolfe,
+    FrankWolfeOptions,
+    network_nash,
+    network_optimum,
+    network_wardrop_gap,
+    path_based_flow,
+)
+from repro.instances import braess_paradox, grid_network, roughgarden_example
+
+
+class TestPathBasedSolver:
+    def test_braess_nash(self):
+        result = path_based_flow(braess_paradox(), "nash")
+        assert result.cost == pytest.approx(2.0, abs=1e-6)
+        assert result.solver == "path-based"
+
+    def test_braess_optimum(self):
+        result = path_based_flow(braess_paradox(), "optimum")
+        assert result.cost == pytest.approx(1.5, abs=1e-6)
+
+    def test_roughgarden_optimum_flows(self):
+        result = path_based_flow(roughgarden_example(), "optimum")
+        assert result.edge_flows == pytest.approx([0.75, 0.25, 0.5, 0.25, 0.75],
+                                                  abs=1e-5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError):
+            path_based_flow(braess_paradox(), "bogus")
+
+    def test_too_many_paths_rejected(self):
+        with pytest.raises(ModelError):
+            path_based_flow(grid_network(4, 4, seed=0), "nash", max_paths=3)
+
+    def test_agrees_with_frank_wolfe(self):
+        instance = grid_network(3, 3, demand=1.5, seed=5)
+        exact = path_based_flow(instance, "nash")
+        iterative = frank_wolfe(instance, "nash", FrankWolfeOptions(tolerance=1e-9))
+        assert exact.cost == pytest.approx(iterative.cost, rel=1e-4)
+
+    def test_multicommodity(self):
+        net = Network()
+        net.add_edge("s", "m", LinearLatency(1.0))   # 0
+        net.add_edge("m", "t", LinearLatency(1.0))   # 1
+        net.add_edge("s", "t", ConstantLatency(3.0))  # 2
+        from repro.network import Commodity
+        instance = NetworkInstance(net, [Commodity("s", "t", 1.0),
+                                         Commodity("m", "t", 1.0)])
+        result = path_based_flow(instance, "nash")
+        instance.check_flow_conservation(result.edge_flows, atol=1e-5)
+        assert network_wardrop_gap(instance, result.edge_flows) < 1e-5
+
+
+class TestNetworkEntryPoints:
+    def test_auto_uses_path_solver_on_small_networks(self):
+        result = network_nash(braess_paradox())
+        assert result.solver == "path-based"
+
+    def test_explicit_frank_wolfe(self):
+        result = network_nash(braess_paradox(), solver="frank-wolfe",
+                              tolerance=1e-7)
+        assert result.solver == "frank-wolfe"
+        assert result.cost == pytest.approx(2.0, abs=1e-3)
+
+    def test_explicit_path(self):
+        result = network_optimum(braess_paradox(), solver="path")
+        assert result.solver == "path-based"
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ModelError):
+            network_nash(braess_paradox(), solver="bogus")
+
+    def test_nash_cost_at_least_optimum(self):
+        instance = grid_network(3, 3, demand=2.0, seed=9)
+        assert network_nash(instance).cost >= network_optimum(instance).cost - 1e-6
+
+    def test_auto_falls_back_to_frank_wolfe_on_larger_networks(self):
+        # A 7x7 grid has 84 edges, beyond the auto path-solver threshold.
+        instance = grid_network(7, 7, demand=2.0, seed=0)
+        result = network_nash(instance, tolerance=1e-4)
+        assert result.solver == "frank-wolfe"
+        assert result.converged

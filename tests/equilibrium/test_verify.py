@@ -1,0 +1,61 @@
+"""Tests for the equilibrium-condition verification helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.equilibrium import (
+    network_nash,
+    network_wardrop_gap,
+    parallel_nash,
+    parallel_optimality_gap,
+    parallel_optimum,
+    parallel_wardrop_gap,
+)
+from repro.instances import braess_paradox, pigou, random_linear_parallel
+
+
+class TestParallelGaps:
+    def test_nash_has_zero_wardrop_gap(self):
+        instance = pigou()
+        assert parallel_wardrop_gap(instance, parallel_nash(instance).flows) \
+            == pytest.approx(0.0, abs=1e-9)
+
+    def test_optimum_has_zero_optimality_gap(self):
+        instance = pigou()
+        assert parallel_optimality_gap(instance, parallel_optimum(instance).flows) \
+            == pytest.approx(0.0, abs=1e-9)
+
+    def test_optimum_has_positive_wardrop_gap_on_pigou(self):
+        """The optimum is NOT an equilibrium on Pigou (used link latencies differ)."""
+        instance = pigou()
+        gap = parallel_wardrop_gap(instance, parallel_optimum(instance).flows)
+        assert gap == pytest.approx(0.5)
+
+    def test_nash_has_positive_optimality_gap_on_pigou(self):
+        instance = pigou()
+        gap = parallel_optimality_gap(instance, parallel_nash(instance).flows)
+        assert gap == pytest.approx(1.0)  # marginal 2x=2 on link 1 vs 1 on link 2
+
+    def test_unbalanced_flow_has_positive_gap(self):
+        instance = random_linear_parallel(4, demand=2.0, seed=0)
+        lopsided = np.array([2.0, 0.0, 0.0, 0.0])
+        assert parallel_wardrop_gap(instance, lopsided) > 0.0
+
+    def test_zero_flow_has_zero_gap(self):
+        instance = random_linear_parallel(4, demand=2.0, seed=0)
+        assert parallel_wardrop_gap(instance, np.zeros(4)) == 0.0
+
+
+class TestNetworkGap:
+    def test_nash_flow_has_small_residual(self):
+        instance = braess_paradox()
+        nash = network_nash(instance)
+        assert network_wardrop_gap(instance, nash.edge_flows) < 1e-6
+
+    def test_bad_flow_has_large_residual(self):
+        instance = braess_paradox()
+        # Route everything over the two outer paths: the zig-zag is shorter.
+        flows = np.array([0.5, 0.5, 0.0, 0.5, 0.5])
+        assert network_wardrop_gap(instance, flows) > 0.4

@@ -1,0 +1,102 @@
+"""Property-based tests for the water-filling solvers (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.latency import ConstantLatency, LinearLatency, MonomialLatency
+from repro.network import ParallelLinkInstance
+from repro.equilibrium import (
+    parallel_nash,
+    parallel_optimum,
+    parallel_optimality_gap,
+    parallel_wardrop_gap,
+)
+
+
+def linear_instances():
+    """Random affine parallel-link instances with positive demand."""
+    link = st.tuples(st.floats(min_value=0.05, max_value=4.0),
+                     st.floats(min_value=0.0, max_value=3.0))
+    return st.builds(
+        lambda links, demand: ParallelLinkInstance(
+            [LinearLatency(a, b) for a, b in links], demand),
+        st.lists(link, min_size=1, max_size=6),
+        st.floats(min_value=0.01, max_value=5.0))
+
+
+def mixed_instances():
+    """Instances mixing affine, monomial and constant latencies."""
+    affine = st.builds(LinearLatency,
+                       st.floats(min_value=0.05, max_value=4.0),
+                       st.floats(min_value=0.0, max_value=3.0))
+    mono = st.builds(MonomialLatency,
+                     st.floats(min_value=0.1, max_value=2.0),
+                     st.floats(min_value=1.0, max_value=3.0),
+                     st.floats(min_value=0.0, max_value=1.0))
+    const = st.builds(ConstantLatency, st.floats(min_value=0.1, max_value=3.0))
+    return st.builds(
+        lambda increasing, extras, demand: ParallelLinkInstance(
+            [increasing] + extras, demand),
+        affine,
+        st.lists(st.one_of(affine, mono, const), min_size=0, max_size=5),
+        st.floats(min_value=0.01, max_value=4.0))
+
+
+@settings(max_examples=50, deadline=None)
+@given(linear_instances())
+def test_nash_flows_feasible(instance):
+    nash = parallel_nash(instance)
+    assert np.all(nash.flows >= -1e-12)
+    assert nash.flows.sum() == pytest.approx(instance.demand, rel=1e-6, abs=1e-8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(linear_instances())
+def test_optimum_cost_below_nash_cost(instance):
+    assert parallel_optimum(instance).cost <= parallel_nash(instance).cost \
+        * (1.0 + 1e-9) + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(mixed_instances())
+def test_nash_satisfies_wardrop_condition(instance):
+    nash = parallel_nash(instance)
+    assert parallel_wardrop_gap(instance, nash.flows, flow_atol=1e-7) < 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(mixed_instances())
+def test_optimum_satisfies_kkt_condition(instance):
+    optimum = parallel_optimum(instance)
+    assert parallel_optimality_gap(instance, optimum.flows, flow_atol=1e-7) < 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(linear_instances())
+def test_linear_price_of_anarchy_bound(instance):
+    """Roughgarden-Tardos: C(N)/C(O) <= 4/3 for affine latencies."""
+    optimum_cost = parallel_optimum(instance).cost
+    nash_cost = parallel_nash(instance).cost
+    if optimum_cost > 1e-12:
+        assert nash_cost / optimum_cost <= 4.0 / 3.0 + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(linear_instances(), st.floats(min_value=0.1, max_value=0.9))
+def test_nash_monotone_in_demand(instance, shrink):
+    """Proposition 7.1 as a property: smaller demand, no larger link flows."""
+    full = parallel_nash(instance).flows
+    reduced = parallel_nash(instance.with_demand(shrink * instance.demand)).flows
+    assert np.all(reduced <= full + 1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(mixed_instances())
+def test_nash_beckmann_not_above_optimum_flow_beckmann(instance):
+    """The Nash flow minimises the Beckmann potential."""
+    nash = parallel_nash(instance)
+    optimum = parallel_optimum(instance)
+    assert instance.beckmann(nash.flows) <= instance.beckmann(optimum.flows) + 1e-7

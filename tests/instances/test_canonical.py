@@ -1,0 +1,90 @@
+"""Tests for the canonical paper instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InstanceError
+from repro.instances import (
+    braess_paradox,
+    figure_4_example,
+    pigou,
+    pigou_nonlinear,
+    roughgarden_example,
+    two_speed_example,
+)
+from repro.latency import ConstantLatency, LinearLatency
+
+
+class TestPigou:
+    def test_structure(self):
+        instance = pigou()
+        assert instance.num_links == 2
+        assert isinstance(instance.latencies[0], LinearLatency)
+        assert isinstance(instance.latencies[1], ConstantLatency)
+        assert instance.demand == 1.0
+
+    def test_custom_demand(self):
+        assert pigou(2.5).demand == 2.5
+
+    def test_nonlinear_variant(self):
+        instance = pigou_nonlinear(3.0)
+        assert float(instance.latencies[0].value(0.5)) == pytest.approx(0.125)
+
+    def test_nonlinear_rejects_degree_below_one(self):
+        with pytest.raises(Exception):
+            pigou_nonlinear(0.5)
+
+
+class TestFigure4:
+    def test_latency_values_match_caption(self):
+        instance = figure_4_example()
+        assert float(instance.latencies[0].value(1.0)) == pytest.approx(1.0)
+        assert float(instance.latencies[1].value(1.0)) == pytest.approx(1.5)
+        assert float(instance.latencies[2].value(1.0)) == pytest.approx(2.0)
+        assert float(instance.latencies[3].value(1.0)) == pytest.approx(2.5 + 1 / 6)
+        assert float(instance.latencies[4].value(1.0)) == pytest.approx(0.7)
+
+    def test_names(self):
+        assert figure_4_example().names == ("M1", "M2", "M3", "M4", "M5")
+
+
+class TestTwoSpeed:
+    def test_parametrisation(self):
+        instance = two_speed_example(fast_slope=2.0, slow_constant=3.0, demand=1.5)
+        assert float(instance.latencies[0].value(1.0)) == pytest.approx(2.0)
+        assert float(instance.latencies[1].value(1.0)) == pytest.approx(3.0)
+        assert instance.demand == 1.5
+
+
+class TestBraess:
+    def test_structure(self):
+        instance = braess_paradox()
+        assert instance.network.num_nodes == 4
+        assert instance.network.num_edges == 5
+        assert instance.is_single_commodity
+
+    def test_edge_latencies(self):
+        instance = braess_paradox()
+        labels = {(e.tail, e.head): e.latency for e in instance.network.edges}
+        assert float(labels[("s", "v")].value(1.0)) == pytest.approx(1.0)
+        assert float(labels[("v", "w")].value(1.0)) == pytest.approx(0.0)
+        assert float(labels[("s", "w")].value(1.0)) == pytest.approx(1.0)
+
+
+class TestRoughgardenExample:
+    def test_structure(self):
+        instance = roughgarden_example()
+        assert instance.network.num_nodes == 4
+        assert instance.network.num_edges == 5
+
+    def test_constant_edges_value(self):
+        instance = roughgarden_example(epsilon=0.05)
+        labels = {(e.tail, e.head): e.latency for e in instance.network.edges}
+        assert float(labels[("s", "w")].value(0.0)) == pytest.approx(2.5 - 0.3)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(InstanceError):
+            roughgarden_example(epsilon=0.3)
+        with pytest.raises(InstanceError):
+            roughgarden_example(epsilon=-0.01)

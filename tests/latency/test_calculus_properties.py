@@ -1,0 +1,107 @@
+"""Property-based consistency checks shared by all latency families.
+
+Every latency must satisfy, on its domain:
+
+* the integral is the antiderivative of the value (finite-difference check),
+* the marginal cost equals ``l(x) + x l'(x)``,
+* strictly increasing families have strictly increasing values and correct
+  inverses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.latency import (
+    BPRLatency,
+    LinearLatency,
+    MM1Latency,
+    MonomialLatency,
+    PolynomialLatency,
+)
+
+
+def latency_strategy():
+    """Hypothesis strategy generating strictly increasing latencies."""
+    linear = st.builds(LinearLatency,
+                       st.floats(min_value=0.05, max_value=5.0),
+                       st.floats(min_value=0.0, max_value=3.0))
+    monomial = st.builds(MonomialLatency,
+                         st.floats(min_value=0.1, max_value=3.0),
+                         st.floats(min_value=1.0, max_value=4.0),
+                         st.floats(min_value=0.0, max_value=2.0))
+    polynomial = st.builds(
+        PolynomialLatency,
+        st.lists(st.floats(min_value=0.01, max_value=2.0), min_size=2, max_size=4))
+    bpr = st.builds(BPRLatency,
+                    st.floats(min_value=0.2, max_value=3.0),
+                    st.floats(min_value=0.5, max_value=3.0),
+                    st.floats(min_value=0.05, max_value=0.5),
+                    st.floats(min_value=1.0, max_value=4.0))
+    # Capacity stays safely above the largest load any property test evaluates
+    # (loads go up to 4.0 plus a 2.0 segment extension).
+    mm1 = st.builds(MM1Latency, st.floats(min_value=8.0, max_value=50.0))
+    return st.one_of(linear, monomial, polynomial, bpr, mm1)
+
+
+LOADS = st.floats(min_value=0.0, max_value=4.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(latency_strategy(), LOADS)
+def test_integral_is_antiderivative(latency, x):
+    h = 1e-6
+    numeric_derivative = (float(latency.integral(x + h)) - float(latency.integral(x))) / h
+    assert numeric_derivative == pytest.approx(float(latency.value(x + h / 2)),
+                                               rel=1e-3, abs=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(latency_strategy(), LOADS)
+def test_marginal_cost_formula(latency, x):
+    expected = float(latency.value(x)) + x * float(latency.derivative(x))
+    assert float(latency.marginal_cost(x)) == pytest.approx(expected, rel=1e-9,
+                                                            abs=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(latency_strategy(), LOADS)
+def test_values_nonnegative_and_increasing(latency, x):
+    assert float(latency.value(x)) >= 0.0
+    assert float(latency.value(x + 0.1)) >= float(latency.value(x)) - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(latency_strategy(), LOADS)
+def test_inverse_value_roundtrip(latency, x):
+    y = float(latency.value(x))
+    recovered = latency.inverse_value(y)
+    assert float(latency.value(recovered)) == pytest.approx(y, rel=1e-6, abs=1e-8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(latency_strategy(), LOADS)
+def test_inverse_marginal_roundtrip(latency, x):
+    y = float(latency.marginal_cost(x))
+    recovered = latency.inverse_marginal(y)
+    assert float(latency.marginal_cost(recovered)) == pytest.approx(y, rel=1e-6,
+                                                                    abs=1e-8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(latency_strategy(), LOADS, st.floats(min_value=0.0, max_value=2.0))
+def test_link_cost_convexity_along_segments(latency, x, delta):
+    """x*l(x) must be convex: midpoint value below the chord."""
+    a, b = x, x + delta
+    mid = 0.5 * (a + b)
+    lhs = mid * float(latency.value(mid))
+    rhs = 0.5 * (a * float(latency.value(a)) + b * float(latency.value(b)))
+    assert lhs <= rhs + 1e-8
+
+
+@settings(max_examples=60, deadline=None)
+@given(latency_strategy(), LOADS, st.floats(min_value=0.0, max_value=2.0))
+def test_beckmann_integral_monotone(latency, x, delta):
+    assert float(latency.integral(x + delta)) >= float(latency.integral(x)) - 1e-12

@@ -1,0 +1,122 @@
+"""Tests for linear/affine and constant latencies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import LatencyDomainError, ModelError
+from repro.latency import ConstantLatency, LinearLatency
+
+
+class TestLinearLatency:
+    def test_value(self):
+        lat = LinearLatency(2.0, 1.0)
+        assert lat.value(3.0) == pytest.approx(7.0)
+
+    def test_call_matches_value(self):
+        lat = LinearLatency(2.0, 1.0)
+        assert lat(3.0) == lat.value(3.0)
+
+    def test_derivative_is_slope(self):
+        lat = LinearLatency(2.5, 0.5)
+        assert lat.derivative(10.0) == pytest.approx(2.5)
+
+    def test_integral(self):
+        lat = LinearLatency(2.0, 1.0)
+        # int_0^3 (2t + 1) dt = 9 + 3 = 12
+        assert lat.integral(3.0) == pytest.approx(12.0)
+
+    def test_marginal_cost(self):
+        lat = LinearLatency(2.0, 1.0)
+        # (x(2x+1))' = 4x + 1
+        assert lat.marginal_cost(3.0) == pytest.approx(13.0)
+
+    def test_link_cost(self):
+        lat = LinearLatency(1.0, 0.0)
+        assert lat.link_cost(2.0) == pytest.approx(4.0)
+
+    def test_inverse_value(self):
+        lat = LinearLatency(2.0, 1.0)
+        assert lat.inverse_value(7.0) == pytest.approx(3.0)
+
+    def test_inverse_value_below_intercept_is_zero(self):
+        lat = LinearLatency(2.0, 1.0)
+        assert lat.inverse_value(0.5) == 0.0
+
+    def test_inverse_marginal(self):
+        lat = LinearLatency(2.0, 1.0)
+        assert lat.inverse_marginal(13.0) == pytest.approx(3.0)
+
+    def test_vectorised_evaluation(self):
+        lat = LinearLatency(2.0, 1.0)
+        xs = np.array([0.0, 1.0, 2.0])
+        assert np.allclose(lat.value(xs), [1.0, 3.0, 5.0])
+        assert np.allclose(lat.derivative(xs), 2.0)
+        assert np.allclose(lat.integral(xs), [0.0, 2.0, 6.0])
+
+    def test_negative_slope_rejected(self):
+        with pytest.raises(ModelError):
+            LinearLatency(-1.0, 0.0)
+
+    def test_negative_intercept_rejected(self):
+        with pytest.raises(ModelError):
+            LinearLatency(1.0, -0.5)
+
+    def test_zero_slope_is_constant(self):
+        assert LinearLatency(0.0, 1.0).is_constant
+        assert not LinearLatency(1.0, 1.0).is_constant
+
+    def test_value_at_zero(self):
+        assert LinearLatency(3.0, 0.25).value_at_zero == pytest.approx(0.25)
+
+    @given(st.floats(min_value=0.01, max_value=10.0),
+           st.floats(min_value=0.0, max_value=10.0),
+           st.floats(min_value=0.0, max_value=100.0))
+    def test_inverse_roundtrip(self, slope, intercept, x):
+        lat = LinearLatency(slope, intercept)
+        assert lat.inverse_value(float(lat.value(x))) == pytest.approx(x, abs=1e-8)
+
+    @given(st.floats(min_value=0.01, max_value=10.0),
+           st.floats(min_value=0.0, max_value=10.0),
+           st.floats(min_value=0.0, max_value=100.0))
+    def test_marginal_dominates_value(self, slope, intercept, x):
+        lat = LinearLatency(slope, intercept)
+        assert lat.marginal_cost(x) >= lat.value(x) - 1e-12
+
+
+class TestConstantLatency:
+    def test_value_independent_of_load(self):
+        lat = ConstantLatency(1.5)
+        assert lat.value(0.0) == lat.value(100.0) == 1.5
+
+    def test_derivative_zero(self):
+        assert ConstantLatency(1.5).derivative(3.0) == 0.0
+
+    def test_integral(self):
+        assert ConstantLatency(1.5).integral(2.0) == pytest.approx(3.0)
+
+    def test_marginal_cost_equals_value(self):
+        lat = ConstantLatency(0.7)
+        assert lat.marginal_cost(5.0) == pytest.approx(0.7)
+
+    def test_is_constant_flag(self):
+        assert ConstantLatency(1.0).is_constant
+        assert not ConstantLatency(1.0).is_strictly_increasing
+
+    def test_inverse_raises(self):
+        with pytest.raises(LatencyDomainError):
+            ConstantLatency(1.0).inverse_value(2.0)
+        with pytest.raises(LatencyDomainError):
+            ConstantLatency(1.0).inverse_marginal(2.0)
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ModelError):
+            ConstantLatency(-0.1)
+
+    def test_vectorised(self):
+        lat = ConstantLatency(2.0)
+        xs = np.linspace(0, 5, 7)
+        assert np.allclose(lat.value(xs), 2.0)
+        assert np.allclose(lat.derivative(xs), 0.0)

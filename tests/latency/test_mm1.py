@@ -1,0 +1,81 @@
+"""Tests for M/M/1 queueing latencies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import LatencyDomainError, ModelError
+from repro.latency import MM1Latency
+
+
+class TestMM1Latency:
+    def test_value(self):
+        lat = MM1Latency(2.0)
+        assert lat.value(1.0) == pytest.approx(1.0)
+
+    def test_value_diverges_near_capacity(self):
+        lat = MM1Latency(1.0)
+        assert lat.value(0.999) > 100.0
+
+    def test_domain_violation_raises(self):
+        lat = MM1Latency(1.0)
+        with pytest.raises(LatencyDomainError):
+            lat.value(1.0)
+        with pytest.raises(LatencyDomainError):
+            lat.value(2.0)
+
+    def test_derivative(self):
+        lat = MM1Latency(2.0)
+        # d/dx (2-x)^-1 = (2-x)^-2 -> at x=1: 1
+        assert lat.derivative(1.0) == pytest.approx(1.0)
+
+    def test_integral(self):
+        lat = MM1Latency(2.0)
+        assert lat.integral(1.0) == pytest.approx(np.log(2.0))
+
+    def test_marginal_cost(self):
+        lat = MM1Latency(2.0)
+        # c/(c-x)^2 at x=1: 2
+        assert lat.marginal_cost(1.0) == pytest.approx(2.0)
+
+    def test_inverse_value(self):
+        lat = MM1Latency(2.0)
+        assert lat.inverse_value(1.0) == pytest.approx(1.0)
+
+    def test_inverse_value_below_free_flow(self):
+        lat = MM1Latency(2.0)
+        assert lat.inverse_value(0.1) == 0.0
+
+    def test_inverse_marginal(self):
+        lat = MM1Latency(2.0)
+        assert lat.inverse_marginal(2.0) == pytest.approx(1.0)
+
+    def test_domain_upper_is_capacity(self):
+        assert MM1Latency(3.5).domain_upper == 3.5
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ModelError):
+            MM1Latency(0.0)
+        with pytest.raises(ModelError):
+            MM1Latency(-1.0)
+
+    def test_vectorised(self):
+        lat = MM1Latency(4.0)
+        xs = np.array([0.0, 1.0, 2.0])
+        assert np.allclose(lat.value(xs), [0.25, 1.0 / 3.0, 0.5])
+
+    @given(st.floats(min_value=0.5, max_value=20.0),
+           st.floats(min_value=0.0, max_value=0.95))
+    def test_inverse_roundtrip(self, capacity, utilisation):
+        lat = MM1Latency(capacity)
+        x = utilisation * capacity
+        assert lat.inverse_value(float(lat.value(x))) == pytest.approx(x, abs=1e-8)
+
+    @given(st.floats(min_value=0.5, max_value=20.0),
+           st.floats(min_value=0.0, max_value=0.9))
+    def test_strictly_increasing(self, capacity, utilisation):
+        lat = MM1Latency(capacity)
+        x = utilisation * capacity
+        assert lat.value(x + 0.01 * capacity) > lat.value(x)

@@ -1,0 +1,121 @@
+"""Tests for polynomial, monomial and BPR latencies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ModelError
+from repro.latency import BPRLatency, MonomialLatency, PolynomialLatency
+
+
+class TestPolynomialLatency:
+    def test_value(self):
+        lat = PolynomialLatency([1.0, 2.0, 3.0])  # 1 + 2x + 3x^2
+        assert lat.value(2.0) == pytest.approx(1 + 4 + 12)
+
+    def test_derivative(self):
+        lat = PolynomialLatency([1.0, 2.0, 3.0])  # derivative 2 + 6x
+        assert lat.derivative(2.0) == pytest.approx(14.0)
+
+    def test_integral(self):
+        lat = PolynomialLatency([1.0, 2.0])  # int = x + x^2
+        assert lat.integral(3.0) == pytest.approx(12.0)
+
+    def test_degree(self):
+        assert PolynomialLatency([1.0, 0.0, 2.0]).degree == 2
+
+    def test_trailing_zeros_trimmed(self):
+        assert PolynomialLatency([1.0, 2.0, 0.0]).degree == 1
+
+    def test_constant_detection(self):
+        assert PolynomialLatency([2.0]).is_constant
+        assert not PolynomialLatency([2.0, 1.0]).is_constant
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ModelError):
+            PolynomialLatency([1.0, -0.5])
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(ModelError):
+            PolynomialLatency([])
+
+    def test_numeric_inverse_value(self):
+        lat = PolynomialLatency([0.0, 0.0, 1.0])  # x^2
+        assert lat.inverse_value(4.0) == pytest.approx(2.0, abs=1e-8)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=3.0), min_size=2, max_size=5)
+           .filter(lambda cs: any(c > 1e-6 for c in cs[1:])),
+           st.floats(min_value=0.0, max_value=5.0))
+    def test_marginal_cost_consistency(self, coeffs, x):
+        lat = PolynomialLatency(coeffs)
+        expected = float(lat.value(x)) + x * float(lat.derivative(x))
+        assert float(lat.marginal_cost(x)) == pytest.approx(expected, rel=1e-9)
+
+
+class TestMonomialLatency:
+    def test_value(self):
+        lat = MonomialLatency(2.0, 3.0, 1.0)  # 2x^3 + 1
+        assert lat.value(2.0) == pytest.approx(17.0)
+
+    def test_derivative(self):
+        lat = MonomialLatency(2.0, 3.0)
+        assert lat.derivative(2.0) == pytest.approx(24.0)
+
+    def test_integral(self):
+        lat = MonomialLatency(4.0, 3.0)  # integral x^4
+        assert lat.integral(2.0) == pytest.approx(16.0)
+
+    def test_inverse_value(self):
+        lat = MonomialLatency(1.0, 2.0)
+        assert lat.inverse_value(9.0) == pytest.approx(3.0)
+
+    def test_inverse_marginal(self):
+        lat = MonomialLatency(1.0, 2.0)  # marginal 3x^2
+        assert lat.inverse_marginal(12.0) == pytest.approx(2.0)
+
+    def test_degree_below_one_rejected(self):
+        with pytest.raises(ModelError):
+            MonomialLatency(1.0, 0.5)
+
+    def test_pigou_degree_grows_anarchy(self):
+        # l(x) = x^d on [0, 1]: Nash puts everything on the monomial link.
+        low = MonomialLatency(1.0, 1.0)
+        high = MonomialLatency(1.0, 8.0)
+        assert high.value(0.5) < low.value(0.5)  # much flatter inside (0,1)
+
+
+class TestBPRLatency:
+    def test_free_flow_value(self):
+        lat = BPRLatency(free_flow_time=2.0, capacity=1.0)
+        assert lat.value(0.0) == pytest.approx(2.0)
+
+    def test_value_at_capacity(self):
+        lat = BPRLatency(free_flow_time=1.0, capacity=2.0, alpha=0.15, beta=4.0)
+        assert lat.value(2.0) == pytest.approx(1.15)
+
+    def test_derivative_positive(self):
+        lat = BPRLatency(free_flow_time=1.0, capacity=1.0)
+        assert lat.derivative(0.5) > 0.0
+
+    def test_integral_matches_numeric(self):
+        lat = BPRLatency(free_flow_time=1.0, capacity=1.5, alpha=0.3, beta=3.0)
+        xs = np.linspace(0.0, 2.0, 2001)
+        numeric = np.trapezoid(lat.value(xs), xs)
+        assert float(lat.integral(2.0)) == pytest.approx(numeric, rel=1e-5)
+
+    def test_inverse_value_roundtrip(self):
+        lat = BPRLatency(free_flow_time=1.0, capacity=2.0)
+        assert lat.inverse_value(float(lat.value(1.7))) == pytest.approx(1.7, abs=1e-9)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            BPRLatency(free_flow_time=0.0, capacity=1.0)
+        with pytest.raises(ModelError):
+            BPRLatency(free_flow_time=1.0, capacity=0.0)
+        with pytest.raises(ModelError):
+            BPRLatency(free_flow_time=1.0, capacity=1.0, beta=0.5)
+
+    def test_alpha_zero_is_constant(self):
+        assert BPRLatency(1.0, 1.0, alpha=0.0).is_constant

@@ -1,0 +1,100 @@
+"""Tests for shifted (Stackelberg a-posteriori) and scaled latency wrappers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ModelError
+from repro.latency import (
+    ConstantLatency,
+    LinearLatency,
+    MM1Latency,
+    ScaledLatency,
+    ShiftedLatency,
+)
+
+
+class TestShiftedLatency:
+    def test_value_is_shifted(self):
+        base = LinearLatency(2.0, 1.0)
+        shifted = base.shifted(0.5)
+        assert shifted.value(1.0) == pytest.approx(base.value(1.5))
+
+    def test_zero_shift_returns_same_object(self):
+        base = LinearLatency(1.0, 0.0)
+        assert base.shifted(0.0) is base
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ModelError):
+            ShiftedLatency(LinearLatency(1.0, 0.0), -0.1)
+
+    def test_derivative_is_shifted(self):
+        base = MM1Latency(3.0)
+        shifted = base.shifted(1.0)
+        assert shifted.derivative(0.5) == pytest.approx(base.derivative(1.5))
+
+    def test_integral_difference_form(self):
+        base = LinearLatency(2.0, 1.0)
+        shifted = base.shifted(0.5)
+        expected = base.integral(1.5) - base.integral(0.5)
+        assert shifted.integral(1.0) == pytest.approx(expected)
+
+    def test_integral_at_zero_is_zero(self):
+        shifted = LinearLatency(2.0, 1.0).shifted(0.7)
+        assert shifted.integral(0.0) == pytest.approx(0.0)
+
+    def test_inverse_value_accounts_for_offset(self):
+        base = LinearLatency(1.0, 0.0)
+        shifted = base.shifted(2.0)
+        # shifted(x) = x + 2, so inverse of 5 is 3.
+        assert shifted.inverse_value(5.0) == pytest.approx(3.0)
+
+    def test_inverse_value_clamps_at_zero(self):
+        shifted = LinearLatency(1.0, 0.0).shifted(2.0)
+        assert shifted.inverse_value(1.0) == 0.0
+
+    def test_domain_upper_shrinks(self):
+        shifted = MM1Latency(3.0).shifted(1.0)
+        assert shifted.domain_upper == pytest.approx(2.0)
+
+    def test_nested_shift_flattens(self):
+        base = LinearLatency(1.0, 0.0)
+        nested = base.shifted(1.0).shifted(2.0)
+        assert isinstance(nested, ShiftedLatency)
+        assert nested.offset == pytest.approx(3.0)
+        assert nested.base is base
+
+    def test_constant_base_stays_constant(self):
+        assert ConstantLatency(1.0).shifted(0.5).is_constant
+
+    @given(st.floats(min_value=0.0, max_value=5.0),
+           st.floats(min_value=0.0, max_value=5.0))
+    def test_shift_commutes_with_evaluation(self, offset, x):
+        base = LinearLatency(1.3, 0.2)
+        shifted = base.shifted(offset)
+        assert float(shifted.value(x)) == pytest.approx(float(base.value(x + offset)))
+
+
+class TestScaledLatency:
+    def test_value_is_scaled(self):
+        scaled = ScaledLatency(LinearLatency(1.0, 1.0), 3.0)
+        assert scaled.value(2.0) == pytest.approx(9.0)
+
+    def test_derivative_and_integral_scale(self):
+        base = LinearLatency(2.0, 0.0)
+        scaled = ScaledLatency(base, 0.5)
+        assert scaled.derivative(1.0) == pytest.approx(1.0)
+        assert scaled.integral(2.0) == pytest.approx(0.5 * base.integral(2.0))
+
+    def test_inverse_value(self):
+        scaled = ScaledLatency(LinearLatency(1.0, 0.0), 2.0)
+        assert scaled.inverse_value(4.0) == pytest.approx(2.0)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ModelError):
+            ScaledLatency(LinearLatency(1.0, 0.0), 0.0)
+
+    def test_constant_propagates(self):
+        assert ScaledLatency(ConstantLatency(1.0), 2.0).is_constant

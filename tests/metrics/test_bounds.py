@@ -1,0 +1,47 @@
+"""Tests for the per-class Pigou bounds on the price of anarchy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ModelError
+from repro.metrics import polynomial_price_of_anarchy_bound, price_of_anarchy
+from repro.instances import pigou_nonlinear, random_polynomial_parallel
+
+
+class TestPolynomialBoundFormula:
+    def test_degree_one_is_four_thirds(self):
+        assert polynomial_price_of_anarchy_bound(1.0) == pytest.approx(4.0 / 3.0)
+
+    def test_degree_two_value(self):
+        # rho(2) = (1 - 2 * 3^(-3/2))^(-1) ~ 1.6258
+        assert polynomial_price_of_anarchy_bound(2.0) == pytest.approx(1.6258,
+                                                                       abs=1e-3)
+
+    def test_monotone_in_degree(self):
+        values = [polynomial_price_of_anarchy_bound(d) for d in (1, 2, 3, 5, 8)]
+        assert values == sorted(values)
+        assert values[-1] > 2.0
+
+    def test_degree_below_one_rejected(self):
+        with pytest.raises(ModelError):
+            polynomial_price_of_anarchy_bound(0.5)
+
+
+class TestBoundIsTightAndValid:
+    @pytest.mark.parametrize("degree", [1.0, 2.0, 3.0, 4.0, 6.0])
+    def test_nonlinear_pigou_attains_the_bound(self, degree):
+        """The x^d Pigou instance realises the worst case exactly."""
+        poa = price_of_anarchy(pigou_nonlinear(degree))
+        assert poa == pytest.approx(polynomial_price_of_anarchy_bound(degree),
+                                    rel=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=40),
+           st.integers(min_value=1, max_value=3))
+    def test_random_polynomial_instances_respect_the_bound(self, seed, max_degree):
+        instance = random_polynomial_parallel(5, demand=2.0, seed=seed,
+                                              max_degree=max_degree)
+        poa = price_of_anarchy(instance)
+        assert poa <= polynomial_price_of_anarchy_bound(float(max_degree)) + 1e-6

@@ -1,0 +1,117 @@
+"""Tests for price-of-anarchy and Stackelberg metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ModelError, StrategyError
+from repro.baselines import aloof, llf, scale
+from repro.core import optop
+from repro.metrics import (
+    a_posteriori_ratio,
+    coordination_ratio,
+    general_latency_bound,
+    linear_latency_bound,
+    linear_price_of_anarchy_bound,
+    price_of_anarchy,
+)
+from repro.instances import (
+    braess_paradox,
+    pigou,
+    pigou_nonlinear,
+    random_linear_parallel,
+    roughgarden_example,
+)
+from repro.latency import LinearLatency
+from repro.network import ParallelLinkInstance
+
+
+class TestPriceOfAnarchy:
+    def test_pigou_is_four_thirds(self):
+        assert price_of_anarchy(pigou()) == pytest.approx(4.0 / 3.0)
+
+    def test_braess_is_four_thirds(self):
+        assert price_of_anarchy(braess_paradox()) == pytest.approx(4.0 / 3.0,
+                                                                   rel=1e-5)
+
+    def test_nonlinear_pigou_exceeds_linear_bound(self):
+        assert price_of_anarchy(pigou_nonlinear(6.0)) > 4.0 / 3.0 + 0.1
+
+    def test_identical_links_have_no_anarchy(self):
+        instance = ParallelLinkInstance([LinearLatency(1.0)] * 3, 1.0)
+        assert price_of_anarchy(instance) == pytest.approx(1.0)
+
+    def test_coordination_ratio_alias(self):
+        assert coordination_ratio(pigou()) == price_of_anarchy(pigou())
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ModelError):
+            price_of_anarchy([1, 2, 3])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=40))
+    def test_linear_instances_respect_four_thirds(self, seed):
+        instance = random_linear_parallel(5, demand=2.0, seed=seed)
+        assert price_of_anarchy(instance) <= 4.0 / 3.0 + 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=40))
+    def test_poa_at_least_one(self, seed):
+        instance = random_linear_parallel(4, demand=1.0, seed=seed)
+        assert price_of_anarchy(instance) >= 1.0 - 1e-9
+
+
+class TestAPosterioriRatio:
+    def test_aloof_ratio_equals_poa(self):
+        instance = pigou()
+        assert a_posteriori_ratio(instance, aloof(instance)) == pytest.approx(
+            price_of_anarchy(instance))
+
+    def test_optop_strategy_has_ratio_one(self):
+        instance = pigou()
+        result = optop(instance)
+        assert a_posteriori_ratio(instance, result.strategy) == pytest.approx(1.0)
+
+    def test_network_strategy_ratio(self):
+        instance = roughgarden_example()
+        from repro.core import mop
+        result = mop(instance)
+        assert a_posteriori_ratio(instance, result.strategy) == pytest.approx(
+            1.0, abs=1e-5)
+
+    def test_mismatched_strategy_type_rejected(self):
+        with pytest.raises(StrategyError):
+            a_posteriori_ratio(pigou(), aloof(roughgarden_example()))
+
+    def test_llf_ratio_within_bounds(self):
+        instance = random_linear_parallel(5, demand=2.0, seed=3)
+        for alpha in (0.25, 0.5, 0.75):
+            ratio = a_posteriori_ratio(instance, llf(instance, alpha))
+            assert ratio <= linear_latency_bound(alpha) + 1e-6
+            assert ratio <= general_latency_bound(alpha) + 1e-6
+            assert ratio >= 1.0 - 1e-9
+
+
+class TestBoundFormulas:
+    def test_general_bound_values(self):
+        assert general_latency_bound(0.5) == pytest.approx(2.0)
+        assert general_latency_bound(1.0) == pytest.approx(1.0)
+        assert general_latency_bound(0.0) == float("inf")
+
+    def test_linear_bound_values(self):
+        assert linear_latency_bound(0.0) == pytest.approx(4.0 / 3.0)
+        assert linear_latency_bound(1.0) == pytest.approx(1.0)
+
+    def test_linear_poa_bound(self):
+        assert linear_price_of_anarchy_bound() == pytest.approx(4.0 / 3.0)
+
+    def test_bounds_reject_bad_alpha(self):
+        with pytest.raises(StrategyError):
+            general_latency_bound(1.5)
+        with pytest.raises(StrategyError):
+            linear_latency_bound(-0.5)
+
+    def test_linear_bound_tighter_than_general_for_small_alpha(self):
+        for alpha in (0.1, 0.3, 0.5):
+            assert linear_latency_bound(alpha) < general_latency_bound(alpha)

@@ -1,0 +1,48 @@
+"""Tests for convenience constructors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.latency import LinearLatency
+from repro.network import (
+    network_from_edge_list,
+    parallel_links_from_coefficients,
+    parallel_network_as_graph,
+)
+from repro.equilibrium import network_nash, parallel_nash
+
+
+class TestParallelLinksFromCoefficients:
+    def test_builds_expected_latencies(self):
+        inst = parallel_links_from_coefficients([(1.0, 0.0), (0.0, 1.0)], demand=1.0)
+        assert inst.num_links == 2
+        assert float(inst.latencies[0].value(2.0)) == pytest.approx(2.0)
+        assert float(inst.latencies[1].value(2.0)) == pytest.approx(1.0)
+
+
+class TestNetworkFromEdgeList:
+    def test_builds_network(self):
+        net = network_from_edge_list([
+            ("s", "a", LinearLatency(1.0)),
+            ("a", "t", LinearLatency(1.0)),
+        ])
+        assert net.num_edges == 2
+        assert net.has_node("a")
+
+
+class TestParallelNetworkAsGraph:
+    def test_embedding_preserves_equilibrium_cost(self):
+        """The parallel-link Nash and the network Nash must agree."""
+        inst = parallel_links_from_coefficients([(1.0, 0.0), (0.5, 0.5)], demand=1.5)
+        embedded = parallel_network_as_graph(inst)
+        parallel_cost = parallel_nash(inst).cost
+        network_cost = network_nash(embedded).cost
+        assert network_cost == pytest.approx(parallel_cost, rel=1e-5)
+
+    def test_embedding_counts(self):
+        inst = parallel_links_from_coefficients([(1.0, 0.0)] * 4, demand=1.0)
+        embedded = parallel_network_as_graph(inst)
+        assert embedded.network.num_edges == 4
+        assert embedded.network.num_nodes == 2
+        assert embedded.total_demand == 1.0

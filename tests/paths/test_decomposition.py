@@ -1,0 +1,93 @@
+"""Tests for flow decomposition and cycle removal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.latency import LinearLatency
+from repro.network import Network
+from repro.paths import decompose_flow, remove_flow_cycles
+
+
+def build_braess_like():
+    net = Network()
+    net.add_edge("s", "v", LinearLatency(1.0))  # 0
+    net.add_edge("s", "w", LinearLatency(1.0))  # 1
+    net.add_edge("v", "w", LinearLatency(1.0))  # 2
+    net.add_edge("v", "t", LinearLatency(1.0))  # 3
+    net.add_edge("w", "t", LinearLatency(1.0))  # 4
+    return net
+
+
+class TestRemoveFlowCycles:
+    def test_acyclic_flow_unchanged(self):
+        net = build_braess_like()
+        flows = np.array([0.5, 0.5, 0.0, 0.5, 0.5])
+        cleaned = remove_flow_cycles(net, flows)
+        assert np.allclose(cleaned, flows)
+
+    def test_two_cycle_cancelled(self):
+        net = Network()
+        net.add_edge("a", "b", LinearLatency(1.0))  # 0
+        net.add_edge("b", "a", LinearLatency(1.0))  # 1
+        net.add_edge("s", "a", LinearLatency(1.0))  # 2
+        net.add_edge("b", "t", LinearLatency(1.0))  # 3
+        flows = np.array([1.0, 0.4, 0.6, 0.6])
+        cleaned = remove_flow_cycles(net, flows)
+        # The a->b->a cycle of size 0.4 must be cancelled.
+        assert cleaned[1] == pytest.approx(0.0, abs=1e-12)
+        assert cleaned[0] == pytest.approx(0.6, abs=1e-12)
+
+    def test_divergence_preserved(self):
+        net = Network()
+        net.add_edge("a", "b", LinearLatency(1.0))
+        net.add_edge("b", "c", LinearLatency(1.0))
+        net.add_edge("c", "a", LinearLatency(1.0))
+        net.add_edge("s", "a", LinearLatency(1.0))
+        net.add_edge("c", "t", LinearLatency(1.0))
+        flows = np.array([0.8, 0.8, 0.3, 0.5, 0.5])
+        cleaned = remove_flow_cycles(net, flows)
+        # Node divergences must be identical before and after.
+        for node in net.nodes:
+            before = sum(flows[i] for i in net.out_edges(node)) \
+                - sum(flows[i] for i in net.in_edges(node))
+            after = sum(cleaned[i] for i in net.out_edges(node)) \
+                - sum(cleaned[i] for i in net.in_edges(node))
+            assert after == pytest.approx(before, abs=1e-9)
+
+
+class TestDecomposeFlow:
+    def test_single_path_flow(self):
+        net = build_braess_like()
+        flows = np.array([1.0, 0.0, 1.0, 0.0, 1.0])
+        decomposition = decompose_flow(net, flows, "s", "t")
+        assert len(decomposition) == 1
+        path, value = decomposition[0]
+        assert path == (0, 2, 4)
+        assert value == pytest.approx(1.0)
+
+    def test_multi_path_flow_sums_to_demand(self):
+        net = build_braess_like()
+        flows = np.array([0.75, 0.25, 0.5, 0.25, 0.75])
+        decomposition = decompose_flow(net, flows, "s", "t")
+        assert sum(v for _, v in decomposition) == pytest.approx(1.0)
+        # Each decomposed path must be a genuine s-t path.
+        for path, value in decomposition:
+            assert net.edge(path[0]).tail == "s"
+            assert net.edge(path[-1]).head == "t"
+            assert value > 0.0
+
+    def test_zero_flow(self):
+        net = build_braess_like()
+        assert decompose_flow(net, np.zeros(5), "s", "t") == []
+
+    def test_edge_flows_recovered(self):
+        net = build_braess_like()
+        flows = np.array([0.6, 0.4, 0.2, 0.4, 0.6])
+        decomposition = decompose_flow(net, flows, "s", "t")
+        rebuilt = np.zeros(5)
+        for path, value in decomposition:
+            for idx in path:
+                rebuilt[idx] += value
+        assert np.allclose(rebuilt, flows, atol=1e-9)

@@ -1,0 +1,78 @@
+"""Tests for simple-path enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.latency import LinearLatency
+from repro.network import Network
+from repro.paths import all_simple_paths, path_nodes
+
+
+def build_braess_like():
+    net = Network()
+    net.add_edge("s", "v", LinearLatency(1.0))  # 0
+    net.add_edge("s", "w", LinearLatency(1.0))  # 1
+    net.add_edge("v", "w", LinearLatency(1.0))  # 2
+    net.add_edge("v", "t", LinearLatency(1.0))  # 3
+    net.add_edge("w", "t", LinearLatency(1.0))  # 4
+    return net
+
+
+class TestAllSimplePaths:
+    def test_braess_graph_has_three_paths(self):
+        net = build_braess_like()
+        paths = all_simple_paths(net, "s", "t")
+        assert len(paths) == 3
+        assert (0, 3) in paths            # s->v->t
+        assert (1, 4) in paths            # s->w->t
+        assert (0, 2, 4) in paths         # s->v->w->t
+
+    def test_no_path_returns_empty(self):
+        net = Network()
+        net.add_edge("s", "a", LinearLatency(1.0))
+        net.add_node("t")
+        assert all_simple_paths(net, "s", "t") == []
+
+    def test_max_length_cuts_long_paths(self):
+        net = build_braess_like()
+        paths = all_simple_paths(net, "s", "t", max_length=2)
+        assert (0, 2, 4) not in paths
+        assert len(paths) == 2
+
+    def test_missing_endpoint_rejected(self):
+        net = build_braess_like()
+        with pytest.raises(ModelError):
+            all_simple_paths(net, "s", "zzz")
+
+    def test_parallel_edges_counted_separately(self):
+        net = Network()
+        net.add_edge("s", "t", LinearLatency(1.0))
+        net.add_edge("s", "t", LinearLatency(2.0))
+        assert len(all_simple_paths(net, "s", "t")) == 2
+
+    def test_max_paths_guard(self):
+        # A graph with many paths: 6 stages of 2 parallel edges -> 64 paths.
+        net = Network()
+        nodes = list(range(7))
+        for i in range(6):
+            net.add_edge(nodes[i], nodes[i + 1], LinearLatency(1.0))
+            net.add_edge(nodes[i], nodes[i + 1], LinearLatency(2.0))
+        with pytest.raises(ModelError):
+            all_simple_paths(net, 0, 6, max_paths=10)
+
+
+class TestPathNodes:
+    def test_node_sequence(self):
+        net = build_braess_like()
+        assert path_nodes(net, [0, 2, 4]) == ("s", "v", "w", "t")
+
+    def test_empty_path(self):
+        net = build_braess_like()
+        assert path_nodes(net, []) == ()
+
+    def test_discontinuous_path_rejected(self):
+        net = build_braess_like()
+        with pytest.raises(ModelError):
+            path_nodes(net, [0, 4])  # s->v then w->t does not connect

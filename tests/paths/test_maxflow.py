@@ -1,0 +1,82 @@
+"""Tests for the real-capacity max-flow used by MOP's free-flow computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.latency import LinearLatency
+from repro.network import Network
+from repro.paths import max_flow
+
+
+def build_braess_like():
+    net = Network()
+    net.add_edge("s", "v", LinearLatency(1.0))  # 0
+    net.add_edge("s", "w", LinearLatency(1.0))  # 1
+    net.add_edge("v", "w", LinearLatency(1.0))  # 2
+    net.add_edge("v", "t", LinearLatency(1.0))  # 3
+    net.add_edge("w", "t", LinearLatency(1.0))  # 4
+    return net
+
+
+class TestMaxFlow:
+    def test_simple_bottleneck(self):
+        net = build_braess_like()
+        caps = np.array([0.75, 0.25, 0.5, 0.25, 0.75])
+        value, flows = max_flow(net, "s", "t", caps)
+        assert value == pytest.approx(1.0)
+        assert np.all(flows <= caps + 1e-12)
+
+    def test_restricted_edge_set(self):
+        net = build_braess_like()
+        caps = np.array([0.75, 0.25, 0.5, 0.25, 0.75])
+        value, flows = max_flow(net, "s", "t", caps, allowed_edges={0, 2, 4})
+        assert value == pytest.approx(0.5)  # bottleneck is the middle edge
+        assert flows[1] == 0.0 and flows[3] == 0.0
+
+    def test_zero_capacity_blocks_flow(self):
+        net = build_braess_like()
+        caps = np.zeros(5)
+        value, _ = max_flow(net, "s", "t", caps)
+        assert value == 0.0
+
+    def test_flow_conservation(self):
+        net = build_braess_like()
+        caps = np.array([0.6, 0.4, 0.2, 0.5, 0.5])
+        value, flows = max_flow(net, "s", "t", caps)
+        for node in ("v", "w"):
+            into = sum(flows[i] for i in net.in_edges(node))
+            out = sum(flows[i] for i in net.out_edges(node))
+            assert into == pytest.approx(out, abs=1e-9)
+        out_of_source = sum(flows[i] for i in net.out_edges("s"))
+        assert out_of_source == pytest.approx(value, abs=1e-9)
+
+    def test_requires_backward_augmentation(self):
+        """A case where the greedy first path must be partially undone."""
+        net = Network()
+        net.add_edge("s", "a", LinearLatency(1.0))  # 0
+        net.add_edge("s", "b", LinearLatency(1.0))  # 1
+        net.add_edge("a", "b", LinearLatency(1.0))  # 2
+        net.add_edge("a", "t", LinearLatency(1.0))  # 3
+        net.add_edge("b", "t", LinearLatency(1.0))  # 4
+        caps = np.array([1.0, 1.0, 1.0, 1.0, 1.0])
+        value, _ = max_flow(net, "s", "t", caps)
+        assert value == pytest.approx(2.0)
+
+    def test_wrong_capacity_length(self):
+        net = build_braess_like()
+        with pytest.raises(ModelError):
+            max_flow(net, "s", "t", np.ones(3))
+
+    def test_missing_node(self):
+        net = build_braess_like()
+        with pytest.raises(ModelError):
+            max_flow(net, "s", "zzz", np.ones(5))
+
+    def test_value_bounded_by_cut(self):
+        net = build_braess_like()
+        caps = np.array([0.3, 0.2, 1.0, 1.0, 1.0])
+        value, _ = max_flow(net, "s", "t", caps)
+        assert value == pytest.approx(0.5)  # source cut

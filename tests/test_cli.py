@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import NAMED_INSTANCES, build_parser, main
+from repro.instances import pigou
+from repro.serialization import save_instance
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze"])
+
+    def test_named_instances_registered(self):
+        assert {"pigou", "figure4", "braess", "roughgarden"} <= set(NAMED_INSTANCES)
+
+
+class TestAnalyzeCommand:
+    def test_analyze_pigou(self, capsys):
+        assert main(["analyze", "--instance", "pigou"]) == 0
+        out = capsys.readouterr().out
+        assert "price of optimum beta = 0.5" in out
+        assert "price of anarchy = 1.333333" in out
+
+    def test_analyze_network_instance(self, capsys):
+        assert main(["analyze", "--instance", "roughgarden"]) == 0
+        out = capsys.readouterr().out
+        assert "price of optimum beta = 0.5" in out
+
+    def test_analyze_from_file(self, tmp_path, capsys):
+        path = tmp_path / "instance.json"
+        save_instance(pigou(), path)
+        assert main(["analyze", "--file", str(path)]) == 0
+        assert "beta" in capsys.readouterr().out
+
+    def test_analyze_missing_file(self, capsys):
+        assert main(["analyze", "--file", "/nonexistent/instance.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_sweep_pigou(self, capsys):
+        assert main(["sweep", "--instance", "pigou", "--alphas", "0.25", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "LLF ratio" in out
+        assert "0.25" in out
+
+    def test_sweep_rejects_network_instance(self, capsys):
+        assert main(["sweep", "--instance", "braess"]) == 2
+        assert "parallel-link" in capsys.readouterr().err
+
+
+class TestExperimentsCommand:
+    def test_run_selected_experiments(self, capsys):
+        assert main(["experiments", "--only", "E1", "E2"]) == 0
+        out = capsys.readouterr().out
+        assert "[E1]" in out and "[E2]" in out
+
+    def test_invalid_experiment_id_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "--only", "E99"])

@@ -1,0 +1,130 @@
+"""Tests for JSON (de)serialisation of latencies and instances."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.latency import (
+    BPRLatency,
+    ConstantLatency,
+    LinearLatency,
+    MM1Latency,
+    MonomialLatency,
+    PolynomialLatency,
+    ShiftedLatency,
+)
+from repro.network import NetworkInstance, ParallelLinkInstance
+from repro.serialization import (
+    instance_from_dict,
+    instance_to_dict,
+    latency_from_dict,
+    latency_to_dict,
+    load_instance,
+    save_instance,
+)
+from repro.instances import (
+    braess_paradox,
+    figure_4_example,
+    pigou,
+    roughgarden_example,
+    random_multicommodity_instance,
+)
+
+ALL_LATENCIES = [
+    LinearLatency(1.5, 0.25),
+    ConstantLatency(0.7),
+    MonomialLatency(2.0, 3.0, 0.1),
+    PolynomialLatency([0.5, 1.0, 0.25]),
+    BPRLatency(1.0, 2.0, alpha=0.2, beta=3.0),
+    MM1Latency(5.0),
+]
+
+
+class TestLatencyRoundTrip:
+    @pytest.mark.parametrize("latency", ALL_LATENCIES,
+                             ids=lambda lat: type(lat).__name__)
+    def test_roundtrip_preserves_values(self, latency):
+        restored = latency_from_dict(latency_to_dict(latency))
+        assert type(restored) is type(latency)
+        for x in (0.0, 0.5, 1.0, 2.0):
+            assert float(restored.value(x)) == pytest.approx(float(latency.value(x)))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ModelError):
+            latency_from_dict({"type": "exotic"})
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ModelError):
+            latency_from_dict({"slope": 1.0})
+
+    def test_wrapped_latency_not_serialisable(self):
+        with pytest.raises(ModelError):
+            latency_to_dict(ShiftedLatency(LinearLatency(1.0), 0.5))
+
+    def test_dicts_are_json_compatible(self):
+        for latency in ALL_LATENCIES:
+            json.dumps(latency_to_dict(latency))
+
+
+class TestInstanceRoundTrip:
+    @pytest.mark.parametrize("builder", [pigou, figure_4_example],
+                             ids=["pigou", "figure4"])
+    def test_parallel_roundtrip(self, builder):
+        instance = builder()
+        restored = instance_from_dict(instance_to_dict(instance))
+        assert isinstance(restored, ParallelLinkInstance)
+        assert restored.num_links == instance.num_links
+        assert restored.demand == instance.demand
+        assert restored.names == instance.names
+        flows = np.full(instance.num_links, instance.demand / instance.num_links)
+        assert restored.cost(flows) == pytest.approx(instance.cost(flows))
+
+    @pytest.mark.parametrize("builder", [braess_paradox, roughgarden_example],
+                             ids=["braess", "roughgarden"])
+    def test_network_roundtrip(self, builder):
+        instance = builder()
+        restored = instance_from_dict(instance_to_dict(instance))
+        assert isinstance(restored, NetworkInstance)
+        assert restored.network.num_edges == instance.network.num_edges
+        assert restored.total_demand == pytest.approx(instance.total_demand)
+        flows = np.linspace(0.1, 0.5, instance.network.num_edges)
+        assert restored.cost(flows) == pytest.approx(instance.cost(flows))
+
+    def test_multicommodity_roundtrip(self):
+        instance = random_multicommodity_instance(3, 3, num_commodities=2, seed=1)
+        restored = instance_from_dict(instance_to_dict(instance))
+        assert restored.num_commodities == 2
+
+    def test_unknown_instance_type_rejected(self):
+        with pytest.raises(ModelError):
+            instance_from_dict({"type": "hypergraph"})
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(ModelError):
+            instance_from_dict("not-a-dict")
+
+
+class TestFileIO:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "pigou.json"
+        save_instance(pigou(), path)
+        restored = load_instance(path)
+        assert isinstance(restored, ParallelLinkInstance)
+        assert restored.demand == 1.0
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ModelError):
+            load_instance(path)
+
+    def test_beta_preserved_through_roundtrip(self, tmp_path):
+        from repro.core import optop
+        path = tmp_path / "figure4.json"
+        save_instance(figure_4_example(), path)
+        restored = load_instance(path)
+        assert optop(restored).beta == pytest.approx(29.0 / 120.0, abs=1e-9)

@@ -1,0 +1,81 @@
+"""Tests for tolerance-aware comparisons."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.numeric import close, geq, leq, positive_part, relative_gap
+
+
+class TestClose:
+    def test_equal_values(self):
+        assert close(1.0, 1.0)
+
+    def test_within_absolute_tolerance(self):
+        assert close(0.0, 1e-12)
+
+    def test_within_relative_tolerance(self):
+        assert close(1e6, 1e6 * (1 + 1e-9))
+
+    def test_clearly_different(self):
+        assert not close(1.0, 1.1)
+
+    def test_custom_tolerance(self):
+        assert close(1.0, 1.05, atol=0.1)
+
+
+class TestOrderedComparisons:
+    def test_leq_strictly_less(self):
+        assert leq(1.0, 2.0)
+
+    def test_leq_equal_within_tolerance(self):
+        assert leq(2.0 + 1e-12, 2.0)
+
+    def test_leq_clearly_greater(self):
+        assert not leq(2.1, 2.0)
+
+    def test_geq_strictly_greater(self):
+        assert geq(3.0, 2.0)
+
+    def test_geq_equal_within_tolerance(self):
+        assert geq(2.0 - 1e-12, 2.0)
+
+    def test_geq_clearly_less(self):
+        assert not geq(1.9, 2.0)
+
+
+class TestPositivePart:
+    def test_scalar_positive(self):
+        assert positive_part(2.5) == 2.5
+
+    def test_scalar_negative(self):
+        assert positive_part(-1.0) == 0.0
+
+    def test_array(self):
+        out = positive_part(np.array([-1.0, 0.0, 2.0]))
+        assert np.allclose(out, [0.0, 0.0, 2.0])
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_never_negative(self, x):
+        assert positive_part(x) >= 0.0
+
+
+class TestRelativeGap:
+    def test_zero_gap(self):
+        assert relative_gap(5.0, 5.0) == 0.0
+
+    def test_positive_gap(self):
+        assert relative_gap(1.1, 1.0) == pytest.approx(0.1)
+
+    def test_symmetric_in_sign_of_difference(self):
+        assert relative_gap(0.9, 1.0) == pytest.approx(relative_gap(1.1, 1.0))
+
+    def test_zero_reference_uses_floor(self):
+        assert relative_gap(1.0, 0.0) > 1.0
+
+    @given(st.floats(min_value=0.1, max_value=1e5),
+           st.floats(min_value=0.1, max_value=1e5))
+    def test_always_non_negative(self, a, b):
+        assert relative_gap(a, b) >= 0.0

@@ -1,0 +1,66 @@
+"""Tests for scalar minimisation helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.optimize import golden_section_minimize, grid_refine_minimize
+
+
+class TestGoldenSection:
+    def test_quadratic_minimum(self):
+        x, fx = golden_section_minimize(lambda x: (x - 2.0) ** 2, 0.0, 5.0)
+        assert x == pytest.approx(2.0, abs=1e-6)
+        assert fx == pytest.approx(0.0, abs=1e-10)
+
+    def test_minimum_at_left_boundary(self):
+        x, _ = golden_section_minimize(lambda x: x, 0.0, 1.0)
+        assert x == pytest.approx(0.0, abs=1e-6)
+
+    def test_minimum_at_right_boundary(self):
+        x, _ = golden_section_minimize(lambda x: -x, 0.0, 1.0)
+        assert x == pytest.approx(1.0, abs=1e-6)
+
+    def test_degenerate_interval(self):
+        x, fx = golden_section_minimize(lambda x: (x - 1.0) ** 2, 0.5, 0.5)
+        assert x == pytest.approx(0.5)
+        assert fx == pytest.approx(0.25)
+
+    def test_swapped_bounds_are_normalised(self):
+        x, _ = golden_section_minimize(lambda x: (x - 2.0) ** 2, 5.0, 0.0)
+        assert x == pytest.approx(2.0, abs=1e-6)
+
+    @given(st.floats(min_value=-5.0, max_value=5.0))
+    def test_recovers_quadratic_vertex(self, center):
+        x, _ = golden_section_minimize(lambda x: (x - center) ** 2, -10.0, 10.0)
+        assert x == pytest.approx(center, abs=1e-5)
+
+
+class TestGridRefine:
+    def test_smooth_quadratic(self):
+        x, _ = grid_refine_minimize(lambda x: (x - 0.3) ** 2, 0.0, 1.0)
+        assert x == pytest.approx(0.3, abs=1e-6)
+
+    def test_piecewise_objective_with_infeasible_region(self):
+        def objective(x):
+            if x > 0.7:
+                return float("inf")
+            return (x - 0.5) ** 2
+
+        x, fx = grid_refine_minimize(objective, 0.0, 1.0)
+        assert x == pytest.approx(0.5, abs=1e-5)
+        assert fx == pytest.approx(0.0, abs=1e-9)
+
+    def test_non_unimodal_objective_finds_global_cell(self):
+        # Two valleys: x=0.1 (value 0.0) and x=0.9 (value 0.5).
+        def objective(x):
+            return min((x - 0.1) ** 2, (x - 0.9) ** 2 + 0.5)
+
+        x, _ = grid_refine_minimize(objective, 0.0, 1.0, grid_points=101)
+        assert x == pytest.approx(0.1, abs=1e-4)
+
+    def test_degenerate_interval(self):
+        x, fx = grid_refine_minimize(lambda x: x * x, 2.0, 2.0)
+        assert x == 2.0
+        assert fx == 4.0

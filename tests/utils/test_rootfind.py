@@ -1,0 +1,74 @@
+"""Tests for bracketing and bisection root finding."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ConvergenceError
+from repro.utils.rootfind import bisect_root, expand_upper_bracket
+
+
+class TestExpandUpperBracket:
+    def test_finds_bracket_for_linear_function(self):
+        hi = expand_upper_bracket(lambda x: x - 10.0, 0.0)
+        assert hi >= 10.0
+
+    def test_immediate_bracket(self):
+        hi = expand_upper_bracket(lambda x: x, 0.0)
+        assert hi > 0.0
+
+    def test_raises_when_no_root_exists(self):
+        with pytest.raises(ConvergenceError):
+            expand_upper_bracket(lambda x: -1.0, 0.0, max_expansions=10)
+
+    def test_respects_starting_point(self):
+        hi = expand_upper_bracket(lambda x: x - 105.0, 100.0)
+        assert hi >= 105.0
+
+
+class TestBisectRoot:
+    def test_linear_root(self):
+        root = bisect_root(lambda x: x - 3.0, 0.0, 10.0)
+        assert root == pytest.approx(3.0, abs=1e-9)
+
+    def test_quadratic_root(self):
+        root = bisect_root(lambda x: x * x - 2.0, 0.0, 2.0)
+        assert root == pytest.approx(math.sqrt(2.0), abs=1e-9)
+
+    def test_root_at_lower_endpoint(self):
+        root = bisect_root(lambda x: x, 0.0, 1.0)
+        assert root == pytest.approx(0.0, abs=1e-9)
+
+    def test_root_at_upper_endpoint(self):
+        root = bisect_root(lambda x: x - 1.0, 0.0, 1.0)
+        assert root == pytest.approx(1.0, abs=1e-9)
+
+    def test_raises_when_not_bracketed_below(self):
+        with pytest.raises(ConvergenceError):
+            bisect_root(lambda x: x + 5.0, 0.0, 1.0)
+
+    def test_raises_when_not_bracketed_above(self):
+        with pytest.raises(ConvergenceError):
+            bisect_root(lambda x: x - 5.0, 0.0, 1.0)
+
+    def test_flat_region_returns_leftmost_root_region(self):
+        # f is 0 on [1, 2]; any point of the plateau is acceptable.
+        def plateau(x):
+            if x < 1.0:
+                return x - 1.0
+            if x > 2.0:
+                return x - 2.0
+            return 0.0
+
+        root = bisect_root(plateau, 0.0, 3.0)
+        assert 1.0 - 1e-6 <= root <= 2.0 + 1e-6
+
+    @given(st.floats(min_value=-50.0, max_value=50.0),
+           st.floats(min_value=0.1, max_value=10.0))
+    def test_recovers_affine_roots(self, intercept, slope):
+        target = intercept
+        root = bisect_root(lambda x: slope * x - target, -1000.0, 1000.0)
+        assert slope * root == pytest.approx(target, abs=1e-6)

@@ -1,0 +1,35 @@
+"""Tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        table = format_table(("name", "value"), [("alpha", 1.5), ("beta", 2.0)])
+        assert "name" in table
+        assert "alpha" in table
+        assert "1.5" in table
+
+    def test_title_is_prepended(self):
+        table = format_table(("a",), [(1,)], title="My table")
+        assert table.splitlines()[0] == "My table"
+
+    def test_column_widths_accommodate_long_cells(self):
+        table = format_table(("x",), [("a-very-long-cell-value",)])
+        lines = [line for line in table.splitlines() if line.startswith("|")]
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_float_formatting(self):
+        table = format_table(("v",), [(0.123456789,)], float_fmt=".3f")
+        assert "0.123" in table
+        assert "0.123456789" not in table
+
+    def test_empty_rows(self):
+        table = format_table(("a", "b"), [])
+        assert "a" in table and "b" in table
+
+    def test_non_float_cells_are_stringified(self):
+        table = format_table(("a",), [((1, 2),)])
+        assert "(1, 2)" in table
