@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Smoke test of the repro.api batch execution path.
+#
+# Runs one solve_many batch (16 random parallel-link instances through the
+# process pool, then a cached re-run) and fails loudly if the batch layer
+# regresses: wrong report count, missing cache hits, or a strategy that no
+# longer induces the optimum.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - <<'PY'
+import time
+
+from repro.api import SolveConfig, cache_size, solve_many
+from repro.instances import random_linear_parallel
+
+instances = [random_linear_parallel(6, demand=2.0, seed=s) for s in range(16)]
+
+start = time.perf_counter()
+reports = solve_many(instances, "optop", max_workers=4)
+cold = time.perf_counter() - start
+assert len(reports) == 16, f"expected 16 reports, got {len(reports)}"
+assert cache_size() == 16, f"expected 16 cached reports, got {cache_size()}"
+assert all(r.attains_optimum for r in reports), "OpTop failed to induce C(O)"
+assert all(0.0 <= r.beta <= 1.0 for r in reports), "beta out of range"
+
+start = time.perf_counter()
+again = solve_many(instances, "optop", max_workers=4)
+warm = time.perf_counter() - start
+assert again == reports, "cached re-run returned different reports"
+assert warm < cold, (
+    f"cached re-run ({warm:.3f}s) not faster than cold run ({cold:.3f}s)")
+
+mean_beta = sum(r.beta for r in reports) / len(reports)
+print(f"bench_smoke OK: 16 instances, cold {cold:.3f}s, warm {warm:.4f}s, "
+      f"mean beta {mean_beta:.4f}")
+PY

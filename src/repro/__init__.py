@@ -15,7 +15,18 @@ regenerating every figure of the paper.
 
 Quickstart
 ----------
->>> from repro import instances, optop
+The unified :mod:`repro.api` layer is the recommended entry point:
+
+>>> from repro import instances, solve
+>>> report = solve(instances.pigou())
+>>> round(report.beta, 6)
+0.5
+>>> report.attains_optimum
+True
+
+The original algorithm functions remain available:
+
+>>> from repro import optop
 >>> result = optop(instances.pigou())
 >>> round(result.beta, 6)
 0.5
@@ -96,7 +107,17 @@ from repro.metrics import (
     polynomial_price_of_anarchy_bound,
     price_of_anarchy,
 )
-from repro.serialization import load_instance, save_instance
+from repro.serialization import instance_digest, load_instance, save_instance
+from repro.api import (
+    SolveConfig,
+    SolveReport,
+    StrategyRegistry,
+    available_strategies,
+    register_strategy,
+    solve,
+    solve_many,
+)
+from repro import api
 from repro import instances
 
 __version__ = "1.0.0"
@@ -173,9 +194,19 @@ __all__ = [
     "linear_latency_bound",
     "linear_price_of_anarchy_bound",
     "polynomial_price_of_anarchy_bound",
+    # unified solver-session API
+    "api",
+    "SolveConfig",
+    "SolveReport",
+    "StrategyRegistry",
+    "solve",
+    "solve_many",
+    "register_strategy",
+    "available_strategies",
     # persistence
     "save_instance",
     "load_instance",
+    "instance_digest",
     # instance library
     "instances",
     "__version__",

@@ -5,6 +5,14 @@ example or theorem claim) and records paper-vs-measured comparisons in an
 :class:`~repro.analysis.reporting.ExperimentRecord`.  The benchmark modules
 simply run these functions under ``pytest-benchmark`` and assert that every
 claim holds; EXPERIMENTS.md is a narrative summary of their output.
+
+The headline experiments (E1–E5) run through the unified :mod:`repro.api`
+surface — strategies are dispatched by registry name, instance families go
+through :func:`repro.api.solve_many`, and all measured quantities are read
+off :class:`~repro.api.report.SolveReport` records.  The structural
+experiments (E6 onwards) exercise internals the flat report deliberately
+does not expose (thresholds, monotonicity counters, frozen-link theory) and
+keep calling those modules directly.
 """
 
 from __future__ import annotations
@@ -15,6 +23,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis.reporting import ExperimentRecord
+from repro.api.config import SolveConfig
+from repro.api.session import solve as api_solve
+from repro.api.session import solve_many as api_solve_many
 from repro.analysis.scaling import mop_scaling, optop_scaling
 from repro.analysis.sweep import alpha_sweep, beta_demand_sweep, beta_statistics
 from repro.core.commodity_split import commodity_control_split
@@ -71,37 +82,36 @@ __all__ = [
 # --------------------------------------------------------------------------- #
 def experiment_pigou() -> ExperimentRecord:
     """Reproduce Figures 1–3: Nash, optimum, PoA 4/3, beta = 1/2."""
-    instance = pigou()
-    nash = parallel_nash(instance)
-    optimum = parallel_optimum(instance)
-    poa = price_of_anarchy(instance)
-    result = optop(instance)
+    report = api_solve(pigou(), "optop")
+    nash = report.nash_flows
+    optimum = report.optimum_flows
+    poa = report.price_of_anarchy
 
     record = ExperimentRecord(
         "E1", "Pigou example (Figs 1-3): flows, anarchy cost and price of optimum",
         headers=("quantity", "link M1", "link M2", "cost"))
-    record.add_row("Nash N", float(nash.flows[0]), float(nash.flows[1]), nash.cost)
-    record.add_row("Optimum O", float(optimum.flows[0]), float(optimum.flows[1]),
-                   optimum.cost)
-    record.add_row("Leader strategy S", float(result.strategy.flows[0]),
-                   float(result.strategy.flows[1]), "-")
-    record.add_row("Induced S+T", float(result.outcome.combined_flows[0]),
-                   float(result.outcome.combined_flows[1]), result.induced_cost)
+    record.add_row("Nash N", nash[0], nash[1], report.nash_cost)
+    record.add_row("Optimum O", optimum[0], optimum[1], report.optimum_cost)
+    record.add_row("Leader strategy S", report.leader_flows[0],
+                   report.leader_flows[1], "-")
+    record.add_row("Induced S+T", report.induced_flows[0],
+                   report.induced_flows[1], report.induced_cost)
 
     record.add_claim("Nash floods the fast link: N = <1, 0>",
-                     f"N = <{nash.flows[0]:.6f}, {nash.flows[1]:.6f}>",
-                     abs(nash.flows[0] - 1.0) < 1e-9 and abs(nash.flows[1]) < 1e-9)
+                     f"N = <{nash[0]:.6f}, {nash[1]:.6f}>",
+                     abs(nash[0] - 1.0) < 1e-9 and abs(nash[1]) < 1e-9)
     record.add_claim("Optimum balances the links: O = <1/2, 1/2>",
-                     f"O = <{optimum.flows[0]:.6f}, {optimum.flows[1]:.6f}>",
-                     abs(optimum.flows[0] - 0.5) < 1e-9
-                     and abs(optimum.flows[1] - 0.5) < 1e-9)
+                     f"O = <{optimum[0]:.6f}, {optimum[1]:.6f}>",
+                     abs(optimum[0] - 0.5) < 1e-9
+                     and abs(optimum[1] - 0.5) < 1e-9)
     record.add_claim("Worst-case anarchy cost 4/3", f"{poa:.6f}",
                      abs(poa - 4.0 / 3.0) < 1e-9)
-    record.add_claim("Price of Optimum beta = 1/2", f"{result.beta:.6f}",
-                     abs(result.beta - 0.5) < 1e-9)
+    record.add_claim("Price of Optimum beta = 1/2", f"{report.beta:.6f}",
+                     abs(report.beta - 0.5) < 1e-9)
     record.add_claim("Strategy S = <0, 1/2> induces the optimum cost",
-                     f"C(S+T) = {result.induced_cost:.6f} vs C(O) = {optimum.cost:.6f}",
-                     relative_gap(result.induced_cost, optimum.cost) < 1e-9)
+                     f"C(S+T) = {report.induced_cost:.6f} vs "
+                     f"C(O) = {report.optimum_cost:.6f}",
+                     relative_gap(report.induced_cost, report.optimum_cost) < 1e-9)
     return record
 
 
@@ -111,32 +121,33 @@ def experiment_pigou() -> ExperimentRecord:
 def experiment_figure4_optop() -> ExperimentRecord:
     """Reproduce Figures 4–6: OpTop freezes M4, M5 and induces the optimum."""
     instance = figure_4_example()
-    result = optop(instance)
-    nash = result.initial_nash
-    optimum = result.optimum
+    report = api_solve(instance, "optop")
 
     record = ExperimentRecord(
         "E2", "Five-link OpTop walk-through (Figs 4-6)",
         headers=("link", "latency", "nash flow", "optimum flow", "leader flow"))
     descriptions = ("x", "1.5x", "2x", "2.5x + 1/6", "0.7")
     for i in range(instance.num_links):
-        record.add_row(instance.names[i], descriptions[i], float(nash.flows[i]),
-                       float(optimum.flows[i]), float(result.strategy.flows[i]))
+        record.add_row(instance.names[i], descriptions[i], report.nash_flows[i],
+                       report.optimum_flows[i], report.leader_flows[i])
 
-    frozen_first_round = result.rounds[0].frozen_links
+    frozen_rounds = report.metadata["frozen_links"]
+    num_rounds = report.metadata["num_rounds"]
+    frozen_first_round = tuple(frozen_rounds[0]) if frozen_rounds else ()
     expected_beta = 8.0 / 75.0 + 27.0 / 200.0  # o4 + o5 = 29/120
     record.add_claim("Round 1 freezes exactly the under-loaded links M4, M5",
                      f"frozen links (0-indexed): {frozen_first_round}",
                      frozen_first_round == (3, 4))
     record.add_claim("OpTop terminates after freezing once (Fig. 6)",
-                     f"{result.num_rounds} rounds (last detects no under-loaded link)",
-                     result.num_rounds == 2 and result.rounds[1].frozen_links == ())
+                     f"{num_rounds} rounds (last detects no under-loaded link)",
+                     num_rounds == 2 and frozen_rounds[1] == [])
     record.add_claim("Price of Optimum beta = o4 + o5 = 29/120",
-                     f"beta = {result.beta:.9f} (29/120 = {expected_beta:.9f})",
-                     abs(result.beta - expected_beta) < 1e-9)
+                     f"beta = {report.beta:.9f} (29/120 = {expected_beta:.9f})",
+                     abs(report.beta - expected_beta) < 1e-9)
     record.add_claim("Remaining selfish flow induces the optimum on M1-M3",
-                     f"C(S+T) = {result.induced_cost:.9f} vs C(O) = {optimum.cost:.9f}",
-                     relative_gap(result.induced_cost, optimum.cost) < 1e-9)
+                     f"C(S+T) = {report.induced_cost:.9f} vs "
+                     f"C(O) = {report.optimum_cost:.9f}",
+                     relative_gap(report.induced_cost, report.optimum_cost) < 1e-9)
     return record
 
 
@@ -146,8 +157,8 @@ def experiment_figure4_optop() -> ExperimentRecord:
 def experiment_roughgarden_mop(epsilon: float = 0.0) -> ExperimentRecord:
     """Reproduce Figure 7: MOP attains the optimum with beta ~ 1/2 + 2 eps."""
     instance = roughgarden_example(epsilon)
-    result = mop(instance, compute_nash=True)
-    optimum_flows = result.optimum.edge_flows
+    report = api_solve(instance, "mop")
+    optimum_flows = report.optimum_flows
     edge_names = ("s->v", "s->w", "v->w", "v->t", "w->t")
     expected = (0.75 - epsilon, 0.25 + epsilon, 0.5 - 2 * epsilon,
                 0.25 + epsilon, 0.75 - epsilon)
@@ -157,26 +168,27 @@ def experiment_roughgarden_mop(epsilon: float = 0.0) -> ExperimentRecord:
         headers=("edge", "paper optimum flow", "measured optimum flow",
                  "leader flow"))
     for i, name in enumerate(edge_names):
-        record.add_row(name, expected[i], float(optimum_flows[i]),
-                       float(result.strategy.edge_flows[i]))
+        record.add_row(name, expected[i], optimum_flows[i],
+                       report.leader_flows[i])
 
-    flows_match = all(abs(float(optimum_flows[i]) - expected[i]) < 1e-5
+    flows_match = all(abs(optimum_flows[i] - expected[i]) < 1e-5
                       for i in range(5))
     record.add_claim("Optimal edge flows match Fig. 7 (3/4-e, 1/4+e, 1/2-2e, ...)",
                      "max deviation "
-                     f"{max(abs(float(optimum_flows[i]) - expected[i]) for i in range(5)):.2e}",
+                     f"{max(abs(optimum_flows[i] - expected[i]) for i in range(5)):.2e}",
                      flows_match)
     expected_beta = 0.5 + 2 * epsilon
     record.add_claim("Price of Optimum beta_G = 1 - O_P0 / r = 1/2 + 2 eps",
-                     f"beta_G = {result.beta:.6f} (expected {expected_beta:.6f})",
-                     abs(result.beta - expected_beta) < 1e-4)
+                     f"beta_G = {report.beta:.6f} (expected {expected_beta:.6f})",
+                     abs(report.beta - expected_beta) < 1e-4)
     record.add_claim("MOP's strategy induces the optimum cost (guarantee 1 <= 1/alpha)",
-                     f"C(S+T) = {result.induced_cost:.9f} vs C(O) = {result.optimum_cost:.9f}",
-                     relative_gap(result.induced_cost, result.optimum_cost) < 1e-6)
-    nash_cost = result.nash.cost if result.nash is not None else float("nan")
+                     f"C(S+T) = {report.induced_cost:.9f} vs "
+                     f"C(O) = {report.optimum_cost:.9f}",
+                     relative_gap(report.induced_cost, report.optimum_cost) < 1e-6)
+    nash_cost = report.nash_cost if report.nash_cost is not None else float("nan")
     record.add_claim("Selfish routing alone is strictly worse than the optimum",
-                     f"C(N) = {nash_cost:.6f} vs C(O) = {result.optimum_cost:.6f}",
-                     nash_cost > result.optimum_cost + 1e-9)
+                     f"C(N) = {nash_cost:.6f} vs C(O) = {report.optimum_cost:.6f}",
+                     nash_cost > report.optimum_cost + 1e-9)
     return record
 
 
@@ -205,11 +217,11 @@ def experiment_optop_random_families(*, num_instances: int = 5,
     }
     all_induce_optimum = True
     for name, family in families.items():
-        induce_ok = True
-        for instance in family:
-            result = optop(instance)
-            if relative_gap(result.induced_cost, result.optimum_cost) > 1e-6:
-                induce_ok = False
+        # One batched registry call per family; beta_statistics then reuses the
+        # very same reports through the solve_many result cache.
+        reports = api_solve_many(family, "optop")
+        induce_ok = all(
+            relative_gap(r.induced_cost, r.optimum_cost) <= 1e-6 for r in reports)
         stats, _ = beta_statistics(family)
         all_induce_optimum = all_induce_optimum and induce_ok
         record.add_row(name, stats.mean, stats.minimum, stats.maximum,
@@ -221,14 +233,16 @@ def experiment_optop_random_families(*, num_instances: int = 5,
 
     # Minimality spot-check on a small instance via brute force below beta.
     small = random_linear_parallel(3, demand=1.5, seed=11)
-    small_result = optop(small)
-    below = max(0.0, small_result.beta - 0.08)
-    brute = brute_force_strategy(small, below, resolution=minimality_resolution)
-    minimality_holds = brute.cost > small_result.optimum_cost * (1.0 + 1e-6)
+    small_report = api_solve(small, "optop")
+    below = max(0.0, small_report.beta - 0.08)
+    brute = api_solve(small, "brute_force", config=SolveConfig(
+        alpha=below, brute_force_resolution=minimality_resolution,
+        compute_nash=False))
+    minimality_holds = brute.induced_cost > small_report.optimum_cost * (1.0 + 1e-6)
     record.add_claim("No strategy controlling alpha < beta_M reaches C(O) "
                      "(grid search on a 3-link instance)",
-                     f"best grid cost {brute.cost:.6f} > C(O) = "
-                     f"{small_result.optimum_cost:.6f}",
+                     f"best grid cost {brute.induced_cost:.6f} > C(O) = "
+                     f"{small_report.optimum_cost:.6f}",
                      minimality_holds)
     return record
 
@@ -250,23 +264,24 @@ def experiment_mop_networks(*, seeds: Sequence[int] = (0, 1, 2)) -> ExperimentRe
         cases.append(("2-commodity grid",
                       random_multicommodity_instance(3, 3, num_commodities=2,
                                                      seed=seed), None))
+    quick = SolveConfig(compute_nash=False)
     worst_gap = 0.0
-    for name, instance, _ in cases:
-        result = mop(instance)
-        gap = relative_gap(result.induced_cost, result.optimum_cost)
+    for (name, instance, _), report in zip(
+            cases, api_solve_many([inst for _, inst, _ in cases], "mop",
+                                  config=quick)):
+        gap = relative_gap(report.induced_cost, report.optimum_cost)
         worst_gap = max(worst_gap, gap)
         record.add_row(name, instance.network.num_nodes, instance.network.num_edges,
-                       instance.num_commodities, result.beta, result.optimum_cost,
-                       result.induced_cost, gap)
+                       instance.num_commodities, report.beta, report.optimum_cost,
+                       report.induced_cost, gap)
     record.add_claim("MOP's strategy induces the optimum cost on every network",
                      f"worst relative gap {worst_gap:.2e}", worst_gap < 1e-5)
 
-    braess = braess_paradox()
-    braess_result = mop(braess)
+    braess_report = api_solve(braess_paradox(), "mop", config=quick)
     record.add_claim("On the classic Braess graph the Leader must control everything "
                      "(beta = 1) to enforce the optimum",
-                     f"beta = {braess_result.beta:.6f}",
-                     abs(braess_result.beta - 1.0) < 1e-9)
+                     f"beta = {braess_report.beta:.6f}",
+                     abs(braess_report.beta - 1.0) < 1e-9)
     return record
 
 

@@ -1,17 +1,24 @@
-"""Parameter sweeps: a-posteriori cost versus alpha, beta statistics."""
+"""Parameter sweeps: a-posteriori cost versus alpha, beta statistics.
+
+All sweeps run through the :mod:`repro.api` registry — a strategy name in a
+sweep is a registry name, so externally registered strategies participate in
+comparisons without touching this module.  Instance families are executed
+with :func:`repro.api.solve_many`, which dedupes structurally equal instances
+through the result cache.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.config import SolveConfig
+from repro.api.registry import REGISTRY
+from repro.api.session import solve, solve_many
 from repro.network.parallel import ParallelLinkInstance
-from repro.equilibrium.parallel import parallel_nash, parallel_optimum
-from repro.baselines.llf import llf
-from repro.baselines.scale import scale
-from repro.core.optop import optop
+from repro.equilibrium.parallel import parallel_optimum
 from repro.core.linear_optimal import optimal_restricted_strategy
 from repro.exceptions import ModelError
 
@@ -26,33 +33,35 @@ class AlphaSweepRow:
     ratios: Dict[str, float]
 
 
-_STRATEGY_BUILDERS: Dict[str, Callable] = {
-    "llf": llf,
-    "scale": scale,
-}
+def _sweep_config(config: Optional[SolveConfig]) -> SolveConfig:
+    return SolveConfig(compute_nash=False) if config is None else config
 
 
 def alpha_sweep(instance: ParallelLinkInstance, alphas: Sequence[float],
                 *, strategies: Sequence[str] = ("llf", "scale"),
-                include_optimal_restricted: bool = False) -> List[AlphaSweepRow]:
+                include_optimal_restricted: bool = False,
+                config: Optional[SolveConfig] = None) -> List[AlphaSweepRow]:
     """Sweep the Leader's share alpha and record each strategy's cost ratio.
 
-    ``strategies`` selects among the named baselines (``"llf"``, ``"scale"``);
+    ``strategies`` selects registered :mod:`repro.api` strategies by name
+    (the default compares the ``"llf"`` and ``"scale"`` baselines);
     ``include_optimal_restricted`` additionally runs the Theorem 2.4 optimal
     strategy (only valid for common-slope linear instances).
     """
-    optimum_cost = parallel_optimum(instance).cost
+    for name in strategies:
+        if name not in REGISTRY:
+            raise ModelError(f"unknown strategy {name!r} in alpha_sweep; "
+                             f"registered: {', '.join(REGISTRY.names())}")
+    base = _sweep_config(config)
+    optimum_cost = parallel_optimum(instance, config=base).cost
     if optimum_cost <= 0.0:
         raise ModelError("the instance has zero optimum cost; sweep is meaningless")
     rows: List[AlphaSweepRow] = []
     for alpha in alphas:
+        at_alpha = base.with_alpha(float(alpha))
         ratios: Dict[str, float] = {}
         for name in strategies:
-            builder = _STRATEGY_BUILDERS.get(name)
-            if builder is None:
-                raise ModelError(f"unknown strategy {name!r} in alpha_sweep")
-            strategy = builder(instance, float(alpha))
-            ratios[name] = strategy.induce(instance).cost / optimum_cost
+            ratios[name] = solve(instance, name, config=at_alpha).cost_ratio
         if include_optimal_restricted:
             restricted = optimal_restricted_strategy(instance, float(alpha))
             ratios["optimal"] = restricted.cost / optimum_cost
@@ -93,7 +102,9 @@ class BetaDemandPoint:
 
 
 def beta_demand_sweep(instance: ParallelLinkInstance,
-                      demands: Sequence[float]) -> List[BetaDemandPoint]:
+                      demands: Sequence[float],
+                      *, config: Optional[SolveConfig] = None,
+                      ) -> List[BetaDemandPoint]:
     """How the Price of Optimum varies with the congestion level.
 
     Re-solves the instance at each total flow in ``demands`` and records beta
@@ -101,36 +112,38 @@ def beta_demand_sweep(instance: ParallelLinkInstance,
     control matters: at very low and very high congestion the Nash equilibrium
     often coincides with the optimum (beta ~ 0), with a worst case in between.
     """
+    base = SolveConfig() if config is None else config
     points: List[BetaDemandPoint] = []
     for demand in demands:
         if demand <= 0.0:
             raise ModelError(f"demands must be > 0, got {demand!r}")
-        scaled = instance.with_demand(float(demand))
-        result = optop(scaled)
-        nash_cost = parallel_nash(scaled).cost
-        poa = nash_cost / result.optimum_cost if result.optimum_cost > 0 else 1.0
+        report = solve(instance.with_demand(float(demand)), "optop", config=base)
         points.append(BetaDemandPoint(
-            demand=float(demand), beta=result.beta, price_of_anarchy=poa,
-            nash_cost=nash_cost, optimum_cost=result.optimum_cost))
+            demand=float(demand), beta=report.beta,
+            price_of_anarchy=(report.price_of_anarchy
+                              if report.price_of_anarchy is not None else 1.0),
+            nash_cost=report.nash_cost, optimum_cost=report.optimum_cost))
     return points
 
 
-def beta_statistics(instances: Iterable[ParallelLinkInstance]) -> Tuple[BetaStatistics,
-                                                                        List[float]]:
+def beta_statistics(instances: Iterable[ParallelLinkInstance],
+                    *, config: Optional[SolveConfig] = None,
+                    max_workers: Optional[int] = 0) -> Tuple[BetaStatistics,
+                                                             List[float]]:
     """Run OpTop over an instance family and summarise the observed betas.
 
-    Returns ``(statistics, betas)``; the per-instance price of anarchy is also
+    Executes the family through :func:`repro.api.solve_many` (sequentially by
+    default; pass ``max_workers`` to fan out across processes).  Returns
+    ``(statistics, betas)``; the per-instance price of anarchy is also
     aggregated so benchmarks can relate "how bad selfishness is" to "how much
     control restores the optimum".
     """
-    betas: List[float] = []
-    poas: List[float] = []
-    for instance in instances:
-        result = optop(instance)
-        betas.append(result.beta)
-        nash_cost = parallel_nash(instance).cost
-        optimum_cost = result.optimum_cost
-        poas.append(nash_cost / optimum_cost if optimum_cost > 0 else 1.0)
-    if not betas:
+    batch = list(instances)
+    if not batch:
         raise ModelError("beta_statistics needs at least one instance")
+    base = SolveConfig() if config is None else config
+    reports = solve_many(batch, "optop", config=base, max_workers=max_workers)
+    betas = [report.beta for report in reports]
+    poas = [report.price_of_anarchy if report.price_of_anarchy is not None
+            else 1.0 for report in reports]
     return BetaStatistics.from_samples(betas, poas), betas

@@ -1,0 +1,144 @@
+"""Solver configuration shared by every `repro.api` strategy.
+
+:class:`SolveConfig` replaces the ad-hoc keyword arguments the algorithm
+functions used to grow independently (``tol``/``atol``/``tolerance``/
+``solver``/``shortest_path_atol``/...).  One frozen dataclass is threaded from
+:func:`repro.api.solve` down through :mod:`repro.core` and
+:mod:`repro.equilibrium`, so a batch run is reproducible from its config alone
+and a report can embed the exact settings that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Optional
+
+from repro.exceptions import ModelError
+
+__all__ = ["SolveConfig", "EQUILIBRIUM_BACKENDS"]
+
+#: Equilibrium backend identifiers accepted by :class:`SolveConfig`.
+#:
+#: * ``"auto"`` — water-filling on parallel links, path-based for small
+#:   networks, Frank–Wolfe otherwise (the seed behaviour);
+#: * ``"parallel"`` — the exact water-filling solver (parallel links only);
+#: * ``"frank_wolfe"`` — the Frank–Wolfe iterative solver;
+#: * ``"pathbased"`` — the exact path-based SLSQP solver.
+EQUILIBRIUM_BACKENDS = ("auto", "parallel", "frank_wolfe", "pathbased")
+
+#: Map from the api backend names to the solver names the network layer uses.
+_NETWORK_SOLVER_NAMES = {
+    "auto": "auto",
+    "frank_wolfe": "frank-wolfe",
+    "pathbased": "path",
+}
+
+
+@dataclass(frozen=True)
+class SolveConfig:
+    """Configuration of one :func:`repro.api.solve` call.
+
+    Attributes
+    ----------
+    tolerance:
+        Convergence tolerance of the network flow solvers (Frank–Wolfe /
+        path-based).
+    water_fill_tol:
+        Tolerance of the exact water-filling solver on parallel links.
+    backend:
+        Equilibrium backend, one of :data:`EQUILIBRIUM_BACKENDS`.
+    max_iterations:
+        Iteration cap of the iterative network solvers.
+    underload_atol:
+        Absolute slack OpTop uses to classify a link as under-loaded.
+    shortest_path_atol:
+        Slack MOP uses to classify an edge as lying on a shortest path.
+    alpha:
+        Leader budget (fraction of the demand) for the budgeted strategies
+        ``llf`` / ``scale`` / ``brute_force``; ignored by ``optop`` / ``mop``
+        / ``aloof``.  ``None`` selects the default budget of 0.5.
+    brute_force_resolution:
+        Grid resolution of the brute-force strategy search.
+    compute_nash:
+        Whether reports should also carry the uncontrolled Nash equilibrium
+        (needed for the price-of-anarchy column; costs one extra solve).
+    cache:
+        Whether :func:`repro.api.solve` / :func:`repro.api.solve_many` may
+        reuse results cached under the instance digest.
+    """
+
+    tolerance: float = 1e-9
+    water_fill_tol: float = 1e-12
+    backend: str = "auto"
+    max_iterations: int = 20_000
+    underload_atol: float = 1e-8
+    shortest_path_atol: float = 1e-5
+    alpha: Optional[float] = None
+    brute_force_resolution: int = 12
+    compute_nash: bool = True
+    cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend not in EQUILIBRIUM_BACKENDS:
+            raise ModelError(
+                f"unknown equilibrium backend {self.backend!r}; expected one of "
+                f"{', '.join(EQUILIBRIUM_BACKENDS)}")
+        for name in ("tolerance", "water_fill_tol", "underload_atol",
+                     "shortest_path_atol"):
+            value = getattr(self, name)
+            if not value > 0.0:
+                raise ModelError(f"{name} must be > 0, got {value!r}")
+        if self.max_iterations < 1:
+            raise ModelError(
+                f"max_iterations must be >= 1, got {self.max_iterations!r}")
+        if self.brute_force_resolution < 1:
+            raise ModelError(f"brute_force_resolution must be >= 1, got "
+                             f"{self.brute_force_resolution!r}")
+        if self.alpha is not None and not 0.0 <= self.alpha <= 1.0:
+            raise ModelError(f"alpha must lie in [0, 1], got {self.alpha!r}")
+
+    # ------------------------------------------------------------------ #
+    # Derived views consumed by the lower layers
+    # ------------------------------------------------------------------ #
+    def network_solver(self) -> str:
+        """The solver name to pass to the :mod:`repro.equilibrium.network` layer."""
+        if self.backend == "parallel":
+            raise ModelError(
+                "backend 'parallel' is the water-filling solver for parallel "
+                "links; it cannot solve a network instance")
+        return _NETWORK_SOLVER_NAMES[self.backend]
+
+    def budget(self) -> float:
+        """The Leader budget used by alpha-parameterised strategies."""
+        return 0.5 if self.alpha is None else float(self.alpha)
+
+    def with_alpha(self, alpha: float) -> "SolveConfig":
+        """A copy of this config with the Leader budget replaced."""
+        return replace(self, alpha=float(alpha))
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to a plain dictionary (JSON-compatible)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SolveConfig":
+        """Reconstruct a config serialised by :meth:`to_dict`."""
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ModelError(
+                f"unknown SolveConfig fields: {', '.join(sorted(unknown))}")
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering (stable key order)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveConfig":
+        """Reconstruct a config serialised by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))

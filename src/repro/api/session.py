@@ -1,0 +1,205 @@
+"""Solver sessions: single-instance dispatch, batch fan-out, result caching.
+
+:func:`solve` is the one public entry point for "run this strategy on this
+instance": it looks the strategy up in the registry, times the call and
+returns a :class:`~repro.api.report.SolveReport`.  :func:`solve_many` maps it
+over a batch with two production conveniences:
+
+* a **result cache** keyed by ``(strategy, instance digest, config)`` — the
+  digest is a SHA-256 of the canonical instance JSON, so structurally equal
+  instances (including duplicates inside one batch) are solved exactly once;
+* **process-pool fan-out** via :class:`concurrent.futures.ProcessPoolExecutor`
+  for cache misses, since the solvers are CPU-bound and release no GIL.
+
+Strategies registered at runtime (e.g. test stubs) are visible to worker
+processes only on fork-based platforms; pass ``max_workers=0`` to force
+sequential in-process execution.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.api.config import SolveConfig
+from repro.api.registry import REGISTRY, get_strategy
+from repro.api.report import SolveReport
+from repro.exceptions import ModelError
+from repro.serialization import instance_digest
+
+__all__ = ["solve", "solve_many", "clear_cache", "cache_size",
+           "CACHE_MAX_ENTRIES"]
+
+#: Process-global LRU result cache:
+#: (strategy@generation, instance digest, config) -> report.  The strategy
+#: generation invalidates entries when a name is re-registered with a new
+#: implementation.
+_RESULT_CACHE: "OrderedDict[Tuple[str, str, str], SolveReport]" = OrderedDict()
+
+#: Upper bound on cached reports; the least recently used entry is evicted
+#: first, so long-running sweeps cannot grow memory without limit.
+CACHE_MAX_ENTRIES = 4096
+
+
+def _cache_get(key: Tuple[str, str, str]) -> Optional[SolveReport]:
+    report = _RESULT_CACHE.get(key)
+    if report is not None:
+        _RESULT_CACHE.move_to_end(key)
+    return report
+
+
+def _cache_put(key: Tuple[str, str, str], report: SolveReport) -> None:
+    _RESULT_CACHE[key] = report
+    _RESULT_CACHE.move_to_end(key)
+    while len(_RESULT_CACHE) > CACHE_MAX_ENTRIES:
+        _RESULT_CACHE.popitem(last=False)
+
+#: Default strategy: the paper's Price-of-Optimum algorithm, which itself
+#: dispatches between OpTop (parallel links) and MOP (networks).
+_DEFAULT_STRATEGY = "optop"
+
+
+def clear_cache() -> int:
+    """Drop every cached report; returns how many entries were evicted."""
+    evicted = len(_RESULT_CACHE)
+    _RESULT_CACHE.clear()
+    return evicted
+
+
+def cache_size() -> int:
+    """Number of reports currently cached."""
+    return len(_RESULT_CACHE)
+
+
+def _resolve_name(strategy: Optional[str]) -> str:
+    return _DEFAULT_STRATEGY if strategy in (None, "auto") else strategy
+
+
+def _cache_key(name: str, instance, config: SolveConfig,
+               ) -> Optional[Tuple[str, str, str]]:
+    """Cache key for the call, or ``None`` when the instance has no digest."""
+    try:
+        digest = instance_digest(instance)
+    except ModelError:
+        return None
+    return (f"{name}@{REGISTRY.generation(name)}", digest, config.to_json())
+
+
+def solve(instance, strategy: Optional[str] = None, *,
+          config: Optional[SolveConfig] = None) -> SolveReport:
+    """Solve one instance with a registered strategy.
+
+    Parameters
+    ----------
+    instance:
+        A parallel-link or network instance.
+    strategy:
+        Registry name (see :func:`repro.api.available_strategies`); ``None``
+        or ``"auto"`` selects the Price-of-Optimum algorithm.
+    config:
+        Solver settings; defaults to ``SolveConfig()``.
+
+    Returns
+    -------
+    SolveReport
+        The unified, JSON-serialisable result record.
+    """
+    config = SolveConfig() if config is None else config
+    name = _resolve_name(strategy)
+    fn = get_strategy(name)
+    key = _cache_key(name, instance, config) if config.cache else None
+    if key is not None:
+        cached = _cache_get(key)
+        if cached is not None:
+            return cached
+    start = time.perf_counter()
+    report = fn(instance, config)
+    report = replace(report, wall_time=time.perf_counter() - start)
+    if key is not None:
+        _cache_put(key, report)
+    return report
+
+
+def _solve_task(payload: Tuple[object, str, SolveConfig]) -> SolveReport:
+    """Top-level worker body (must be picklable for the process pool)."""
+    instance, name, config = payload
+    return solve(instance, name, config=config)
+
+
+def solve_many(instances: Iterable[object], strategy: Optional[str] = None, *,
+               config: Optional[SolveConfig] = None,
+               max_workers: Optional[int] = None) -> List[SolveReport]:
+    """Solve a batch of instances, reusing cached results and fanning out.
+
+    Parameters
+    ----------
+    instances:
+        Any iterable of parallel-link / network instances.
+    strategy:
+        Registry name shared by the whole batch (``None``/``"auto"`` selects
+        the Price-of-Optimum algorithm).
+    config:
+        Solver settings shared by the whole batch.  With ``config.cache``
+        enabled (the default), each distinct instance digest is solved exactly
+        once — duplicates and previously solved instances are served from the
+        cache.
+    max_workers:
+        Size of the :class:`~concurrent.futures.ProcessPoolExecutor` used for
+        cache misses.  ``None`` picks ``min(pending, cpu_count)``; ``0`` or
+        ``1`` forces sequential in-process execution (required for strategies
+        registered at runtime on non-fork platforms).
+
+    Returns
+    -------
+    list[SolveReport]
+        Reports aligned with the input order.
+    """
+    config = SolveConfig() if config is None else config
+    name = _resolve_name(strategy)
+    get_strategy(name)  # fail fast on unknown strategies, before forking
+    batch = list(instances)
+    reports: List[Optional[SolveReport]] = [None] * len(batch)
+
+    pending: List[int] = []
+    keys: List[Optional[Tuple[str, str, str]]] = [None] * len(batch)
+    first_seen: Dict[Tuple[str, str, str], int] = {}
+    duplicates: List[Tuple[int, int]] = []  # (index, index of first occurrence)
+    if config.cache:
+        for i, instance in enumerate(batch):
+            key = _cache_key(name, instance, config)
+            keys[i] = key
+            if key is not None and key in _RESULT_CACHE:
+                reports[i] = _cache_get(key)
+            elif key is not None and key in first_seen:
+                duplicates.append((i, first_seen[key]))
+            else:
+                if key is not None:
+                    first_seen[key] = i
+                pending.append(i)
+    else:
+        pending = list(range(len(batch)))
+
+    if pending:
+        payloads = [(batch[i], name, config) for i in pending]
+        workers = max_workers
+        if workers is None:
+            workers = min(len(pending), os.cpu_count() or 1)
+        if workers > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                solved = list(pool.map(_solve_task, payloads))
+        else:
+            solved = [_solve_task(payload) for payload in payloads]
+        for i, report in zip(pending, solved):
+            reports[i] = report
+            if config.cache and keys[i] is not None:
+                _cache_put(keys[i], report)
+
+    for i, j in duplicates:
+        reports[i] = reports[j]
+    missing = [i for i, report in enumerate(reports) if report is None]
+    assert not missing, f"solve_many left unfilled slots: {missing}"
+    return reports

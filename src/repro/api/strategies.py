@@ -1,0 +1,259 @@
+"""Built-in strategy adapters: the paper's algorithms behind one protocol.
+
+Each adapter wraps one of the seed's solver functions — ``optop``, ``mop``,
+``llf``, ``scale``, ``aloof``, ``brute_force`` — behind the uniform
+``(instance, config) -> SolveReport`` protocol and registers it in the
+default :data:`~repro.api.registry.REGISTRY`.  Adapters are responsible for
+
+* dispatching on the instance kind (every strategy accepts both parallel-link
+  and network instances; ``optop`` delegates to MOP on networks and ``mop``
+  embeds parallel links into the graph model),
+* resolving solver settings from the :class:`~repro.api.config.SolveConfig`,
+* assembling the flat, JSON-serialisable :class:`~repro.api.report.SolveReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.api.config import SolveConfig
+from repro.api.dispatch import NETWORK, PARALLEL, resolve_instance_kind
+from repro.api.registry import register_strategy
+from repro.api.report import SolveReport
+from repro.serialization import instance_to_dict
+from repro.core.mop import mop
+from repro.core.optop import optop
+from repro.baselines.aloof import aloof
+from repro.baselines.brute_force import brute_force_strategy
+from repro.baselines.llf import llf
+from repro.baselines.network_ext import network_brute_force, network_llf
+from repro.baselines.scale import scale
+from repro.equilibrium.network import network_nash, network_optimum
+from repro.equilibrium.parallel import parallel_nash, parallel_optimum
+from repro.network.builders import parallel_network_as_graph
+
+__all__ = [
+    "solve_optop",
+    "solve_mop",
+    "solve_llf",
+    "solve_scale",
+    "solve_aloof",
+    "solve_brute_force",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Report assembly helpers
+# --------------------------------------------------------------------------- #
+def _flows_of(result) -> Any:
+    """The flow vector of a parallel or network flow result."""
+    return result.flows if hasattr(result, "flows") else result.edge_flows
+
+
+def _build_report(*, name: str, instance, kind: str, config: SolveConfig,
+                  alpha: float, beta: Optional[float], leader_flows,
+                  induced_flows, induced_cost: float, optimum, nash,
+                  metadata: Dict[str, Any]) -> SolveReport:
+    nash_flows = None
+    nash_cost = None
+    poa = None
+    if nash is not None:
+        nash_flows = _flows_of(nash)
+        nash_cost = float(nash.cost)
+        poa = nash_cost / optimum.cost if optimum.cost > 0.0 else 1.0
+    return SolveReport(
+        strategy=name,
+        instance_kind=kind,
+        instance=instance_to_dict(instance),
+        alpha=alpha,
+        beta=beta,
+        leader_flows=leader_flows,
+        induced_flows=induced_flows,
+        optimum_flows=_flows_of(optimum),
+        nash_flows=nash_flows,
+        induced_cost=induced_cost,
+        optimum_cost=float(optimum.cost),
+        nash_cost=nash_cost,
+        price_of_anarchy=poa,
+        config=config,
+        metadata=metadata,
+    )
+
+
+def _parallel_baseline_report(name: str, instance, config: SolveConfig,
+                              strategy, metadata: Dict[str, Any],
+                              outcome=None) -> SolveReport:
+    """Report for a budgeted/null strategy on a parallel-link instance."""
+    optimum = parallel_optimum(instance, config=config)
+    nash = parallel_nash(instance, config=config) if config.compute_nash else None
+    if outcome is None:
+        outcome = strategy.induce(instance, tol=config.water_fill_tol)
+    return _build_report(
+        name=name, instance=instance, kind=PARALLEL, config=config,
+        alpha=strategy.alpha, beta=None, leader_flows=strategy.flows,
+        induced_flows=outcome.combined_flows, induced_cost=float(outcome.cost),
+        optimum=optimum, nash=nash, metadata=metadata)
+
+
+def _network_baseline_report(name: str, instance, config: SolveConfig,
+                             strategy, metadata: Dict[str, Any],
+                             outcome=None) -> SolveReport:
+    """Report for a budgeted/null strategy on a network instance."""
+    solver = config.network_solver()
+    optimum = network_optimum(instance, config=config)
+    nash = network_nash(instance, config=config) if config.compute_nash else None
+    if outcome is None:
+        outcome = strategy.induce(instance, solver=solver,
+                                  tolerance=config.tolerance)
+    return _build_report(
+        name=name, instance=instance, kind=NETWORK, config=config,
+        alpha=strategy.alpha, beta=None, leader_flows=strategy.edge_flows,
+        induced_flows=outcome.combined_flows, induced_cost=float(outcome.cost),
+        optimum=optimum, nash=nash, metadata=metadata)
+
+
+# --------------------------------------------------------------------------- #
+# The Price-of-Optimum strategies (Theorem 2.1)
+# --------------------------------------------------------------------------- #
+def _mop_report(name: str, instance, config: SolveConfig, *,
+                report_instance=None, kind: str = NETWORK,
+                extra_metadata: Optional[Dict[str, Any]] = None) -> SolveReport:
+    result = mop(instance, compute_nash=config.compute_nash, config=config)
+    metadata = {
+        "algorithm": "mop",
+        "backend": config.backend,
+        "free_flows": list(result.free_flows),
+        "num_shortest_path_edges": [len(s) for s in result.shortest_edge_sets],
+    }
+    if extra_metadata:
+        metadata.update(extra_metadata)
+    return _build_report(
+        name=name, instance=report_instance if report_instance is not None
+        else instance, kind=kind, config=config,
+        alpha=result.strategy.alpha, beta=result.beta,
+        leader_flows=result.strategy.edge_flows,
+        induced_flows=result.outcome.combined_flows,
+        induced_cost=result.induced_cost,
+        optimum=result.optimum, nash=result.nash, metadata=metadata)
+
+
+@register_strategy("optop")
+def solve_optop(instance, config: SolveConfig) -> SolveReport:
+    """Algorithm OpTop (Corollary 2.2): the exact Price of Optimum.
+
+    On parallel links runs the freezing iteration of the paper; on network
+    instances delegates to algorithm MOP (the paper's own generalisation),
+    matching the dispatch of :func:`repro.price_of_optimum`.
+    """
+    kind = resolve_instance_kind(instance)
+    if kind == PARALLEL:
+        result = optop(instance, config=config)
+        metadata = {
+            "algorithm": "optop",
+            "backend": "parallel",
+            "num_rounds": result.num_rounds,
+            "frozen_links": [sorted(r.frozen_links) for r in result.rounds],
+        }
+        return _build_report(
+            name="optop", instance=instance, kind=PARALLEL, config=config,
+            alpha=result.strategy.alpha, beta=result.beta,
+            leader_flows=result.strategy.flows,
+            induced_flows=result.outcome.combined_flows,
+            induced_cost=result.induced_cost,
+            optimum=result.optimum, nash=result.initial_nash, metadata=metadata)
+    return _mop_report("optop", instance, config,
+                       extra_metadata={"dispatched_from": "optop"})
+
+
+@register_strategy("mop")
+def solve_mop(instance, config: SolveConfig) -> SolveReport:
+    """Algorithm MOP (Corollary 2.3 / Theorem 2.1) on arbitrary networks.
+
+    Parallel-link instances are embedded into the graph model (one s–t edge
+    per link, in link order), so the reported flow vectors stay aligned with
+    the original links.
+    """
+    kind = resolve_instance_kind(instance)
+    if kind == NETWORK:
+        return _mop_report("mop", instance, config)
+    embedded = parallel_network_as_graph(instance)
+    return _mop_report("mop", embedded, config, report_instance=instance,
+                       kind=PARALLEL,
+                       extra_metadata={"embedded_parallel_links": True})
+
+
+# --------------------------------------------------------------------------- #
+# Baseline strategies
+# --------------------------------------------------------------------------- #
+@register_strategy("llf")
+def solve_llf(instance, config: SolveConfig) -> SolveReport:
+    """Roughgarden's Largest-Latency-First with budget ``config.budget()``."""
+    alpha = config.budget()
+    kind = resolve_instance_kind(instance)
+    metadata = {"algorithm": "llf", "requested_alpha": alpha}
+    if kind == PARALLEL:
+        strategy = llf(instance, alpha)
+        return _parallel_baseline_report("llf", instance, config, strategy,
+                                         metadata)
+    strategy = network_llf(instance, alpha, solver=config.network_solver(),
+                           tolerance=config.tolerance)
+    metadata["path_generalisation"] = True
+    return _network_baseline_report("llf", instance, config, strategy, metadata)
+
+
+@register_strategy("scale")
+def solve_scale(instance, config: SolveConfig) -> SolveReport:
+    """The SCALE strategy ``S = alpha * O`` with budget ``config.budget()``."""
+    alpha = config.budget()
+    kind = resolve_instance_kind(instance)
+    metadata = {"algorithm": "scale", "requested_alpha": alpha}
+    if kind == PARALLEL:
+        strategy = scale(instance, alpha)
+        return _parallel_baseline_report("scale", instance, config, strategy,
+                                         metadata)
+    strategy = scale(instance, alpha, solver=config.network_solver())
+    return _network_baseline_report("scale", instance, config, strategy,
+                                    metadata)
+
+
+@register_strategy("aloof")
+def solve_aloof(instance, config: SolveConfig) -> SolveReport:
+    """The null strategy: the Leader routes nothing, Followers reach Nash."""
+    kind = resolve_instance_kind(instance)
+    strategy = aloof(instance)
+    metadata = {"algorithm": "aloof"}
+    if kind == PARALLEL:
+        return _parallel_baseline_report("aloof", instance, config, strategy,
+                                         metadata)
+    return _network_baseline_report("aloof", instance, config, strategy,
+                                    metadata)
+
+
+@register_strategy("brute_force")
+def solve_brute_force(instance, config: SolveConfig) -> SolveReport:
+    """Grid search for the best strategy with budget ``config.budget()``.
+
+    On parallel links the grid covers the Leader's whole flow simplex; on
+    (single-commodity) networks it covers the path support of the optimum.
+    """
+    alpha = config.budget()
+    kind = resolve_instance_kind(instance)
+    if kind == PARALLEL:
+        result = brute_force_strategy(
+            instance, alpha, resolution=config.brute_force_resolution)
+        metadata = {"algorithm": "brute_force", "requested_alpha": alpha,
+                    "evaluated": result.evaluated,
+                    "resolution": config.brute_force_resolution}
+        return _parallel_baseline_report("brute_force", instance, config,
+                                         result.strategy, metadata,
+                                         outcome=result.outcome)
+    result = network_brute_force(
+        instance, alpha, resolution=config.brute_force_resolution,
+        solver=config.network_solver(), tolerance=config.tolerance)
+    metadata = {"algorithm": "brute_force", "requested_alpha": alpha,
+                "evaluated": result.evaluated,
+                "resolution": config.brute_force_resolution,
+                "path_generalisation": True}
+    return _network_baseline_report("brute_force", instance, config,
+                                    result.strategy, metadata,
+                                    outcome=result.outcome)

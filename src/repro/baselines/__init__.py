@@ -14,6 +14,11 @@ from repro.baselines.llf import llf
 from repro.baselines.scale import scale
 from repro.baselines.aloof import aloof
 from repro.baselines.brute_force import brute_force_strategy, enumerate_strategies
+from repro.baselines.network_ext import (
+    NetworkBruteForceResult,
+    network_brute_force,
+    network_llf,
+)
 
 __all__ = [
     "llf",
@@ -21,4 +26,7 @@ __all__ = [
     "aloof",
     "brute_force_strategy",
     "enumerate_strategies",
+    "network_llf",
+    "network_brute_force",
+    "NetworkBruteForceResult",
 ]

@@ -1,12 +1,15 @@
 """Command-line interface.
 
-Three subcommands cover the typical workflows:
+Three subcommands cover the typical workflows, all running through the
+unified :mod:`repro.api` solver-session layer:
 
 ``repro analyze``
     Load an instance from a JSON file (see :mod:`repro.serialization`) or pick
     a named canonical instance, and print the Nash equilibrium, the optimum,
     the price of anarchy, the Price of Optimum and the optimal Leader
-    strategy.
+    strategy.  ``--strategy`` selects any registered strategy (default: the
+    Price-of-Optimum algorithm); ``--json`` dumps the raw
+    :class:`~repro.api.report.SolveReport`.
 
 ``repro sweep``
     Sweep the Leader's share alpha on a parallel-link instance and print the
@@ -25,11 +28,10 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.analysis import experiments as experiments_module
 from repro.analysis.sweep import alpha_sweep
-from repro.core import mop, optop
+from repro.api import SolveConfig, SolveReport, available_strategies, solve
+from repro.api.dispatch import PARALLEL, resolve_instance_kind
 from repro.exceptions import ReproError
 from repro.instances import (
     braess_paradox,
@@ -37,8 +39,7 @@ from repro.instances import (
     pigou,
     roughgarden_example,
 )
-from repro.metrics import general_latency_bound, linear_latency_bound, price_of_anarchy
-from repro.network import NetworkInstance, ParallelLinkInstance
+from repro.metrics import general_latency_bound, linear_latency_bound
 from repro.serialization import load_instance
 from repro.utils.tables import format_table
 
@@ -84,6 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--instance", choices=sorted(NAMED_INSTANCES),
                         help="a canonical instance from the paper")
     source.add_argument("--file", help="JSON instance file (see repro.serialization)")
+    analyze.add_argument("--strategy", choices=available_strategies(),
+                         default="optop",
+                         help="registered strategy to run (default: optop)")
+    analyze.add_argument("--alpha", type=float, default=None,
+                         help="Leader budget for the budgeted strategies "
+                              "(llf/scale/brute_force)")
+    analyze.add_argument("--json", action="store_true",
+                         help="print the SolveReport as JSON instead of tables")
 
     sweep = subparsers.add_parser(
         "sweep", help="sweep the Leader share alpha on a parallel-link instance")
@@ -107,56 +116,69 @@ def _load(args: argparse.Namespace):
     return load_instance(args.file)
 
 
-def _print_parallel_analysis(instance: ParallelLinkInstance) -> None:
-    result = optop(instance)
+def _print_parallel_report(instance, report: SolveReport) -> None:
     rows = []
     for i in range(instance.num_links):
         rows.append((instance.names[i],
-                     float(result.initial_nash.flows[i]),
-                     float(result.optimum.flows[i]),
-                     float(result.strategy.flows[i]),
-                     float(result.outcome.combined_flows[i])))
+                     report.nash_flows[i],
+                     report.optimum_flows[i],
+                     report.leader_flows[i],
+                     report.induced_flows[i]))
     print(format_table(("link", "nash flow", "optimum flow", "leader flow",
                         "induced flow"), rows,
                        title="Parallel-link instance analysis"))
-    print(f"C(N) = {result.nash_cost:.6f}  C(O) = {result.optimum_cost:.6f}  "
-          f"price of anarchy = {price_of_anarchy(instance):.6f}")
-    print(f"price of optimum beta = {result.beta:.6f}  "
-          f"induced cost = {result.induced_cost:.6f}")
+    print(f"C(N) = {report.nash_cost:.6f}  C(O) = {report.optimum_cost:.6f}  "
+          f"price of anarchy = {report.price_of_anarchy:.6f}")
+    if report.beta is not None:
+        print(f"price of optimum beta = {report.beta:.6f}  "
+              f"induced cost = {report.induced_cost:.6f}")
+    else:
+        print(f"strategy {report.strategy} (alpha = {report.alpha:.6f})  "
+              f"induced cost = {report.induced_cost:.6f}  "
+              f"ratio = {report.cost_ratio:.6f}")
 
 
-def _print_network_analysis(instance: NetworkInstance) -> None:
-    result = mop(instance, compute_nash=True)
+def _print_network_report(instance, report: SolveReport) -> None:
     rows = []
     for i, edge in enumerate(instance.network.edges):
         rows.append((f"{edge.tail}->{edge.head}",
-                     float(result.nash.edge_flows[i]),
-                     float(result.optimum.edge_flows[i]),
-                     float(result.strategy.edge_flows[i])))
+                     report.nash_flows[i],
+                     report.optimum_flows[i],
+                     report.leader_flows[i]))
     print(format_table(("edge", "nash flow", "optimum flow", "leader flow"), rows,
                        title="Network instance analysis"))
-    print(f"C(N) = {result.nash.cost:.6f}  C(O) = {result.optimum_cost:.6f}  "
-          f"price of anarchy = {result.nash.cost / result.optimum_cost:.6f}")
-    print(f"price of optimum beta = {result.beta:.6f}  "
-          f"induced cost = {result.induced_cost:.6f}")
+    print(f"C(N) = {report.nash_cost:.6f}  C(O) = {report.optimum_cost:.6f}  "
+          f"price of anarchy = {report.price_of_anarchy:.6f}")
+    if report.beta is not None:
+        print(f"price of optimum beta = {report.beta:.6f}  "
+              f"induced cost = {report.induced_cost:.6f}")
+    else:
+        print(f"strategy {report.strategy} (alpha = {report.alpha:.6f})  "
+              f"induced cost = {report.induced_cost:.6f}  "
+              f"ratio = {report.cost_ratio:.6f}")
 
 
 def _command_analyze(args: argparse.Namespace) -> int:
     instance = _load(args)
-    if isinstance(instance, ParallelLinkInstance):
-        _print_parallel_analysis(instance)
+    config = SolveConfig() if args.alpha is None else SolveConfig(alpha=args.alpha)
+    report = solve(instance, args.strategy, config=config)
+    if args.json:
+        print(report.to_json(indent=2))
+        return 0
+    if report.instance_kind == PARALLEL:
+        _print_parallel_report(instance, report)
     else:
-        _print_network_analysis(instance)
+        _print_network_report(instance, report)
     return 0
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
     instance = _load(args)
-    if not isinstance(instance, ParallelLinkInstance):
+    if resolve_instance_kind(instance) != PARALLEL:
         print("error: the sweep command needs a parallel-link instance",
               file=sys.stderr)
         return 2
-    beta = optop(instance).beta
+    beta = solve(instance, "optop").beta
     rows = []
     for row in alpha_sweep(instance, args.alphas):
         rows.append((row.alpha, row.ratios["llf"], row.ratios["scale"],

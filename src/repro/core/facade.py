@@ -1,14 +1,21 @@
-"""Type-dispatching facade for the Price of Optimum."""
+"""Type-dispatching facade for the Price of Optimum.
+
+.. deprecated::
+    New code should prefer ``repro.api.solve(instance)``, which returns the
+    unified :class:`~repro.api.report.SolveReport`.  This facade is kept so
+    existing callers continue to receive the original ``OpTopResult`` /
+    ``MOPResult`` objects.
+"""
 
 from __future__ import annotations
 
 from typing import Union
 
-from repro.exceptions import ModelError
 from repro.network.instance import NetworkInstance
 from repro.network.parallel import ParallelLinkInstance
 from repro.core.mop import MOPResult, mop
 from repro.core.optop import OpTopResult, optop
+from repro.api.dispatch import NETWORK, PARALLEL, resolve_instance_kind
 
 __all__ = ["price_of_optimum"]
 
@@ -19,16 +26,18 @@ def price_of_optimum(instance: Union[ParallelLinkInstance, NetworkInstance],
 
     Dispatches to :func:`repro.core.optop` for parallel-link instances and to
     :func:`repro.core.mop` for network instances; keyword arguments are
-    forwarded to the selected algorithm.
+    forwarded to the selected algorithm.  Dispatch uses the shared
+    :func:`repro.api.dispatch.resolve_instance_kind` resolver, so subclasses
+    and structurally compatible instances (e.g. reconstructed through
+    :func:`repro.serialization.load_instance` round trips by a foreign
+    loader) are accepted.
 
     This is the headline quantity of the paper (Theorem 2.1): the minimum
     portion of flow a Leader must control to induce the optimum routing, plus
     the strategy achieving it — both computable in polynomial time.
     """
-    if isinstance(instance, ParallelLinkInstance):
+    kind = resolve_instance_kind(instance)
+    if kind == PARALLEL:
         return optop(instance, **kwargs)
-    if isinstance(instance, NetworkInstance):
-        return mop(instance, **kwargs)
-    raise ModelError(
-        f"price_of_optimum expects a ParallelLinkInstance or NetworkInstance, "
-        f"got {type(instance).__name__}")
+    assert kind == NETWORK
+    return mop(instance, **kwargs)

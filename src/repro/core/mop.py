@@ -21,9 +21,12 @@ a Wardrop equilibrium of the shifted instance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, TYPE_CHECKING, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.config import SolveConfig
 
 from repro.network.instance import NetworkInstance
 from repro.paths.dijkstra import shortest_path_edge_set
@@ -72,10 +75,11 @@ class MOPResult:
         return self.outcome.cost
 
 
-def mop(instance: NetworkInstance, *, solver: str = "auto",
-        tolerance: float = 1e-9, shortest_path_atol: float = 1e-5,
-        compute_induced: bool = True,
-        compute_nash: bool = False) -> MOPResult:
+def mop(instance: NetworkInstance, *, solver: Optional[str] = None,
+        tolerance: Optional[float] = None,
+        shortest_path_atol: Optional[float] = None,
+        compute_induced: bool = True, compute_nash: bool = False,
+        config: "SolveConfig | None" = None) -> MOPResult:
     """Run algorithm MOP on a network instance.
 
     Parameters
@@ -84,9 +88,10 @@ def mop(instance: NetworkInstance, *, solver: str = "auto",
         Single- or multi-commodity routing instance ``(G, r)``.
     solver:
         Flow solver selection (``"auto"``, ``"path"`` or ``"frank-wolfe"``),
-        forwarded to :func:`repro.equilibrium.network_optimum`.
+        forwarded to :func:`repro.equilibrium.network_optimum`.  Defaults to
+        ``"auto"``.
     tolerance:
-        Convergence tolerance of the flow solvers.
+        Convergence tolerance of the flow solvers.  Defaults to 1e-9.
     shortest_path_atol:
         Slack used when classifying an edge as lying on a shortest path; it
         absorbs the numerical error of the optimum flow (the default 1e-5 is
@@ -98,7 +103,20 @@ def mop(instance: NetworkInstance, *, solver: str = "auto",
     compute_nash:
         Whether to also compute the uncontrolled Nash equilibrium of the
         instance (used by reporting code to show the anarchy gap MOP closes).
+    config:
+        A :class:`repro.api.SolveConfig` supplying the solver backend,
+        tolerance and ``shortest_path_atol``; explicit keywords take
+        precedence.
     """
+    if config is not None:
+        solver = config.network_solver() if solver is None else solver
+        tolerance = config.tolerance if tolerance is None else tolerance
+        shortest_path_atol = (config.shortest_path_atol
+                              if shortest_path_atol is None
+                              else shortest_path_atol)
+    solver = "auto" if solver is None else solver
+    tolerance = 1e-9 if tolerance is None else tolerance
+    shortest_path_atol = 1e-5 if shortest_path_atol is None else shortest_path_atol
     optimum = network_optimum(instance, solver=solver, tolerance=tolerance)
     opt_flows = optimum.edge_flows
     costs = instance.latencies_at(opt_flows)

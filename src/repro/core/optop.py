@@ -22,9 +22,12 @@ makes — hence the portion it returns is minimal.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, TYPE_CHECKING, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.config import SolveConfig
 
 from repro.network.parallel import ParallelLinkInstance
 from repro.equilibrium.parallel import parallel_nash, parallel_optimum
@@ -97,8 +100,9 @@ class OpTopResult:
         return self.initial_nash.cost
 
 
-def optop(instance: ParallelLinkInstance, *, atol: float = 1e-8,
-          tol: float = 1e-12) -> OpTopResult:
+def optop(instance: ParallelLinkInstance, *, atol: Optional[float] = None,
+          tol: Optional[float] = None,
+          config: "SolveConfig | None" = None) -> OpTopResult:
     """Run algorithm OpTop on a parallel-link instance.
 
     Parameters
@@ -108,9 +112,12 @@ def optop(instance: ParallelLinkInstance, *, atol: float = 1e-8,
     atol:
         Absolute tolerance used to decide whether a link is under-loaded
         (``n_i < o_i - atol``); needed because Nash and optimum flows are
-        computed numerically.
+        computed numerically.  Defaults to 1e-8.
     tol:
-        Tolerance passed to the water-filling solvers.
+        Tolerance passed to the water-filling solvers.  Defaults to 1e-12.
+    config:
+        A :class:`repro.api.SolveConfig` supplying ``underload_atol`` and
+        ``water_fill_tol``; explicit keywords take precedence.
 
     Returns
     -------
@@ -118,6 +125,11 @@ def optop(instance: ParallelLinkInstance, *, atol: float = 1e-8,
         With the Price of Optimum ``beta``, the optimal strategy, the round
         trace and the induced equilibrium.
     """
+    if config is not None:
+        atol = config.underload_atol if atol is None else atol
+        tol = config.water_fill_tol if tol is None else tol
+    atol = 1e-8 if atol is None else atol
+    tol = 1e-12 if tol is None else tol
     optimum = parallel_optimum(instance, tol=tol)
     initial_nash = parallel_nash(instance, tol=tol)
     opt_flows = optimum.flows

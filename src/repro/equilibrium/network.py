@@ -7,9 +7,12 @@ solution with the path-based solver seeded by the discovered support.
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Literal, Optional, TYPE_CHECKING, Tuple
 
 from repro.exceptions import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.config import SolveConfig
 from repro.network.instance import NetworkInstance
 from repro.equilibrium.frank_wolfe import FrankWolfeOptions, frank_wolfe
 from repro.equilibrium.pathbased import path_based_flow
@@ -40,19 +43,46 @@ def _solve(instance: NetworkInstance, kind: str, solver: Solver,
     return frank_wolfe(instance, kind, options)
 
 
-def network_nash(instance: NetworkInstance, *, solver: Solver = "auto",
-                 tolerance: float = 1e-9,
-                 max_iterations: int = 20_000) -> NetworkFlowResult:
+def _resolve_settings(solver: Optional[Solver], tolerance: Optional[float],
+                      max_iterations: Optional[int],
+                      config: "SolveConfig | None",
+                      ) -> Tuple[Solver, float, int]:
+    """Resolve solver settings: explicit kwargs win, then config, then defaults."""
+    if config is not None:
+        solver = config.network_solver() if solver is None else solver
+        tolerance = config.tolerance if tolerance is None else tolerance
+        max_iterations = (config.max_iterations if max_iterations is None
+                          else max_iterations)
+    return (solver if solver is not None else "auto",
+            tolerance if tolerance is not None else 1e-9,
+            max_iterations if max_iterations is not None else 20_000)
+
+
+def network_nash(instance: NetworkInstance, *, solver: Optional[Solver] = None,
+                 tolerance: Optional[float] = None,
+                 max_iterations: Optional[int] = None,
+                 config: "SolveConfig | None" = None) -> NetworkFlowResult:
     """Wardrop/Nash equilibrium edge flows of a network instance.
 
     The equilibrium minimises the Beckmann potential; for strictly increasing
     latencies the edge flows are unique ([41, Cor 2.6.4], Remark 2.5).
+    Settings may come from explicit keywords or a
+    :class:`repro.api.SolveConfig`.
     """
+    solver, tolerance, max_iterations = _resolve_settings(
+        solver, tolerance, max_iterations, config)
     return _solve(instance, "nash", solver, tolerance, max_iterations)
 
 
-def network_optimum(instance: NetworkInstance, *, solver: Solver = "auto",
-                    tolerance: float = 1e-9,
-                    max_iterations: int = 20_000) -> NetworkFlowResult:
-    """System-optimum edge flows of a network instance (minimum total cost)."""
+def network_optimum(instance: NetworkInstance, *, solver: Optional[Solver] = None,
+                    tolerance: Optional[float] = None,
+                    max_iterations: Optional[int] = None,
+                    config: "SolveConfig | None" = None) -> NetworkFlowResult:
+    """System-optimum edge flows of a network instance (minimum total cost).
+
+    Settings may come from explicit keywords or a
+    :class:`repro.api.SolveConfig`.
+    """
+    solver, tolerance, max_iterations = _resolve_settings(
+        solver, tolerance, max_iterations, config)
     return _solve(instance, "optimum", solver, tolerance, max_iterations)

@@ -15,9 +15,12 @@ fixed latency.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Sequence, TYPE_CHECKING, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.config import SolveConfig
 
 from repro.exceptions import ConvergenceError, ModelError
 from repro.latency.base import LatencyFunction
@@ -119,14 +122,25 @@ def water_fill(latencies: Sequence[LatencyFunction], demand: float,
     return np.clip(flows, 0.0, None), float(level)
 
 
-def parallel_nash(instance: ParallelLinkInstance, *,
-                  tol: float = 1e-12) -> ParallelFlowResult:
+def _resolve_tol(tol: "float | None", config: "SolveConfig | None") -> float:
+    """Water-filling tolerance: explicit ``tol`` wins, then config, then default."""
+    if tol is not None:
+        return tol
+    if config is not None:
+        return config.water_fill_tol
+    return 1e-12
+
+
+def parallel_nash(instance: ParallelLinkInstance, *, tol: "float | None" = None,
+                  config: "SolveConfig | None" = None) -> ParallelFlowResult:
     """The Nash (Wardrop) equilibrium ``N`` of a parallel-link instance.
 
     All loaded links share the common latency ``L_N`` returned in
     ``common_value``; empty links have latency at least ``L_N`` (Remark 4.1).
-    The flow is unique on strictly increasing links.
+    The flow is unique on strictly increasing links.  Settings may come from
+    an explicit ``tol`` or a :class:`repro.api.SolveConfig`.
     """
+    tol = _resolve_tol(tol, config)
     flows, level = water_fill(instance.latencies, instance.demand, "nash", tol=tol)
     return ParallelFlowResult(
         flows=flows,
@@ -137,13 +151,16 @@ def parallel_nash(instance: ParallelLinkInstance, *,
     )
 
 
-def parallel_optimum(instance: ParallelLinkInstance, *,
-                     tol: float = 1e-12) -> ParallelFlowResult:
+def parallel_optimum(instance: ParallelLinkInstance, *, tol: "float | None" = None,
+                     config: "SolveConfig | None" = None) -> ParallelFlowResult:
     """The system optimum ``O`` of a parallel-link instance.
 
     All loaded links share the common marginal cost returned in
     ``common_value``; empty links have marginal cost at least that value.
+    Settings may come from an explicit ``tol`` or a
+    :class:`repro.api.SolveConfig`.
     """
+    tol = _resolve_tol(tol, config)
     flows, level = water_fill(instance.latencies, instance.demand, "optimum", tol=tol)
     return ParallelFlowResult(
         flows=flows,

@@ -30,6 +30,7 @@ re-loaded with :func:`instance_from_dict`.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Dict, Union
@@ -51,6 +52,8 @@ __all__ = [
     "latency_from_dict",
     "instance_to_dict",
     "instance_from_dict",
+    "canonical_instance_json",
+    "instance_digest",
     "save_instance",
     "load_instance",
 ]
@@ -111,29 +114,38 @@ def latency_from_dict(data: Dict[str, Any]) -> LatencyFunction:
 # Instances
 # --------------------------------------------------------------------------- #
 def instance_to_dict(instance: AnyInstance) -> Dict[str, Any]:
-    """Serialise a parallel-link or network instance to a dictionary."""
-    if isinstance(instance, ParallelLinkInstance):
+    """Serialise a parallel-link or network instance to a dictionary.
+
+    Dispatch is structural (via
+    :func:`repro.api.dispatch.resolve_instance_kind`), so subclasses and
+    duck-typed wrappers of the two instance families serialise as well.
+    """
+    from repro.api.dispatch import resolve_instance_kind
+
+    try:
+        kind = resolve_instance_kind(instance)
+    except ModelError:
+        raise ModelError(
+            f"cannot serialise instance of type {type(instance).__name__}")
+    if kind == "parallel":
         return {
             "type": "parallel",
             "demand": instance.demand,
             "names": list(instance.names),
             "links": [latency_to_dict(lat) for lat in instance.latencies],
         }
-    if isinstance(instance, NetworkInstance):
-        return {
-            "type": "network",
-            "edges": [
-                {"tail": edge.tail, "head": edge.head,
-                 "latency": latency_to_dict(edge.latency)}
-                for edge in instance.network.edges
-            ],
-            "commodities": [
-                {"source": com.source, "sink": com.sink, "demand": com.demand}
-                for com in instance.commodities
-            ],
-        }
-    raise ModelError(
-        f"cannot serialise instance of type {type(instance).__name__}")
+    return {
+        "type": "network",
+        "edges": [
+            {"tail": edge.tail, "head": edge.head,
+             "latency": latency_to_dict(edge.latency)}
+            for edge in instance.network.edges
+        ],
+        "commodities": [
+            {"source": com.source, "sink": com.sink, "demand": com.demand}
+            for com in instance.commodities
+        ],
+    }
 
 
 def instance_from_dict(data: Dict[str, Any]) -> AnyInstance:
@@ -154,6 +166,27 @@ def instance_from_dict(data: Dict[str, Any]) -> AnyInstance:
                        for spec in data.get("commodities", [])]
         return NetworkInstance(network, commodities)
     raise ModelError(f"unknown instance type {kind!r}")
+
+
+def canonical_instance_json(instance: AnyInstance) -> str:
+    """Deterministic JSON rendering of an instance (sorted keys, no spaces).
+
+    Two structurally equal instances produce byte-identical strings, which is
+    what makes :func:`instance_digest` usable as a cache key.
+    """
+    return json.dumps(instance_to_dict(instance), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def instance_digest(instance: AnyInstance) -> str:
+    """SHA-256 hex digest of the canonical instance JSON.
+
+    Used by :mod:`repro.api` to key its result cache; raises
+    :class:`~repro.exceptions.ModelError` for instances that cannot be
+    serialised (those are simply not cacheable).
+    """
+    return hashlib.sha256(
+        canonical_instance_json(instance).encode("utf-8")).hexdigest()
 
 
 def save_instance(instance: AnyInstance, path: Union[str, Path]) -> None:

@@ -1,0 +1,95 @@
+"""SolveConfig validation and its threading through core/ and equilibrium/."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EQUILIBRIUM_BACKENDS, SolveConfig
+from repro.core.mop import mop
+from repro.core.optop import optop
+from repro.equilibrium.network import network_nash, network_optimum
+from repro.equilibrium.parallel import parallel_nash, parallel_optimum
+from repro.exceptions import ModelError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = SolveConfig()
+        assert config.backend == "auto"
+        assert config.cache is True
+
+    @pytest.mark.parametrize("backend", EQUILIBRIUM_BACKENDS)
+    def test_known_backends_accepted(self, backend):
+        assert SolveConfig(backend=backend).backend == backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ModelError, match="backend"):
+            SolveConfig(backend="simplex")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"tolerance": 0.0},
+        {"water_fill_tol": -1e-9},
+        {"max_iterations": 0},
+        {"alpha": 1.5},
+        {"alpha": -0.1},
+        {"brute_force_resolution": 0},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ModelError):
+            SolveConfig(**kwargs)
+
+    def test_round_trip(self):
+        config = SolveConfig(backend="frank_wolfe", alpha=0.3, tolerance=1e-7)
+        assert SolveConfig.from_json(config.to_json()) == config
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ModelError):
+            SolveConfig.from_dict({"warp_speed": True})
+
+    def test_budget_defaults_to_half(self):
+        assert SolveConfig().budget() == 0.5
+        assert SolveConfig(alpha=0.2).budget() == 0.2
+        assert SolveConfig().with_alpha(0.9).budget() == 0.9
+
+    def test_parallel_backend_has_no_network_solver(self):
+        with pytest.raises(ModelError):
+            SolveConfig(backend="parallel").network_solver()
+        assert SolveConfig(backend="pathbased").network_solver() == "path"
+        assert SolveConfig(backend="frank_wolfe").network_solver() == "frank-wolfe"
+
+
+class TestThreading:
+    def test_optop_accepts_config(self, pigou_instance):
+        config = SolveConfig(underload_atol=1e-7, water_fill_tol=1e-10)
+        via_config = optop(pigou_instance, config=config)
+        via_kwargs = optop(pigou_instance, atol=1e-7, tol=1e-10)
+        assert via_config.beta == pytest.approx(via_kwargs.beta, abs=1e-12)
+
+    def test_explicit_kwargs_beat_config(self, pigou_instance):
+        config = SolveConfig(water_fill_tol=1e-6)
+        result = optop(pigou_instance, tol=1e-12, config=config)
+        assert abs(result.beta - 0.5) < 1e-9
+
+    def test_mop_backend_selection(self, braess_instance):
+        # Exact backends recover beta = 1 exactly; Frank-Wolfe only up to its
+        # iterative accuracy, but all of them must induce the optimum cost.
+        for backend, atol in (("auto", 1e-9), ("pathbased", 1e-9),
+                              ("frank_wolfe", 1e-2)):
+            result = mop(braess_instance, config=SolveConfig(backend=backend))
+            assert result.beta == pytest.approx(1.0, abs=atol)
+            assert result.induced_cost == pytest.approx(result.optimum_cost,
+                                                        rel=1e-6)
+
+    def test_network_solvers_accept_config(self, braess_instance):
+        config = SolveConfig(backend="frank_wolfe", tolerance=1e-8)
+        nash = network_nash(braess_instance, config=config)
+        optimum = network_optimum(braess_instance, config=config)
+        assert nash.cost == pytest.approx(2.0, abs=1e-4)
+        assert optimum.cost == pytest.approx(1.5, abs=1e-4)
+
+    def test_parallel_solvers_accept_config(self, pigou_instance):
+        config = SolveConfig(water_fill_tol=1e-13)
+        assert parallel_nash(pigou_instance, config=config).cost == \
+            pytest.approx(1.0, abs=1e-9)
+        assert parallel_optimum(pigou_instance, config=config).cost == \
+            pytest.approx(0.75, abs=1e-9)

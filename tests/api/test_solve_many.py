@@ -1,0 +1,151 @@
+"""Batch execution: process-pool fan-out and the instance-digest cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    REGISTRY,
+    SolveConfig,
+    clear_cache,
+    cache_size,
+    instance_digest,
+    register_strategy,
+    solve,
+    solve_many,
+)
+from repro.exceptions import StrategyError
+from repro.instances import pigou, random_linear_parallel
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestProcessPoolFanOut:
+    def test_pool_over_sixteen_instances_matches_sequential(self):
+        instances = [random_linear_parallel(5, demand=2.0, seed=s)
+                     for s in range(16)]
+        pooled = solve_many(instances, "optop", max_workers=4)
+        clear_cache()
+        sequential = solve_many(instances, "optop", max_workers=0)
+        assert len(pooled) == 16
+        for a, b in zip(pooled, sequential):
+            assert a.beta == pytest.approx(b.beta, abs=1e-12)
+            assert a.induced_cost == pytest.approx(b.induced_cost, rel=1e-12)
+            assert a.instance == b.instance
+
+    def test_order_is_preserved(self):
+        instances = [random_linear_parallel(4, demand=1.0 + s, seed=s)
+                     for s in range(6)]
+        reports = solve_many(instances, "optop", max_workers=2)
+        for inst, report in zip(instances, reports):
+            assert report.instance["demand"] == pytest.approx(inst.demand)
+
+    def test_unknown_strategy_fails_before_forking(self):
+        with pytest.raises(StrategyError):
+            solve_many([pigou()], "nope", max_workers=4)
+
+
+class TestDigestCache:
+    def test_strategy_called_once_per_distinct_instance_hash(self):
+        calls = []
+
+        @register_strategy("counting_stub")
+        def counting_stub(instance, config):
+            calls.append(instance_digest(instance))
+            return solve(instance, "aloof",
+                         config=SolveConfig(cache=False, compute_nash=False))
+
+        try:
+            distinct = [random_linear_parallel(3, demand=1.0, seed=s)
+                        for s in range(4)]
+            # Three copies of each instance in one batch, plus a repeat batch.
+            batch = distinct + distinct + distinct
+            config = SolveConfig(cache=True)
+            reports = solve_many(batch, "counting_stub", config=config,
+                                 max_workers=0)
+            assert len(reports) == 12
+            assert len(calls) == 4
+            assert sorted(set(calls)) == sorted(
+                instance_digest(inst) for inst in distinct)
+
+            solve_many(distinct, "counting_stub", config=config, max_workers=0)
+            assert len(calls) == 4, "repeat batch must be served from the cache"
+        finally:
+            REGISTRY.unregister("counting_stub")
+
+    def test_duplicates_share_the_report_object(self):
+        inst = random_linear_parallel(3, demand=1.0, seed=0)
+        twin = random_linear_parallel(3, demand=1.0, seed=0)
+        reports = solve_many([inst, twin], "optop", max_workers=0)
+        assert reports[0] is reports[1]
+
+    def test_cache_disabled_calls_per_item(self):
+        calls = []
+
+        @register_strategy("counting_stub_nocache")
+        def counting_stub(instance, config):
+            calls.append(1)
+            return solve(instance, "aloof",
+                         config=SolveConfig(cache=False, compute_nash=False))
+
+        try:
+            inst = random_linear_parallel(3, demand=1.0, seed=1)
+            solve_many([inst, inst], "counting_stub_nocache",
+                       config=SolveConfig(cache=False), max_workers=0)
+            assert len(calls) == 2
+            assert cache_size() == 0
+        finally:
+            REGISTRY.unregister("counting_stub_nocache")
+
+    def test_config_is_part_of_the_key(self):
+        inst = random_linear_parallel(3, demand=1.0, seed=2)
+        a = solve(inst, "llf", config=SolveConfig(alpha=0.25))
+        b = solve(inst, "llf", config=SolveConfig(alpha=0.75))
+        assert cache_size() == 2
+        assert a.alpha != b.alpha
+
+    def test_reregistered_strategy_does_not_serve_stale_reports(self):
+        inst = random_linear_parallel(3, demand=1.0, seed=5)
+
+        @register_strategy("versioned_stub")
+        def v1(instance, config):
+            return solve(instance, "aloof",
+                         config=SolveConfig(cache=False, compute_nash=False))
+
+        try:
+            first = solve(inst, "versioned_stub")
+            assert first.strategy == "aloof"
+        finally:
+            REGISTRY.unregister("versioned_stub")
+
+        @register_strategy("versioned_stub")
+        def v2(instance, config):
+            return solve(instance, "optop",
+                         config=SolveConfig(cache=False, compute_nash=False))
+
+        try:
+            second = solve(inst, "versioned_stub")
+            assert second.strategy == "optop", \
+                "re-registered implementation must not be shadowed by the cache"
+        finally:
+            REGISTRY.unregister("versioned_stub")
+
+    def test_cache_is_bounded(self):
+        from repro.api.session import CACHE_MAX_ENTRIES
+
+        assert CACHE_MAX_ENTRIES >= 1
+        inst = random_linear_parallel(3, demand=1.0, seed=6)
+        solve(inst, "optop")
+        assert cache_size() <= CACHE_MAX_ENTRIES
+
+    def test_digest_is_structural(self):
+        a = random_linear_parallel(4, demand=2.0, seed=3)
+        b = random_linear_parallel(4, demand=2.0, seed=3)
+        c = random_linear_parallel(4, demand=2.0, seed=4)
+        assert instance_digest(a) == instance_digest(b)
+        assert instance_digest(a) != instance_digest(c)
