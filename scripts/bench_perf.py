@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Performance trajectory of the vectorized kernel layer.
+
+Times the three hot paths — ``water_fill``, ``optop`` and ``frank_wolfe`` —
+with the vectorized kernels against the scalar ``reference`` backend on sized
+instances, and writes the measurements (plus the speedup factors) to
+``BENCH_perf.json``.  CI runs this as a non-blocking job and uploads the JSON
+as an artifact, so the speedup trajectory is recorded per commit.
+
+Usage::
+
+    python scripts/bench_perf.py [--output BENCH_perf.json] [--quick]
+
+``--quick`` shrinks the instance sizes and repeat counts (used by CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api import SolveConfig  # noqa: E402
+from repro.core.optop import optop  # noqa: E402
+from repro.equilibrium.frank_wolfe import FrankWolfeOptions, frank_wolfe  # noqa: E402
+from repro.equilibrium.parallel import parallel_nash, water_fill  # noqa: E402
+from repro.instances import (  # noqa: E402
+    grid_network,
+    layered_network,
+    random_linear_parallel,
+    random_mixed_parallel,
+)
+
+REFERENCE_CONFIG = SolveConfig(kernel_backend="reference")
+
+
+def best_of(fn, *, repeats: int, budget: float = 5.0) -> float:
+    """Best wall time of ``fn`` over up to ``repeats`` runs within ``budget`` s."""
+    best = float("inf")
+    spent = 0.0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        spent += elapsed
+        if spent > budget:
+            break
+    return best
+
+
+def bench_water_fill(sizes, *, repeats: int):
+    """water_fill on all-linear and mixed-family parallel instances.
+
+    The vectorized timing uses the instance-cached latency batch — exactly
+    what the OpTop inner loop and the analysis sweeps pay per solve.
+    """
+    rows = []
+    for family, generator in (("linear", random_linear_parallel),
+                              ("mixed", random_mixed_parallel)):
+        for m in sizes:
+            instance = generator(int(m), demand=0.2 * m, seed=int(m))
+            batch = instance.latency_batch()  # built once, reused per solve
+            vec = best_of(lambda: water_fill(instance.latencies, instance.demand,
+                                             "nash", batch=batch),
+                          repeats=repeats)
+            ref = best_of(lambda: water_fill(instance.latencies, instance.demand,
+                                             "nash", backend="reference"),
+                          repeats=max(2, repeats // 2))
+            flows_v, _ = water_fill(instance.latencies, instance.demand,
+                                    "nash", batch=batch)
+            flows_r, _ = water_fill(instance.latencies, instance.demand,
+                                    "nash", backend="reference")
+            rows.append({
+                "benchmark": "water_fill",
+                "family": family,
+                "size": int(m),
+                "vectorized_seconds": vec,
+                "reference_seconds": ref,
+                "speedup": ref / vec,
+                "max_flow_deviation": float(np.max(np.abs(flows_v - flows_r))),
+            })
+            print(f"water_fill[{family}] m={m}: {vec*1e3:8.3f} ms vs "
+                  f"{ref*1e3:8.3f} ms -> {ref/vec:6.1f}x")
+    return rows
+
+
+def bench_optop(sizes, *, repeats: int):
+    """Full OpTop runs (optimum + Nash + per-round water filling)."""
+    rows = []
+    for m in sizes:
+        instance = random_linear_parallel(int(m), demand=0.2 * m, seed=7 + int(m))
+        vec = best_of(lambda: optop(instance), repeats=repeats)
+        ref = best_of(lambda: optop(instance, config=REFERENCE_CONFIG),
+                      repeats=max(2, repeats // 2))
+        beta_v = optop(instance).beta
+        beta_r = optop(instance, config=REFERENCE_CONFIG).beta
+        rows.append({
+            "benchmark": "optop",
+            "family": "linear",
+            "size": int(m),
+            "vectorized_seconds": vec,
+            "reference_seconds": ref,
+            "speedup": ref / vec,
+            "beta_deviation": abs(beta_v - beta_r),
+        })
+        print(f"optop m={m}: {vec*1e3:8.3f} ms vs {ref*1e3:8.3f} ms "
+              f"-> {ref/vec:6.1f}x")
+    return rows
+
+
+def bench_frank_wolfe(*, repeats: int, iterations: int):
+    """Frank–Wolfe on the E5 network families (grids and layered DAGs).
+
+    Both kernels run the identical fixed iteration budget so the comparison
+    is per-iteration work (CSR Dijkstra + Newton line search versus heapq
+    Dijkstra + golden-section), not convergence luck.
+    """
+    rows = []
+    cases = [
+        ("grid 5x5", grid_network(5, 5, demand=3.0, seed=0)),
+        ("grid 8x8", grid_network(8, 8, demand=5.0, seed=1)),
+        ("layered 4x4", layered_network(4, 4, demand=2.0, seed=2)),
+    ]
+    options_v = FrankWolfeOptions(tolerance=0.0, max_iterations=iterations)
+    options_r = FrankWolfeOptions(tolerance=0.0, max_iterations=iterations,
+                                  kernel="reference")
+    for name, instance in cases:
+        vec = best_of(lambda: frank_wolfe(instance, "nash", options_v),
+                      repeats=repeats, budget=30.0)
+        ref = best_of(lambda: frank_wolfe(instance, "nash", options_r),
+                      repeats=max(1, repeats // 2), budget=30.0)
+        rows.append({
+            "benchmark": "frank_wolfe",
+            "family": name,
+            "size": int(instance.network.num_edges),
+            "iterations": int(iterations),
+            "vectorized_seconds": vec,
+            "reference_seconds": ref,
+            "speedup": ref / vec,
+        })
+        print(f"frank_wolfe[{name}] ({instance.network.num_edges} edges, "
+              f"{iterations} iters): {vec:7.3f} s vs {ref:7.3f} s "
+              f"-> {ref/vec:6.1f}x")
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_perf.json",
+                        help="where to write the JSON record")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes / fewer repeats (CI mode)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        wf_sizes, optop_sizes, repeats, fw_iters = (100, 1000), (100, 500), 3, 200
+    else:
+        wf_sizes, optop_sizes, repeats, fw_iters = ((100, 1000, 5000),
+                                                    (100, 1000), 5, 500)
+
+    # Warm up the kernels once so import/JIT-ish one-time costs stay out of
+    # the measurements.
+    parallel_nash(random_linear_parallel(50, demand=5.0, seed=0))
+
+    results = []
+    results += bench_water_fill(wf_sizes, repeats=repeats)
+    results += bench_optop(optop_sizes, repeats=repeats)
+    results += bench_frank_wolfe(repeats=repeats, iterations=fw_iters)
+
+    record = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+        "quick": bool(args.quick),
+        "results": results,
+    }
+    Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.output} ({len(results)} measurements)")
+
+    failures = [row for row in results
+                if row.get("max_flow_deviation", 0.0) > 1e-9
+                or row.get("beta_deviation", 0.0) > 1e-8]
+    if failures:
+        print("WARNING: backend deviation above tolerance:",
+              json.dumps(failures, indent=2))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,9 +10,16 @@ cd "$(dirname "$0")/.."
 
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - <<'PY'
 import time
+from dataclasses import replace
 
-from repro.api import SolveConfig, cache_size, solve_many
+from repro.api import SolveConfig, cache_size, cache_stats, solve_many
 from repro.instances import random_linear_parallel
+
+
+def solver_content(report):
+    """The report minus the per-call cache metadata (hit flag, counters)."""
+    return replace(report, metadata={k: v for k, v in report.metadata.items()
+                                     if k != "cache"})
 
 instances = [random_linear_parallel(6, demand=2.0, seed=s) for s in range(16)]
 
@@ -27,7 +34,11 @@ assert all(0.0 <= r.beta <= 1.0 for r in reports), "beta out of range"
 start = time.perf_counter()
 again = solve_many(instances, "optop", max_workers=4)
 warm = time.perf_counter() - start
-assert again == reports, "cached re-run returned different reports"
+assert [solver_content(r) for r in again] == \
+    [solver_content(r) for r in reports], \
+    "cached re-run returned different reports"
+assert all(r.metadata["cache"]["hit"] for r in again), "expected cache hits"
+assert cache_stats()["hits"] >= len(instances), "hit counter did not advance"
 assert warm < cold, (
     f"cached re-run ({warm:.3f}s) not faster than cold run ({cold:.3f}s)")
 

@@ -1,10 +1,19 @@
-"""Empirical runtime scaling of OpTop and MOP (polynomial-time claims)."""
+"""Empirical runtime scaling of OpTop and MOP (polynomial-time claims).
+
+Both curves accept a :class:`repro.api.SolveConfig`, so the same harness can
+contrast kernel backends (``SolveConfig(kernel_backend="reference")`` against
+the default vectorized kernels) — :mod:`scripts.bench_perf` builds its speedup
+trajectory this way.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.config import SolveConfig
 
 from repro.core.mop import mop
 from repro.core.optop import optop
@@ -24,25 +33,32 @@ class ScalingPoint:
 
 
 def optop_scaling(sizes: Sequence[int], *, demand: float = 5.0,
-                  seed: int = 0, repeats: int = 1) -> List[ScalingPoint]:
-    """Wall-clock time of OpTop on random linear instances of growing size."""
+                  seed: int = 0, repeats: int = 1,
+                  config: "Optional[SolveConfig]" = None) -> List[ScalingPoint]:
+    """Wall-clock time of OpTop on random linear instances of growing size.
+
+    ``config`` selects solver settings (notably ``kernel_backend``); ``None``
+    keeps the defaults, i.e. the vectorized kernel layer.
+    """
     points: List[ScalingPoint] = []
     for m in sizes:
         instance = random_linear_parallel(int(m), demand=demand, seed=seed + int(m))
         start = time.perf_counter()
         for _ in range(max(1, repeats)):
-            result = optop(instance)
+            result = optop(instance, config=config)
         elapsed = (time.perf_counter() - start) / max(1, repeats)
         points.append(ScalingPoint(size=int(m), seconds=elapsed, beta=result.beta))
     return points
 
 
 def mop_scaling(grid_sizes: Sequence[int], *, demand: float = 2.0,
-                seed: int = 0, repeats: int = 1) -> List[ScalingPoint]:
+                seed: int = 0, repeats: int = 1,
+                config: "Optional[SolveConfig]" = None) -> List[ScalingPoint]:
     """Wall-clock time of MOP on square grid networks of growing size.
 
     ``grid_sizes`` lists the grid side lengths; the number of edges grows
-    quadratically with the side.
+    quadratically with the side.  ``config`` selects solver settings
+    (tolerance, backend, kernel) exactly as in :func:`optop_scaling`.
     """
     points: List[ScalingPoint] = []
     for side in grid_sizes:
@@ -50,7 +66,7 @@ def mop_scaling(grid_sizes: Sequence[int], *, demand: float = 2.0,
                                 seed=seed + int(side))
         start = time.perf_counter()
         for _ in range(max(1, repeats)):
-            result = mop(instance, compute_induced=False)
+            result = mop(instance, compute_induced=False, config=config)
         elapsed = (time.perf_counter() - start) / max(1, repeats)
         points.append(ScalingPoint(size=int(side), seconds=elapsed,
                                    beta=result.beta))

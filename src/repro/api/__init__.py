@@ -25,7 +25,7 @@ The pieces:
   instance-digest result cache and process-pool fan-out.
 """
 
-from repro.api.config import EQUILIBRIUM_BACKENDS, SolveConfig
+from repro.api.config import EQUILIBRIUM_BACKENDS, KERNEL_BACKENDS, SolveConfig
 from repro.api.dispatch import resolve_instance_kind
 from repro.api.report import SolveReport
 from repro.api.registry import (
@@ -37,12 +37,13 @@ from repro.api.registry import (
     register_strategy,
 )
 from repro.api import strategies as _builtin_strategies  # noqa: F401  (registers built-ins)
-from repro.api.session import cache_size, clear_cache, solve, solve_many
+from repro.api.session import cache_size, cache_stats, clear_cache, solve, solve_many
 from repro.serialization import instance_digest
 
 __all__ = [
     "SolveConfig",
     "EQUILIBRIUM_BACKENDS",
+    "KERNEL_BACKENDS",
     "SolveReport",
     "Strategy",
     "StrategyRegistry",
@@ -55,5 +56,6 @@ __all__ = [
     "solve_many",
     "clear_cache",
     "cache_size",
+    "cache_stats",
     "instance_digest",
 ]

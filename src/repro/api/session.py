@@ -31,7 +31,7 @@ from repro.api.report import SolveReport
 from repro.exceptions import ModelError
 from repro.serialization import instance_digest
 
-__all__ = ["solve", "solve_many", "clear_cache", "cache_size",
+__all__ = ["solve", "solve_many", "clear_cache", "cache_size", "cache_stats",
            "CACHE_MAX_ENTRIES"]
 
 #: Process-global LRU result cache:
@@ -43,6 +43,31 @@ _RESULT_CACHE: "OrderedDict[Tuple[str, str, str], SolveReport]" = OrderedDict()
 #: Upper bound on cached reports; the least recently used entry is evicted
 #: first, so long-running sweeps cannot grow memory without limit.
 CACHE_MAX_ENTRIES = 4096
+
+#: Cumulative hit/miss counters of the result cache.  A *hit* is a report
+#: served without running a solver (including duplicates inside one
+#: ``solve_many`` batch); a *miss* is a solver call made with caching enabled.
+_CACHE_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def cache_stats() -> Dict[str, int]:
+    """Cumulative ``{"hits": ..., "misses": ...}`` of the result cache.
+
+    Counters are process-global and reset by :func:`clear_cache`.  Reports
+    additionally carry a ``metadata["cache"]`` record (``hit`` flag plus the
+    counters at serve time) — except structural duplicates inside one
+    :func:`solve_many` batch, which share the first occurrence's report
+    object verbatim and therefore surface only in these counters.
+    """
+    return dict(_CACHE_STATS)
+
+
+def _with_cache_metadata(report: SolveReport, *, hit: bool) -> SolveReport:
+    """Attach the cache outcome and the running counters to a report."""
+    metadata = dict(report.metadata)
+    metadata["cache"] = {"hit": hit, "hits": _CACHE_STATS["hits"],
+                         "misses": _CACHE_STATS["misses"]}
+    return replace(report, metadata=metadata)
 
 
 def _cache_get(key: Tuple[str, str, str]) -> Optional[SolveReport]:
@@ -64,9 +89,14 @@ _DEFAULT_STRATEGY = "optop"
 
 
 def clear_cache() -> int:
-    """Drop every cached report; returns how many entries were evicted."""
+    """Drop every cached report (and reset the hit/miss counters).
+
+    Returns how many entries were evicted.
+    """
     evicted = len(_RESULT_CACHE)
     _RESULT_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
     return evicted
 
 
@@ -115,11 +145,14 @@ def solve(instance, strategy: Optional[str] = None, *,
     if key is not None:
         cached = _cache_get(key)
         if cached is not None:
-            return cached
+            _CACHE_STATS["hits"] += 1
+            return _with_cache_metadata(cached, hit=True)
     start = time.perf_counter()
     report = fn(instance, config)
     report = replace(report, wall_time=time.perf_counter() - start)
     if key is not None:
+        _CACHE_STATS["misses"] += 1
+        report = _with_cache_metadata(report, hit=False)
         _cache_put(key, report)
     return report
 
@@ -173,7 +206,8 @@ def solve_many(instances: Iterable[object], strategy: Optional[str] = None, *,
             key = _cache_key(name, instance, config)
             keys[i] = key
             if key is not None and key in _RESULT_CACHE:
-                reports[i] = _cache_get(key)
+                _CACHE_STATS["hits"] += 1
+                reports[i] = _with_cache_metadata(_cache_get(key), hit=True)
             elif key is not None and key in first_seen:
                 duplicates.append((i, first_seen[key]))
             else:
@@ -191,6 +225,11 @@ def solve_many(instances: Iterable[object], strategy: Optional[str] = None, *,
         if workers > 1 and len(pending) > 1:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 solved = list(pool.map(_solve_task, payloads))
+            if config.cache:
+                # Worker-side counters live in the worker processes; account
+                # for the misses here in the parent.
+                _CACHE_STATS["misses"] += sum(
+                    1 for i in pending if keys[i] is not None)
         else:
             solved = [_solve_task(payload) for payload in payloads]
         for i, report in zip(pending, solved):
@@ -199,6 +238,10 @@ def solve_many(instances: Iterable[object], strategy: Optional[str] = None, *,
                 _cache_put(keys[i], report)
 
     for i, j in duplicates:
+        # Structural duplicates inside the batch were solved once; serving
+        # them from the first occurrence counts as a hit in the counters,
+        # and the duplicate shares the first occurrence's report object.
+        _CACHE_STATS["hits"] += 1
         reports[i] = reports[j]
     missing = [i for i, report in enumerate(reports) if report is None]
     assert not missing, f"solve_many left unfilled slots: {missing}"

@@ -5,7 +5,20 @@ links (Remark 4.1); a system optimum equalises *marginal costs* (the KKT
 condition of minimising the convex cost ``sum_i x_i l_i(x_i)`` over the
 simplex).  In both cases the flow on every strictly increasing link is a
 non-decreasing function of the common level, so the level solves a monotone
-scalar equation computed here by bracketing plus bisection.
+scalar equation.
+
+Two backends compute that level:
+
+* ``"vectorized"`` (the default) works on a
+  :class:`~repro.latency.batch.LatencyBatch`.  All-linear instances are
+  solved *exactly* in O(m log m) by the sorted-breakpoint closed form
+  (:func:`repro.utils.vectorized.piecewise_linear_level`) — no bisection at
+  all.  Mixed families fall back to bracketing plus bisection, but every
+  step evaluates all links in one array op instead of ``m`` Python calls.
+* ``"reference"`` is the original scalar implementation (per-link Python
+  lambdas inside the bisection); it remains selectable through
+  ``SolveConfig(kernel_backend="reference")`` and anchors the equivalence
+  test-suite.
 
 Constant-latency links (the documented extension; Pigou's example uses one)
 act as flow sinks: once the common level of the increasing links would exceed
@@ -15,7 +28,7 @@ fixed latency.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, TYPE_CHECKING, Tuple
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 import numpy as np
 
@@ -24,11 +37,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from repro.exceptions import ConvergenceError, ModelError
 from repro.latency.base import LatencyFunction
+from repro.latency.batch import LatencyBatch
 from repro.network.parallel import ParallelLinkInstance
 from repro.equilibrium.result import ParallelFlowResult
 from repro.utils.rootfind import bisect_root, expand_upper_bracket
+from repro.utils.vectorized import piecewise_linear_level
 
-__all__ = ["parallel_nash", "parallel_optimum", "water_fill"]
+__all__ = ["parallel_nash", "parallel_optimum", "water_fill", "WATER_FILL_BACKENDS"]
+
+#: Backends accepted by :func:`water_fill` (``"auto"`` means vectorized).
+WATER_FILL_BACKENDS = ("auto", "vectorized", "reference")
 
 
 def _link_level_and_inverse(kind: str) -> Tuple[Callable[[LatencyFunction, float], float],
@@ -44,14 +62,103 @@ def _link_level_and_inverse(kind: str) -> Tuple[Callable[[LatencyFunction, float
 
 
 def water_fill(latencies: Sequence[LatencyFunction], demand: float,
-               kind: str, *, tol: float = 1e-12) -> Tuple[np.ndarray, float]:
+               kind: str, *, tol: float = 1e-12, backend: str = "auto",
+               batch: Optional[LatencyBatch] = None) -> Tuple[np.ndarray, float]:
     """Distribute ``demand`` across ``latencies`` equalising the chosen level.
 
     ``kind`` is ``"nash"`` (equalise latencies) or ``"optimum"`` (equalise
-    marginal costs).  Returns ``(flows, common_level)`` where ``common_level``
-    is the equalised value on loaded links; unloaded links have a level at
-    least as large.
+    marginal costs).  ``backend`` selects the vectorized kernel (``"auto"`` /
+    ``"vectorized"``) or the scalar ``"reference"`` implementation; a prebuilt
+    ``batch`` over the same latencies avoids re-grouping on repeated solves.
+    Returns ``(flows, common_level)`` where ``common_level`` is the equalised
+    value on loaded links; unloaded links have a level at least as large.
     """
+    if backend not in WATER_FILL_BACKENDS:
+        raise ModelError(
+            f"unknown water_fill backend {backend!r}; expected one of "
+            f"{', '.join(WATER_FILL_BACKENDS)}")
+    if backend == "reference":
+        return _water_fill_reference(latencies, demand, kind, tol=tol)
+    _link_level_and_inverse(kind)  # validate ``kind`` before any work
+    if batch is None:
+        batch = LatencyBatch(latencies)
+    m = batch.size
+    if m == 0:
+        raise ModelError("water_fill needs at least one link")
+    if demand < 0.0:
+        raise ModelError(f"demand must be >= 0, got {demand!r}")
+
+    level_at_zero = batch.values_at_zero  # marginal cost at 0 equals l(0)
+    flows = np.zeros(m, dtype=float)
+    if demand == 0.0:
+        return flows, float(level_at_zero.min())
+
+    const_mask = batch.is_constant
+    inc_mask = ~const_mask
+    inverse = batch.inverse_values if kind == "nash" else batch.inverse_marginals
+
+    constant_floor = float(level_at_zero[const_mask].min()) if const_mask.any() \
+        else float("inf")
+
+    if inc_mask.any():
+        linear = batch.linear_increasing_params()
+        if linear is not None:
+            # Pure linear/affine instance: exact sorted-breakpoint solve.
+            slopes, intercepts, _ = linear
+            weights = 1.0 / slopes if kind == "nash" else 1.0 / (2.0 * slopes)
+            level_star = piecewise_linear_level(weights, intercepts, demand)
+        else:
+            # Mixed families: bracket + bisect the level; each evaluation
+            # inverts every increasing link in one batched call.
+            lo = float(level_at_zero[inc_mask].min())
+
+            def gap(level: float) -> float:
+                return float(inverse(level)[inc_mask].sum()) - demand
+
+            try:
+                hi = expand_upper_bracket(gap, lo, initial=max(1.0, abs(lo)))
+                level_star = bisect_root(gap, lo, hi, tol=tol)
+            except (ModelError, ConvergenceError):
+                level_star = float("inf")
+    else:
+        level_star = float("inf")
+
+    if level_star <= constant_floor:
+        # The strictly increasing links absorb everything below the cheapest
+        # constant link; constants stay empty.
+        flows[inc_mask] = inverse(level_star)[inc_mask]
+        level = level_star
+    else:
+        # Constants at the floor latency absorb the excess flow.
+        if not const_mask.any():
+            raise ModelError(
+                "demand cannot be routed: no constant links and the increasing "
+                "links cannot absorb the demand")
+        level = constant_floor
+        if inc_mask.any():
+            flows[inc_mask] = inverse(level)[inc_mask]
+        leftover = max(0.0, demand - float(flows.sum()))
+        sinks = const_mask & (level_at_zero <= constant_floor + 1e-12)
+        flows[sinks] = leftover / int(np.count_nonzero(sinks))
+
+    return _normalise_total(flows, demand), float(level)
+
+
+def _normalise_total(flows: np.ndarray, demand: float) -> np.ndarray:
+    """Spread tiny rounding over loaded links so flows sum exactly to demand."""
+    total = float(flows.sum())
+    if total > 0.0 and abs(total - demand) > 0.0:
+        correction = demand - total
+        loaded = flows > 0.0
+        if np.any(loaded):
+            flows[loaded] += correction * flows[loaded] / flows[loaded].sum()
+    return np.clip(flows, 0.0, None)
+
+
+def _water_fill_reference(latencies: Sequence[LatencyFunction], demand: float,
+                          kind: str, *, tol: float = 1e-12,
+                          ) -> Tuple[np.ndarray, float]:
+    """The scalar water-filling solver (per-link Python calls; the seed code)."""
     latencies = list(latencies)
     m = len(latencies)
     if m == 0:
@@ -111,15 +218,7 @@ def water_fill(latencies: Sequence[LatencyFunction], demand: float,
         for i in sinks:
             flows[i] = share
 
-    # Normalise tiny rounding so the flows sum exactly to the demand.
-    total = float(flows.sum())
-    if total > 0.0 and abs(total - demand) > 0.0:
-        # Spread the correction over loaded links proportionally.
-        correction = demand - total
-        loaded = flows > 0.0
-        if np.any(loaded):
-            flows[loaded] += correction * flows[loaded] / flows[loaded].sum()
-    return np.clip(flows, 0.0, None), float(level)
+    return _normalise_total(flows, demand), float(level)
 
 
 def _resolve_tol(tol: "float | None", config: "SolveConfig | None") -> float:
@@ -131,17 +230,30 @@ def _resolve_tol(tol: "float | None", config: "SolveConfig | None") -> float:
     return 1e-12
 
 
+def _resolve_backend(backend: "str | None", config: "SolveConfig | None") -> str:
+    """Kernel backend: explicit ``backend`` wins, then config, then vectorized."""
+    if backend is not None:
+        return backend
+    if config is not None:
+        return config.kernel_backend
+    return "auto"
+
+
 def parallel_nash(instance: ParallelLinkInstance, *, tol: "float | None" = None,
-                  config: "SolveConfig | None" = None) -> ParallelFlowResult:
+                  config: "SolveConfig | None" = None,
+                  backend: "str | None" = None) -> ParallelFlowResult:
     """The Nash (Wardrop) equilibrium ``N`` of a parallel-link instance.
 
     All loaded links share the common latency ``L_N`` returned in
     ``common_value``; empty links have latency at least ``L_N`` (Remark 4.1).
     The flow is unique on strictly increasing links.  Settings may come from
-    an explicit ``tol`` or a :class:`repro.api.SolveConfig`.
+    an explicit ``tol``/``backend`` or a :class:`repro.api.SolveConfig`.
     """
     tol = _resolve_tol(tol, config)
-    flows, level = water_fill(instance.latencies, instance.demand, "nash", tol=tol)
+    backend = _resolve_backend(backend, config)
+    flows, level = water_fill(
+        instance.latencies, instance.demand, "nash", tol=tol, backend=backend,
+        batch=None if backend == "reference" else instance.latency_batch())
     return ParallelFlowResult(
         flows=flows,
         common_value=level,
@@ -152,16 +264,20 @@ def parallel_nash(instance: ParallelLinkInstance, *, tol: "float | None" = None,
 
 
 def parallel_optimum(instance: ParallelLinkInstance, *, tol: "float | None" = None,
-                     config: "SolveConfig | None" = None) -> ParallelFlowResult:
+                     config: "SolveConfig | None" = None,
+                     backend: "str | None" = None) -> ParallelFlowResult:
     """The system optimum ``O`` of a parallel-link instance.
 
     All loaded links share the common marginal cost returned in
     ``common_value``; empty links have marginal cost at least that value.
-    Settings may come from an explicit ``tol`` or a
+    Settings may come from an explicit ``tol``/``backend`` or a
     :class:`repro.api.SolveConfig`.
     """
     tol = _resolve_tol(tol, config)
-    flows, level = water_fill(instance.latencies, instance.demand, "optimum", tol=tol)
+    backend = _resolve_backend(backend, config)
+    flows, level = water_fill(
+        instance.latencies, instance.demand, "optimum", tol=tol, backend=backend,
+        batch=None if backend == "reference" else instance.latency_batch())
     return ParallelFlowResult(
         flows=flows,
         common_value=level,

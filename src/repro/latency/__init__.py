@@ -22,6 +22,7 @@ treat them as flow sinks at a fixed delay.
 """
 
 from repro.latency.base import LatencyFunction
+from repro.latency.batch import LatencyBatch
 from repro.latency.linear import ConstantLatency, LinearLatency
 from repro.latency.polynomial import BPRLatency, MonomialLatency, PolynomialLatency
 from repro.latency.mm1 import MM1Latency
@@ -29,6 +30,7 @@ from repro.latency.shifted import ScaledLatency, ShiftedLatency
 
 __all__ = [
     "LatencyFunction",
+    "LatencyBatch",
     "LinearLatency",
     "ConstantLatency",
     "PolynomialLatency",

@@ -1,0 +1,644 @@
+"""Batched evaluation of heterogeneous latency families.
+
+:class:`LatencyBatch` takes a ``Sequence[LatencyFunction]`` and groups the
+links by analytic family — linear/affine, constant, power (monomial and BPR),
+M/M/1, polynomial — into NumPy coefficient arrays.  Every quantity the
+solvers need is then one array operation over each family instead of ``m``
+Python method calls:
+
+* ``values(x)``, ``derivs(x)``, ``second_derivs(x)``, ``marginals(x)``,
+  ``integrals(x)`` — elementwise calculus at a shared scalar load or a
+  per-link load vector;
+* ``inverse_values(level)`` / ``inverse_marginals(level)`` — the per-link
+  loads at which the latency (resp. marginal cost) reaches ``level``, the
+  kernel of the water-filling solvers.  Closed forms are used wherever the
+  family admits one (linear, M/M/1, un-shifted power); the rest fall back to
+  a *vectorized* bisection that still evaluates all affected links per step
+  in one array op.
+
+Stackelberg wrappers are folded into the coefficient arrays at construction
+time: ``ShiftedLatency``/``ScaledLatency`` around a linear base collapse to a
+plain affine row, a shifted M/M/1 queue collapses to an M/M/1 queue with
+reduced capacity, and power/polynomial families carry an explicit offset
+column.  Latency subclasses the canonicaliser does not recognise land in a
+``generic`` bucket evaluated with the ordinary scalar loop, so a batch is
+always exact — unknown families only lose the speed-up, never correctness.
+
+The batch preserves the scalar layer's domain semantics: evaluating an M/M/1
+family at or beyond its capacity raises
+:class:`~repro.exceptions.LatencyDomainError`, exactly like
+:meth:`repro.latency.MM1Latency.value`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import LatencyDomainError, ModelError
+from repro.latency.base import LatencyFunction
+from repro.latency.linear import ConstantLatency, LinearLatency
+from repro.latency.mm1 import MM1Latency
+from repro.latency.polynomial import BPRLatency, MonomialLatency, PolynomialLatency
+from repro.latency.shifted import ScaledLatency, ShiftedLatency
+from repro.utils.vectorized import expand_upper_brackets, vectorized_bisect
+
+__all__ = ["LatencyBatch"]
+
+#: Relative bracket tolerance of the numeric inverse fallbacks; matches the
+#: default of :func:`repro.utils.rootfind.bisect_root` used by the scalar
+#: ``LatencyFunction._numeric_inverse``.
+_INVERSE_TOL = 1e-12
+
+
+def _unwrap(lat: LatencyFunction) -> Tuple[LatencyFunction, float, float]:
+    """Strip ``ShiftedLatency``/``ScaledLatency`` wrappers.
+
+    Returns ``(base, offset, factor)`` such that the original latency is
+    ``x -> factor * base(x + offset)`` (shift and scale commute, so nesting in
+    any order accumulates correctly).
+    """
+    offset = 0.0
+    factor = 1.0
+    base = lat
+    while True:
+        if isinstance(base, ShiftedLatency):
+            offset += base.offset
+            base = base.base
+        elif isinstance(base, ScaledLatency):
+            factor *= base.factor
+            base = base.base
+        else:
+            return base, offset, factor
+
+
+class _Members:
+    """Common bookkeeping of one family bucket."""
+
+    def __init__(self) -> None:
+        self.indices: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def index_array(self) -> np.ndarray:
+        return np.asarray(self.indices, dtype=np.intp)
+
+
+class _LinearFamily(_Members):
+    """Affine rows ``l(x) = slope * x + intercept`` with ``slope > 0``."""
+
+    name = "linear"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._slopes: List[float] = []
+        self._intercepts: List[float] = []
+
+    def add(self, index: int, slope: float, intercept: float) -> None:
+        self.indices.append(index)
+        self._slopes.append(slope)
+        self._intercepts.append(intercept)
+
+    def freeze(self) -> None:
+        self.slopes = np.asarray(self._slopes, dtype=float)
+        self.intercepts = np.asarray(self._intercepts, dtype=float)
+
+    def values(self, x) -> np.ndarray:
+        return self.slopes * x + self.intercepts
+
+    def derivs(self, x) -> np.ndarray:
+        return np.broadcast_to(self.slopes, (len(self),)).copy() if np.isscalar(x) \
+            else self.slopes + 0.0 * x
+
+    def second_derivs(self, x) -> np.ndarray:
+        return np.zeros(len(self))
+
+    def integrals(self, x) -> np.ndarray:
+        return (0.5 * self.slopes * x + self.intercepts) * x
+
+    def inverse_values(self, y: float) -> np.ndarray:
+        return np.maximum((y - self.intercepts) / self.slopes, 0.0)
+
+    def inverse_marginals(self, y: float) -> np.ndarray:
+        return np.maximum((y - self.intercepts) / (2.0 * self.slopes), 0.0)
+
+    def domain_upper(self) -> np.ndarray:
+        return np.full(len(self), math.inf)
+
+
+class _ConstantFamily(_Members):
+    """Load-independent rows ``l(x) = c``."""
+
+    name = "constant"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._constants: List[float] = []
+
+    def add(self, index: int, constant: float) -> None:
+        self.indices.append(index)
+        self._constants.append(constant)
+
+    def freeze(self) -> None:
+        self.constants = np.asarray(self._constants, dtype=float)
+
+    def values(self, x) -> np.ndarray:
+        return self.constants.copy()
+
+    def derivs(self, x) -> np.ndarray:
+        return np.zeros(len(self))
+
+    second_derivs = derivs
+
+    def integrals(self, x) -> np.ndarray:
+        return self.constants * x
+
+    def inverse_values(self, y: float) -> np.ndarray:
+        # Constant latencies have no inverse; the water-filling solvers mask
+        # these entries out and route the excess flow explicitly.
+        return np.zeros(len(self))
+
+    inverse_marginals = inverse_values
+
+    def domain_upper(self) -> np.ndarray:
+        return np.full(len(self), math.inf)
+
+
+class _PowerFamily(_Members):
+    """Rows ``l(x) = a * (x + o)^d + c`` with ``a > 0``, ``d >= 1``.
+
+    Covers :class:`MonomialLatency` and :class:`BPRLatency`, including their
+    shifted/scaled wrappers (the scale factor folds into ``a`` and ``c``).
+    """
+
+    name = "power"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._coeffs: List[float] = []
+        self._degrees: List[float] = []
+        self._consts: List[float] = []
+        self._offsets: List[float] = []
+
+    def add(self, index: int, coeff: float, degree: float, const: float,
+            offset: float) -> None:
+        self.indices.append(index)
+        self._coeffs.append(coeff)
+        self._degrees.append(degree)
+        self._consts.append(const)
+        self._offsets.append(offset)
+
+    def freeze(self) -> None:
+        self.coeffs = np.asarray(self._coeffs, dtype=float)
+        self.degrees = np.asarray(self._degrees, dtype=float)
+        self.consts = np.asarray(self._consts, dtype=float)
+        self.offsets = np.asarray(self._offsets, dtype=float)
+        self.has_offsets = bool(np.any(self.offsets > 0.0))
+
+    def values(self, x) -> np.ndarray:
+        return self.coeffs * np.power(x + self.offsets, self.degrees) + self.consts
+
+    def derivs(self, x) -> np.ndarray:
+        return (self.coeffs * self.degrees
+                * np.power(x + self.offsets, self.degrees - 1.0))
+
+    def second_derivs(self, x) -> np.ndarray:
+        return (self.coeffs * self.degrees * (self.degrees - 1.0)
+                * np.power(x + self.offsets, self.degrees - 2.0))
+
+    def integrals(self, x) -> np.ndarray:
+        exp = self.degrees + 1.0
+        shifted = (np.power(x + self.offsets, exp) - np.power(self.offsets, exp))
+        return self.coeffs * shifted / exp + self.consts * x
+
+    def inverse_values(self, y: float) -> np.ndarray:
+        at_zero = self.values(0.0)
+        with np.errstate(invalid="ignore"):
+            root = np.power(np.maximum(y - self.consts, 0.0) / self.coeffs,
+                            1.0 / self.degrees) - self.offsets
+        return np.where(y <= at_zero, 0.0, np.maximum(root, 0.0))
+
+    def inverse_marginals(self, y: float) -> np.ndarray:
+        at_zero = self.values(0.0)  # marginal cost at zero equals l(0)
+        if not self.has_offsets:
+            scale = self.coeffs * (1.0 + self.degrees)
+            with np.errstate(invalid="ignore"):
+                root = np.power(np.maximum(y - self.consts, 0.0) / scale,
+                                1.0 / self.degrees)
+            return np.where(y <= at_zero, 0.0, np.maximum(root, 0.0))
+        # Shifted powers have no closed-form marginal inverse; bisect all rows
+        # at once.  marginal(x) >= value(x), so the value inverse brackets the
+        # root from above.
+        hi = np.maximum(self.inverse_values(y), 0.0)
+        lo = np.zeros(len(self))
+
+        def gap(x: np.ndarray) -> np.ndarray:
+            return self.values(x) + x * self.derivs(x) - y
+
+        solved = vectorized_bisect(gap, lo, hi, tol=_INVERSE_TOL)
+        return np.where(y <= at_zero, 0.0, solved)
+
+    def domain_upper(self) -> np.ndarray:
+        return np.full(len(self), math.inf)
+
+
+class _MM1Family(_Members):
+    """Rows ``l(x) = factor / (capacity - x)`` for ``x < capacity``.
+
+    A Stackelberg shift by ``s`` is exactly an M/M/1 queue with capacity
+    ``capacity - s``, so offsets fold into the capacity column.
+    """
+
+    name = "mm1"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._capacities: List[float] = []
+        self._factors: List[float] = []
+
+    def add(self, index: int, capacity: float, factor: float) -> None:
+        self.indices.append(index)
+        self._capacities.append(capacity)
+        self._factors.append(factor)
+
+    def freeze(self) -> None:
+        self.capacities = np.asarray(self._capacities, dtype=float)
+        self.factors = np.asarray(self._factors, dtype=float)
+
+    def _check_domain(self, x) -> None:
+        if np.any(np.asarray(x) >= self.capacities):
+            load = float(np.max(np.asarray(x, dtype=float) - self.capacities))
+            raise LatencyDomainError(
+                f"M/M/1 latency evaluated at load >= capacity "
+                f"(excess {load!r})")
+
+    def values(self, x) -> np.ndarray:
+        self._check_domain(x)
+        return self.factors / (self.capacities - x)
+
+    def derivs(self, x) -> np.ndarray:
+        self._check_domain(x)
+        diff = self.capacities - x
+        return self.factors / (diff * diff)
+
+    def second_derivs(self, x) -> np.ndarray:
+        self._check_domain(x)
+        diff = self.capacities - x
+        return 2.0 * self.factors / (diff * diff * diff)
+
+    def integrals(self, x) -> np.ndarray:
+        self._check_domain(x)
+        return self.factors * np.log(self.capacities / (self.capacities - x))
+
+    def inverse_values(self, y: float) -> np.ndarray:
+        free_flow = self.factors / self.capacities
+        with np.errstate(divide="ignore"):
+            root = self.capacities - self.factors / y
+        return np.where(y <= free_flow, 0.0, np.maximum(root, 0.0))
+
+    def inverse_marginals(self, y: float) -> np.ndarray:
+        # marginal cost factor*c/(c-x)^2 = y  =>  x = c - sqrt(factor*c/y).
+        free_flow = self.factors / self.capacities
+        with np.errstate(divide="ignore"):
+            root = self.capacities - np.sqrt(self.factors * self.capacities / y)
+        return np.where(y <= free_flow, 0.0, np.maximum(root, 0.0))
+
+    def domain_upper(self) -> np.ndarray:
+        return self.capacities.copy()
+
+
+class _PolyFamily(_Members):
+    """Rows ``l(x) = sum_k C[k] (x + o)^k`` with non-negative coefficients."""
+
+    name = "poly"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._coeff_rows: List[Tuple[float, ...]] = []
+        self._offsets: List[float] = []
+
+    def add(self, index: int, coeffs: Tuple[float, ...], offset: float) -> None:
+        self.indices.append(index)
+        self._coeff_rows.append(coeffs)
+        self._offsets.append(offset)
+
+    def freeze(self) -> None:
+        width = max(len(row) for row in self._coeff_rows)
+        coeffs = np.zeros((len(self._coeff_rows), width))
+        for i, row in enumerate(self._coeff_rows):
+            coeffs[i, :len(row)] = row
+        self.coeffs = coeffs
+        self.offsets = np.asarray(self._offsets, dtype=float)
+        degrees = np.arange(1, width + 1, dtype=float)
+        self.deriv_coeffs = coeffs[:, 1:] * degrees[:width - 1] if width > 1 \
+            else np.zeros((coeffs.shape[0], 1))
+        self.integral_coeffs = coeffs / degrees  # antiderivative, constant 0
+
+    @staticmethod
+    def _horner(coeffs: np.ndarray, t) -> np.ndarray:
+        result = np.zeros(coeffs.shape[0]) + 0.0 * t
+        for j in range(coeffs.shape[1] - 1, -1, -1):
+            result = result * t + coeffs[:, j]
+        return result
+
+    def values(self, x) -> np.ndarray:
+        return self._horner(self.coeffs, x + self.offsets)
+
+    def derivs(self, x) -> np.ndarray:
+        return self._horner(self.deriv_coeffs, x + self.offsets)
+
+    def second_derivs(self, x) -> np.ndarray:
+        width = self.deriv_coeffs.shape[1]
+        if width <= 1:
+            return np.zeros(len(self))
+        second = self.deriv_coeffs[:, 1:] * np.arange(1, width, dtype=float)
+        return self._horner(second, x + self.offsets)
+
+    def integrals(self, x) -> np.ndarray:
+        t = x + self.offsets
+        return (self._horner(self.integral_coeffs, t) * t
+                - self._horner(self.integral_coeffs, self.offsets) * self.offsets)
+
+    def _bisect_inverse(self, level_fn, y: float) -> np.ndarray:
+        at_zero = level_fn(0.0)
+        lo = np.zeros(len(self))
+        hi = expand_upper_brackets(lambda x: level_fn(x) - y, lo, initial=1.0)
+        solved = vectorized_bisect(lambda x: level_fn(x) - y, lo, hi,
+                                   tol=_INVERSE_TOL)
+        return np.where(y <= at_zero, 0.0, solved)
+
+    def inverse_values(self, y: float) -> np.ndarray:
+        return self._bisect_inverse(self.values, y)
+
+    def inverse_marginals(self, y: float) -> np.ndarray:
+        return self._bisect_inverse(
+            lambda x: self.values(x) + x * self.derivs(x), y)
+
+    def domain_upper(self) -> np.ndarray:
+        return np.full(len(self), math.inf)
+
+
+class _GenericFamily(_Members):
+    """Fallback bucket: unknown subclasses evaluated with the scalar loop."""
+
+    name = "generic"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.functions: List[LatencyFunction] = []
+
+    def add(self, index: int, lat: LatencyFunction) -> None:
+        self.indices.append(index)
+        self.functions.append(lat)
+
+    def freeze(self) -> None:
+        pass
+
+    def _per_link(self, x, method: str) -> np.ndarray:
+        if np.isscalar(x):
+            return np.array([float(getattr(lat, method)(x))
+                             for lat in self.functions])
+        return np.array([float(getattr(lat, method)(xi))
+                         for lat, xi in zip(self.functions, x)])
+
+    def values(self, x) -> np.ndarray:
+        return self._per_link(x, "value")
+
+    def derivs(self, x) -> np.ndarray:
+        return self._per_link(x, "derivative")
+
+    def second_derivs(self, x) -> np.ndarray:
+        raise ModelError(
+            "generic latency functions expose no second derivative")
+
+    def integrals(self, x) -> np.ndarray:
+        return self._per_link(x, "integral")
+
+    def inverse_values(self, y: float) -> np.ndarray:
+        return np.array([0.0 if lat.is_constant else float(lat.inverse_value(y))
+                         for lat in self.functions])
+
+    def inverse_marginals(self, y: float) -> np.ndarray:
+        return np.array([0.0 if lat.is_constant
+                         else float(lat.inverse_marginal(y))
+                         for lat in self.functions])
+
+    def domain_upper(self) -> np.ndarray:
+        return np.array([float(lat.domain_upper) for lat in self.functions])
+
+
+class LatencyBatch:
+    """A family-grouped, array-backed view of a sequence of latency functions.
+
+    Construction is O(m); every evaluation afterwards is a handful of array
+    operations (one per non-empty family).  Instances are immutable once
+    built and safe to cache alongside the latency sequence they mirror.
+    """
+
+    def __init__(self, latencies: Sequence[LatencyFunction]) -> None:
+        latencies = tuple(latencies)
+        for i, lat in enumerate(latencies):
+            if not isinstance(lat, LatencyFunction):
+                raise ModelError(
+                    f"link {i}: expected a LatencyFunction, "
+                    f"got {type(lat).__name__}")
+        self.latencies = latencies
+        self._linear = _LinearFamily()
+        self._constant = _ConstantFamily()
+        self._power = _PowerFamily()
+        self._mm1 = _MM1Family()
+        self._poly = _PolyFamily()
+        self._generic = _GenericFamily()
+        constant_mask = np.zeros(len(latencies), dtype=bool)
+        for i, lat in enumerate(latencies):
+            constant_mask[i] = self._dispatch(i, lat)
+        families = [self._linear, self._constant, self._power, self._mm1,
+                    self._poly, self._generic]
+        self._families = [fam for fam in families if len(fam)]
+        for fam in self._families:
+            fam.freeze()
+        self._index_arrays = [fam.index_array() for fam in self._families]
+        self.is_constant = constant_mask
+        self._values_at_zero: Optional[np.ndarray] = None
+        self._domain_upper: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Canonicalisation
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, index: int, lat: LatencyFunction) -> bool:
+        """Route one latency into its family bucket; returns ``is_constant``."""
+        base, offset, factor = _unwrap(lat)
+        if isinstance(base, LinearLatency):
+            slope = factor * base.slope
+            intercept = factor * (base.slope * offset + base.intercept)
+            if slope == 0.0:
+                self._constant.add(index, intercept)
+                return True
+            self._linear.add(index, slope, intercept)
+            return False
+        if isinstance(base, ConstantLatency):
+            self._constant.add(index, factor * base.constant)
+            return True
+        if isinstance(base, MM1Latency):
+            self._mm1.add(index, base.capacity - offset, factor)
+            return False
+        if isinstance(base, MonomialLatency):
+            if base.coefficient == 0.0:
+                self._constant.add(index, factor * base.constant)
+                return True
+            self._power.add(index, factor * base.coefficient, base.degree,
+                            factor * base.constant, offset)
+            return False
+        if isinstance(base, BPRLatency):
+            if base.alpha == 0.0:
+                self._constant.add(index, factor * base.free_flow_time)
+                return True
+            coeff = (factor * base.free_flow_time * base.alpha
+                     / base.capacity ** base.beta)
+            self._power.add(index, coeff, base.beta,
+                            factor * base.free_flow_time, offset)
+            return False
+        if isinstance(base, PolynomialLatency):
+            if base.is_constant:
+                self._constant.add(index, factor * base.coefficients[0])
+                return True
+            coeffs = tuple(factor * c for c in base.coefficients)
+            self._poly.add(index, coeffs, offset)
+            return False
+        self._generic.add(index, lat)  # keep the *wrapped* object intact
+        return bool(lat.is_constant)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        return len(self.latencies)
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def family_names(self) -> Tuple[str, ...]:
+        """Names of the non-empty family buckets (construction order)."""
+        return tuple(fam.name for fam in self._families)
+
+    @property
+    def has_generic(self) -> bool:
+        return len(self._generic) > 0
+
+    @property
+    def supports_newton(self) -> bool:
+        """Whether every link has a well-behaved analytic second derivative.
+
+        Power rows with exponents in the open interval (1, 2) are excluded:
+        their second derivative diverges at zero load, which would destabilise
+        a Newton line search near the boundary.
+        """
+        if self.has_generic:
+            return False
+        if len(self._power):
+            d = self._power.degrees
+            if np.any((d > 1.0) & (d < 2.0)):
+                return False
+        return True
+
+    @property
+    def values_at_zero(self) -> np.ndarray:
+        """Free-flow latencies ``l_i(0)`` (also the marginal costs at zero)."""
+        if self._values_at_zero is None:
+            self._values_at_zero = self.values(0.0)
+            self._values_at_zero.setflags(write=False)
+        return self._values_at_zero
+
+    @property
+    def domain_upper(self) -> np.ndarray:
+        """Per-link exclusive upper ends of the latency domains."""
+        if self._domain_upper is None:
+            out = np.empty(self.size)
+            for fam, idx in zip(self._families, self._index_arrays):
+                out[idx] = fam.domain_upper()
+            out.setflags(write=False)
+            self._domain_upper = out
+        return self._domain_upper
+
+    def linear_increasing_params(self) -> Optional[Tuple[np.ndarray, np.ndarray,
+                                                         np.ndarray]]:
+        """``(slopes, intercepts, indices)`` when every increasing link is affine.
+
+        Returns ``None`` as soon as any non-constant link belongs to another
+        family; the all-linear closed-form water-filling solve only applies in
+        the pure case.
+        """
+        increasing = int(np.count_nonzero(~self.is_constant))
+        if len(self._linear) != increasing:
+            return None
+        return (self._linear.slopes, self._linear.intercepts,
+                self._linear.index_array())
+
+    # ------------------------------------------------------------------ #
+    # Batched calculus
+    # ------------------------------------------------------------------ #
+    def _gather(self, method: str, x) -> np.ndarray:
+        scalar = np.isscalar(x)
+        if not scalar:
+            x = np.asarray(x, dtype=float)
+            if x.shape != (self.size,):
+                raise ModelError(
+                    f"expected {self.size} loads, got shape {x.shape}")
+        out = np.empty(self.size)
+        for fam, idx in zip(self._families, self._index_arrays):
+            xf = x if scalar else x[idx]
+            out[idx] = getattr(fam, method)(xf)
+        return out
+
+    def values(self, x) -> np.ndarray:
+        """Per-link latencies ``l_i(x_i)`` (``x`` scalar or per-link vector)."""
+        return self._gather("values", x)
+
+    def derivs(self, x) -> np.ndarray:
+        """Per-link derivatives ``l_i'(x_i)``."""
+        return self._gather("derivs", x)
+
+    def second_derivs(self, x) -> np.ndarray:
+        """Per-link second derivatives ``l_i''(x_i)``."""
+        return self._gather("second_derivs", x)
+
+    def integrals(self, x) -> np.ndarray:
+        """Per-link Beckmann integrals ``\\int_0^{x_i} l_i(t) dt``."""
+        return self._gather("integrals", x)
+
+    def marginals(self, x) -> np.ndarray:
+        """Per-link marginal costs ``l_i(x_i) + x_i l_i'(x_i)``."""
+        x_arr = x if np.isscalar(x) else np.asarray(x, dtype=float)
+        return self.values(x) + x_arr * self.derivs(x)
+
+    def link_costs(self, x) -> np.ndarray:
+        """Per-link total costs ``x_i l_i(x_i)``."""
+        x_arr = x if np.isscalar(x) else np.asarray(x, dtype=float)
+        return x_arr * self.values(x)
+
+    def total_cost(self, x) -> float:
+        """``C(x) = sum_i x_i l_i(x_i)``."""
+        return float(np.sum(self.link_costs(x)))
+
+    def beckmann(self, x) -> float:
+        """``sum_i \\int_0^{x_i} l_i(t) dt``."""
+        return float(np.sum(self.integrals(x)))
+
+    # ------------------------------------------------------------------ #
+    # Batched inverses
+    # ------------------------------------------------------------------ #
+    def inverse_values(self, level: float) -> np.ndarray:
+        """Per-link least loads with ``l_i(x) = level`` (0 below free flow).
+
+        Constant links contribute 0; callers mask them via ``is_constant``.
+        """
+        return self._gather("inverse_values", float(level))
+
+    def inverse_marginals(self, level: float) -> np.ndarray:
+        """Per-link least loads with marginal cost equal to ``level``."""
+        return self._gather("inverse_marginals", float(level))

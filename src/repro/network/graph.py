@@ -3,13 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
 
 from repro.exceptions import ModelError
 from repro.latency.base import LatencyFunction
+from repro.latency.batch import LatencyBatch
 
 __all__ = ["Edge", "Network"]
 
@@ -56,9 +57,19 @@ class Network:
         self._out: Dict[Node, List[int]] = {}
         self._in: Dict[Node, List[int]] = {}
         self._nodes: List[Node] = []
+        #: Derived views (latency batch, CSR adjacency) built lazily and
+        #: invalidated whenever the graph is mutated.
+        self._derived: Dict[str, Any] = {}
         if edges is not None:
             for edge in edges:
                 self.add_edge(edge.tail, edge.head, edge.latency)
+
+    # The derived caches are rebuildable; drop them when pickling (instances
+    # travel to process-pool workers, which recreate the views on demand).
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_derived"] = {}
+        return state
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -69,6 +80,7 @@ class Network:
             self._out[node] = []
             self._in[node] = []
             self._nodes.append(node)
+            self._derived.clear()
 
     def add_edge(self, tail: Node, head: Node, latency: LatencyFunction) -> int:
         """Add a directed edge and return its index.
@@ -84,6 +96,7 @@ class Network:
         self._edges.append(edge)
         self._out[tail].append(index)
         self._in[head].append(index)
+        self._derived.clear()
         return index
 
     # ------------------------------------------------------------------ #
@@ -126,6 +139,64 @@ class Network:
         return f"Network(num_nodes={self.num_nodes}, num_edges={self.num_edges})"
 
     # ------------------------------------------------------------------ #
+    # Derived vectorized views (cached; invalidated on mutation)
+    # ------------------------------------------------------------------ #
+    def latency_batch(self) -> LatencyBatch:
+        """The vectorized family-grouped view of the edge latencies (cached)."""
+        batch = self._derived.get("batch")
+        if batch is None:
+            batch = LatencyBatch(tuple(e.latency for e in self._edges))
+            self._derived["batch"] = batch
+        return batch
+
+    def csr_structure(self) -> Dict[str, Any]:
+        """Cached CSR-ready adjacency arrays in node-index space.
+
+        Returns a dict with:
+
+        * ``node_index`` — map from node to dense index (insertion order);
+        * ``tail_idx`` / ``head_idx`` — per-edge endpoint indices;
+        * ``pair_id`` — per-edge id of its ``(tail, head)`` node pair (so
+          parallel edges share an id and can be reduced to the cheapest
+          representative before a shortest-path run);
+        * ``pair_tail`` / ``pair_head`` — per-pair endpoint indices;
+        * ``pair_lookup`` — ``(tail_idx, head_idx) -> pair id``;
+        * ``has_parallel`` — whether any node pair carries multiple edges.
+
+        The structure depends only on the topology, never on costs, so one
+        cache serves every shortest-path call on this network.
+        """
+        structure = self._derived.get("csr")
+        if structure is None:
+            node_index = {node: i for i, node in enumerate(self._nodes)}
+            tail_idx = np.array([node_index[e.tail] for e in self._edges],
+                                dtype=np.int64)
+            head_idx = np.array([node_index[e.head] for e in self._edges],
+                                dtype=np.int64)
+            if len(self._edges):
+                keys = tail_idx * len(self._nodes) + head_idx
+                unique_keys, pair_id = np.unique(keys, return_inverse=True)
+                pair_tail = unique_keys // len(self._nodes)
+                pair_head = unique_keys % len(self._nodes)
+            else:
+                pair_id = np.zeros(0, dtype=np.int64)
+                pair_tail = pair_head = np.zeros(0, dtype=np.int64)
+            structure = {
+                "node_index": node_index,
+                "tail_idx": tail_idx,
+                "head_idx": head_idx,
+                "pair_id": pair_id,
+                "pair_tail": pair_tail,
+                "pair_head": pair_head,
+                "pair_lookup": {(int(t), int(h)): int(p)
+                                for p, (t, h) in enumerate(zip(pair_tail,
+                                                               pair_head))},
+                "has_parallel": len(pair_tail) != len(self._edges),
+            }
+            self._derived["csr"] = structure
+        return structure
+
+    # ------------------------------------------------------------------ #
     # Flow functionals
     # ------------------------------------------------------------------ #
     def validate_edge_flows(self, edge_flows: Sequence[float]) -> np.ndarray:
@@ -140,27 +211,19 @@ class Network:
 
     def latencies_at(self, edge_flows: np.ndarray) -> np.ndarray:
         """Per-edge latencies ``l_e(f_e)``."""
-        flows = np.asarray(edge_flows, dtype=float)
-        return np.array([float(e.latency.value(x))
-                         for e, x in zip(self._edges, flows)])
+        return self.latency_batch().values(np.asarray(edge_flows, dtype=float))
 
     def marginal_costs_at(self, edge_flows: np.ndarray) -> np.ndarray:
         """Per-edge marginal costs ``l_e(f_e) + f_e l_e'(f_e)``."""
-        flows = np.asarray(edge_flows, dtype=float)
-        return np.array([float(e.latency.marginal_cost(x))
-                         for e, x in zip(self._edges, flows)])
+        return self.latency_batch().marginals(np.asarray(edge_flows, dtype=float))
 
     def cost(self, edge_flows: np.ndarray) -> float:
         """Total cost ``C(f) = sum_e f_e l_e(f_e)``."""
-        flows = np.asarray(edge_flows, dtype=float)
-        return float(sum(x * float(e.latency.value(x))
-                         for e, x in zip(self._edges, flows)))
+        return self.latency_batch().total_cost(np.asarray(edge_flows, dtype=float))
 
     def beckmann(self, edge_flows: np.ndarray) -> float:
         """Beckmann potential ``sum_e int_0^{f_e} l_e(t) dt``."""
-        flows = np.asarray(edge_flows, dtype=float)
-        return float(sum(float(e.latency.integral(x))
-                         for e, x in zip(self._edges, flows)))
+        return self.latency_batch().beckmann(np.asarray(edge_flows, dtype=float))
 
     def path_latency(self, path_edges: Sequence[int], edge_flows: np.ndarray) -> float:
         """Latency of a path (list of edge indices) under ``edge_flows``."""

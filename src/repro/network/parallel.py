@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.exceptions import InfeasibleFlowError, ModelError
 from repro.latency.base import LatencyFunction
+from repro.latency.batch import LatencyBatch
 from repro.utils.numeric import DEFAULT_ATOL
 
 __all__ = ["ParallelLinkInstance"]
@@ -31,7 +32,7 @@ class ParallelLinkInstance:
     produces the Followers' view via :meth:`shifted`.
     """
 
-    __slots__ = ("latencies", "demand", "names")
+    __slots__ = ("latencies", "demand", "names", "_batch")
 
     def __init__(self, latencies: Sequence[LatencyFunction], demand: float,
                  *, names: Sequence[str] | None = None) -> None:
@@ -58,6 +59,26 @@ class ParallelLinkInstance:
         self.latencies = latencies
         self.demand = float(demand)
         self.names = names
+        self._batch = None
+
+    def latency_batch(self) -> LatencyBatch:
+        """The vectorized family-grouped view of the link latencies (cached).
+
+        Built lazily on first use; the instance is immutable, so the batch
+        stays valid for its whole lifetime.
+        """
+        if self._batch is None:
+            self._batch = LatencyBatch(self.latencies)
+        return self._batch
+
+    # The batch cache is a derived view; drop it when pickling (process-pool
+    # fan-out ships instances to workers, which rebuild it on demand).
+    def __getstate__(self):
+        return (self.latencies, self.demand, self.names)
+
+    def __setstate__(self, state) -> None:
+        self.latencies, self.demand, self.names = state
+        self._batch = None
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -108,26 +129,19 @@ class ParallelLinkInstance:
 
     def latencies_at(self, flows: np.ndarray) -> np.ndarray:
         """Per-link latencies ``l_i(x_i)``."""
-        flows = np.asarray(flows, dtype=float)
-        return np.array([float(lat.value(x)) for lat, x in zip(self.latencies, flows)])
+        return self.latency_batch().values(np.asarray(flows, dtype=float))
 
     def marginal_costs_at(self, flows: np.ndarray) -> np.ndarray:
         """Per-link marginal costs ``l_i(x_i) + x_i l_i'(x_i)``."""
-        flows = np.asarray(flows, dtype=float)
-        return np.array([float(lat.marginal_cost(x))
-                         for lat, x in zip(self.latencies, flows)])
+        return self.latency_batch().marginals(np.asarray(flows, dtype=float))
 
     def cost(self, flows: np.ndarray) -> float:
         """Total cost ``C(X) = sum_i x_i l_i(x_i)``."""
-        flows = np.asarray(flows, dtype=float)
-        return float(sum(x * float(lat.value(x))
-                         for lat, x in zip(self.latencies, flows)))
+        return self.latency_batch().total_cost(np.asarray(flows, dtype=float))
 
     def beckmann(self, flows: np.ndarray) -> float:
         """Beckmann potential ``sum_i int_0^{x_i} l_i(t) dt``."""
-        flows = np.asarray(flows, dtype=float)
-        return float(sum(float(lat.integral(x))
-                         for lat, x in zip(self.latencies, flows)))
+        return self.latency_batch().beckmann(np.asarray(flows, dtype=float))
 
     # ------------------------------------------------------------------ #
     # Derived instances

@@ -4,6 +4,12 @@ The implementation follows the paper's footnote 5: shortest paths are computed
 with respect to *fixed* edge costs (typically the latencies ``l_e(o_e)``
 induced by the optimum flow), and the union of all edges lying on some
 shortest s–t path forms the subgraph the free Followers are allowed to use.
+
+Two engines are provided: the pure-Python binary-heap implementation
+(:func:`shortest_distances`, the reference), and
+:class:`ShortestPathEngine`, which runs `scipy.sparse.csgraph.dijkstra` over
+the network's cached CSR adjacency — one C-level call covers *all* requested
+sources at once, which is what the Frank–Wolfe all-or-nothing step uses.
 """
 
 from __future__ import annotations
@@ -17,16 +23,36 @@ import numpy as np
 from repro.exceptions import ModelError
 from repro.network.graph import Network
 
+try:  # pragma: no cover - exercised through HAVE_SPARSE_DIJKSTRA
+    from scipy.sparse import csr_matrix as _csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _sparse_dijkstra
+    HAVE_SPARSE_DIJKSTRA = True
+except ImportError:  # pragma: no cover - scipy is a baked-in dependency
+    _csr_matrix = None
+    _sparse_dijkstra = None
+    HAVE_SPARSE_DIJKSTRA = False
+
 __all__ = [
     "shortest_distances",
     "shortest_path_edges",
     "shortest_path_edge_set",
+    "walk_tree_path",
+    "validate_edge_costs",
+    "ShortestPathEngine",
+    "HAVE_SPARSE_DIJKSTRA",
 ]
 
 Node = Hashable
 
 
-def _validate_costs(network: Network, edge_costs: Sequence[float]) -> np.ndarray:
+def validate_edge_costs(network: Network,
+                        edge_costs: Sequence[float]) -> np.ndarray:
+    """Check shape and non-negativity; return the clipped cost array.
+
+    Callers that evaluate the same latency functions every iteration (the
+    Frank–Wolfe loop) validate once per solve and then pass
+    ``validated=True`` to the shortest-path routines.
+    """
     costs = np.asarray(edge_costs, dtype=float)
     if costs.shape != (network.num_edges,):
         raise ModelError(
@@ -36,10 +62,15 @@ def _validate_costs(network: Network, edge_costs: Sequence[float]) -> np.ndarray
     return np.clip(costs, 0.0, None)
 
 
+# Backwards-compatible private alias (pre-existing internal callers).
+_validate_costs = validate_edge_costs
+
+
 def shortest_distances(network: Network, source: Node,
                        edge_costs: Sequence[float],
-                       *, reverse: bool = False) -> Tuple[Dict[Node, float],
-                                                          Dict[Node, Optional[int]]]:
+                       *, reverse: bool = False,
+                       validated: bool = False) -> Tuple[Dict[Node, float],
+                                                         Dict[Node, Optional[int]]]:
     """Single-source shortest distances with non-negative edge costs.
 
     Returns ``(dist, pred_edge)`` where ``dist[v]`` is the cost of the
@@ -48,9 +79,12 @@ def shortest_distances(network: Network, source: Node,
 
     With ``reverse=True`` the edges are traversed backwards, yielding
     distances *to* ``source`` — used to classify edges by
-    ``dist_s(tail) + cost(e) + dist_t(head) == dist_s(t)``.
+    ``dist_s(tail) + cost(e) + dist_t(head) == dist_s(t)``.  With
+    ``validated=True`` the costs are trusted as already checked by
+    :func:`validate_edge_costs` (per-iteration solver calls).
     """
-    costs = _validate_costs(network, edge_costs)
+    costs = np.asarray(edge_costs, dtype=float) if validated \
+        else validate_edge_costs(network, edge_costs)
     dist: Dict[Node, float] = {node: math.inf for node in network.nodes}
     pred: Dict[Node, Optional[int]] = {node: None for node in network.nodes}
     if source not in dist:
@@ -77,13 +111,15 @@ def shortest_distances(network: Network, source: Node,
     return dist, pred
 
 
-def shortest_path_edges(network: Network, source: Node, sink: Node,
-                        edge_costs: Sequence[float]) -> List[int]:
-    """Edge indices of one shortest ``source -> sink`` path.
+def walk_tree_path(network: Network, dist: Dict[Node, float],
+                   pred: Dict[Node, Optional[int]], source: Node,
+                   sink: Node) -> List[int]:
+    """Edge indices of the ``source -> sink`` path recorded in a Dijkstra tree.
 
-    Raises :class:`ModelError` when the sink is unreachable.
+    ``(dist, pred)`` come from :func:`shortest_distances`; reusing one tree
+    for every commodity that shares a source avoids re-running Dijkstra per
+    commodity.  Raises :class:`ModelError` when the sink is unreachable.
     """
-    dist, pred = shortest_distances(network, source, edge_costs)
     if math.isinf(dist.get(sink, math.inf)):
         raise ModelError(f"node {sink!r} is unreachable from {source!r}")
     path: List[int] = []
@@ -96,6 +132,16 @@ def shortest_path_edges(network: Network, source: Node, sink: Node,
         node = network.edge(idx).tail
     path.reverse()
     return path
+
+
+def shortest_path_edges(network: Network, source: Node, sink: Node,
+                        edge_costs: Sequence[float]) -> List[int]:
+    """Edge indices of one shortest ``source -> sink`` path.
+
+    Raises :class:`ModelError` when the sink is unreachable.
+    """
+    dist, pred = shortest_distances(network, source, edge_costs)
+    return walk_tree_path(network, dist, pred, source, sink)
 
 
 def shortest_path_edge_set(network: Network, source: Node, sink: Node,
@@ -123,3 +169,117 @@ def shortest_path_edge_set(network: Network, source: Node, sink: Node,
         if du + costs[idx] + dv <= target + atol * scale:
             result.add(idx)
     return result
+
+
+class ShortestPathEngine:
+    """Batched shortest paths over a network's cached CSR adjacency.
+
+    One engine wraps a fixed ``(network, edge_costs)`` pair.  Construction
+    reduces parallel edges to their cheapest representative (shortest paths
+    never take a costlier parallel copy) and assembles a
+    ``scipy.sparse.csr_matrix`` from the structure arrays cached on the
+    network; :meth:`run` then answers *all* requested sources with a single
+    `scipy.sparse.csgraph.dijkstra` call, and :meth:`path_edges` walks the
+    predecessor matrix back into canonical edge indices.
+
+    Zero-cost edges are kept as explicit entries of the sparse matrix, which
+    ``csgraph`` treats as genuine zero-weight edges, so free-flow links route
+    exactly like in the reference implementation.
+    """
+
+    def __init__(self, network: Network, edge_costs: Sequence[float],
+                 *, validated: bool = False) -> None:
+        if not HAVE_SPARSE_DIJKSTRA:  # pragma: no cover - scipy baked in
+            raise ModelError(
+                "ShortestPathEngine requires scipy.sparse.csgraph")
+        self.network = network
+        costs = np.asarray(edge_costs, dtype=float) if validated \
+            else validate_edge_costs(network, edge_costs)
+        self._structure = structure = network.csr_structure()
+        pair_id = structure["pair_id"]
+        num_pairs = len(structure["pair_tail"])
+        if structure["has_parallel"]:
+            pair_costs = np.full(num_pairs, math.inf)
+            np.minimum.at(pair_costs, pair_id, costs)
+            # Representative edge per pair: scatter in descending cost order
+            # so the cheapest edge (ties: lowest index) wins the final write.
+            order = np.lexsort((np.arange(len(costs)), costs))[::-1]
+            representatives = np.empty(num_pairs, dtype=np.int64)
+            representatives[pair_id[order]] = order
+        else:
+            # One edge per pair; scatter into the pair ordering (pairs are
+            # sorted by node-index key, not by edge insertion order).
+            pair_costs = np.empty(num_pairs)
+            pair_costs[pair_id] = costs
+            representatives = np.empty(num_pairs, dtype=np.int64)
+            representatives[pair_id] = np.arange(len(costs), dtype=np.int64)
+        self._pair_costs = pair_costs
+        self._representatives = representatives
+        n = network.num_nodes
+        self._graph = _csr_matrix(
+            (pair_costs, (structure["pair_tail"], structure["pair_head"])),
+            shape=(n, n))
+        #: Per-source results: node index -> (distance row, predecessor row).
+        self._trees: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def _node_index(self, node: Node) -> int:
+        try:
+            return self._structure["node_index"][node]
+        except KeyError:
+            raise ModelError(f"node {node!r} is not in the network") from None
+
+    def run(self, sources: Sequence[Node]) -> None:
+        """Solve single-source shortest paths from every distinct source.
+
+        One ``csgraph.dijkstra`` call covers all not-yet-solved sources;
+        results accumulate on the engine (repeated calls only compute the new
+        sources) for :meth:`distance` / :meth:`path_edges` lookups.
+        """
+        pending: List[int] = []
+        for source in sources:
+            idx = self._node_index(source)
+            if idx not in self._trees and idx not in pending:
+                pending.append(idx)
+        if not pending:
+            return
+        dist, pred = _sparse_dijkstra(self._graph, directed=True,
+                                      indices=pending,
+                                      return_predecessors=True)
+        dist = np.atleast_2d(dist)
+        pred = np.atleast_2d(pred)
+        for row, idx in enumerate(pending):
+            self._trees[idx] = (dist[row], pred[row])
+
+    def _tree(self, source: Node) -> Tuple[np.ndarray, np.ndarray]:
+        idx = self._node_index(source)
+        try:
+            return self._trees[idx]
+        except KeyError:
+            raise ModelError(
+                f"source {source!r} was not part of any run()") from None
+
+    def distance(self, source: Node, sink: Node) -> float:
+        """Shortest-path cost from ``source`` to ``sink`` (``inf`` if none)."""
+        dist, _ = self._tree(source)
+        return float(dist[self._node_index(sink)])
+
+    def path_edges(self, source: Node, sink: Node) -> List[int]:
+        """Canonical edge indices of one shortest ``source -> sink`` path."""
+        dist, pred_row = self._tree(source)
+        source_idx = self._node_index(source)
+        sink_idx = self._node_index(sink)
+        if not np.isfinite(dist[sink_idx]):
+            raise ModelError(f"node {sink!r} is unreachable from {source!r}")
+        pair_lookup = self._structure["pair_lookup"]
+        representatives = self._representatives
+        path: List[int] = []
+        node = sink_idx
+        while node != source_idx:
+            prev = int(pred_row[node])
+            if prev < 0:
+                raise ModelError(
+                    f"no predecessor recorded for node {sink!r}")
+            path.append(int(representatives[pair_lookup[(prev, node)]]))
+            node = prev
+        path.reverse()
+        return path

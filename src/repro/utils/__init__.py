@@ -18,6 +18,11 @@ from repro.utils.numeric import (
 from repro.utils.rootfind import bisect_root, expand_upper_bracket
 from repro.utils.optimize import golden_section_minimize, grid_refine_minimize
 from repro.utils.tables import format_table
+from repro.utils.vectorized import (
+    expand_upper_brackets,
+    piecewise_linear_level,
+    vectorized_bisect,
+)
 
 __all__ = [
     "DEFAULT_ATOL",
@@ -32,4 +37,7 @@ __all__ = [
     "golden_section_minimize",
     "grid_refine_minimize",
     "format_table",
+    "piecewise_linear_level",
+    "vectorized_bisect",
+    "expand_upper_brackets",
 ]

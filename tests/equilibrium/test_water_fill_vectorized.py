@@ -1,0 +1,154 @@
+"""Vectorized/reference water-filling equivalence (the kernel contract).
+
+Parametrized over random mixed instances (linear, M/M/1, polynomial, power
+and constant families), both solve kinds, zero-demand and constant-floor edge
+cases: the vectorized backend must match the scalar reference to 1e-9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import SolveConfig
+from repro.core.optop import optop
+from repro.equilibrium.parallel import (
+    parallel_nash,
+    parallel_optimum,
+    water_fill,
+)
+from repro.exceptions import ModelError
+from repro.latency import (
+    BPRLatency,
+    ConstantLatency,
+    LinearLatency,
+    MM1Latency,
+    MonomialLatency,
+    PolynomialLatency,
+)
+from repro.instances import random_linear_parallel, random_mixed_parallel
+from repro.network.parallel import ParallelLinkInstance
+
+EQ_TOL = 1e-9
+
+
+def random_family_links(seed: int, m: int = 12):
+    """A heterogeneous link set drawing from every analytic family."""
+    rng = np.random.default_rng(seed)
+    links = []
+    for i in range(m):
+        kind = rng.integers(0, 5)
+        if kind == 0:
+            links.append(LinearLatency(float(rng.uniform(0.2, 3.0)),
+                                       float(rng.uniform(0.0, 1.0))))
+        elif kind == 1:
+            links.append(MM1Latency(float(rng.uniform(2.0, 6.0))))
+        elif kind == 2:
+            links.append(MonomialLatency(float(rng.uniform(0.3, 2.0)),
+                                         float(rng.integers(2, 5)),
+                                         float(rng.uniform(0.0, 0.5))))
+        elif kind == 3:
+            coeffs = rng.uniform(0.1, 1.0, size=int(rng.integers(2, 5)))
+            links.append(PolynomialLatency([float(c) for c in coeffs]))
+        else:
+            links.append(ConstantLatency(float(rng.uniform(0.8, 2.0))))
+    if all(lat.is_constant for lat in links):
+        links[0] = LinearLatency(1.0, 0.0)
+    return links
+
+
+def assert_backends_agree(latencies, demand, kind, *, tol=1e-12):
+    vec_flows, vec_level = water_fill(latencies, demand, kind, tol=tol)
+    ref_flows, ref_level = water_fill(latencies, demand, kind, tol=tol,
+                                      backend="reference")
+    np.testing.assert_allclose(vec_flows, ref_flows, atol=EQ_TOL, rtol=0.0)
+    assert vec_level == pytest.approx(ref_level, abs=EQ_TOL)
+    if demand > 0.0:
+        assert vec_flows.sum() == pytest.approx(demand, rel=1e-9)
+
+
+class TestRandomMixedEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("kind", ["nash", "optimum"])
+    def test_mixed_families(self, seed, kind):
+        links = random_family_links(seed)
+        demand = float(np.random.default_rng(1000 + seed).uniform(0.1, 4.0))
+        assert_backends_agree(links, demand, kind)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("kind", ["nash", "optimum"])
+    def test_all_linear_uses_exact_closed_form(self, seed, kind):
+        instance = random_linear_parallel(40, demand=7.5, seed=seed)
+        assert_backends_agree(instance.latencies, instance.demand, kind)
+
+    @pytest.mark.parametrize("kind", ["nash", "optimum"])
+    def test_generator_mixed_instances(self, kind):
+        instance = random_mixed_parallel(30, demand=4.0, seed=5)
+        assert_backends_agree(instance.latencies, instance.demand, kind)
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("kind", ["nash", "optimum"])
+    def test_zero_demand(self, kind):
+        links = random_family_links(3)
+        assert_backends_agree(links, 0.0, kind)
+
+    @pytest.mark.parametrize("kind", ["nash", "optimum"])
+    def test_constant_floor_absorbs_excess(self, kind):
+        # A cheap constant link caps the level: the constants must soak up
+        # the flow the increasing links cannot take below the floor.
+        links = [LinearLatency(1.0, 0.0), ConstantLatency(0.5),
+                 ConstantLatency(0.5), LinearLatency(2.0, 0.1)]
+        assert_backends_agree(links, 10.0, kind)
+
+    @pytest.mark.parametrize("kind", ["nash", "optimum"])
+    def test_all_constant_links(self, kind):
+        links = [ConstantLatency(1.0), ConstantLatency(1.0)]
+        assert_backends_agree(links, 2.0, kind)
+
+    @pytest.mark.parametrize("kind", ["nash", "optimum"])
+    def test_bpr_and_constant_mixture(self, kind):
+        links = [BPRLatency(1.0, 2.0), BPRLatency(0.5, 1.0, alpha=0.3),
+                 ConstantLatency(1.8), LinearLatency(0.7, 0.2)]
+        assert_backends_agree(links, 3.0, kind)
+
+    def test_unknown_kind_raises_on_both_backends(self):
+        links = [LinearLatency(1.0)]
+        with pytest.raises(ModelError):
+            water_fill(links, 1.0, "nope")
+        with pytest.raises(ModelError):
+            water_fill(links, 1.0, "nope", backend="reference")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ModelError):
+            water_fill([LinearLatency(1.0)], 1.0, "nash", backend="turbo")
+
+
+class TestConfigSelection:
+    def test_reference_backend_selectable_via_config(self):
+        instance = random_mixed_parallel(10, demand=2.0, seed=9)
+        config = SolveConfig(kernel_backend="reference")
+        ref = parallel_nash(instance, config=config)
+        vec = parallel_nash(instance)
+        np.testing.assert_allclose(ref.flows, vec.flows, atol=EQ_TOL)
+        assert ref.common_value == pytest.approx(vec.common_value, abs=EQ_TOL)
+
+    def test_invalid_kernel_backend_rejected(self):
+        with pytest.raises(ModelError):
+            SolveConfig(kernel_backend="turbo")
+
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_optop_identical_across_backends(self, seed):
+        instance = random_mixed_parallel(14, demand=3.0, seed=seed)
+        vec = optop(instance)
+        ref = optop(instance, config=SolveConfig(kernel_backend="reference"))
+        assert vec.beta == pytest.approx(ref.beta, abs=1e-8)
+        np.testing.assert_allclose(vec.strategy.flows, ref.strategy.flows,
+                                   atol=1e-8)
+
+    def test_optimum_matches_reference_through_config(self):
+        instance = random_linear_parallel(25, demand=6.0, seed=2)
+        vec = parallel_optimum(instance)
+        ref = parallel_optimum(instance,
+                               config=SolveConfig(kernel_backend="reference"))
+        np.testing.assert_allclose(vec.flows, ref.flows, atol=EQ_TOL)
