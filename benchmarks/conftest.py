@@ -1,7 +1,8 @@
 """Shared helpers for the benchmark harness.
 
 Every benchmark module regenerates one paper artifact (figure, worked example
-or theorem claim) via :mod:`repro.analysis.experiments`, times it with
+or theorem claim) through the declarative study pipeline
+(:func:`repro.analysis.studies.run_experiment`), times it with
 ``pytest-benchmark`` and prints the regenerated table so that the harness
 output documents the reproduced numbers alongside the timings.
 
@@ -28,7 +29,10 @@ def run_and_report(benchmark, experiment, *args, **kwargs):
     print()
     print(record.to_table())
     RESULTS_DIR.mkdir(exist_ok=True)
-    suffix = "_".join(str(v) for v in list(args) + list(kwargs.values()))
+    # run_experiment takes the experiment id as its first argument; it is
+    # already the filename stem, so it does not repeat in the suffix.
+    extra = [v for v in args if v != record.experiment_id]
+    suffix = "_".join(str(v) for v in extra + list(kwargs.values()))
     name = record.experiment_id + (f"_{suffix}" if suffix else "")
     safe_name = "".join(ch if ch.isalnum() or ch in "._-" else "_" for ch in name)
     (RESULTS_DIR / f"{safe_name}.txt").write_text(record.to_table() + "\n",

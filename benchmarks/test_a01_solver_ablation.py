@@ -5,9 +5,9 @@ computable"; this ablation shows that the two solvers we implement agree, so
 the choice does not affect any reproduced number.
 """
 
-from repro.analysis.ablation import ablation_solver_agreement
+from repro.analysis.studies import run_experiment
 
 
 def test_a01_solver_agreement(report):
-    record = report(ablation_solver_agreement, seeds=(0, 1))
+    record = report(run_experiment, "A1", seeds=(0, 1))
     assert record.experiment_id == "A1"

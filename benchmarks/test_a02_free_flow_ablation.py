@@ -5,9 +5,9 @@ max-flow inside the shortest-path subgraph: it never demands more control than
 the naive greedy-decomposition alternative and still induces the optimum.
 """
 
-from repro.analysis.ablation import ablation_free_flow_rule
+from repro.analysis.studies import run_experiment
 
 
 def test_a02_free_flow_rule(report):
-    record = report(ablation_free_flow_rule, seeds=(0, 1))
+    record = report(run_experiment, "A2", seeds=(0, 1))
     assert record.experiment_id == "A2"

@@ -1,8 +1,8 @@
 """A3 — Ablation: sensitivity of beta to the shortest-path classification slack."""
 
-from repro.analysis.ablation import ablation_shortest_path_tolerance
+from repro.analysis.studies import run_experiment
 
 
 def test_a03_shortest_path_tolerance(report):
-    record = report(ablation_shortest_path_tolerance)
+    record = report(run_experiment, "A3")
     assert record.experiment_id == "A3"

@@ -4,9 +4,9 @@ Regenerates the Nash/optimum flows, the 4/3 anarchy cost and the Price of
 Optimum beta = 1/2 with the Leader strategy <0, 1/2> of Figures 2–3.
 """
 
-from repro.analysis.experiments import experiment_pigou
+from repro.analysis.studies import run_experiment
 
 
 def test_e01_pigou_example(report):
-    record = report(experiment_pigou)
+    record = report(run_experiment, "E1")
     assert record.experiment_id == "E1"

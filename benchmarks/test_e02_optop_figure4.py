@@ -5,9 +5,9 @@ that OpTop freezes exactly M4 and M5, that beta = 29/120 and that the induced
 equilibrium matches the optimum (Figure 6).
 """
 
-from repro.analysis.experiments import experiment_figure4_optop
+from repro.analysis.studies import run_experiment
 
 
 def test_e02_figure4_walkthrough(report):
-    record = report(experiment_figure4_optop)
+    record = report(run_experiment, "E2")
     assert record.experiment_id == "E2"

@@ -7,14 +7,14 @@ strategy induces the optimum cost despite the 1/alpha lower-bound example.
 
 import pytest
 
-from repro.analysis.experiments import experiment_roughgarden_mop
+from repro.analysis.studies import run_experiment
 
 
 def test_e03_roughgarden_unperturbed(report):
-    record = report(experiment_roughgarden_mop, epsilon=0.0)
+    record = report(run_experiment, "E3", epsilon=0.0)
     assert record.experiment_id == "E3"
 
 
 @pytest.mark.parametrize("epsilon", [0.02, 0.08])
 def test_e03_roughgarden_perturbed(report, epsilon):
-    report(experiment_roughgarden_mop, epsilon=epsilon)
+    report(run_experiment, "E3", epsilon=epsilon)

@@ -5,10 +5,10 @@ reports beta statistics and verifies that OpTop's strategy always induces the
 optimum cost and that no grid strategy below beta can do so.
 """
 
-from repro.analysis.experiments import experiment_optop_random_families
+from repro.analysis.studies import run_experiment
 
 
 def test_e04_optop_random_families(report):
-    record = report(experiment_optop_random_families,
+    record = report(run_experiment, "E4",
                     num_instances=4, num_links=6)
     assert record.experiment_id == "E4"

@@ -4,9 +4,10 @@ Reports beta, optimum cost and induced cost on grid, layered and
 2-commodity instances, plus the classic Braess graph where beta = 1.
 """
 
-from repro.analysis.experiments import experiment_mop_networks
+from repro.analysis.studies import run_experiment
 
 
 def test_e05_mop_networks(report):
-    record = report(experiment_mop_networks, seeds=(0, 1))
+    record = report(run_experiment, "E5",
+                    seeds=(0, 1))
     assert record.experiment_id == "E5"

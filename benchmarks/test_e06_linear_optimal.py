@@ -5,9 +5,10 @@ search at alpha in {0.25, 0.5, 0.75} x beta and checks it recovers C(O) at
 alpha = beta.
 """
 
-from repro.analysis.experiments import experiment_linear_optimal
+from repro.analysis.studies import run_experiment
 
 
 def test_e06_linear_optimal_strategy(report):
-    record = report(experiment_linear_optimal, num_links=4, brute_resolution=16)
+    record = report(run_experiment, "E6",
+                    num_links=4, brute_resolution=16)
     assert record.experiment_id == "E6"

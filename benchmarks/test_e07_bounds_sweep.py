@@ -5,9 +5,9 @@ latencies) and 4/(3+alpha) (linear latencies), and that for alpha >= beta the
 ratio is exactly 1 via OpTop's strategy.
 """
 
-from repro.analysis.experiments import experiment_bound_sweep
+from repro.analysis.studies import run_experiment
 
 
 def test_e07_bound_sweep(report):
-    record = report(experiment_bound_sweep)
+    record = report(run_experiment, "E7")
     assert record.experiment_id == "E7"

@@ -4,9 +4,9 @@ Shows that the Price of Optimum shrinks when the farm contains a small group
 of highly appealing (fast) links, and vanishes for identical links.
 """
 
-from repro.analysis.experiments import experiment_mm1_beta
+from repro.analysis.studies import run_experiment
 
 
 def test_e08_mm1_beta(report):
-    record = report(experiment_mm1_beta)
+    record = report(run_experiment, "E8")
     assert record.experiment_id == "E8"

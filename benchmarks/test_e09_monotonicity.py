@@ -1,8 +1,8 @@
 """E9 — Proposition 7.1: Nash link flows are monotone in the demand."""
 
-from repro.analysis.experiments import experiment_monotonicity
+from repro.analysis.studies import run_experiment
 
 
 def test_e09_monotonicity(report):
-    record = report(experiment_monotonicity)
+    record = report(run_experiment, "E9")
     assert record.experiment_id == "E9"

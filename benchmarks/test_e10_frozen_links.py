@@ -4,9 +4,9 @@ Random sub-Nash strategies must recreate the Nash equilibrium exactly, and
 links frozen above their Nash load must receive zero induced selfish flow.
 """
 
-from repro.analysis.experiments import experiment_frozen_links
+from repro.analysis.studies import run_experiment
 
 
 def test_e10_frozen_links(report):
-    record = report(experiment_frozen_links)
+    record = report(run_experiment, "E10")
     assert record.experiment_id == "E10"

@@ -1,9 +1,10 @@
 """E11 — polynomial-time claims: runtime scaling of OpTop and MOP."""
 
-from repro.analysis.experiments import experiment_scaling
+from repro.analysis.studies import run_experiment
 
 
 def test_e11_runtime_scaling(report):
-    record = report(experiment_scaling, optop_sizes=(8, 16, 32, 64),
+    record = report(run_experiment, "E11",
+                    optop_sizes=(8, 16, 32, 64),
                     mop_sides=(3, 4, 5))
     assert record.experiment_id == "E11"

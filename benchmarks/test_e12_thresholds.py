@@ -1,8 +1,8 @@
 """E12 — footnote 6 / Sharma–Williamson: minimum useful control vs beta."""
 
-from repro.analysis.experiments import experiment_thresholds
+from repro.analysis.studies import run_experiment
 
 
 def test_e12_useful_control_thresholds(report):
-    record = report(experiment_thresholds)
+    record = report(run_experiment, "E12")
     assert record.experiment_id == "E12"

@@ -5,9 +5,10 @@ Compares the uniform-fraction (weak) Price of Optimum with the per-commodity
 strategies on asymmetric multicommodity instances.
 """
 
-from repro.analysis.experiments import experiment_weak_strong
+from repro.analysis.studies import run_experiment
 
 
 def test_e13_weak_vs_strong(report):
-    record = report(experiment_weak_strong, seeds=(0, 1, 2))
+    record = report(run_experiment, "E13",
+                    seeds=(0, 1, 2))
     assert record.experiment_id == "E13"

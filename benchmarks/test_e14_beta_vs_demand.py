@@ -4,9 +4,10 @@ Sweeps the total demand on the canonical parallel-link instances and checks
 that beta is positive exactly where selfish routing is suboptimal.
 """
 
-from repro.analysis.experiments import experiment_beta_vs_demand
+from repro.analysis.studies import run_experiment
 
 
 def test_e14_beta_vs_demand(report):
-    record = report(experiment_beta_vs_demand, num_points=6)
+    record = report(run_experiment, "E14",
+                    num_points=6)
     assert record.experiment_id == "E14"

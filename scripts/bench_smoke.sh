@@ -46,3 +46,38 @@ mean_beta = sum(r.beta for r in reports) / len(reports)
 print(f"bench_smoke OK: 16 instances, cold {cold:.3f}s, warm {warm:.4f}s, "
       f"mean beta {mean_beta:.4f}")
 PY
+
+# Resume smoke test of the declarative study pipeline: the same smoke study
+# run twice against one artifact store must be 100% store hits the second
+# time (zero solver calls), which is what `repro study resume` relies on.
+STORE_DIR="$(mktemp -d)"
+trap 'rm -rf "$STORE_DIR"' EXIT
+
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} STUDY_STORE="$STORE_DIR" python - <<'PY'
+import os
+
+from repro.api import cache_stats, clear_cache
+from repro.study import ArtifactStore, get_named_study, run_study
+
+store = ArtifactStore(os.environ["STUDY_STORE"])
+spec = get_named_study("smoke")
+
+clear_cache()
+cold = run_study(spec, store=store)
+assert len(cold) == spec.num_cells, (len(cold), spec.num_cells)
+assert cold.store_hits == 0, cold.store_hits
+assert cold.solver_calls == spec.num_cells, cold.solver_calls
+assert all(r.report.attains_optimum for r in cold), "OpTop failed on a cell"
+
+clear_cache()  # drop the in-process cache: only the artifacts may serve
+warm = run_study(spec, store=store)
+assert warm.fully_resumed, (
+    f"expected zero solver calls on resume, got {warm.solver_calls}")
+assert warm.store_hits == spec.num_cells, warm.store_hits
+assert cache_stats()["misses"] == 0, cache_stats()
+assert [r.report.beta for r in warm] == [r.report.beta for r in cold]
+
+print(f"study_smoke OK: {spec.num_cells} cells, second run "
+      f"{warm.store_hits}/{spec.num_cells} artifact hits, "
+      f"{warm.solver_calls} solver calls")
+PY

@@ -1,39 +1,54 @@
 #!/usr/bin/env python3
 """Regenerate the measured-results section of EXPERIMENTS.md.
 
-Runs every experiment in :mod:`repro.analysis.experiments` and prints the
-regenerated tables together with the paper-vs-measured claim lists.  The
-output of this script is pasted into EXPERIMENTS.md (section "Measured
-results"); re-run it after any solver change to refresh the numbers::
+Runs every declarative experiment plan (E1-E14, and the ablations with
+``--ablations``) through the study pipeline and prints the regenerated
+tables together with the paper-vs-measured claim lists.  The output of this
+script is pasted into EXPERIMENTS.md (section "Measured results"); re-run it
+after any solver change to refresh the numbers::
 
-    python scripts/generate_experiments_report.py > /tmp/experiments_section.txt
+    PYTHONPATH=src python scripts/generate_experiments_report.py \
+        > /tmp/experiments_section.txt
+
+Pass ``--store DIR`` to make the run resumable: every solver cell lands in
+the content-addressed artifact store, so a re-run (for example after editing
+only the prose) performs zero solver work.
 """
 
 from __future__ import annotations
 
-from repro.analysis import experiments
+import argparse
+import sys
+
+from repro.analysis.studies import build_experiment, experiment_ids
+from repro.study import ArtifactStore
 
 
-def main() -> None:
-    ordered = [
-        experiments.experiment_pigou,
-        experiments.experiment_figure4_optop,
-        experiments.experiment_roughgarden_mop,
-        experiments.experiment_optop_random_families,
-        experiments.experiment_mop_networks,
-        experiments.experiment_linear_optimal,
-        experiments.experiment_bound_sweep,
-        experiments.experiment_mm1_beta,
-        experiments.experiment_monotonicity,
-        experiments.experiment_frozen_links,
-        experiments.experiment_scaling,
-        experiments.experiment_thresholds,
-        experiments.experiment_weak_strong,
-        experiments.experiment_beta_vs_demand,
-    ]
-    for experiment in ordered:
-        record = experiment()
-        status = "all claims hold" if record.all_claims_hold else "CLAIMS FAILED"
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", default=None,
+                        help="artifact-store directory (resumable runs)")
+    parser.add_argument("--ablations", action="store_true",
+                        help="include the design ablations A1-A3")
+    parser.add_argument("--only", nargs="+", default=None,
+                        help="restrict to specific experiment ids")
+    args = parser.parse_args(argv)
+
+    store = None if args.store is None else ArtifactStore(args.store)
+    known = experiment_ids()
+    unknown = sorted(set(args.only or ()) - set(known))
+    if unknown:
+        parser.error(f"unknown experiment ids: {', '.join(unknown)} "
+                     f"(known: {', '.join(known)})")
+    ids = args.only or [eid for eid in known
+                        if args.ablations or eid.startswith("E")]
+    failures = []
+    for experiment_id in ids:
+        record = build_experiment(experiment_id).run(store=store)
+        status = ("all claims hold" if record.all_claims_hold
+                  else "CLAIMS FAILED")
+        if not record.all_claims_hold:
+            failures.append(experiment_id)
         print(f"### {record.experiment_id} — {record.title}")
         print()
         print(f"Status: {status}.")
@@ -42,7 +57,13 @@ def main() -> None:
         print(record.to_table())
         print("```")
         print()
+    if store is not None:
+        stats = store.stats()
+        print(f"<!-- artifact store: {stats['hits']} hits, "
+              f"{stats['misses']} misses, {stats['writes']} writes -->",
+              file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

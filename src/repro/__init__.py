@@ -119,8 +119,17 @@ from repro.api import (
 )
 from repro import api
 from repro import instances
+from repro import study
+from repro.study import (
+    ArtifactStore,
+    GeneratorAxis,
+    StudySpec,
+    make_instance,
+    register_generator,
+    run_study,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # exceptions
@@ -209,5 +218,13 @@ __all__ = [
     "instance_digest",
     # instance library
     "instances",
+    # declarative study pipeline
+    "study",
+    "StudySpec",
+    "GeneratorAxis",
+    "ArtifactStore",
+    "run_study",
+    "make_instance",
+    "register_generator",
     "__version__",
 ]

@@ -1,21 +1,34 @@
-"""Experiment harness: sweeps, statistics, and the per-figure experiments.
+"""Experiment harness: declarative studies, sweeps, statistics, records.
 
-The benchmark modules under ``benchmarks/`` are thin wrappers around the
-functions here; keeping the experiment logic inside the library makes it
-reusable from the examples and unit-testable on its own.
+The paper experiments are defined as declarative study plans in
+:mod:`repro.analysis.studies` (:func:`run_experiment` is the entry point);
+the benchmark modules under ``benchmarks/`` are thin wrappers around them.
+:mod:`repro.analysis.experiments` and :mod:`repro.analysis.ablation` keep
+the legacy imperative entry points alive as deprecated wrappers.
 """
 
 from repro.analysis.reporting import ExperimentRecord
+from repro.analysis.studies import (
+    ExperimentPlan,
+    build_experiment,
+    experiment_ids,
+    run_experiment,
+)
 from repro.analysis.sweep import alpha_sweep, beta_statistics
 from repro.analysis.scaling import mop_scaling, optop_scaling
-from repro.analysis import ablation, experiments
+from repro.analysis import ablation, experiments, studies
 
 __all__ = [
     "ExperimentRecord",
+    "ExperimentPlan",
+    "build_experiment",
+    "experiment_ids",
+    "run_experiment",
     "alpha_sweep",
     "beta_statistics",
     "optop_scaling",
     "mop_scaling",
     "experiments",
     "ablation",
+    "studies",
 ]

@@ -1,34 +1,34 @@
-"""Ablations of the reproduction's own design choices.
+"""Ablations of the reproduction's own design choices: Study-API wrappers.
 
 DESIGN.md makes three implementation choices that the paper leaves open (it
-only says "efficiently computable"); the ablations here quantify that none of
+only says "efficiently computable"); the ablations quantify that none of
 them drives the results:
 
-* **Solver choice** — the exact path-based solver versus Frank–Wolfe must
-  agree on equilibrium/optimum costs (within the Frank–Wolfe gap).
-* **Free-flow computation** — MOP's max-flow free flow versus a naive greedy
-  path-decomposition classification: the max-flow choice can only give a
-  smaller (never larger) Price of Optimum, and both induce the optimum.
-* **Shortest-path tolerance** — the edge-classification slack
+* **Solver choice** (A1) — the exact path-based solver versus Frank–Wolfe
+  must agree on equilibrium/optimum costs (within the Frank–Wolfe gap).
+* **Free-flow computation** (A2) — MOP's max-flow free flow versus a naive
+  greedy path-decomposition classification: the max-flow choice can only
+  give a smaller (never larger) Price of Optimum, and both induce the
+  optimum.
+* **Shortest-path tolerance** (A3) — the edge-classification slack
   ``shortest_path_atol`` must not change beta over several orders of
   magnitude once it is above the solver noise.
+
+.. deprecated::
+    The ablations are defined as declarative plans ``"A1"``/``"A2"``/``"A3"``
+    in :mod:`repro.analysis.studies` (A3's tolerance sweep runs as study
+    cells through the artifact store); these wrappers delegate to
+    :func:`repro.analysis.studies.run_experiment` and emit
+    :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from repro.analysis.reporting import ExperimentRecord
-from repro.core.mop import mop
-from repro.equilibrium.frank_wolfe import FrankWolfeOptions, frank_wolfe
-from repro.equilibrium.pathbased import path_based_flow
-from repro.instances.braess import roughgarden_example
-from repro.instances.random_networks import grid_network, layered_network
-from repro.paths.decomposition import decompose_flow
-from repro.paths.dijkstra import shortest_distances
-from repro.utils.numeric import relative_gap
+from repro.analysis.studies import run_experiment
+from repro.analysis.studies import warn_deprecated_wrapper as _deprecated
 
 __all__ = [
     "ablation_solver_agreement",
@@ -39,111 +39,30 @@ __all__ = [
 
 def ablation_solver_agreement(*, seeds: Sequence[int] = (0, 1, 2),
                               fw_tolerance: float = 1e-7) -> ExperimentRecord:
-    """Path-based SLSQP and Frank–Wolfe agree on Nash and optimum costs."""
-    record = ExperimentRecord(
-        "A1", "Ablation: exact path-based solver vs Frank-Wolfe",
-        headers=("instance", "kind", "path-based cost", "Frank-Wolfe cost",
-                 "relative gap"))
-    worst = 0.0
-    for seed in seeds:
-        instance = grid_network(3, 3, demand=2.0, seed=seed)
-        for kind in ("nash", "optimum"):
-            exact = path_based_flow(instance, kind)
-            iterative = frank_wolfe(instance, kind,
-                                    FrankWolfeOptions(tolerance=fw_tolerance))
-            gap = relative_gap(iterative.cost, exact.cost)
-            worst = max(worst, gap)
-            record.add_row(f"grid 3x3 (seed {seed})", kind, exact.cost,
-                           iterative.cost, gap)
-    record.add_claim("Both solvers compute the same flows/costs "
-                     "(the choice is an implementation detail)",
-                     f"worst relative cost gap {worst:.2e}", worst < 1e-4)
-    return record
+    """Path-based SLSQP and Frank–Wolfe agree on Nash and optimum costs.
 
-
-def _greedy_free_flow(instance, result) -> float:
-    """Free flow according to a naive greedy path decomposition of the optimum.
-
-    Decomposes the optimum into paths and counts as *free* only the flow on
-    decomposed paths whose latency equals the shortest-path distance.  This is
-    the obvious alternative to the max-flow rule; it depends on the (arbitrary)
-    decomposition and can only under-estimate the free flow.
+    .. deprecated:: use ``run_experiment("A1", ...)``.
     """
-    costs = instance.latencies_at(result.optimum.edge_flows)
-    free_total = 0.0
-    remaining = result.optimum.edge_flows.copy()
-    for commodity in instance.commodities:
-        dist, _ = shortest_distances(instance.network, commodity.source, costs)
-        target = dist[commodity.sink]
-        paths = decompose_flow(instance.network, remaining, commodity.source,
-                               commodity.sink)
-        shipped = 0.0
-        for path, value in paths:
-            take = min(value, commodity.demand - shipped)
-            if take <= 0.0:
-                break
-            length = float(sum(costs[idx] for idx in path))
-            if length <= target + 1e-6:
-                free_total += take
-            for idx in path:
-                remaining[idx] -= take
-            shipped += take
-    return free_total
+    _deprecated("ablation_solver_agreement", "A1")
+    return run_experiment("A1", seeds=seeds, fw_tolerance=fw_tolerance)
 
 
-def ablation_free_flow_rule(*, seeds: Sequence[int] = (0, 1, 2)) -> ExperimentRecord:
-    """MOP's max-flow free flow is never smaller than a greedy decomposition's."""
-    record = ExperimentRecord(
-        "A2", "Ablation: max-flow free flow vs greedy path-decomposition",
-        headers=("instance", "beta (max-flow)", "beta (greedy)",
-                 "induced = optimum"))
-    consistent = True
-    induced_ok = True
-    cases = [("roughgarden", roughgarden_example())]
-    for seed in seeds:
-        cases.append((f"grid 3x3 (seed {seed})",
-                      grid_network(3, 3, demand=2.0, seed=seed)))
-        cases.append((f"layered (seed {seed})",
-                      layered_network(3, 3, demand=2.0, seed=seed)))
-    for name, instance in cases:
-        result = mop(instance)
-        greedy_free = _greedy_free_flow(instance, result)
-        greedy_beta = 1.0 - greedy_free / instance.total_demand
-        reaches_optimum = relative_gap(result.induced_cost,
-                                       result.optimum_cost) < 1e-5
-        record.add_row(name, result.beta, greedy_beta,
-                       "yes" if reaches_optimum else "NO")
-        if result.beta > greedy_beta + 1e-6:
-            consistent = False
-        if not reaches_optimum:
-            induced_ok = False
-    record.add_claim("The max-flow rule never demands more control than the "
-                     "greedy decomposition rule",
-                     "beta(max-flow) <= beta(greedy) on every instance",
-                     consistent)
-    record.add_claim("The max-flow strategy still induces the optimum cost",
-                     "holds on every instance", induced_ok)
-    return record
+def ablation_free_flow_rule(*, seeds: Sequence[int] = (0, 1, 2),
+                            ) -> ExperimentRecord:
+    """MOP's max-flow free flow is never smaller than a greedy decomposition's.
+
+    .. deprecated:: use ``run_experiment("A2", seeds=...)``.
+    """
+    _deprecated("ablation_free_flow_rule", "A2")
+    return run_experiment("A2", seeds=seeds)
 
 
 def ablation_shortest_path_tolerance(
         *, tolerances: Sequence[float] = (1e-6, 1e-5, 1e-4, 1e-3),
         seeds: Sequence[int] = (0, 1)) -> ExperimentRecord:
-    """beta is insensitive to the shortest-path classification slack."""
-    record = ExperimentRecord(
-        "A3", "Ablation: sensitivity of beta to shortest_path_atol",
-        headers=("instance",) + tuple(f"atol={tol:g}" for tol in tolerances))
-    stable = True
-    cases = [("roughgarden", roughgarden_example())]
-    for seed in seeds:
-        cases.append((f"grid 3x3 (seed {seed})",
-                      grid_network(3, 3, demand=2.0, seed=seed)))
-    for name, instance in cases:
-        betas = [mop(instance, shortest_path_atol=tol, compute_induced=False).beta
-                 for tol in tolerances]
-        record.add_row(name, *betas)
-        if max(betas) - min(betas) > 1e-3:
-            stable = False
-    record.add_claim("beta varies by < 1e-3 across three orders of magnitude "
-                     "of the tolerance", "holds on every instance", stable)
-    return record
+    """beta is insensitive to the shortest-path classification slack.
+
+    .. deprecated:: use ``run_experiment("A3", ...)``.
+    """
+    _deprecated("ablation_shortest_path_tolerance", "A3")
+    return run_experiment("A3", tolerances=tolerances, seeds=seeds)

@@ -1,63 +1,31 @@
-"""Per-figure experiments (E1–E12 of DESIGN.md).
+"""Per-figure experiments (E1–E14): deprecated wrappers over the Study API.
 
-Each function regenerates the rows of one paper artifact (figure, worked
-example or theorem claim) and records paper-vs-measured comparisons in an
-:class:`~repro.analysis.reporting.ExperimentRecord`.  The benchmark modules
-simply run these functions under ``pytest-benchmark`` and assert that every
-claim holds; EXPERIMENTS.md is a narrative summary of their output.
+.. deprecated::
+    Every ``experiment_*`` function below is a thin back-compat wrapper over
+    the declarative study pipeline — the experiments themselves are defined
+    as :class:`~repro.analysis.studies.ExperimentPlan` values (a
+    :class:`~repro.study.spec.StudySpec` plus a summariser) in
+    :mod:`repro.analysis.studies`.  New code should call
+    :func:`repro.analysis.studies.run_experiment` directly, which
+    additionally accepts an :class:`~repro.study.store.ArtifactStore` for
+    resumable runs::
 
-The headline experiments (E1–E5) run through the unified :mod:`repro.api`
-surface — strategies are dispatched by registry name, instance families go
-through :func:`repro.api.solve_many`, and all measured quantities are read
-off :class:`~repro.api.report.SolveReport` records.  The structural
-experiments (E6 onwards) exercise internals the flat report deliberately
-does not expose (thresholds, monotonicity counters, frozen-link theory) and
-keep calling those modules directly.
+        from repro.analysis.studies import run_experiment
+        record = run_experiment("E3", epsilon=0.02)
+
+    The wrappers emit :class:`DeprecationWarning` and produce records that
+    are numerically equivalent (1e-9) to the historical imperative
+    implementations; the equivalence suite in
+    ``tests/study/test_experiment_equivalence.py`` pins this.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
-import numpy as np
-
 from repro.analysis.reporting import ExperimentRecord
-from repro.api.config import SolveConfig
-from repro.api.session import solve as api_solve
-from repro.api.session import solve_many as api_solve_many
-from repro.analysis.scaling import mop_scaling, optop_scaling
-from repro.analysis.sweep import alpha_sweep, beta_demand_sweep, beta_statistics
-from repro.core.commodity_split import commodity_control_split
-from repro.baselines.brute_force import brute_force_strategy
-from repro.baselines.llf import llf
-from repro.baselines.scale import scale
-from repro.core.frozen import induced_flow_on_frozen_links, is_useless_strategy
-from repro.core.linear_optimal import optimal_restricted_strategy
-from repro.core.monotonicity import nash_flow_monotonicity_violation
-from repro.core.mop import mop
-from repro.core.optop import optop
-from repro.core.thresholds import minimum_useful_control
-from repro.equilibrium.induced import induced_parallel_equilibrium
-from repro.equilibrium.parallel import parallel_nash, parallel_optimum
-from repro.equilibrium.network import network_nash
-from repro.instances.braess import braess_paradox, roughgarden_example
-from repro.instances.canonical import figure_4_example
-from repro.instances.mm1_farm import mm1_server_farm
-from repro.instances.pigou import pigou
-from repro.instances.random_networks import (
-    grid_network,
-    layered_network,
-    random_multicommodity_instance,
-)
-from repro.instances.random_parallel import (
-    random_affine_common_slope,
-    random_linear_parallel,
-    random_mixed_parallel,
-    random_polynomial_parallel,
-)
-from repro.metrics.anarchy import price_of_anarchy
-from repro.utils.numeric import relative_gap
+from repro.analysis.studies import run_experiment
+from repro.analysis.studies import warn_deprecated_wrapper as _deprecated
 
 __all__ = [
     "experiment_pigou",
@@ -77,509 +45,149 @@ __all__ = [
 ]
 
 
-# --------------------------------------------------------------------------- #
-# E1 — Figures 1–3: Pigou's example
-# --------------------------------------------------------------------------- #
 def experiment_pigou() -> ExperimentRecord:
-    """Reproduce Figures 1–3: Nash, optimum, PoA 4/3, beta = 1/2."""
-    report = api_solve(pigou(), "optop")
-    nash = report.nash_flows
-    optimum = report.optimum_flows
-    poa = report.price_of_anarchy
+    """Reproduce Figures 1–3: Nash, optimum, PoA 4/3, beta = 1/2.
 
-    record = ExperimentRecord(
-        "E1", "Pigou example (Figs 1-3): flows, anarchy cost and price of optimum",
-        headers=("quantity", "link M1", "link M2", "cost"))
-    record.add_row("Nash N", nash[0], nash[1], report.nash_cost)
-    record.add_row("Optimum O", optimum[0], optimum[1], report.optimum_cost)
-    record.add_row("Leader strategy S", report.leader_flows[0],
-                   report.leader_flows[1], "-")
-    record.add_row("Induced S+T", report.induced_flows[0],
-                   report.induced_flows[1], report.induced_cost)
-
-    record.add_claim("Nash floods the fast link: N = <1, 0>",
-                     f"N = <{nash[0]:.6f}, {nash[1]:.6f}>",
-                     abs(nash[0] - 1.0) < 1e-9 and abs(nash[1]) < 1e-9)
-    record.add_claim("Optimum balances the links: O = <1/2, 1/2>",
-                     f"O = <{optimum[0]:.6f}, {optimum[1]:.6f}>",
-                     abs(optimum[0] - 0.5) < 1e-9
-                     and abs(optimum[1] - 0.5) < 1e-9)
-    record.add_claim("Worst-case anarchy cost 4/3", f"{poa:.6f}",
-                     abs(poa - 4.0 / 3.0) < 1e-9)
-    record.add_claim("Price of Optimum beta = 1/2", f"{report.beta:.6f}",
-                     abs(report.beta - 0.5) < 1e-9)
-    record.add_claim("Strategy S = <0, 1/2> induces the optimum cost",
-                     f"C(S+T) = {report.induced_cost:.6f} vs "
-                     f"C(O) = {report.optimum_cost:.6f}",
-                     relative_gap(report.induced_cost, report.optimum_cost) < 1e-9)
-    return record
+    .. deprecated:: use ``run_experiment("E1")``.
+    """
+    _deprecated("experiment_pigou", "E1")
+    return run_experiment("E1")
 
 
-# --------------------------------------------------------------------------- #
-# E2 — Figures 4–6: the five-link OpTop walk-through
-# --------------------------------------------------------------------------- #
 def experiment_figure4_optop() -> ExperimentRecord:
-    """Reproduce Figures 4–6: OpTop freezes M4, M5 and induces the optimum."""
-    instance = figure_4_example()
-    report = api_solve(instance, "optop")
+    """Reproduce Figures 4–6: OpTop freezes M4, M5 and induces the optimum.
 
-    record = ExperimentRecord(
-        "E2", "Five-link OpTop walk-through (Figs 4-6)",
-        headers=("link", "latency", "nash flow", "optimum flow", "leader flow"))
-    descriptions = ("x", "1.5x", "2x", "2.5x + 1/6", "0.7")
-    for i in range(instance.num_links):
-        record.add_row(instance.names[i], descriptions[i], report.nash_flows[i],
-                       report.optimum_flows[i], report.leader_flows[i])
-
-    frozen_rounds = report.metadata["frozen_links"]
-    num_rounds = report.metadata["num_rounds"]
-    frozen_first_round = tuple(frozen_rounds[0]) if frozen_rounds else ()
-    expected_beta = 8.0 / 75.0 + 27.0 / 200.0  # o4 + o5 = 29/120
-    record.add_claim("Round 1 freezes exactly the under-loaded links M4, M5",
-                     f"frozen links (0-indexed): {frozen_first_round}",
-                     frozen_first_round == (3, 4))
-    record.add_claim("OpTop terminates after freezing once (Fig. 6)",
-                     f"{num_rounds} rounds (last detects no under-loaded link)",
-                     num_rounds == 2 and frozen_rounds[1] == [])
-    record.add_claim("Price of Optimum beta = o4 + o5 = 29/120",
-                     f"beta = {report.beta:.9f} (29/120 = {expected_beta:.9f})",
-                     abs(report.beta - expected_beta) < 1e-9)
-    record.add_claim("Remaining selfish flow induces the optimum on M1-M3",
-                     f"C(S+T) = {report.induced_cost:.9f} vs "
-                     f"C(O) = {report.optimum_cost:.9f}",
-                     relative_gap(report.induced_cost, report.optimum_cost) < 1e-9)
-    return record
+    .. deprecated:: use ``run_experiment("E2")``.
+    """
+    _deprecated("experiment_figure4_optop", "E2")
+    return run_experiment("E2")
 
 
-# --------------------------------------------------------------------------- #
-# E3 — Figure 7: the Roughgarden Example 6.5.1 graph
-# --------------------------------------------------------------------------- #
 def experiment_roughgarden_mop(epsilon: float = 0.0) -> ExperimentRecord:
-    """Reproduce Figure 7: MOP attains the optimum with beta ~ 1/2 + 2 eps."""
-    instance = roughgarden_example(epsilon)
-    report = api_solve(instance, "mop")
-    optimum_flows = report.optimum_flows
-    edge_names = ("s->v", "s->w", "v->w", "v->t", "w->t")
-    expected = (0.75 - epsilon, 0.25 + epsilon, 0.5 - 2 * epsilon,
-                0.25 + epsilon, 0.75 - epsilon)
+    """Reproduce Figure 7: MOP attains the optimum with beta ~ 1/2 + 2 eps.
 
-    record = ExperimentRecord(
-        "E3", "Roughgarden Example 6.5.1 graph (Fig 7): MOP and the price of optimum",
-        headers=("edge", "paper optimum flow", "measured optimum flow",
-                 "leader flow"))
-    for i, name in enumerate(edge_names):
-        record.add_row(name, expected[i], optimum_flows[i],
-                       report.leader_flows[i])
-
-    flows_match = all(abs(optimum_flows[i] - expected[i]) < 1e-5
-                      for i in range(5))
-    record.add_claim("Optimal edge flows match Fig. 7 (3/4-e, 1/4+e, 1/2-2e, ...)",
-                     "max deviation "
-                     f"{max(abs(optimum_flows[i] - expected[i]) for i in range(5)):.2e}",
-                     flows_match)
-    expected_beta = 0.5 + 2 * epsilon
-    record.add_claim("Price of Optimum beta_G = 1 - O_P0 / r = 1/2 + 2 eps",
-                     f"beta_G = {report.beta:.6f} (expected {expected_beta:.6f})",
-                     abs(report.beta - expected_beta) < 1e-4)
-    record.add_claim("MOP's strategy induces the optimum cost (guarantee 1 <= 1/alpha)",
-                     f"C(S+T) = {report.induced_cost:.9f} vs "
-                     f"C(O) = {report.optimum_cost:.9f}",
-                     relative_gap(report.induced_cost, report.optimum_cost) < 1e-6)
-    nash_cost = report.nash_cost if report.nash_cost is not None else float("nan")
-    record.add_claim("Selfish routing alone is strictly worse than the optimum",
-                     f"C(N) = {nash_cost:.6f} vs C(O) = {report.optimum_cost:.6f}",
-                     nash_cost > report.optimum_cost + 1e-9)
-    return record
+    .. deprecated:: use ``run_experiment("E3", epsilon=...)``.
+    """
+    _deprecated("experiment_roughgarden_mop", "E3")
+    return run_experiment("E3", epsilon=epsilon)
 
 
-# --------------------------------------------------------------------------- #
-# E4 — Corollary 2.2 on random parallel-link families
-# --------------------------------------------------------------------------- #
 def experiment_optop_random_families(*, num_instances: int = 5,
                                      num_links: int = 6,
                                      minimality_resolution: int = 12,
                                      ) -> ExperimentRecord:
-    """OpTop induces the optimum and its beta is minimal on random families."""
-    record = ExperimentRecord(
-        "E4", "OpTop on random parallel-link families (Cor. 2.2)",
-        headers=("family", "mean beta", "min beta", "max beta", "mean PoA",
-                 "optimum induced"))
+    """OpTop induces the optimum and its beta is minimal on random families.
 
-    families = {
-        "linear": [random_linear_parallel(num_links, demand=2.0, seed=s)
-                   for s in range(num_instances)],
-        "common-slope": [random_affine_common_slope(num_links, demand=2.0, seed=s)
-                         for s in range(num_instances)],
-        "polynomial": [random_polynomial_parallel(num_links, demand=2.0, seed=s)
-                       for s in range(num_instances)],
-        "mixed": [random_mixed_parallel(num_links, demand=2.0, seed=s)
-                  for s in range(num_instances)],
-    }
-    all_induce_optimum = True
-    for name, family in families.items():
-        # One batched registry call per family; beta_statistics then reuses the
-        # very same reports through the solve_many result cache.
-        reports = api_solve_many(family, "optop")
-        induce_ok = all(
-            relative_gap(r.induced_cost, r.optimum_cost) <= 1e-6 for r in reports)
-        stats, _ = beta_statistics(family)
-        all_induce_optimum = all_induce_optimum and induce_ok
-        record.add_row(name, stats.mean, stats.minimum, stats.maximum,
-                       stats.mean_poa, "yes" if induce_ok else "NO")
-
-    record.add_claim("OpTop's strategy always induces C(O) (a-posteriori ratio 1)",
-                     "every random instance reached the optimum cost",
-                     all_induce_optimum)
-
-    # Minimality spot-check on a small instance via brute force below beta.
-    small = random_linear_parallel(3, demand=1.5, seed=11)
-    small_report = api_solve(small, "optop")
-    below = max(0.0, small_report.beta - 0.08)
-    brute = api_solve(small, "brute_force", config=SolveConfig(
-        alpha=below, brute_force_resolution=minimality_resolution,
-        compute_nash=False))
-    minimality_holds = brute.induced_cost > small_report.optimum_cost * (1.0 + 1e-6)
-    record.add_claim("No strategy controlling alpha < beta_M reaches C(O) "
-                     "(grid search on a 3-link instance)",
-                     f"best grid cost {brute.induced_cost:.6f} > C(O) = "
-                     f"{small_report.optimum_cost:.6f}",
-                     minimality_holds)
-    return record
+    .. deprecated:: use ``run_experiment("E4", ...)``.
+    """
+    _deprecated("experiment_optop_random_families", "E4")
+    return run_experiment("E4", num_instances=num_instances,
+                          num_links=num_links,
+                          minimality_resolution=minimality_resolution)
 
 
-# --------------------------------------------------------------------------- #
-# E5 — Corollary 2.3 / Theorem 2.1 on s–t and k-commodity networks
-# --------------------------------------------------------------------------- #
-def experiment_mop_networks(*, seeds: Sequence[int] = (0, 1, 2)) -> ExperimentRecord:
-    """MOP induces the optimum on random s–t and multicommodity networks."""
-    record = ExperimentRecord(
-        "E5", "MOP on random networks (Cor. 2.3 / Thm 2.1)",
-        headers=("network", "nodes", "edges", "commodities", "beta",
-                 "C(O)", "C(S+T)", "relative gap"))
+def experiment_mop_networks(*, seeds: Sequence[int] = (0, 1, 2),
+                            ) -> ExperimentRecord:
+    """MOP induces the optimum on random s–t and multicommodity networks.
 
-    cases = []
-    for seed in seeds:
-        cases.append(("grid 3x3", grid_network(3, 3, demand=2.0, seed=seed), None))
-        cases.append(("layered 3x3", layered_network(3, 3, demand=2.0, seed=seed), None))
-        cases.append(("2-commodity grid",
-                      random_multicommodity_instance(3, 3, num_commodities=2,
-                                                     seed=seed), None))
-    quick = SolveConfig(compute_nash=False)
-    worst_gap = 0.0
-    for (name, instance, _), report in zip(
-            cases, api_solve_many([inst for _, inst, _ in cases], "mop",
-                                  config=quick)):
-        gap = relative_gap(report.induced_cost, report.optimum_cost)
-        worst_gap = max(worst_gap, gap)
-        record.add_row(name, instance.network.num_nodes, instance.network.num_edges,
-                       instance.num_commodities, report.beta, report.optimum_cost,
-                       report.induced_cost, gap)
-    record.add_claim("MOP's strategy induces the optimum cost on every network",
-                     f"worst relative gap {worst_gap:.2e}", worst_gap < 1e-5)
-
-    braess_report = api_solve(braess_paradox(), "mop", config=quick)
-    record.add_claim("On the classic Braess graph the Leader must control everything "
-                     "(beta = 1) to enforce the optimum",
-                     f"beta = {braess_report.beta:.6f}",
-                     abs(braess_report.beta - 1.0) < 1e-9)
-    return record
+    .. deprecated:: use ``run_experiment("E5", seeds=...)``.
+    """
+    _deprecated("experiment_mop_networks", "E5")
+    return run_experiment("E5", seeds=seeds)
 
 
-# --------------------------------------------------------------------------- #
-# E6 — Theorem 2.4: optimal strategy below beta on common-slope linear links
-# --------------------------------------------------------------------------- #
 def experiment_linear_optimal(*, num_links: int = 4, demand: float = 2.0,
                               seed: int = 3,
                               brute_resolution: int = 18) -> ExperimentRecord:
-    """The Theorem 2.4 strategy matches brute force for alpha < beta_M."""
-    instance = random_affine_common_slope(num_links, demand=demand, seed=seed)
-    beta = optop(instance).beta
-    nash_cost = parallel_nash(instance).cost
-    optimum_cost = parallel_optimum(instance).cost
+    """The Theorem 2.4 strategy matches brute force for alpha < beta_M.
 
-    record = ExperimentRecord(
-        "E6", "Optimal restricted strategies on common-slope linear links (Thm 2.4)",
-        headers=("alpha / beta", "alpha", "Thm 2.4 cost", "brute-force cost",
-                 "C(N)", "C(O)"))
-    all_within = True
-    all_below_nash = True
-    for fraction in (0.25, 0.5, 0.75):
-        alpha = fraction * beta
-        restricted = optimal_restricted_strategy(instance, alpha)
-        brute = brute_force_strategy(instance, alpha, resolution=brute_resolution)
-        record.add_row(fraction, alpha, restricted.cost, brute.cost, nash_cost,
-                       optimum_cost)
-        # The grid strategy can never beat the true optimum by more than the
-        # grid resolution allows; conversely Theorem 2.4 must not lose to it.
-        if restricted.cost > brute.cost * (1.0 + 1e-6):
-            all_within = False
-        if restricted.cost > nash_cost * (1.0 + 1e-9):
-            all_below_nash = False
-    record.add_claim("Theorem 2.4 strategy is never worse than exhaustive grid search",
-                     "holds at alpha/beta in {0.25, 0.5, 0.75}", all_within)
-    record.add_claim("Controlling flow never hurts: cost <= C(N)",
-                     "holds at every alpha", all_below_nash)
-
-    full = optimal_restricted_strategy(instance, beta)
-    record.add_claim("At alpha = beta_M the optimal strategy recovers C(O)",
-                     f"cost {full.cost:.9f} vs C(O) {optimum_cost:.9f}",
-                     relative_gap(full.cost, optimum_cost) < 1e-6)
-    return record
+    .. deprecated:: use ``run_experiment("E6", ...)``.
+    """
+    _deprecated("experiment_linear_optimal", "E6")
+    return run_experiment("E6", num_links=num_links, demand=demand, seed=seed,
+                          brute_resolution=brute_resolution)
 
 
-# --------------------------------------------------------------------------- #
-# E7 — Expression (2) bounds: LLF / SCALE over an alpha sweep
-# --------------------------------------------------------------------------- #
 def experiment_bound_sweep(*, num_links: int = 6, demand: float = 3.0,
                            seed: int = 7,
-                           alphas: Sequence[float] = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+                           alphas: Sequence[float] = (0.1, 0.2, 0.4, 0.6,
+                                                      0.8, 1.0),
                            ) -> ExperimentRecord:
-    """LLF respects the 1/alpha and 4/(3+alpha) guarantees; comparison table."""
-    instance = random_linear_parallel(num_links, demand=demand, seed=seed)
-    rows = alpha_sweep(instance, alphas, strategies=("llf", "scale"))
-    record = ExperimentRecord(
-        "E7", "A-posteriori anarchy cost vs alpha (Expr. (2) bounds)",
-        headers=("alpha", "LLF ratio", "SCALE ratio", "1/alpha bound",
-                 "4/(3+alpha) bound"))
-    general_ok = True
-    linear_ok = True
-    for row in rows:
-        general_bound = math.inf if row.alpha == 0.0 else 1.0 / row.alpha
-        linear_bound = 4.0 / (3.0 + row.alpha)
-        record.add_row(row.alpha, row.ratios["llf"], row.ratios["scale"],
-                       general_bound, linear_bound)
-        if row.ratios["llf"] > general_bound * (1.0 + 1e-9):
-            general_ok = False
-        if row.ratios["llf"] > linear_bound * (1.0 + 1e-9):
-            linear_ok = False
-    record.add_claim("LLF ratio <= 1/alpha (arbitrary latencies, Thm 6.4.4)",
-                     "holds on the sweep", general_ok)
-    record.add_claim("LLF ratio <= 4/(3+alpha) (linear latencies, Thm 6.4.5)",
-                     "holds on the sweep", linear_ok)
+    """LLF respects the 1/alpha and 4/(3+alpha) guarantees; comparison table.
 
-    result = optop(instance)
-    alpha_above = min(1.0, result.beta)
-    llf_at_beta = llf(instance, alpha_above).induce(instance).cost
-    record.add_claim("For alpha >= beta_M the factor is exactly 1 via OpTop's strategy",
-                     f"OpTop induced/optimum = "
-                     f"{result.induced_cost / result.optimum_cost:.9f}",
-                     relative_gap(result.induced_cost, result.optimum_cost) < 1e-6)
-    record.add_claim("LLF is not always optimal (footnote 6 of [37]): at alpha = "
-                     "beta_M it may exceed C(O) or merely match it",
-                     f"LLF cost {llf_at_beta:.6f} vs C(O) {result.optimum_cost:.6f}",
-                     llf_at_beta >= result.optimum_cost - 1e-9)
-    return record
+    .. deprecated:: use ``run_experiment("E7", ...)``.
+    """
+    _deprecated("experiment_bound_sweep", "E7")
+    return run_experiment("E7", num_links=num_links, demand=demand, seed=seed,
+                          alphas=alphas)
 
 
-# --------------------------------------------------------------------------- #
-# E8 — M/M/1 systems: beta can be small (remark after Cor. 2.2)
-# --------------------------------------------------------------------------- #
 def experiment_mm1_beta() -> ExperimentRecord:
-    """Beta shrinks for appealing-fast-group and identical-link M/M/1 farms."""
-    record = ExperimentRecord(
-        "E8", "Price of Optimum on M/M/1 server farms (remark after Cor. 2.2)",
-        headers=("farm", "num links", "beta", "PoA"))
+    """Beta shrinks for appealing-fast-group and identical-link M/M/1 farms.
 
-    heterogeneous = mm1_server_farm(2, 6, fast_capacity=4.0, slow_capacity=2.0,
-                                    utilisation=0.6)
-    appealing = mm1_server_farm(2, 6, fast_capacity=20.0, slow_capacity=2.0,
-                                utilisation=0.6)
-    identical = mm1_server_farm(0, 8, slow_capacity=3.0, utilisation=0.6)
-
-    results = {}
-    for name, farm in (("moderate fast group", heterogeneous),
-                       ("highly appealing fast group", appealing),
-                       ("identical links", identical)):
-        result = optop(farm)
-        poa = price_of_anarchy(farm)
-        results[name] = result.beta
-        record.add_row(name, farm.num_links, result.beta, poa)
-
-    record.add_claim("Highly appealing fast links shrink beta versus a moderate farm",
-                     f"{results['highly appealing fast group']:.4f} < "
-                     f"{results['moderate fast group']:.4f}",
-                     results["highly appealing fast group"]
-                     < results["moderate fast group"])
-    record.add_claim("A farm of identical links needs no control at all (beta = 0)",
-                     f"beta = {results['identical links']:.6f}",
-                     results["identical links"] < 1e-9)
-    return record
+    .. deprecated:: use ``run_experiment("E8")``.
+    """
+    _deprecated("experiment_mm1_beta", "E8")
+    return run_experiment("E8")
 
 
-# --------------------------------------------------------------------------- #
-# E9 — Proposition 7.1: Nash flows are monotone in the demand
-# --------------------------------------------------------------------------- #
 def experiment_monotonicity(*, num_links: int = 6, seed: int = 5,
                             num_demands: int = 12) -> ExperimentRecord:
-    """Nash link flows never decrease when the total demand grows."""
-    record = ExperimentRecord(
-        "E9", "Monotonicity of Nash flows in the demand (Prop. 7.1)",
-        headers=("family", "largest observed decrease"))
-    demands = np.linspace(0.1, 4.0, num_demands)
-    worst_overall = 0.0
-    for name, instance in (
-            ("linear", random_linear_parallel(num_links, demand=1.0, seed=seed)),
-            ("polynomial", random_polynomial_parallel(num_links, demand=1.0, seed=seed)),
-            ("mixed", random_mixed_parallel(num_links, demand=1.0, seed=seed))):
-        violation = nash_flow_monotonicity_violation(instance, demands)
-        worst_overall = max(worst_overall, violation)
-        record.add_row(name, violation)
-    record.add_claim("No link's Nash flow decreases as r grows",
-                     f"largest decrease {worst_overall:.2e}", worst_overall < 1e-6)
-    return record
+    """Nash link flows never decrease when the total demand grows.
+
+    .. deprecated:: use ``run_experiment("E9", ...)``.
+    """
+    _deprecated("experiment_monotonicity", "E9")
+    return run_experiment("E9", num_links=num_links, seed=seed,
+                          num_demands=num_demands)
 
 
-# --------------------------------------------------------------------------- #
-# E10 — Theorems 7.2 / 7.4 / Lemma 7.5: useless strategies and frozen links
-# --------------------------------------------------------------------------- #
 def experiment_frozen_links(*, num_links: int = 5, seed: int = 9,
                             trials: int = 6) -> ExperimentRecord:
-    """Useless strategies recreate N; frozen links get no induced flow."""
-    rng = np.random.default_rng(seed)
-    instance = random_linear_parallel(num_links, demand=2.0, seed=seed)
-    nash = parallel_nash(instance)
+    """Useless strategies recreate N; frozen links get no induced flow.
 
-    record = ExperimentRecord(
-        "E10", "Useless strategies and frozen links (Thm 7.2, Thm 7.4, Lemma 7.5)",
-        headers=("trial", "strategy kind", "|C(S+T) - C(N)|",
-                 "max induced flow on frozen links"))
-
-    useless_ok = True
-    frozen_ok = True
-    for trial in range(trials):
-        # A useless strategy: a random sub-Nash assignment (s_i <= n_i).
-        useless = nash.flows * rng.uniform(0.0, 1.0, size=num_links)
-        assert is_useless_strategy(instance, useless)
-        outcome = induced_parallel_equilibrium(instance, useless)
-        nash_gap = abs(outcome.cost - nash.cost)
-        if nash_gap > 1e-6 * max(1.0, nash.cost):
-            useless_ok = False
-        record.add_row(trial, "useless (s_i <= n_i)", nash_gap, 0.0)
-
-        # A freezing strategy: overload a random subset of links beyond n_i.
-        mask = rng.uniform(size=num_links) < 0.5
-        freezing = np.where(mask, nash.flows * rng.uniform(1.0, 1.3, size=num_links),
-                            0.0)
-        total = float(freezing.sum())
-        if total > instance.demand:
-            freezing *= instance.demand / (total * (1.0 + 1e-9))
-        leak = induced_flow_on_frozen_links(instance, freezing)
-        if leak > 1e-6:
-            frozen_ok = False
-        record.add_row(trial, "freezing (s_i >= n_i or 0)", 0.0, leak)
-
-    record.add_claim("Every useless strategy induces S+T identical to N (Thm 7.2)",
-                     "cost differences below 1e-6", useless_ok)
-    record.add_claim("Frozen links receive no induced selfish flow (Thm 7.4 / L. 7.5)",
-                     "max leak below 1e-6", frozen_ok)
-    return record
+    .. deprecated:: use ``run_experiment("E10", ...)``.
+    """
+    _deprecated("experiment_frozen_links", "E10")
+    return run_experiment("E10", num_links=num_links, seed=seed, trials=trials)
 
 
-# --------------------------------------------------------------------------- #
-# E11 — Polynomial-time claims: runtime scaling
-# --------------------------------------------------------------------------- #
 def experiment_scaling(*, optop_sizes: Sequence[int] = (8, 16, 32, 64),
-                       mop_sides: Sequence[int] = (3, 4, 5)) -> ExperimentRecord:
-    """Wall-clock scaling of OpTop (in m) and MOP (in grid side)."""
-    record = ExperimentRecord(
-        "E11", "Runtime scaling of OpTop and MOP (polynomial-time claims)",
-        headers=("algorithm", "size", "seconds", "beta"))
-    for point in optop_scaling(optop_sizes):
-        record.add_row("OpTop (m links)", point.size, point.seconds, point.beta)
-    for point in mop_scaling(mop_sides):
-        record.add_row("MOP (side x side grid)", point.size, point.seconds,
-                       point.beta)
-    record.add_claim("Both algorithms complete in well under a second per instance "
-                     "at these sizes", "see table",
-                     all(row[2] < 10.0 for row in record.rows))
-    return record
+                       mop_sides: Sequence[int] = (3, 4, 5),
+                       ) -> ExperimentRecord:
+    """Wall-clock scaling of OpTop (in m) and MOP (in grid side).
+
+    .. deprecated:: use ``run_experiment("E11", ...)``.
+    """
+    _deprecated("experiment_scaling", "E11")
+    return run_experiment("E11", optop_sizes=optop_sizes, mop_sides=mop_sides)
 
 
-# --------------------------------------------------------------------------- #
-# E12 — Footnote 6 / Sharma–Williamson threshold
-# --------------------------------------------------------------------------- #
 def experiment_thresholds(*, num_links: int = 5,
-                          seeds: Sequence[int] = (1, 2, 3, 4)) -> ExperimentRecord:
-    """The minimum useful control never exceeds the Price of Optimum."""
-    record = ExperimentRecord(
-        "E12", "Minimum useful control vs the Price of Optimum (footnote 6)",
-        headers=("seed", "threshold flow", "threshold fraction", "beta",
-                 "improvable"))
-    consistent = True
-    for seed in seeds:
-        instance = random_linear_parallel(num_links, demand=2.0, seed=seed)
-        threshold = minimum_useful_control(instance)
-        beta = optop(instance).beta
-        record.add_row(seed, threshold.flow, threshold.fraction, beta,
-                       threshold.is_improvable)
-        if threshold.fraction > beta + 1e-9:
-            consistent = False
-    record.add_claim("threshold fraction <= beta_M on every instance",
-                     "holds for all seeds", consistent)
+                          seeds: Sequence[int] = (1, 2, 3, 4),
+                          ) -> ExperimentRecord:
+    """The minimum useful control never exceeds the Price of Optimum.
 
-    pigou_threshold = minimum_useful_control(pigou())
-    record.add_claim("On Pigou the threshold is 0: any positive control helps",
-                     f"threshold = {pigou_threshold.flow:.6f}",
-                     pigou_threshold.flow < 1e-12 and pigou_threshold.is_improvable)
-    return record
+    .. deprecated:: use ``run_experiment("E12", ...)``.
+    """
+    _deprecated("experiment_thresholds", "E12")
+    return run_experiment("E12", num_links=num_links, seeds=seeds)
 
 
-# --------------------------------------------------------------------------- #
-# E13 — Section 4: weak vs strong Stackelberg strategies on k commodities
-# --------------------------------------------------------------------------- #
-def experiment_weak_strong(*, seeds: Sequence[int] = (0, 1, 2, 3)) -> ExperimentRecord:
-    """Strong (per-commodity) control never needs more flow than weak control."""
-    record = ExperimentRecord(
-        "E13", "Weak vs strong Stackelberg strategies on k-commodity instances "
-               "(Section 4)",
-        headers=("instance", "commodities", "strong beta", "weak beta",
-                 "coordination gain"))
-    consistent = True
-    any_gain = False
-    for seed in seeds:
-        instance = random_multicommodity_instance(3, 3, num_commodities=3, seed=seed)
-        split = commodity_control_split(instance)
-        record.add_row(f"3x3 grid (seed {seed})", split.num_commodities,
-                       split.strong_beta, split.weak_beta,
-                       split.coordination_gain)
-        if split.weak_beta < split.strong_beta - 1e-9:
-            consistent = False
-        if split.coordination_gain > 1e-6:
-            any_gain = True
-    single = commodity_control_split(roughgarden_example())
-    record.add_row("roughgarden (single commodity)", 1, single.strong_beta,
-                   single.weak_beta, single.coordination_gain)
-    record.add_claim("The weak Price of Optimum is never below the strong one",
-                     "weak beta >= strong beta on every instance", consistent)
-    record.add_claim("Strong strategies genuinely help on asymmetric instances "
-                     "(positive coordination gain somewhere)",
-                     "at least one instance has a positive gain", any_gain)
-    record.add_claim("On single-commodity instances weak and strong coincide",
-                     f"gain = {single.coordination_gain:.2e}",
-                     abs(single.coordination_gain) < 1e-9)
-    return record
+def experiment_weak_strong(*, seeds: Sequence[int] = (0, 1, 2, 3),
+                           ) -> ExperimentRecord:
+    """Strong (per-commodity) control never needs more flow than weak control.
+
+    .. deprecated:: use ``run_experiment("E13", seeds=...)``.
+    """
+    _deprecated("experiment_weak_strong", "E13")
+    return run_experiment("E13", seeds=seeds)
 
 
-# --------------------------------------------------------------------------- #
-# E14 — the Price of Optimum as a function of the congestion level
-# --------------------------------------------------------------------------- #
 def experiment_beta_vs_demand(*, num_points: int = 8) -> ExperimentRecord:
-    """beta and the anarchy gap across demand levels on the canonical instances."""
-    record = ExperimentRecord(
-        "E14", "Price of Optimum vs total demand (congestion level)",
-        headers=("instance", "demand", "beta", "price of anarchy"))
-    consistent = True
-    for name, instance in (("pigou", pigou()), ("figure 4", figure_4_example())):
-        demands = np.linspace(0.25, 2.5, num_points)
-        for point in beta_demand_sweep(instance, demands):
-            record.add_row(name, point.demand, point.beta, point.price_of_anarchy)
-            # beta > 0 exactly when the Nash equilibrium is suboptimal.
-            gap = point.nash_cost - point.optimum_cost
-            if point.beta > 1e-7 and gap <= 1e-9:
-                consistent = False
-            if gap > 1e-5 * max(1.0, point.optimum_cost) and point.beta <= 1e-9:
-                consistent = False
-    record.add_claim("beta is positive exactly at demand levels where selfish "
-                     "routing is suboptimal",
-                     "holds at every sampled demand", consistent)
-    return record
+    """beta and the anarchy gap across demand levels on canonical instances.
+
+    .. deprecated:: use ``run_experiment("E14", num_points=...)``.
+    """
+    _deprecated("experiment_beta_vs_demand", "E14")
+    return run_experiment("E14", num_points=num_points)

@@ -37,7 +37,13 @@ from repro.api.registry import (
     register_strategy,
 )
 from repro.api import strategies as _builtin_strategies  # noqa: F401  (registers built-ins)
+from repro.api import session as _session
 from repro.api.session import cache_size, cache_stats, clear_cache, solve, solve_many
+
+# Spawned pool workers re-create exactly the strategies registered so far
+# (by importing this package); record them so solve_many can detect
+# runtime registrations that would not resolve inside a worker.
+_session._mark_import_registered(REGISTRY.names())
 from repro.serialization import instance_digest
 
 __all__ = [

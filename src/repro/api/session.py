@@ -12,14 +12,21 @@ over a batch with two production conveniences:
   for cache misses, since the solvers are CPU-bound and release no GIL.
 
 Strategies registered at runtime (e.g. test stubs) are visible to worker
-processes only on fork-based platforms; pass ``max_workers=0`` to force
-sequential in-process execution.
+processes only on fork-based platforms: workers resolve strategies by
+*name*, and only the built-in names are re-registered when a spawned worker
+imports the package.  :func:`solve_many` therefore detects the combination
+of a non-fork start method and a runtime-registered strategy and falls back
+to sequential in-process execution with a warning instead of failing inside
+the worker.  Pass ``max_workers=0`` to force sequential execution
+explicitly.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
+import warnings
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
@@ -55,9 +62,9 @@ def cache_stats() -> Dict[str, int]:
 
     Counters are process-global and reset by :func:`clear_cache`.  Reports
     additionally carry a ``metadata["cache"]`` record (``hit`` flag plus the
-    counters at serve time) — except structural duplicates inside one
-    :func:`solve_many` batch, which share the first occurrence's report
-    object verbatim and therefore surface only in these counters.
+    counters at serve time); structural duplicates inside one
+    :func:`solve_many` batch receive their own copy of the first
+    occurrence's report with ``hit=True``.
     """
     return dict(_CACHE_STATS)
 
@@ -163,6 +170,46 @@ def _solve_task(payload: Tuple[object, str, SolveConfig]) -> SolveReport:
     return solve(instance, name, config=config)
 
 
+def _start_method() -> str:
+    """The multiprocessing start method a fresh pool would use."""
+    return multiprocessing.get_start_method(allow_none=False)
+
+
+#: Strategy names registered while :mod:`repro.api` itself was importing.
+#: A spawned worker re-creates exactly these when it imports the package,
+#: so only they resolve by name inside pool workers;
+#: :mod:`repro.api.__init__` fills this in right after the built-in
+#: registrations.
+_IMPORT_REGISTERED_NAMES: Optional[frozenset] = None
+
+
+def _mark_import_registered(names: Iterable[str]) -> None:
+    """Record the strategy names that exist after the package import."""
+    global _IMPORT_REGISTERED_NAMES
+    _IMPORT_REGISTERED_NAMES = frozenset(names)
+
+
+def _pool_unsafe_reason(name: str) -> Optional[str]:
+    """Why a process pool cannot execute strategy ``name``, or ``None``.
+
+    Workers look strategies up by *name* after importing :mod:`repro.api`,
+    which re-registers only the built-in strategies.  Under the fork start
+    method runtime registrations are inherited from the parent; under spawn
+    (Windows, macOS default) or forkserver they are not, so any name
+    registered after import — including aliases of package functions and
+    re-registered built-ins — would misresolve inside the worker.
+    """
+    method = _start_method()
+    if method == "fork":
+        return None
+    if (_IMPORT_REGISTERED_NAMES is not None
+            and name in _IMPORT_REGISTERED_NAMES
+            and REGISTRY.generation(name) == 1):
+        return None
+    return (f"strategy {name!r} was registered at runtime and is invisible "
+            f"to {method!r}-started worker processes")
+
+
 def solve_many(instances: Iterable[object], strategy: Optional[str] = None, *,
                config: Optional[SolveConfig] = None,
                max_workers: Optional[int] = None) -> List[SolveReport]:
@@ -223,6 +270,13 @@ def solve_many(instances: Iterable[object], strategy: Optional[str] = None, *,
         if workers is None:
             workers = min(len(pending), os.cpu_count() or 1)
         if workers > 1 and len(pending) > 1:
+            unsafe = _pool_unsafe_reason(name)
+            if unsafe is not None:
+                warnings.warn(
+                    f"solve_many: falling back to sequential in-process "
+                    f"execution; {unsafe}", RuntimeWarning, stacklevel=2)
+                workers = 1
+        if workers > 1 and len(pending) > 1:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 solved = list(pool.map(_solve_task, payloads))
             if config.cache:
@@ -238,11 +292,12 @@ def solve_many(instances: Iterable[object], strategy: Optional[str] = None, *,
                 _cache_put(keys[i], report)
 
     for i, j in duplicates:
-        # Structural duplicates inside the batch were solved once; serving
-        # them from the first occurrence counts as a hit in the counters,
-        # and the duplicate shares the first occurrence's report object.
+        # Structural duplicates inside the batch were solved once; each
+        # duplicate gets its own copy of the first occurrence's report with
+        # a hit=True cache record, exactly like a report served from the
+        # cross-batch cache.
         _CACHE_STATS["hits"] += 1
-        reports[i] = reports[j]
+        reports[i] = _with_cache_metadata(reports[j], hit=True)
     missing = [i for i, report in enumerate(reports) if report is None]
     assert not missing, f"solve_many left unfilled slots: {missing}"
     return reports

@@ -16,8 +16,16 @@ unified :mod:`repro.api` solver-session layer:
     cost ratios of the LLF and SCALE baselines against the theoretical bounds.
 
 ``repro experiments``
-    Re-run the paper-reproduction experiments (E1–E12) and print their tables
+    Re-run the paper-reproduction experiments (E1–E14) and print their tables
     — the same output the benchmark harness produces.
+
+``repro study``
+    The declarative study pipeline: ``repro study list`` shows the available
+    experiment plans, named studies and instance generators; ``repro study
+    run <name>`` executes one (``--store DIR`` makes the run resumable
+    through the content-addressed artifact store); ``repro study resume
+    <name> --store DIR`` re-runs against an existing store and reports how
+    much was served from artifacts.
 
 Invoke with ``python -m repro <subcommand> ...``.
 """
@@ -28,7 +36,12 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.analysis import experiments as experiments_module
+from repro.analysis.studies import (
+    EXPERIMENTS,
+    build_experiment,
+    experiment_ids,
+    experiment_title,
+)
 from repro.analysis.sweep import alpha_sweep
 from repro.api import SolveConfig, SolveReport, available_strategies, solve
 from repro.api.dispatch import PARALLEL, resolve_instance_kind
@@ -41,6 +54,14 @@ from repro.instances import (
 )
 from repro.metrics import general_latency_bound, linear_latency_bound
 from repro.serialization import load_instance
+from repro.study import (
+    ArtifactStore,
+    available_generators,
+    get_generator,
+    get_named_study,
+    named_studies,
+    run_study,
+)
 from repro.utils.tables import format_table
 
 __all__ = ["main", "build_parser"]
@@ -51,23 +72,6 @@ NAMED_INSTANCES: Dict[str, Callable[[], object]] = {
     "figure4": figure_4_example,
     "braess": braess_paradox,
     "roughgarden": roughgarden_example,
-}
-
-_EXPERIMENTS: Dict[str, Callable] = {
-    "E1": experiments_module.experiment_pigou,
-    "E2": experiments_module.experiment_figure4_optop,
-    "E3": experiments_module.experiment_roughgarden_mop,
-    "E4": experiments_module.experiment_optop_random_families,
-    "E5": experiments_module.experiment_mop_networks,
-    "E6": experiments_module.experiment_linear_optimal,
-    "E7": experiments_module.experiment_bound_sweep,
-    "E8": experiments_module.experiment_mm1_beta,
-    "E9": experiments_module.experiment_monotonicity,
-    "E10": experiments_module.experiment_frozen_links,
-    "E11": experiments_module.experiment_scaling,
-    "E12": experiments_module.experiment_thresholds,
-    "E13": experiments_module.experiment_weak_strong,
-    "E14": experiments_module.experiment_beta_vs_demand,
 }
 
 
@@ -104,9 +108,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="values of alpha to evaluate")
 
     experiments = subparsers.add_parser(
-        "experiments", help="re-run the paper-reproduction experiments (E1-E12)")
-    experiments.add_argument("--only", nargs="+", choices=sorted(_EXPERIMENTS),
+        "experiments", help="re-run the paper-reproduction experiments (E1-E14)")
+    experiments.add_argument("--only", nargs="+",
+                             choices=sorted(e for e in EXPERIMENTS
+                                            if e.startswith("E")),
                              help="restrict to specific experiment ids")
+    experiments.add_argument("--store", default=None,
+                             help="artifact-store directory (makes the run "
+                                  "resumable)")
+
+    study = subparsers.add_parser(
+        "study", help="declarative study pipeline: list, run, resume")
+    study_sub = study.add_subparsers(dest="study_command", required=True)
+
+    study_list = study_sub.add_parser(
+        "list", help="list experiment plans, named studies and generators")
+    study_list.add_argument("--generators", action="store_true",
+                            help="also list the instance-generator registry")
+
+    def add_run_arguments(sub: argparse.ArgumentParser, *,
+                          store_required: bool) -> None:
+        sub.add_argument("name",
+                         help="an experiment id (E1-E14, A1-A3) or a named "
+                              "study (see 'repro study list')")
+        sub.add_argument("--store", required=store_required, default=None,
+                         help="artifact-store directory"
+                              + ("" if store_required
+                                 else " (makes the run resumable)"))
+        sub.add_argument("--workers", type=int, default=0,
+                         help="process-pool width for cache misses "
+                              "(0 = sequential)")
+        sub.add_argument("--json", action="store_true",
+                         help="print the study/record as JSON")
+        sub.add_argument("--csv", default=None,
+                         help="also export the study cells as CSV to this "
+                              "path")
+
+    study_run = study_sub.add_parser(
+        "run", help="run one experiment plan or named study")
+    add_run_arguments(study_run, store_required=False)
+
+    study_resume = study_sub.add_parser(
+        "resume", help="re-run against an existing artifact store")
+    add_run_arguments(study_resume, store_required=True)
     return parser
 
 
@@ -191,12 +235,18 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(args: argparse.Namespace) -> Optional[ArtifactStore]:
+    store_dir = getattr(args, "store", None)
+    return None if store_dir is None else ArtifactStore(store_dir)
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
-    ids: Sequence[str] = args.only or sorted(_EXPERIMENTS,
-                                             key=lambda e: int(e[1:]))
+    ids: Sequence[str] = args.only or [e for e in experiment_ids()
+                                       if e.startswith("E")]
+    store = _open_store(args)
     failures: List[str] = []
     for experiment_id in ids:
-        record = _EXPERIMENTS[experiment_id]()
+        record = build_experiment(experiment_id).run(store=store)
         print(record.to_table())
         print()
         if not record.all_claims_hold:
@@ -208,17 +258,104 @@ def _command_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_study_list(args: argparse.Namespace) -> int:
+    rows = [(eid, "experiment", experiment_title(eid))
+            for eid in experiment_ids()]
+    for name in named_studies():
+        spec = get_named_study(name)
+        rows.append((name, f"study ({spec.num_cells} cells)",
+                     spec.description))
+    print(format_table(("name", "kind", "description"), rows,
+                       title="Available studies"))
+    if args.generators:
+        gen_rows = []
+        for name in available_generators():
+            entry = get_generator(name)
+            params = ", ".join(sorted(
+                entry.schema.get("properties", {}))) or "-"
+            gen_rows.append((name, "yes" if entry.seeded else "no", params,
+                             entry.description))
+        print()
+        print(format_table(("generator", "seeded", "params", "description"),
+                           gen_rows, title="Instance generators"))
+    return 0
+
+
+def _print_resume_summary(label: str, counters) -> None:
+    print(f"{label}: {len(counters)} cells | store hits "
+          f"{counters.store_hits}, cache hits {counters.cache_hits}, "
+          f"solver calls {counters.solver_calls}"
+          + (" (fully resumed)" if counters.fully_resumed else ""))
+
+
+def _command_study_run(args: argparse.Namespace) -> int:
+    name = args.name
+    store = _open_store(args)
+    if name in EXPERIMENTS:
+        from repro.api import cache_stats
+
+        plan = build_experiment(name)
+        cache_before = cache_stats()
+        store_before = store.stats() if store is not None else None
+        study = run_study(plan.spec, store=store, max_workers=args.workers)
+        record = plan.summarize(study, store)
+        # Fold the summariser's dependent solves (brute-force spot checks,
+        # follow-up cells) into the printed accounting, so "solver calls"
+        # covers everything the experiment executed.
+        cache_after = cache_stats()
+        study.cache_hits = cache_after["hits"] - cache_before["hits"]
+        study.cache_misses = cache_after["misses"] - cache_before["misses"]
+        if store is not None and store_before is not None:
+            store_now = store.stats()
+            study.store_hits = store_now["hits"] - store_before["hits"]
+            study.store_misses = (store_now["misses"]
+                                  - store_before["misses"])
+        if args.csv is not None:
+            study.to_csv(args.csv)
+        if args.json:
+            import json as _json
+            payload = study.to_dict()
+            payload["record"] = record.to_dict()
+            print(_json.dumps(payload, sort_keys=True, indent=2, default=str))
+        else:
+            print(record.to_table())
+            print()
+            _print_resume_summary(name, study)
+        return 0 if record.all_claims_hold else 1
+
+    spec = get_named_study(name)
+    study = run_study(spec, store=store, max_workers=args.workers)
+    if args.csv is not None:
+        study.to_csv(args.csv)
+    if args.json:
+        print(study.to_json(indent=2))
+    else:
+        print(study.to_table())
+        print()
+        _print_resume_summary(name, study)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` (returns a process exit code)."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {
-        "analyze": _command_analyze,
-        "sweep": _command_sweep,
-        "experiments": _command_experiments,
-    }
+    if args.command == "study":
+        study_handlers = {
+            "list": _command_study_list,
+            "run": _command_study_run,
+            "resume": _command_study_run,
+        }
+        handler = study_handlers[args.study_command]
+    else:
+        handlers = {
+            "analyze": _command_analyze,
+            "sweep": _command_sweep,
+            "experiments": _command_experiments,
+        }
+        handler = handlers[args.command]
     try:
-        return handlers[args.command](args)
+        return handler(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -148,6 +148,18 @@ def instance_to_dict(instance: AnyInstance) -> Dict[str, Any]:
     }
 
 
+def _node_name(name: Any) -> Any:
+    """Hashable node name: JSON arrays come back as lists, rebuild tuples.
+
+    Tuple node names (e.g. the ``(row, col)`` nodes of grid networks)
+    serialise to JSON arrays; converting them back keeps the canonical JSON
+    — and therefore :func:`instance_digest` — stable across a round trip.
+    """
+    if isinstance(name, list):
+        return tuple(_node_name(item) for item in name)
+    return name
+
+
 def instance_from_dict(data: Dict[str, Any]) -> AnyInstance:
     """Deserialise an instance description produced by :func:`instance_to_dict`."""
     if not isinstance(data, dict) or "type" not in data:
@@ -160,9 +172,12 @@ def instance_from_dict(data: Dict[str, Any]) -> AnyInstance:
     if kind == "network":
         network = Network()
         for edge_spec in data.get("edges", []):
-            network.add_edge(edge_spec["tail"], edge_spec["head"],
+            network.add_edge(_node_name(edge_spec["tail"]),
+                             _node_name(edge_spec["head"]),
                              latency_from_dict(edge_spec["latency"]))
-        commodities = [Commodity(spec["source"], spec["sink"], float(spec["demand"]))
+        commodities = [Commodity(_node_name(spec["source"]),
+                                 _node_name(spec["sink"]),
+                                 float(spec["demand"]))
                        for spec in data.get("commodities", [])]
         return NetworkInstance(network, commodities)
     raise ModelError(f"unknown instance type {kind!r}")

@@ -1,0 +1,483 @@
+"""Instance-generator registry: every factory behind one ``(params, seed)`` protocol.
+
+Mirrors the strategy registry of :mod:`repro.api.registry` on the *instance*
+side: each factory of :mod:`repro.instances` is registered under a short name
+together with a JSON-schema description of its parameters, and downstream
+code (study specs, the CLI, the artifact layer) constructs instances by name:
+
+>>> from repro.study import make_instance
+>>> inst = make_instance("random_linear_parallel",
+...                      {"num_links": 4, "demand": 2.0}, seed=7)
+>>> inst.num_links
+4
+
+External code plugs in its own generators exactly like strategies:
+
+>>> from repro.study import register_generator
+>>> @register_generator("two_links", schema={
+...     "type": "object",
+...     "properties": {"demand": {"type": "number", "exclusiveMinimum": 0}},
+... }, seeded=False)
+... def two_links(demand=1.0):
+...     ...
+
+Because parameters are plain JSON values and every generator is
+deterministic in ``(params, seed)``, a ``(generator, params, seed)`` triple
+is a reproducible, digest-stable address for an instance — the foundation of
+the resumable study pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.exceptions import InstanceError, ModelError
+from repro.instances import (
+    braess_paradox,
+    figure_4_example,
+    grid_network,
+    layered_network,
+    mm1_server_farm,
+    pigou,
+    pigou_nonlinear,
+    random_affine_common_slope,
+    random_linear_parallel,
+    random_mixed_parallel,
+    random_mm1_parallel,
+    random_multicommodity_instance,
+    random_polynomial_parallel,
+    roughgarden_example,
+    two_speed_example,
+)
+from repro.serialization import instance_from_dict
+
+__all__ = [
+    "GeneratorEntry",
+    "GeneratorRegistry",
+    "GENERATORS",
+    "register_generator",
+    "get_generator",
+    "available_generators",
+    "generator_schema",
+    "make_instance",
+    "validate_params",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Minimal JSON-schema validation (subset: enough for generator params)
+# --------------------------------------------------------------------------- #
+_TYPE_CHECKS: Dict[str, Callable[[Any], bool]] = {
+    "object": lambda v: isinstance(v, Mapping),
+    "array": lambda v: isinstance(v, (list, tuple)),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+
+def _check_value(schema: Mapping[str, Any], value: Any, path: str) -> None:
+    kind = schema.get("type")
+    if kind is not None:
+        check = _TYPE_CHECKS.get(kind)
+        if check is None:
+            raise ModelError(f"unsupported schema type {kind!r} at {path}")
+        if not check(value):
+            raise ModelError(
+                f"parameter {path} must be of type {kind!r}, got "
+                f"{type(value).__name__} ({value!r})")
+    if "enum" in schema and value not in schema["enum"]:
+        raise ModelError(
+            f"parameter {path} must be one of {schema['enum']!r}, got {value!r}")
+    if "minimum" in schema and value < schema["minimum"]:
+        raise ModelError(
+            f"parameter {path} must be >= {schema['minimum']}, got {value!r}")
+    if "maximum" in schema and value > schema["maximum"]:
+        raise ModelError(
+            f"parameter {path} must be <= {schema['maximum']}, got {value!r}")
+    if "exclusiveMinimum" in schema and value <= schema["exclusiveMinimum"]:
+        raise ModelError(
+            f"parameter {path} must be > {schema['exclusiveMinimum']}, "
+            f"got {value!r}")
+    if "exclusiveMaximum" in schema and value >= schema["exclusiveMaximum"]:
+        raise ModelError(
+            f"parameter {path} must be < {schema['exclusiveMaximum']}, "
+            f"got {value!r}")
+    if kind == "array":
+        items = schema.get("items")
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            raise ModelError(f"parameter {path} needs at least "
+                             f"{schema['minItems']} items, got {len(value)}")
+        if "maxItems" in schema and len(value) > schema["maxItems"]:
+            raise ModelError(f"parameter {path} allows at most "
+                             f"{schema['maxItems']} items, got {len(value)}")
+        if items is not None:
+            for i, item in enumerate(value):
+                _check_value(items, item, f"{path}[{i}]")
+    if kind == "object" and "properties" in schema:
+        _check_object(schema, value, path)
+
+
+def _check_object(schema: Mapping[str, Any], params: Mapping[str, Any],
+                  path: str) -> None:
+    properties = schema.get("properties", {})
+    for name in schema.get("required", ()):
+        if name not in params:
+            raise ModelError(f"missing required parameter {path}.{name}"
+                             if path else f"missing required parameter {name!r}")
+    if not schema.get("additionalProperties", False):
+        unknown = set(params) - set(properties)
+        if unknown:
+            raise ModelError(
+                f"unknown parameters {sorted(unknown)!r}"
+                + (f" at {path}" if path else "")
+                + f"; allowed: {sorted(properties)}")
+    for name, value in params.items():
+        if name in properties:
+            _check_value(properties[name], value,
+                         f"{path}.{name}" if path else name)
+
+
+def validate_params(schema: Mapping[str, Any],
+                    params: Mapping[str, Any]) -> None:
+    """Validate ``params`` against a (subset-)JSON-schema ``schema``.
+
+    Supports the pieces generator schemas use: ``type`` (object / array /
+    string / integer / number / boolean), ``properties`` / ``required`` /
+    ``additionalProperties``, ``items`` / ``minItems`` / ``maxItems``,
+    ``enum`` and the numeric bounds ``minimum`` / ``maximum`` /
+    ``exclusiveMinimum`` / ``exclusiveMaximum``.  Raises
+    :class:`~repro.exceptions.ModelError` on the first violation.
+    """
+    if not isinstance(params, Mapping):
+        raise ModelError(f"generator params must be a mapping, got "
+                         f"{type(params).__name__}")
+    _check_object(schema, params, "")
+
+
+# --------------------------------------------------------------------------- #
+# The registry
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GeneratorEntry:
+    """One registered instance generator.
+
+    Attributes
+    ----------
+    name:
+        Registry name.
+    factory:
+        The underlying factory callable (keyword arguments = params).
+    schema:
+        JSON-schema (subset) describing the accepted params.
+    seeded:
+        Whether the factory accepts a ``seed`` keyword; unseeded (canonical)
+        generators ignore the seed entirely, so every seed yields the same
+        instance.
+    description:
+        One-line human-readable summary (defaults to the factory's first
+        docstring line).
+    """
+
+    name: str
+    factory: Callable[..., Any]
+    schema: Mapping[str, Any] = field(default_factory=dict)
+    seeded: bool = True
+    description: str = ""
+
+    def build(self, params: Mapping[str, Any], seed: int = 0) -> Any:
+        """Construct the instance described by ``(params, seed)``."""
+        validate_params(self.schema, params)
+        kwargs = {key: _coerce(value) for key, value in params.items()}
+        try:
+            if self.seeded:
+                return self.factory(seed=int(seed), **kwargs)
+            return self.factory(**kwargs)
+        except (TypeError, InstanceError, ModelError) as exc:
+            raise ModelError(
+                f"generator {self.name!r} rejected params {dict(params)!r} "
+                f"(seed {seed}): {exc}") from exc
+
+
+def _coerce(value: Any) -> Any:
+    """JSON arrays arrive as lists; factories expect tuples for ranges."""
+    if isinstance(value, list):
+        return tuple(_coerce(v) for v in value)
+    return value
+
+
+class GeneratorRegistry:
+    """Name -> :class:`GeneratorEntry` mapping with decorator registration."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, GeneratorEntry] = {}
+
+    def register(self, name: str, factory: Optional[Callable] = None, *,
+                 schema: Optional[Mapping[str, Any]] = None,
+                 seeded: bool = True,
+                 description: str = "") -> Callable:
+        """Register ``factory`` under ``name`` (direct call or decorator).
+
+        ``schema`` is a JSON-schema (subset) for the params mapping;
+        ``seeded`` declares whether the factory takes a ``seed`` keyword.
+        Re-registering an existing name is an error; :meth:`unregister`
+        first to replace a generator.
+        """
+        if not name or not isinstance(name, str):
+            raise ModelError(
+                f"generator name must be a non-empty string, got {name!r}")
+
+        def decorator(fn: Callable) -> Callable:
+            if name in self._entries:
+                raise ModelError(f"generator {name!r} is already registered")
+            if not callable(fn):
+                raise ModelError(f"generator {name!r} must be callable, got "
+                                 f"{type(fn).__name__}")
+            doc = description or (fn.__doc__ or "").strip().split("\n")[0]
+            entry_schema = dict(schema) if schema is not None else {
+                "type": "object", "properties": {},
+                "additionalProperties": True}
+            self._entries[name] = GeneratorEntry(
+                name=name, factory=fn, schema=entry_schema, seeded=seeded,
+                description=doc)
+            return fn
+
+        if factory is not None:
+            return decorator(factory)
+        return decorator
+
+    def unregister(self, name: str) -> GeneratorEntry:
+        """Remove and return the entry registered under ``name``."""
+        try:
+            return self._entries.pop(name)
+        except KeyError:
+            raise ModelError(f"generator {name!r} is not registered") from None
+
+    def get(self, name: str) -> GeneratorEntry:
+        """Look up a generator; unknown names list the alternatives."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "<none>"
+            raise ModelError(
+                f"unknown generator {name!r}; registered generators: {known}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Sorted names of all registered generators."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The default generator registry used by study specs and the CLI.
+GENERATORS = GeneratorRegistry()
+
+
+def register_generator(name: str, factory: Optional[Callable] = None, *,
+                       schema: Optional[Mapping[str, Any]] = None,
+                       seeded: bool = True,
+                       description: str = "") -> Callable:
+    """Register a generator in the default registry (decorator-friendly)."""
+    return GENERATORS.register(name, factory, schema=schema, seeded=seeded,
+                               description=description)
+
+
+def get_generator(name: str) -> GeneratorEntry:
+    """Look up a generator entry in the default registry."""
+    return GENERATORS.get(name)
+
+
+def available_generators() -> List[str]:
+    """Names registered in the default generator registry."""
+    return GENERATORS.names()
+
+
+def generator_schema(name: str) -> Dict[str, Any]:
+    """The JSON-schema of the generator's params (deep copy via JSON)."""
+    return json.loads(json.dumps(get_generator(name).schema))
+
+
+def make_instance(name: str, params: Optional[Mapping[str, Any]] = None,
+                  seed: int = 0) -> Any:
+    """Build the instance addressed by ``(generator name, params, seed)``."""
+    return get_generator(name).build(params or {}, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# Schema fragments shared by the built-in generators
+# --------------------------------------------------------------------------- #
+def _num(minimum: Optional[float] = None, *, exclusive: bool = False,
+         maximum: Optional[float] = None) -> Dict[str, Any]:
+    spec: Dict[str, Any] = {"type": "number"}
+    if minimum is not None:
+        spec["exclusiveMinimum" if exclusive else "minimum"] = minimum
+    if maximum is not None:
+        spec["maximum"] = maximum
+    return spec
+
+
+def _int(minimum: int) -> Dict[str, Any]:
+    return {"type": "integer", "minimum": minimum}
+
+
+def _range_pair() -> Dict[str, Any]:
+    return {"type": "array", "items": {"type": "number"},
+            "minItems": 2, "maxItems": 2}
+
+
+def _obj(properties: Dict[str, Any],
+         required: Sequence[str] = ()) -> Dict[str, Any]:
+    return {"type": "object", "properties": properties,
+            "required": list(required), "additionalProperties": False}
+
+
+# --------------------------------------------------------------------------- #
+# Built-in registrations: every factory of repro.instances
+# --------------------------------------------------------------------------- #
+register_generator(
+    "pigou", pigou, seeded=False,
+    schema=_obj({"demand": _num(0.0, exclusive=True)}),
+    description="Pigou's two-link example (Figures 1-3).")
+
+register_generator(
+    "pigou_nonlinear", pigou_nonlinear, seeded=False,
+    schema=_obj({"degree": _num(1.0), "demand": _num(0.0, exclusive=True)},
+                required=("degree",)),
+    description="Pigou variant with a degree-d monomial on the fast link.")
+
+register_generator(
+    "figure4", figure_4_example, seeded=False,
+    schema=_obj({"demand": _num(0.0, exclusive=True)}),
+    description="The five-link OpTop walk-through of Figures 4-6.")
+
+register_generator(
+    "two_speed", two_speed_example, seeded=False,
+    schema=_obj({"fast_slope": _num(0.0, exclusive=True),
+                 "slow_constant": _num(0.0, exclusive=True),
+                 "demand": _num(0.0, exclusive=True)}),
+    description="Parametrised Pigou-like instance (one fast, one slow link).")
+
+register_generator(
+    "braess", braess_paradox, seeded=False,
+    schema=_obj({"demand": _num(0.0, exclusive=True)}),
+    description="The classic Braess paradox network.")
+
+register_generator(
+    "roughgarden", roughgarden_example, seeded=False,
+    schema=_obj({"epsilon": _num(0.0), "demand": _num(0.0, exclusive=True)}),
+    description="The Figure 7 / Roughgarden Example 6.5.1 graph.")
+
+register_generator(
+    "random_linear_parallel", random_linear_parallel,
+    schema=_obj({"num_links": _int(1), "demand": _num(0.0, exclusive=True),
+                 "slope_range": _range_pair(),
+                 "intercept_range": _range_pair()},
+                required=("num_links",)),
+    description="Parallel links with independent affine latencies.")
+
+register_generator(
+    "random_affine_common_slope", random_affine_common_slope,
+    schema=_obj({"num_links": _int(1), "demand": _num(0.0, exclusive=True),
+                 "slope": _num(0.0, exclusive=True),
+                 "intercept_range": _range_pair()},
+                required=("num_links",)),
+    description="Common-slope affine parallel links (the Theorem 2.4 family).")
+
+register_generator(
+    "random_polynomial_parallel", random_polynomial_parallel,
+    schema=_obj({"num_links": _int(1), "demand": _num(0.0, exclusive=True),
+                 "max_degree": _int(1), "coefficient_range": _range_pair()},
+                required=("num_links",)),
+    description="Parallel links with random increasing polynomial latencies.")
+
+register_generator(
+    "random_mixed_parallel", random_mixed_parallel,
+    schema=_obj({"num_links": _int(1), "demand": _num(0.0, exclusive=True),
+                 "constant_fraction": _num(0.0, maximum=1.0)},
+                required=("num_links",)),
+    description="Mixture of affine, monomial and constant parallel links.")
+
+register_generator(
+    "mm1_server_farm", mm1_server_farm, seeded=False,
+    schema=_obj({"num_fast": _int(0), "num_slow": _int(0),
+                 "fast_capacity": _num(0.0, exclusive=True),
+                 "slow_capacity": _num(0.0, exclusive=True),
+                 "demand": _num(0.0, exclusive=True),
+                 "utilisation": _num(0.0, exclusive=True, maximum=1.0)},
+                required=("num_fast", "num_slow")),
+    description="M/M/1 server farm with a fast and a slow link group.")
+
+register_generator(
+    "random_mm1_parallel", random_mm1_parallel,
+    schema=_obj({"num_links": _int(1),
+                 "demand_fraction": _num(0.0, exclusive=True, maximum=1.0),
+                 "capacity_range": _range_pair()},
+                required=("num_links",)),
+    description="Parallel M/M/1 links with random capacities.")
+
+register_generator(
+    "grid_network", grid_network,
+    schema=_obj({"rows": _int(2), "cols": _int(2),
+                 "demand": _num(0.0, exclusive=True),
+                 "latency_family": {"type": "string",
+                                    "enum": ["linear", "bpr"]}},
+                required=("rows", "cols")),
+    description="Directed grid routed corner to corner.")
+
+register_generator(
+    "layered_network", layered_network,
+    schema=_obj({"num_layers": _int(1), "width": _int(1),
+                 "demand": _num(0.0, exclusive=True),
+                 "latency_family": {"type": "string",
+                                    "enum": ["linear", "bpr"]},
+                 "extra_edge_probability": _num(0.0, maximum=1.0)},
+                required=("num_layers", "width")),
+    description="Layered s-t DAG with matching plus random extra edges.")
+
+register_generator(
+    "random_multicommodity", random_multicommodity_instance,
+    schema=_obj({"rows": _int(2), "cols": _int(2),
+                 "num_commodities": _int(1), "demand_range": _range_pair(),
+                 "latency_family": {"type": "string",
+                                    "enum": ["linear", "bpr"]}},
+                required=()),
+    description="k-commodity instance on a bidirected grid.")
+
+
+def _literal_instance(instance: Mapping[str, Any],
+                      demand: Optional[float] = None) -> Any:
+    """An explicitly serialised instance, optionally at an overridden demand.
+
+    The escape hatch that lets instance-parameterised entry points (alpha
+    sweeps, demand sweeps over a user-supplied instance) run through the
+    declarative study pipeline: the serialised instance dictionary *is* the
+    parameter, so the cell stays a pure JSON value.  ``demand`` rescales the
+    total demand (parallel-link instances only).
+    """
+    built = instance_from_dict(dict(instance))
+    if demand is not None:
+        if not hasattr(built, "with_demand"):
+            raise ModelError(
+                "the 'demand' override of the literal generator needs a "
+                "parallel-link instance")
+        built = built.with_demand(float(demand))
+    return built
+
+
+register_generator(
+    "literal", _literal_instance, seeded=False,
+    schema=_obj({"instance": {"type": "object"},
+                 "demand": _num(0.0, exclusive=True)},
+                required=("instance",)),
+    description="An explicitly serialised instance (optional demand override).")

@@ -1,0 +1,170 @@
+"""Execution of study plans through the batch solver session.
+
+:func:`run_study` walks a :class:`~repro.study.spec.StudySpec` plan cell by
+cell, serves whatever the artifact store already holds, groups the missing
+cells by ``(strategy, config)`` and executes each group with one
+:func:`repro.api.solve_many` call — inheriting its instance-digest result
+cache and its process-pool fan-out for free.  Freshly solved reports are
+written back to the store, so the next run of the same (or an overlapping)
+spec resumes instead of recomputing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.config import SolveConfig
+from repro.api.registry import REGISTRY
+from repro.api.session import cache_stats, solve, solve_many
+from repro.exceptions import ModelError
+from repro.serialization import instance_digest
+from repro.study.report import CellResult, StudyReport
+from repro.study.spec import StudySpec
+from repro.study.store import ArtifactStore, artifact_key
+
+__all__ = ["run_study", "solve_cell"]
+
+
+def _storable(strategy: str) -> bool:
+    """Whether artifacts may serve results for ``strategy`` in this process.
+
+    Artifact keys are content-addressed by the strategy *name* (a persistent
+    store cannot see process-local registry generations), so a strategy that
+    was re-registered in this process — a fresh implementation under a
+    reused name — must bypass the store entirely: its artifacts would
+    otherwise replay the previous implementation's results.
+    """
+    return REGISTRY.generation(strategy) <= 1
+
+
+def solve_cell(instance, strategy: str, config: SolveConfig, *,
+               store: Optional[ArtifactStore] = None):
+    """Solve one ad-hoc cell through the artifact store.
+
+    The escape hatch for *dependent* cells — follow-up solves whose
+    parameters derive from an earlier cell's result (e.g. "brute force just
+    below the measured beta") and therefore cannot appear in a static plan.
+    Store hit -> the stored report; miss -> :func:`repro.api.solve` (which
+    still consults the in-process cache) followed by a store write, so even
+    dependent cells resume across runs.
+    """
+    key: Optional[str] = None
+    if store is not None and config.cache and _storable(strategy):
+        try:
+            key = artifact_key(instance_digest(instance), strategy, config)
+        except ModelError:
+            key = None
+        if key is not None:
+            cached = store.get(key)
+            if cached is not None:
+                return cached
+    report = solve(instance, strategy, config=config)
+    if store is not None and key is not None:
+        store.put(key, report)
+    return report
+
+
+def run_study(spec: StudySpec, *, store: Optional[ArtifactStore] = None,
+              max_workers: Optional[int] = 0) -> StudyReport:
+    """Execute a study spec and aggregate the results.
+
+    Parameters
+    ----------
+    spec:
+        The declarative plan to execute.
+    store:
+        Optional :class:`~repro.study.store.ArtifactStore`.  When given,
+        cells whose artifacts exist are *not* re-solved (resume), and every
+        freshly solved cell is written back.
+    max_workers:
+        Process-pool width for the cache-miss batches, forwarded to
+        :func:`repro.api.solve_many`; the default ``0`` solves sequentially
+        in process (deterministic and cheap for the small studies the
+        experiments use), ``None`` picks ``min(pending, cpu_count)``.
+
+    Returns
+    -------
+    StudyReport
+        Every cell's report in plan order, plus store/cache counters for
+        this run (``report.fully_resumed`` asserts the zero-solver-call
+        resume property).
+    """
+    spec.validate()
+    before = cache_stats()
+    store_stats_before = store.stats() if store is not None else None
+
+    cells = []
+    instances = []
+    digests: List[Optional[str]] = []
+    keys: List[Optional[str]] = []
+    slots: List[Optional[CellResult]] = []
+    pending: "OrderedDict[Tuple[str, str], List[int]]" = OrderedDict()
+    pending_configs: Dict[Tuple[str, str], SolveConfig] = {}
+
+    for cell in spec.expand():
+        i = len(cells)
+        cells.append(cell)
+        instance = cell.make_instance()
+        instances.append(instance)
+        digest = None
+        key = None
+        if store is not None and cell.config.cache:
+            # The digest is only needed to address artifacts; without a
+            # store, solve_many computes its own cache keys.  cache=False
+            # means "never reuse results", and the artifact store honours
+            # it like the in-process cache does — timing cells stay fresh.
+            try:
+                digest = instance_digest(instance)
+            except ModelError:
+                digest = None
+            if digest is not None and _storable(cell.strategy):
+                key = artifact_key(digest, cell.strategy, cell.config)
+        digests.append(digest)
+        keys.append(key)
+        stored = store.get(key) if (store is not None and key is not None) \
+            else None
+        if stored is not None:
+            slots.append(CellResult(cell=cell, report=stored,
+                                    instance_digest=digest,
+                                    artifact_key=key, from_store=True))
+            continue
+        slots.append(None)
+        group = (cell.strategy, cell.config.to_json())
+        pending.setdefault(group, []).append(i)
+        pending_configs[group] = cell.config
+
+    uncached_calls = 0
+    for (strategy, _), indices in pending.items():
+        config = pending_configs[(strategy, _)]
+        batch = [instances[i] for i in indices]
+        if not config.cache:
+            # Cache-free cells never touch the session counters; count
+            # their executions here so solver_calls stays truthful.
+            uncached_calls += len(batch)
+        reports = solve_many(batch, strategy, config=config,
+                             max_workers=max_workers)
+        for i, report in zip(indices, reports):
+            slots[i] = CellResult(cell=cells[i], report=report,
+                                  instance_digest=digests[i] or "",
+                                  artifact_key=keys[i] or "",
+                                  from_store=False)
+            if store is not None and keys[i] is not None:
+                store.put(keys[i], report)
+
+    missing = [i for i, slot in enumerate(slots) if slot is None]
+    assert not missing, f"run_study left unfilled cells: {missing}"
+
+    after = cache_stats()
+    result = StudyReport(
+        spec=spec,
+        results=[slot for slot in slots if slot is not None],
+        cache_hits=after["hits"] - before["hits"],
+        cache_misses=after["misses"] - before["misses"],
+        uncached_calls=uncached_calls,
+    )
+    if store is not None and store_stats_before is not None:
+        now = store.stats()
+        result.store_hits = now["hits"] - store_stats_before["hits"]
+        result.store_misses = now["misses"] - store_stats_before["misses"]
+    return result

@@ -1,0 +1,151 @@
+"""Content-addressed, resumable artifact store for solve reports.
+
+Each executed study cell lands on disk as one JSON file named by the SHA-256
+of *what was solved*: the instance digest, the strategy name and the
+canonical config JSON.  The address is independent of which study produced
+the artifact, so structurally identical work is shared across studies, and
+re-running a study only solves the cells whose artifacts are missing —
+deleting one file re-solves exactly one cell.
+
+Layout (git-style fan-out to keep directories small)::
+
+    <root>/
+      ab/
+        abcdef....json        # SolveReport.to_json()
+
+The store never deletes on its own and writes atomically (temp file +
+rename), so a crashed run leaves at worst a missing artifact, never a
+corrupt one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from repro.api.config import SolveConfig
+from repro.api.report import SolveReport
+from repro.exceptions import ModelError
+
+__all__ = ["ArtifactStore", "artifact_key"]
+
+
+def artifact_key(instance_digest: str, strategy: str,
+                 config: SolveConfig) -> str:
+    """The content address of one solved cell.
+
+    SHA-256 over the canonical JSON of ``{instance digest, strategy, config}``
+    — everything that determines the solver output.  Stable across processes
+    and platforms because every component is itself canonical JSON.
+
+    The strategy is addressed by *name*: unlike the in-process result cache
+    the persistent store cannot mix in the registry generation, so changing
+    a strategy's implementation under an existing name requires clearing the
+    store (the study runner additionally refuses to serve artifacts for
+    names re-registered within the current process).
+    """
+    payload = json.dumps(
+        {"instance": instance_digest, "strategy": strategy,
+         "config": json.loads(config.to_json())},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """On-disk key -> :class:`~repro.api.report.SolveReport` store.
+
+    Tracks cumulative hit/miss counters (``stats()``) so callers — the study
+    runner, the CI smoke check — can assert resume behaviour: a second run
+    of the same study must be 100% hits.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._stats: Dict[str, int] = {"hits": 0, "misses": 0, "writes": 0}
+
+    # ------------------------------------------------------------------ #
+    # Addressing
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: str) -> Path:
+        """The artifact path of ``key`` (two-level fan-out)."""
+        if not key or len(key) < 3:
+            raise ModelError(f"invalid artifact key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[SolveReport]:
+        """Load the report stored under ``key``; ``None`` (a miss) if absent.
+
+        A corrupt artifact raises :class:`~repro.exceptions.ModelError`
+        naming the offending file rather than silently re-solving, so a
+        damaged store surfaces loudly.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self._stats["misses"] += 1
+            return None
+        try:
+            report = SolveReport.from_json(text)
+        except ModelError as exc:
+            raise ModelError(f"corrupt artifact {path}: {exc}") from exc
+        self._stats["hits"] += 1
+        return report
+
+    def put(self, key: str, report: SolveReport) -> Path:
+        """Atomically write ``report`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._stats["writes"] += 1
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def delete(self, key: str) -> bool:
+        """Remove the artifact under ``key``; returns whether it existed."""
+        path = self.path_for(key)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def keys(self) -> Iterator[str]:
+        """All artifact keys currently stored (sorted, for determinism)."""
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # ------------------------------------------------------------------ #
+    # Counters
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Cumulative ``{"hits", "misses", "writes"}`` of this store handle."""
+        return dict(self._stats)
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/write counters (the artifacts stay)."""
+        for key in self._stats:
+            self._stats[key] = 0

@@ -87,3 +87,37 @@ class TestScaling:
         points = mop_scaling([3])
         assert points[0].size == 3
         assert points[0].seconds >= 0.0
+
+
+class TestAlphaSweepOnNetworks:
+    """The sweep dispatches on the instance kind (PR 3 generalisation)."""
+
+    def test_network_instance_accepted(self):
+        from repro.instances import roughgarden_example
+
+        rows = alpha_sweep(roughgarden_example(), [0.25, 1.0])
+        assert [row.alpha for row in rows] == [0.25, 1.0]
+        assert all(ratio >= 1.0 - 1e-9
+                   for row in rows for ratio in row.ratios.values())
+        # With the whole demand under control the baselines reach C(O).
+        assert rows[-1].ratios["llf"] == pytest.approx(1.0, abs=1e-6)
+
+    def test_optimal_restricted_rejected_on_networks(self):
+        from repro.instances import roughgarden_example
+
+        with pytest.raises(ModelError, match="parallel-link"):
+            alpha_sweep(roughgarden_example(), [0.5],
+                        include_optimal_restricted=True)
+
+    def test_sweep_resumes_through_a_store(self, tmp_path):
+        from repro.api import cache_stats, clear_cache
+        from repro.study import ArtifactStore
+
+        instance = random_linear_parallel(4, demand=2.0, seed=5)
+        store = ArtifactStore(tmp_path)
+        clear_cache()
+        first = alpha_sweep(instance, [0.2, 0.8], store=store)
+        clear_cache()
+        second = alpha_sweep(instance, [0.2, 0.8], store=store)
+        assert cache_stats()["misses"] == 0
+        assert [row.ratios for row in first] == [row.ratios for row in second]

@@ -65,11 +65,13 @@ class TestSolveManyCounters:
         stats = cache_stats()
         assert stats["misses"] == 1
         assert stats["hits"] == 2
-        # Duplicates share the first occurrence's report object (and thus its
-        # producing-call metadata); only the counters record the hits.
-        assert reports[1] is reports[0]
-        assert reports[2] is reports[0]
+        # Each duplicate receives its own copy of the first occurrence's
+        # report, carrying a hit=True cache record like any other hit.
+        assert reports[1] is not reports[0]
+        assert reports[2] is not reports[0]
         assert reports[0].metadata["cache"]["hit"] is False
+        assert reports[1].metadata["cache"]["hit"] is True
+        assert reports[2].metadata["cache"]["hit"] is True
 
     def test_counters_survive_report_serialisation(self):
         report = solve(pigou(), "optop")

@@ -78,11 +78,15 @@ class TestDigestCache:
         finally:
             REGISTRY.unregister("counting_stub")
 
-    def test_duplicates_share_the_report_object(self):
+    def test_duplicates_get_their_own_hit_report(self):
         inst = random_linear_parallel(3, demand=1.0, seed=0)
         twin = random_linear_parallel(3, demand=1.0, seed=0)
         reports = solve_many([inst, twin], "optop", max_workers=0)
-        assert reports[0] is reports[1]
+        assert reports[0] is not reports[1]
+        assert reports[0].metadata["cache"]["hit"] is False
+        assert reports[1].metadata["cache"]["hit"] is True
+        assert reports[0].beta == reports[1].beta
+        assert reports[0].induced_cost == reports[1].induced_cost
 
     def test_cache_disabled_calls_per_item(self):
         calls = []
@@ -149,3 +153,62 @@ class TestDigestCache:
         c = random_linear_parallel(4, demand=2.0, seed=4)
         assert instance_digest(a) == instance_digest(b)
         assert instance_digest(a) != instance_digest(c)
+
+
+class TestSpawnStartMethodFallback:
+    """Runtime-registered strategies must not crash spawn-started pools."""
+
+    def test_runtime_strategy_falls_back_to_sequential(self, monkeypatch):
+        import repro.api.session as session
+
+        @register_strategy("runtime_only_stub")
+        def runtime_only_stub(instance, config):
+            return solve(instance, "aloof",
+                         config=SolveConfig(cache=False, compute_nash=False))
+
+        monkeypatch.setattr(session, "_start_method", lambda: "spawn")
+        try:
+            instances = [random_linear_parallel(3, demand=1.0, seed=s)
+                         for s in range(3)]
+            with pytest.warns(RuntimeWarning, match="sequential"):
+                reports = solve_many(instances, "runtime_only_stub",
+                                     max_workers=4)
+            assert len(reports) == 3
+            assert all(r.strategy == "aloof" for r in reports)
+        finally:
+            REGISTRY.unregister("runtime_only_stub")
+
+    def test_builtin_strategies_still_use_the_pool_on_spawn(self, monkeypatch):
+        import repro.api.session as session
+
+        monkeypatch.setattr(session, "_start_method", lambda: "spawn")
+        # Built-ins are re-registered when the worker imports the package,
+        # so no fallback (and no warning) is needed.
+        assert session._pool_unsafe_reason("optop") is None
+
+    def test_runtime_alias_of_a_package_function_falls_back(self, monkeypatch):
+        import repro.api.session as session
+        from repro.api.strategies import solve_aloof
+
+        # The *name* decides worker-side resolution: aliasing a package
+        # function under a new runtime name is still unsafe on spawn.
+        register_strategy("aloof_alias", solve_aloof)
+        monkeypatch.setattr(session, "_start_method", lambda: "spawn")
+        try:
+            assert session._pool_unsafe_reason("aloof_alias") is not None
+        finally:
+            REGISTRY.unregister("aloof_alias")
+
+    def test_fork_platforms_never_fall_back(self, monkeypatch):
+        import repro.api.session as session
+
+        @register_strategy("fork_ok_stub")
+        def fork_ok_stub(instance, config):
+            return solve(instance, "aloof",
+                         config=SolveConfig(cache=False, compute_nash=False))
+
+        monkeypatch.setattr(session, "_start_method", lambda: "fork")
+        try:
+            assert session._pool_unsafe_reason("fork_ok_stub") is None
+        finally:
+            REGISTRY.unregister("fork_ok_stub")

@@ -1,0 +1,156 @@
+"""Generator registry: round trips, schema validation, digest stability."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.instances import pigou, random_linear_parallel
+from repro.serialization import instance_digest, instance_to_dict
+from repro.study import (
+    GENERATORS,
+    available_generators,
+    generator_schema,
+    get_generator,
+    make_instance,
+    register_generator,
+    validate_params,
+)
+
+#: Every factory of repro.instances must be registered.
+EXPECTED_GENERATORS = {
+    "pigou", "pigou_nonlinear", "figure4", "two_speed", "braess",
+    "roughgarden", "random_linear_parallel", "random_affine_common_slope",
+    "random_polynomial_parallel", "random_mixed_parallel", "mm1_server_farm",
+    "random_mm1_parallel", "grid_network", "layered_network",
+    "random_multicommodity", "literal",
+}
+
+
+class TestRegistry:
+    def test_every_instance_factory_is_registered(self):
+        assert EXPECTED_GENERATORS <= set(available_generators())
+
+    def test_unknown_generator_lists_alternatives(self):
+        with pytest.raises(ModelError, match="registered generators"):
+            get_generator("nope")
+
+    def test_register_and_unregister_custom_generator(self):
+        @register_generator("two_pigous", seeded=False, schema={
+            "type": "object",
+            "properties": {"demand": {"type": "number",
+                                      "exclusiveMinimum": 0}},
+        })
+        def two_pigous(demand=1.0):
+            """Two Pigou copies glued by demand."""
+            return pigou(demand)
+
+        try:
+            inst = make_instance("two_pigous", {"demand": 2.0})
+            assert inst.demand == pytest.approx(2.0)
+            entry = get_generator("two_pigous")
+            assert not entry.seeded
+            assert entry.description.startswith("Two Pigou copies")
+        finally:
+            GENERATORS.unregister("two_pigous")
+        assert "two_pigous" not in GENERATORS
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ModelError, match="already registered"):
+            register_generator("pigou", lambda: None)
+
+    def test_schema_is_a_copy(self):
+        schema = generator_schema("random_linear_parallel")
+        schema["properties"].clear()
+        assert generator_schema("random_linear_parallel")["properties"]
+
+
+class TestParamValidation:
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ModelError, match="unknown parameters"):
+            make_instance("pigou", {"bogus": 1})
+
+    def test_missing_required_param_rejected(self):
+        with pytest.raises(ModelError, match="required"):
+            make_instance("random_linear_parallel", {})
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(ModelError, match="type"):
+            make_instance("random_linear_parallel",
+                          {"num_links": "four"})
+
+    def test_bound_violation_rejected(self):
+        with pytest.raises(ModelError, match=">="):
+            make_instance("random_linear_parallel", {"num_links": 0})
+        with pytest.raises(ModelError, match=">"):
+            make_instance("pigou", {"demand": 0.0})
+
+    def test_array_params_validated_and_coerced_to_tuples(self):
+        inst = make_instance("random_linear_parallel",
+                             {"num_links": 3, "slope_range": [1.0, 2.0]},
+                             seed=4)
+        assert inst.num_links == 3
+        with pytest.raises(ModelError, match="items"):
+            validate_params(generator_schema("random_linear_parallel"),
+                            {"num_links": 3, "slope_range": [1.0]})
+
+    def test_enum_validated(self):
+        with pytest.raises(ModelError, match="one of"):
+            make_instance("grid_network",
+                          {"rows": 2, "cols": 2, "latency_family": "cubic"})
+
+
+class TestRoundTrip:
+    def test_params_to_instance_matches_direct_factory_call(self):
+        direct = random_linear_parallel(5, demand=2.0, seed=9)
+        via_registry = make_instance("random_linear_parallel",
+                                     {"num_links": 5, "demand": 2.0}, seed=9)
+        assert instance_digest(direct) == instance_digest(via_registry)
+
+    def test_unseeded_generators_ignore_the_seed(self):
+        a = make_instance("figure4", {}, seed=0)
+        b = make_instance("figure4", {}, seed=123)
+        assert instance_digest(a) == instance_digest(b)
+
+    def test_literal_generator_round_trips_any_instance(self):
+        original = random_linear_parallel(4, demand=1.5, seed=2)
+        rebuilt = make_instance("literal",
+                                {"instance": instance_to_dict(original)})
+        assert instance_digest(rebuilt) == instance_digest(original)
+
+    def test_literal_demand_override(self):
+        rebuilt = make_instance(
+            "literal", {"instance": instance_to_dict(pigou()), "demand": 3.0})
+        assert rebuilt.demand == pytest.approx(3.0)
+
+    def test_literal_network_round_trips_tuple_node_names(self):
+        from repro.instances import grid_network
+
+        original = grid_network(3, 3, demand=2.0, seed=1)
+        rebuilt = make_instance("literal",
+                                {"instance": instance_to_dict(original)})
+        assert instance_digest(rebuilt) == instance_digest(original)
+
+
+class TestCrossProcessDigestStability:
+    def test_digest_stable_across_processes(self):
+        """params -> instance -> digest is identical in a fresh interpreter."""
+        params = {"num_links": 6, "demand": 2.5}
+        local = instance_digest(
+            make_instance("random_linear_parallel", params, seed=13))
+        src = Path(__file__).resolve().parents[2] / "src"
+        script = (
+            "from repro.study import make_instance\n"
+            "from repro.serialization import instance_digest\n"
+            "inst = make_instance('random_linear_parallel', "
+            "{'num_links': 6, 'demand': 2.5}, seed=13)\n"
+            "print(instance_digest(inst))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"}, check=True)
+        assert result.stdout.strip() == local

@@ -66,3 +66,52 @@ class TestExperimentsCommand:
     def test_invalid_experiment_id_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiments", "--only", "E99"])
+
+
+class TestStudyCommand:
+    def test_list_shows_experiments_and_named_studies(self, capsys):
+        assert main(["study", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E14" in out and "A3" in out
+        assert "smoke" in out
+
+    def test_list_generators(self, capsys):
+        assert main(["study", "list", "--generators"]) == 0
+        out = capsys.readouterr().out
+        assert "random_linear_parallel" in out
+        assert "literal" in out
+
+    def test_run_experiment_by_id(self, capsys):
+        assert main(["study", "run", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "[E1]" in out
+        assert "solver calls" in out
+
+    def test_run_named_study_with_store_then_resume(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        from repro.api import clear_cache
+
+        clear_cache()
+        assert main(["study", "run", "smoke", "--store", store]) == 0
+        first = capsys.readouterr().out
+        assert "store hits 0" in first
+        clear_cache()
+        assert main(["study", "resume", "smoke", "--store", store]) == 0
+        second = capsys.readouterr().out
+        assert "fully resumed" in second
+
+    def test_resume_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(["study", "resume", "smoke"])
+
+    def test_run_unknown_name_errors(self, capsys):
+        assert main(["study", "run", "nope"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_json_and_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "cells.csv"
+        assert main(["study", "run", "smoke", "--json",
+                     "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert '"counters"' in out
+        assert csv_path.read_text(encoding="utf-8").startswith("index,")
