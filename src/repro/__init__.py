@@ -41,6 +41,9 @@ from repro.exceptions import (
     LatencyDomainError,
     ModelError,
     ReproError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
     StrategyError,
 )
 from repro.latency import (
@@ -128,6 +131,9 @@ from repro.study import (
     register_generator,
     run_study,
 )
+from repro.cache import LRUCache
+from repro import serve
+from repro.serve import ServiceStats, SolveService, TieredCache
 
 __version__ = "1.1.0"
 
@@ -140,6 +146,9 @@ __all__ = [
     "ConvergenceError",
     "StrategyError",
     "InstanceError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
     # latency functions
     "LatencyFunction",
     "LinearLatency",
@@ -226,5 +235,11 @@ __all__ = [
     "run_study",
     "make_instance",
     "register_generator",
+    # serving layer
+    "serve",
+    "SolveService",
+    "ServiceStats",
+    "TieredCache",
+    "LRUCache",
     "__version__",
 ]

@@ -7,7 +7,10 @@ over a batch with two production conveniences:
 
 * a **result cache** keyed by ``(strategy, instance digest, config)`` — the
   digest is a SHA-256 of the canonical instance JSON, so structurally equal
-  instances (including duplicates inside one batch) are solved exactly once;
+  instances (including duplicates inside one batch) are solved exactly once.
+  The cache is a thread-safe :class:`repro.cache.LRUCache`; the process
+  global is shared by default and both entry points accept an injected
+  ``cache`` (the serving layer passes its own tier-1 instance);
 * **process-pool fan-out** via :class:`concurrent.futures.ProcessPoolExecutor`
   for cache misses, since the solvers are CPU-bound and release no GIL.
 
@@ -27,7 +30,6 @@ import multiprocessing
 import os
 import time
 import warnings
-from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -35,60 +37,47 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.api.config import SolveConfig
 from repro.api.registry import REGISTRY, get_strategy
 from repro.api.report import SolveReport
+from repro.cache import LRUCache
 from repro.exceptions import ModelError
 from repro.serialization import instance_digest
 
 __all__ = ["solve", "solve_many", "clear_cache", "cache_size", "cache_stats",
-           "CACHE_MAX_ENTRIES"]
-
-#: Process-global LRU result cache:
-#: (strategy@generation, instance digest, config) -> report.  The strategy
-#: generation invalidates entries when a name is re-registered with a new
-#: implementation.
-_RESULT_CACHE: "OrderedDict[Tuple[str, str, str], SolveReport]" = OrderedDict()
+           "resolve_strategy_name", "CACHE_MAX_ENTRIES"]
 
 #: Upper bound on cached reports; the least recently used entry is evicted
 #: first, so long-running sweeps cannot grow memory without limit.
 CACHE_MAX_ENTRIES = 4096
 
-#: Cumulative hit/miss counters of the result cache.  A *hit* is a report
-#: served without running a solver (including duplicates inside one
-#: ``solve_many`` batch); a *miss* is a solver call made with caching enabled.
-_CACHE_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+#: Process-global LRU result cache:
+#: (strategy@generation, instance digest, config) -> report.  The strategy
+#: generation invalidates entries when a name is re-registered with a new
+#: implementation.  Thread-safe: get/put/counters all run under the cache's
+#: internal lock, so concurrent solvers never tear the statistics.
+_RESULT_CACHE = LRUCache(max_entries=CACHE_MAX_ENTRIES)
 
 
 def cache_stats() -> Dict[str, int]:
     """Cumulative ``{"hits": ..., "misses": ...}`` of the result cache.
 
-    Counters are process-global and reset by :func:`clear_cache`.  Reports
-    additionally carry a ``metadata["cache"]`` record (``hit`` flag plus the
-    counters at serve time); structural duplicates inside one
-    :func:`solve_many` batch receive their own copy of the first
-    occurrence's report with ``hit=True``.
+    A *hit* is a report served without running a solver (including
+    duplicates inside one ``solve_many`` batch); a *miss* is a lookup that
+    led to a solver call with caching enabled.  Counters are process-global
+    and reset by :func:`clear_cache`.  Reports additionally carry a
+    ``metadata["cache"]`` record (``hit`` flag plus the counters at serve
+    time).
     """
-    return dict(_CACHE_STATS)
+    stats = _RESULT_CACHE.stats()
+    return {"hits": stats["hits"], "misses": stats["misses"]}
 
 
-def _with_cache_metadata(report: SolveReport, *, hit: bool) -> SolveReport:
+def _with_cache_metadata(report: SolveReport, *, hit: bool,
+                         cache: LRUCache) -> SolveReport:
     """Attach the cache outcome and the running counters to a report."""
+    stats = cache.stats()
     metadata = dict(report.metadata)
-    metadata["cache"] = {"hit": hit, "hits": _CACHE_STATS["hits"],
-                         "misses": _CACHE_STATS["misses"]}
+    metadata["cache"] = {"hit": hit, "hits": stats["hits"],
+                         "misses": stats["misses"]}
     return replace(report, metadata=metadata)
-
-
-def _cache_get(key: Tuple[str, str, str]) -> Optional[SolveReport]:
-    report = _RESULT_CACHE.get(key)
-    if report is not None:
-        _RESULT_CACHE.move_to_end(key)
-    return report
-
-
-def _cache_put(key: Tuple[str, str, str], report: SolveReport) -> None:
-    _RESULT_CACHE[key] = report
-    _RESULT_CACHE.move_to_end(key)
-    while len(_RESULT_CACHE) > CACHE_MAX_ENTRIES:
-        _RESULT_CACHE.popitem(last=False)
 
 #: Default strategy: the paper's Price-of-Optimum algorithm, which itself
 #: dispatches between OpTop (parallel links) and MOP (networks).
@@ -100,11 +89,7 @@ def clear_cache() -> int:
 
     Returns how many entries were evicted.
     """
-    evicted = len(_RESULT_CACHE)
-    _RESULT_CACHE.clear()
-    _CACHE_STATS["hits"] = 0
-    _CACHE_STATS["misses"] = 0
-    return evicted
+    return _RESULT_CACHE.clear()
 
 
 def cache_size() -> int:
@@ -112,8 +97,12 @@ def cache_size() -> int:
     return len(_RESULT_CACHE)
 
 
-def _resolve_name(strategy: Optional[str]) -> str:
+def resolve_strategy_name(strategy: Optional[str]) -> str:
+    """Map ``None`` / ``"auto"`` to the default strategy name."""
     return _DEFAULT_STRATEGY if strategy in (None, "auto") else strategy
+
+
+_resolve_name = resolve_strategy_name  # internal alias, kept for brevity
 
 
 def _cache_key(name: str, instance, config: SolveConfig,
@@ -126,8 +115,17 @@ def _cache_key(name: str, instance, config: SolveConfig,
     return (f"{name}@{REGISTRY.generation(name)}", digest, config.to_json())
 
 
+def _execute(instance, name: str, config: SolveConfig) -> SolveReport:
+    """Run the strategy without touching any cache; times the call."""
+    fn = get_strategy(name)
+    start = time.perf_counter()
+    report = fn(instance, config)
+    return replace(report, wall_time=time.perf_counter() - start)
+
+
 def solve(instance, strategy: Optional[str] = None, *,
-          config: Optional[SolveConfig] = None) -> SolveReport:
+          config: Optional[SolveConfig] = None,
+          cache: Optional[LRUCache] = None) -> SolveReport:
     """Solve one instance with a registered strategy.
 
     Parameters
@@ -139,6 +137,8 @@ def solve(instance, strategy: Optional[str] = None, *,
         or ``"auto"`` selects the Price-of-Optimum algorithm.
     config:
         Solver settings; defaults to ``SolveConfig()``.
+    cache:
+        Result cache to consult/fill; defaults to the process-global one.
 
     Returns
     -------
@@ -147,20 +147,17 @@ def solve(instance, strategy: Optional[str] = None, *,
     """
     config = SolveConfig() if config is None else config
     name = _resolve_name(strategy)
-    fn = get_strategy(name)
+    get_strategy(name)  # fail fast on unknown strategies
+    result_cache = _RESULT_CACHE if cache is None else cache
     key = _cache_key(name, instance, config) if config.cache else None
     if key is not None:
-        cached = _cache_get(key)
+        cached = result_cache.get(key)  # counts the hit or the miss
         if cached is not None:
-            _CACHE_STATS["hits"] += 1
-            return _with_cache_metadata(cached, hit=True)
-    start = time.perf_counter()
-    report = fn(instance, config)
-    report = replace(report, wall_time=time.perf_counter() - start)
+            return _with_cache_metadata(cached, hit=True, cache=result_cache)
+    report = _execute(instance, name, config)
     if key is not None:
-        _CACHE_STATS["misses"] += 1
-        report = _with_cache_metadata(report, hit=False)
-        _cache_put(key, report)
+        report = _with_cache_metadata(report, hit=False, cache=result_cache)
+        result_cache.put(key, report)
     return report
 
 
@@ -212,7 +209,8 @@ def _pool_unsafe_reason(name: str) -> Optional[str]:
 
 def solve_many(instances: Iterable[object], strategy: Optional[str] = None, *,
                config: Optional[SolveConfig] = None,
-               max_workers: Optional[int] = None) -> List[SolveReport]:
+               max_workers: Optional[int] = None,
+               cache: Optional[LRUCache] = None) -> List[SolveReport]:
     """Solve a batch of instances, reusing cached results and fanning out.
 
     Parameters
@@ -232,6 +230,13 @@ def solve_many(instances: Iterable[object], strategy: Optional[str] = None, *,
         cache misses.  ``None`` picks ``min(pending, cpu_count)``; ``0`` or
         ``1`` forces sequential in-process execution (required for strategies
         registered at runtime on non-fork platforms).
+    cache:
+        Result cache to consult/fill; defaults to the process-global one.
+        Callers with their own caching discipline inject a private
+        :class:`~repro.cache.LRUCache` instead — e.g.
+        :class:`repro.serve.SolveService` runs its batches against one so
+        serve traffic neither duplicates reports into the global cache nor
+        skews :func:`cache_stats` for other callers in the process.
 
     Returns
     -------
@@ -241,6 +246,7 @@ def solve_many(instances: Iterable[object], strategy: Optional[str] = None, *,
     config = SolveConfig() if config is None else config
     name = _resolve_name(strategy)
     get_strategy(name)  # fail fast on unknown strategies, before forking
+    result_cache = _RESULT_CACHE if cache is None else cache
     batch = list(instances)
     reports: List[Optional[SolveReport]] = [None] * len(batch)
 
@@ -252,11 +258,15 @@ def solve_many(instances: Iterable[object], strategy: Optional[str] = None, *,
         for i, instance in enumerate(batch):
             key = _cache_key(name, instance, config)
             keys[i] = key
-            if key is not None and key in _RESULT_CACHE:
-                _CACHE_STATS["hits"] += 1
-                reports[i] = _with_cache_metadata(_cache_get(key), hit=True)
-            elif key is not None and key in first_seen:
+            if key is not None and key in first_seen:
+                # In-batch duplicate of a pending solve; its hit is recorded
+                # when the first occurrence's report is copied below.
                 duplicates.append((i, first_seen[key]))
+                continue
+            cached = result_cache.get(key) if key is not None else None
+            if cached is not None:
+                reports[i] = _with_cache_metadata(cached, hit=True,
+                                                  cache=result_cache)
             else:
                 if key is not None:
                     first_seen[key] = i
@@ -279,25 +289,28 @@ def solve_many(instances: Iterable[object], strategy: Optional[str] = None, *,
         if workers > 1 and len(pending) > 1:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 solved = list(pool.map(_solve_task, payloads))
-            if config.cache:
-                # Worker-side counters live in the worker processes; account
-                # for the misses here in the parent.
-                _CACHE_STATS["misses"] += sum(
-                    1 for i in pending if keys[i] is not None)
         else:
-            solved = [_solve_task(payload) for payload in payloads]
+            # The scan above already recorded these lookups as misses, so
+            # run the strategy directly instead of re-probing through
+            # solve() (which would double-count).
+            solved = [_execute(*payload) for payload in payloads]
         for i, report in zip(pending, solved):
+            if keys[i] is not None:
+                # Re-stamp pooled reports too: worker-side counters are
+                # process-local and meaningless to this session.
+                report = _with_cache_metadata(report, hit=False,
+                                              cache=result_cache)
+                result_cache.put(keys[i], report)
             reports[i] = report
-            if config.cache and keys[i] is not None:
-                _cache_put(keys[i], report)
 
     for i, j in duplicates:
         # Structural duplicates inside the batch were solved once; each
         # duplicate gets its own copy of the first occurrence's report with
         # a hit=True cache record, exactly like a report served from the
         # cross-batch cache.
-        _CACHE_STATS["hits"] += 1
-        reports[i] = _with_cache_metadata(reports[j], hit=True)
+        result_cache.note(hits=1)
+        reports[i] = _with_cache_metadata(reports[j], hit=True,
+                                          cache=result_cache)
     missing = [i for i, report in enumerate(reports) if report is None]
     assert not missing, f"solve_many left unfilled slots: {missing}"
     return reports

@@ -27,6 +27,13 @@ unified :mod:`repro.api` solver-session layer:
     <name> --store DIR`` re-runs against an existing store and reports how
     much was served from artifacts.
 
+``repro serve``
+    The serving layer: ``repro serve bench`` drives a seed-deterministic
+    synthetic request stream through a :class:`repro.serve.SolveService`
+    (micro-batching, request coalescing, tiered cache) and prints per-pass
+    throughput and the full service statistics.  ``--store DIR`` adds the
+    on-disk artifact store as the tier-2 cache, shared with ``repro study``.
+
 Invoke with ``python -m repro <subcommand> ...``.
 """
 
@@ -151,6 +158,42 @@ def build_parser() -> argparse.ArgumentParser:
     study_resume = study_sub.add_parser(
         "resume", help="re-run against an existing artifact store")
     add_run_arguments(study_resume, store_required=True)
+
+    serve = subparsers.add_parser(
+        "serve", help="serving layer: benchmark the SolveService")
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+    serve_bench = serve_sub.add_parser(
+        "bench", help="drive a synthetic request stream through SolveService")
+    serve_bench.add_argument("--requests", type=int, default=5000,
+                             help="requests per pass (default: 5000)")
+    serve_bench.add_argument("--distinct", type=int, default=200,
+                             help="distinct instances in the stream "
+                                  "(default: 200)")
+    serve_bench.add_argument("--num-links", type=int, default=4,
+                             help="links per synthetic instance (default: 4)")
+    serve_bench.add_argument("--passes", type=int, default=2,
+                             help="passes over the stream (default: 2; the "
+                                  "second pass measures the warm cache)")
+    serve_bench.add_argument("--strategy", choices=available_strategies(),
+                             default="optop")
+    serve_bench.add_argument("--seed", type=int, default=0,
+                             help="workload seed (stream is deterministic)")
+    serve_bench.add_argument("--max-batch", type=int, default=64,
+                             help="micro-batch size cap (default: 64)")
+    serve_bench.add_argument("--max-wait-ms", type=float, default=2.0,
+                             help="micro-batch fill window in ms "
+                                  "(default: 2.0)")
+    serve_bench.add_argument("--max-queue", type=int, default=0,
+                             help="request queue bound, 0 = unbounded "
+                                  "(default: 0)")
+    serve_bench.add_argument("--workers", type=int, default=0,
+                             help="process-pool width per batch "
+                                  "(0 = in-process)")
+    serve_bench.add_argument("--store", default=None,
+                             help="artifact-store directory used as the "
+                                  "tier-2 cache")
+    serve_bench.add_argument("--json", action="store_true",
+                             help="print the benchmark record as JSON")
     return parser
 
 
@@ -336,11 +379,50 @@ def _command_study_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve import run_bench
+
+    store = _open_store(args)
+    result = run_bench(
+        num_requests=args.requests, num_distinct=args.distinct,
+        num_links=args.num_links, seed=args.seed, passes=args.passes,
+        strategy=args.strategy, store=store, max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms, max_queue=args.max_queue,
+        max_workers=args.workers)
+    consistent = all(p.stats.consistent for p in result.passes)
+    if args.json:
+        import json as _json
+        print(_json.dumps(result.to_dict(), sort_keys=True, indent=2))
+        return 0 if consistent else 1
+    rows = []
+    for record in result.passes:
+        stats = record.stats
+        rows.append((record.index + 1, record.requests,
+                     f"{record.seconds:.3f}",
+                     f"{record.requests_per_second:.0f}",
+                     stats.tier1_hits, stats.tier2_hits, stats.coalesced,
+                     stats.enqueued, stats.batches,
+                     "yes" if stats.consistent else "NO"))
+    print(format_table(
+        ("pass", "requests", "seconds", "req/s", "tier-1 hits",
+         "tier-2 hits", "coalesced", "solved", "batches", "consistent"),
+        rows, title="SolveService synthetic benchmark"))
+    final = result.final_stats
+    print(f"totals: {final.requests} requests | {final.hits} cache hits, "
+          f"{final.coalesced} coalesced, {final.enqueued} solver requests "
+          f"in {final.batches} batches | rejected {final.rejected}, "
+          f"batch failures {final.batch_failures}, queue peak "
+          f"{final.queue_peak}")
+    return 0 if consistent else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` (returns a process exit code)."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "study":
+    if args.command == "serve":
+        handler = {"bench": _command_serve_bench}[args.serve_command]
+    elif args.command == "study":
         study_handlers = {
             "list": _command_study_list,
             "run": _command_study_run,

@@ -16,6 +16,9 @@ __all__ = [
     "ConvergenceError",
     "StrategyError",
     "InstanceError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
 ]
 
 
@@ -68,3 +71,20 @@ class StrategyError(ReproError):
 
 class InstanceError(ReproError):
     """Raised by instance generators when parameters are out of range."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` layer."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when the service's bounded request queue is full.
+
+    Backpressure signal: the caller should retry later (or with a larger
+    ``max_queue`` / more drain capacity).  Rejected submissions are counted
+    in :class:`repro.serve.ServiceStats`.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when submitting to (or set on futures of) a stopped service."""

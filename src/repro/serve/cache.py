@@ -1,0 +1,189 @@
+"""Two-tier result cache: in-memory LRU above the on-disk artifact store.
+
+Tier 1 is a thread-safe :class:`repro.cache.LRUCache` (fast, bounded,
+process-local); tier 2 is the content-addressed
+:class:`repro.study.store.ArtifactStore` (persistent, shared across
+processes and with the study pipeline — a report solved by ``repro study
+run --store`` is served by the service without any solver work, and vice
+versa).
+
+Semantics:
+
+* **Lookup** probes tier 1 first; a tier-2 hit is *promoted* into tier 1 so
+  repeated traffic for a hot key never touches the disk again.
+* **Write-through**: :meth:`TieredCache.put` lands a fresh report in both
+  tiers, so a process restart loses only latency, never results.
+* **Per-tier accounting**: the cache keeps its own lock-guarded counters —
+  ``memory_hits + store_hits + misses == lookups`` holds exactly under
+  concurrency — and additionally exposes the raw counters of both backing
+  tiers.
+
+Entries are addressed by what determines the solver output: the instance
+digest, the strategy name and the canonical config JSON (the same triple the
+session cache and the artifact store already key on).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.api.config import SolveConfig
+from repro.api.registry import REGISTRY
+from repro.api.report import SolveReport
+from repro.cache import LRUCache
+from repro.exceptions import ModelError
+from repro.study.store import ArtifactStore, artifact_key, storable_strategy
+
+__all__ = ["TieredCache", "TIER_MEMORY", "TIER_STORE"]
+
+#: Tier labels returned by :meth:`TieredCache.get`.
+TIER_MEMORY = "memory"
+TIER_STORE = "store"
+
+
+class TieredCache:
+    """Write-through memory+disk cache for solve reports.
+
+    Parameters
+    ----------
+    memory:
+        The tier-1 LRU; a fresh bounded one is created when omitted.
+    store:
+        Optional tier-2 :class:`~repro.study.store.ArtifactStore`; without
+        it the cache degrades gracefully to a single in-memory tier.
+    max_entries:
+        Bound of the auto-created tier-1 cache (ignored when ``memory`` is
+        given).
+    """
+
+    def __init__(self, *, memory: Optional[LRUCache] = None,
+                 store: Optional[ArtifactStore] = None,
+                 max_entries: int = 4096) -> None:
+        self.memory = LRUCache(max_entries=max_entries) if memory is None \
+            else memory
+        self.store = store
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "lookups": 0, "memory_hits": 0, "store_hits": 0, "misses": 0,
+            "puts": 0, "store_errors": 0}
+
+    @staticmethod
+    def memory_key(digest: str, strategy: str,
+                   config: SolveConfig) -> Tuple[str, str, str]:
+        """The tier-1 key of one solved cell.
+
+        Mixes in the strategy's registry generation (like the session-layer
+        cache) so re-registering a name with a new implementation
+        invalidates tier-1 entries instead of serving the old
+        implementation's reports.
+        """
+        return (f"{strategy}@{REGISTRY.generation(strategy)}", digest,
+                config.to_json())
+
+    #: Shared storability rule: tier 2 is bypassed for strategies
+    #: re-registered in this process, exactly like the study runner.
+    _storable = staticmethod(storable_strategy)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def get(self, digest: str, strategy: str, config: SolveConfig,
+            ) -> Tuple[Optional[SolveReport], Optional[str]]:
+        """Look one cell up; returns ``(report, tier)``.
+
+        ``tier`` is :data:`TIER_MEMORY`, :data:`TIER_STORE` (the report was
+        promoted into memory) or ``None`` on a full miss.
+        """
+        report = self.get_memory(digest, strategy, config)
+        if report is not None:
+            return report, TIER_MEMORY
+        stored = self.get_store(digest, strategy, config)
+        if stored is not None:
+            return stored, TIER_STORE
+        return None, None
+
+    def get_memory(self, digest: str, strategy: str, config: SolveConfig,
+                   ) -> Optional[SolveReport]:
+        """Tier-1-only probe (pure in-memory, no disk I/O).
+
+        A hit completes the logical lookup (counted as ``memory_hits``); a
+        miss counts nothing yet — the caller is expected to finish the
+        lookup with :meth:`get_store` exactly once, which records either a
+        ``store_hits`` or a ``misses`` outcome.  :meth:`get` composes the
+        two; callers that must not touch the disk while holding their own
+        locks (the serving front-end) split them.
+        """
+        report = self.memory.get(self.memory_key(digest, strategy, config))
+        if report is not None:
+            self._count("memory_hits")
+        return report
+
+    def get_store(self, digest: str, strategy: str, config: SolveConfig,
+                  ) -> Optional[SolveReport]:
+        """Tier-2 probe, completing a lookup that missed tier 1.
+
+        A hit is promoted into tier 1 and counted as ``store_hits``;
+        anything else — including a *corrupt* artifact, which additionally
+        increments ``store_errors`` — counts as a ``misses`` outcome, so
+        the per-tier invariant survives damaged files and the write-through
+        of the fresh solve repairs them.
+        """
+        if self.store is not None and self._storable(strategy):
+            try:
+                stored = self.store.get(
+                    artifact_key(digest, strategy, config))
+            except ModelError:
+                # A damaged artifact must not take the service down (or
+                # leak out of a lookup): treat it as a miss, count it, and
+                # let the write-through replace the bad file.
+                with self._lock:
+                    self._counters["store_errors"] += 1
+                stored = None
+            if stored is not None:
+                self.memory.put(self.memory_key(digest, strategy, config),
+                                stored)
+                self._count("store_hits")
+                return stored
+        self._count("misses")
+        return None
+
+    def put(self, digest: str, strategy: str, config: SolveConfig,
+            report: SolveReport) -> None:
+        """Write-through insert into both tiers.
+
+        Tier 1 is written first, so even when the disk write fails the
+        report is served from memory; tier 2 is skipped for re-registered
+        strategies (see :meth:`_storable`).
+        """
+        self.memory.put(self.memory_key(digest, strategy, config), report)
+        if self.store is not None and self._storable(strategy):
+            self.store.put(artifact_key(digest, strategy, config), report)
+        with self._lock:
+            self._counters["puts"] += 1
+
+    def _count(self, outcome: str) -> None:
+        with self._lock:
+            self._counters["lookups"] += 1
+            self._counters[outcome] += 1
+
+    # ------------------------------------------------------------------ #
+    # Counters
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """Atomic tier-level counters plus the raw backing-tier stats.
+
+        ``memory_hits + store_hits + misses == lookups`` always holds for
+        the top-level counters of one :class:`TieredCache` handle.
+        """
+        with self._lock:
+            top = dict(self._counters)
+        return {
+            **top,
+            "memory": self.memory.stats(),
+            "store": None if self.store is None else self.store.stats(),
+        }
+
+    def clear_memory(self) -> int:
+        """Drop tier 1 (the artifacts stay); returns entries dropped."""
+        return self.memory.clear()

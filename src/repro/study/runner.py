@@ -15,27 +15,18 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.api.config import SolveConfig
-from repro.api.registry import REGISTRY
 from repro.api.session import cache_stats, solve, solve_many
 from repro.exceptions import ModelError
 from repro.serialization import instance_digest
 from repro.study.report import CellResult, StudyReport
 from repro.study.spec import StudySpec
-from repro.study.store import ArtifactStore, artifact_key
+from repro.study.store import ArtifactStore, artifact_key, storable_strategy
 
 __all__ = ["run_study", "solve_cell"]
 
-
-def _storable(strategy: str) -> bool:
-    """Whether artifacts may serve results for ``strategy`` in this process.
-
-    Artifact keys are content-addressed by the strategy *name* (a persistent
-    store cannot see process-local registry generations), so a strategy that
-    was re-registered in this process — a fresh implementation under a
-    reused name — must bypass the store entirely: its artifacts would
-    otherwise replay the previous implementation's results.
-    """
-    return REGISTRY.generation(strategy) <= 1
+#: Kept under the historic private name for in-module readability; the rule
+#: itself lives next to artifact_key so the serving layer shares it.
+_storable = storable_strategy
 
 
 def solve_cell(instance, strategy: str, config: SolveConfig, *,

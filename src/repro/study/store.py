@@ -24,14 +24,30 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Union
 
 from repro.api.config import SolveConfig
+from repro.api.registry import REGISTRY
 from repro.api.report import SolveReport
 from repro.exceptions import ModelError
 
-__all__ = ["ArtifactStore", "artifact_key"]
+__all__ = ["ArtifactStore", "artifact_key", "storable_strategy"]
+
+
+def storable_strategy(strategy: str) -> bool:
+    """Whether artifacts may serve/persist results for ``strategy``.
+
+    Artifact keys are content-addressed by the strategy *name*: a
+    persistent key cannot embed the process-local registry generation the
+    in-memory caches use for invalidation.  A strategy re-registered in
+    this process — a fresh implementation under a reused name — must
+    therefore bypass the store entirely, or its artifacts would replay the
+    previous implementation's results.  The study runner and the serving
+    layer's tier-2 cache both apply this one rule.
+    """
+    return REGISTRY.generation(strategy) <= 1
 
 
 def artifact_key(instance_digest: str, strategy: str,
@@ -61,12 +77,23 @@ class ArtifactStore:
     Tracks cumulative hit/miss counters (``stats()``) so callers — the study
     runner, the CI smoke check — can assert resume behaviour: a second run
     of the same study must be 100% hits.
+
+    The store doubles as the tier-2 backend of the serving stack
+    (:class:`repro.serve.TieredCache`): writes are atomic (temp file +
+    ``os.replace``), so concurrent processes racing on one key leave exactly
+    one intact artifact, and the counters are lock-guarded so concurrent
+    submit threads never tear them.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._stats_lock = threading.Lock()
         self._stats: Dict[str, int] = {"hits": 0, "misses": 0, "writes": 0}
+
+    def _count(self, counter: str) -> None:
+        with self._stats_lock:
+            self._stats[counter] += 1
 
     # ------------------------------------------------------------------ #
     # Addressing
@@ -91,13 +118,13 @@ class ArtifactStore:
         try:
             text = path.read_text(encoding="utf-8")
         except FileNotFoundError:
-            self._stats["misses"] += 1
+            self._count("misses")
             return None
         try:
             report = SolveReport.from_json(text)
         except ModelError as exc:
             raise ModelError(f"corrupt artifact {path}: {exc}") from exc
-        self._stats["hits"] += 1
+        self._count("hits")
         return report
 
     def put(self, key: str, report: SolveReport) -> Path:
@@ -115,7 +142,7 @@ class ArtifactStore:
             except OSError:
                 pass
             raise
-        self._stats["writes"] += 1
+        self._count("writes")
         return path
 
     def __contains__(self, key: str) -> bool:
@@ -143,9 +170,11 @@ class ArtifactStore:
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, int]:
         """Cumulative ``{"hits", "misses", "writes"}`` of this store handle."""
-        return dict(self._stats)
+        with self._stats_lock:
+            return dict(self._stats)
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/write counters (the artifacts stay)."""
-        for key in self._stats:
-            self._stats[key] = 0
+        with self._stats_lock:
+            for key in self._stats:
+                self._stats[key] = 0

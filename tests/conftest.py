@@ -48,3 +48,23 @@ def random_linear_instance():
 def common_slope_instance():
     """A deterministic 4-link common-slope instance (Theorem 2.4 family)."""
     return random_affine_common_slope(4, demand=2.0, seed=7, slope=1.0)
+
+
+def pytest_addoption(parser):
+    """Register the golden-fixture refresh flag.
+
+    ``pytest --update-golden`` rewrites the checked-in JSON tables under
+    ``tests/fixtures/golden/`` from the current code instead of comparing
+    against them; review the diff and commit deliberately (see
+    tests/README.md).
+    """
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/fixtures/golden/*.json from the current code "
+             "instead of asserting against it")
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """Whether this run should rewrite golden fixtures."""
+    return bool(request.config.getoption("--update-golden"))

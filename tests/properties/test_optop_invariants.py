@@ -1,0 +1,69 @@
+"""Seed-randomized invariants of OpTop / the Price of Optimum.
+
+Across every latency family and pinned seed, the paper's guarantees must
+hold: the induced cost is never below the system optimum (so the a
+posteriori price of optimum ``C(S+T)/C(O)`` is >= 1 — and for OpTop it is
+exactly 1, Corollary 2.2), and the controlled fraction beta is a genuine
+fraction in [0, 1] matching the Leader's actual flow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from families import FAMILIES, SEEDS, make_instance
+from repro.api import SolveConfig, solve
+
+
+def _report(family, seed):
+    return solve(make_instance(family, seed), "optop",
+                 config=SolveConfig(cache=False, compute_nash=True))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("family", FAMILIES)
+def test_induced_cost_never_below_optimum(family, seed):
+    report = _report(family, seed)
+    slack = 1e-7 * max(1.0, abs(report.optimum_cost))
+    assert report.induced_cost >= report.optimum_cost - slack
+    assert report.cost_ratio >= 1.0 - 1e-7
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("family", FAMILIES)
+def test_optop_attains_the_optimum(family, seed):
+    """Corollary 2.2: OpTop's strategy induces exactly C(O)."""
+    report = _report(family, seed)
+    assert report.induced_cost == pytest.approx(report.optimum_cost,
+                                                rel=1e-5, abs=1e-7)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("family", FAMILIES)
+def test_controlled_fraction_is_a_fraction(family, seed):
+    report = _report(family, seed)
+    assert -1e-9 <= report.beta <= 1.0 + 1e-9
+    assert report.controlled_flow == pytest.approx(
+        report.beta * sum(report.optimum_flows), rel=1e-6, abs=1e-7)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("family", FAMILIES)
+def test_beta_positive_only_when_anarchy_hurts(family, seed):
+    """beta > 0 exactly when selfish routing is suboptimal."""
+    report = _report(family, seed)
+    gap = report.nash_cost - report.optimum_cost
+    scale = max(1.0, abs(report.optimum_cost))
+    if report.beta <= 1e-9:
+        assert gap <= 1e-6 * scale, "beta = 0 but the Nash flow is wasteful"
+    if gap > 1e-5 * scale:
+        assert report.beta > 1e-9, "anarchy gap open but no control needed?"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("family", FAMILIES)
+def test_leader_plays_within_the_optimum(family, seed):
+    """The strategy loads each link with at most its optimum flow."""
+    report = _report(family, seed)
+    for s, o in zip(report.leader_flows, report.optimum_flows):
+        assert s <= o + 1e-6

@@ -1,0 +1,91 @@
+"""Cross-process races on one artifact key.
+
+Two processes ``put`` the same key at the same moment (barrier-released).
+The temp-file + ``os.replace`` write path must guarantee that afterwards
+
+* exactly one artifact file exists for the key (no leftover temp files),
+* the artifact parses as a valid report (no interleaved/corrupt bytes), and
+* its content is exactly one of the two competing reports.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.api import SolveConfig, solve
+from repro.api.report import SolveReport
+from repro.instances import pigou
+from repro.study.store import ArtifactStore
+
+#: Distinct keys raced in turn; several rounds make the race window real.
+ROUNDS = 6
+
+
+def _distinct_report(tag: int) -> SolveReport:
+    """A valid report whose metadata identifies the writing process."""
+    base = solve(pigou(), "aloof",
+                 config=SolveConfig(cache=False, compute_nash=False))
+    from dataclasses import replace
+    return replace(base, metadata={**base.metadata, "writer": tag})
+
+
+def _race_put(root: str, key: str, tag: int, barrier, repeats: int) -> None:
+    store = ArtifactStore(root)
+    report = _distinct_report(tag)
+    barrier.wait(timeout=30)
+    for _ in range(repeats):
+        store.put(key, report)
+
+
+@pytest.mark.parametrize("round_index", range(ROUNDS))
+def test_simultaneous_puts_leave_one_intact_artifact(tmp_path, round_index):
+    root = tmp_path / "store"
+    store = ArtifactStore(root)
+    key = f"{round_index:02d}" + "ab" * 31  # 64 hex-ish chars, valid length
+    barrier = multiprocessing.Barrier(2)
+    workers = [
+        multiprocessing.Process(target=_race_put,
+                                args=(str(root), key, tag, barrier, 25))
+        for tag in (1, 2)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=60)
+        assert worker.exitcode == 0, "a racing writer crashed"
+
+    # Exactly one surviving file, no temp-file debris.
+    fanout = store.path_for(key).parent
+    leftovers = sorted(p.name for p in fanout.iterdir())
+    assert leftovers == [f"{key}.json"], f"unexpected files: {leftovers}"
+    assert list(store.keys()) == [key]
+
+    # The artifact is intact valid JSON and is one of the two writers'.
+    report = store.get(key)
+    assert report is not None
+    assert report.metadata["writer"] in (1, 2)
+    # And byte-level: the file parses standalone (not merely via the API).
+    payload = json.loads(store.path_for(key).read_text(encoding="utf-8"))
+    assert payload["strategy"] == "aloof"
+
+
+def test_put_failure_leaves_no_temp_file(tmp_path):
+    """A crashed write may lose the artifact but never leaves debris."""
+    store = ArtifactStore(tmp_path / "store")
+    key = "cd" * 32
+
+    class Unserialisable(SolveReport):
+        def to_json(self, *, indent=None):  # noqa: D102
+            raise RuntimeError("boom mid-write")
+
+    report = _distinct_report(0)
+    broken = Unserialisable(**{name: getattr(report, name)
+                               for name in report.__dataclass_fields__})
+    with pytest.raises(RuntimeError):
+        store.put(key, broken)
+    fanout = store.path_for(key).parent
+    assert not fanout.exists() or list(fanout.iterdir()) == []
+    assert store.get(key) is None

@@ -1,0 +1,87 @@
+"""Unit and concurrency tests for :class:`repro.cache.LRUCache`."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cache import LRUCache
+
+
+class TestLRUSemantics:
+    def test_get_put_roundtrip_and_counters(self):
+        cache = LRUCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_least_recently_used_is_evicted_first(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a"; "b" becomes LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_peek_touches_neither_recency_nor_counters(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert cache.peek("zzz") is None
+        cache.put("c", 3)       # "a" is still LRU: peek did not refresh it
+        assert "a" not in cache
+        stats = cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_note_folds_external_serves_into_counters(self):
+        cache = LRUCache()
+        cache.note(hits=3, misses=2)
+        stats = cache.stats()
+        assert stats["hits"] == 3 and stats["misses"] == 2
+
+    def test_clear_drops_entries_and_counters(self):
+        cache = LRUCache()
+        cache.put("a", 1)
+        cache.get("a")
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 0
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(max_entries=0)
+
+
+class TestLRUThreadSafety:
+    def test_counters_are_exact_under_contention(self):
+        """hits + misses == lookups across any interleaving of threads."""
+        cache = LRUCache(max_entries=64)
+        num_threads, lookups_each = 8, 500
+        errors = []
+
+        def worker(tid: int) -> None:
+            try:
+                for i in range(lookups_each):
+                    key = (tid * i) % 100
+                    if cache.get(key) is None:
+                        cache.put(key, key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == num_threads * lookups_each
+        assert len(cache) <= 64
