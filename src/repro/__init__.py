@@ -134,6 +134,16 @@ from repro.study import (
 from repro.cache import LRUCache
 from repro import serve
 from repro.serve import ServiceStats, SolveService, TieredCache
+from repro import scenarios
+from repro.scenarios import (
+    DemandTrace,
+    ElasticReport,
+    LinearDemandCurve,
+    TraceAxis,
+    TraceReport,
+    replay_trace,
+    solve_elastic,
+)
 
 __version__ = "1.1.0"
 
@@ -241,5 +251,14 @@ __all__ = [
     "ServiceStats",
     "TieredCache",
     "LRUCache",
+    # demand scenarios
+    "scenarios",
+    "DemandTrace",
+    "ElasticReport",
+    "LinearDemandCurve",
+    "TraceAxis",
+    "TraceReport",
+    "replay_trace",
+    "solve_elastic",
     "__version__",
 ]

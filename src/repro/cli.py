@@ -27,12 +27,28 @@ unified :mod:`repro.api` solver-session layer:
     <name> --store DIR`` re-runs against an existing store and reports how
     much was served from artifacts.
 
+``repro solve``
+    One solve through the unified API — like ``analyze`` but scenario-aware:
+    ``--elastic`` switches to the elastic-demand fixed point of
+    :mod:`repro.scenarios` (``--intercept``/``--slope``/``--curve`` describe
+    the inverse-demand curve) and reports the realised rate, the market
+    price and the consumer surplus next to the usual solve report.
+
+``repro trace``
+    Time-varying demand: ``repro trace list`` shows the registered demand
+    processes; ``repro trace run`` replays a demand trace (diurnal by
+    default) step by step through a :class:`repro.serve.SolveService`,
+    printing per-step reports and the warm-start accounting.  With
+    ``--store DIR`` the per-step artifacts land in the content-addressed
+    store, so a second replay resumes with **zero** solver calls.
+
 ``repro serve``
     The serving layer: ``repro serve bench`` drives a seed-deterministic
     synthetic request stream through a :class:`repro.serve.SolveService`
     (micro-batching, request coalescing, tiered cache) and prints per-pass
     throughput and the full service statistics.  ``--store DIR`` adds the
-    on-disk artifact store as the tier-2 cache, shared with ``repro study``.
+    on-disk artifact store as the tier-2 cache, shared with ``repro study``;
+    ``--trace PROCESS`` drives diurnal traffic instead of the hot-key mix.
 
 Invoke with ``python -m repro <subcommand> ...``.
 """
@@ -104,6 +120,82 @@ def build_parser() -> argparse.ArgumentParser:
                               "(llf/scale/brute_force)")
     analyze.add_argument("--json", action="store_true",
                          help="print the SolveReport as JSON instead of tables")
+
+    solve_cmd = subparsers.add_parser(
+        "solve", help="one solve through the unified API (scenario-aware)")
+    solve_source = solve_cmd.add_mutually_exclusive_group(required=True)
+    solve_source.add_argument("--instance", choices=sorted(NAMED_INSTANCES),
+                              help="a canonical instance from the paper")
+    solve_source.add_argument("--file",
+                              help="JSON instance file (see "
+                                   "repro.serialization)")
+    solve_cmd.add_argument("--strategy", choices=available_strategies(),
+                           default="optop",
+                           help="registered strategy to run (default: optop)")
+    solve_cmd.add_argument("--alpha", type=float, default=None,
+                           help="Leader budget for the budgeted strategies")
+    solve_cmd.add_argument("--elastic", action="store_true",
+                           help="solve the elastic-demand fixed point "
+                                "instead of the instance's static demand")
+    solve_cmd.add_argument("--curve", choices=("linear", "exponential"),
+                           default="linear",
+                           help="inverse-demand curve family (with "
+                                "--elastic; default: linear)")
+    solve_cmd.add_argument("--intercept", type=float, default=2.0,
+                           help="demand-curve intercept D(0) (default: 2.0)")
+    solve_cmd.add_argument("--slope", type=float, default=1.0,
+                           help="slope of the linear curve (default: 1.0)")
+    solve_cmd.add_argument("--decay", type=float, default=1.0,
+                           help="decay of the exponential curve "
+                                "(default: 1.0)")
+    solve_cmd.add_argument("--store", default=None,
+                           help="artifact-store directory (elastic solves "
+                                "resume through it)")
+    solve_cmd.add_argument("--json", action="store_true",
+                           help="print the report as JSON")
+
+    trace = subparsers.add_parser(
+        "trace", help="time-varying demand: replay traces through the "
+                      "serving layer")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_list = trace_sub.add_parser(
+        "list", help="list the registered demand-trace processes")
+    del trace_list  # no options
+    trace_run = trace_sub.add_parser(
+        "run", help="replay a demand trace step by step")
+    trace_source = trace_run.add_mutually_exclusive_group(required=True)
+    trace_source.add_argument("--instance", choices=sorted(NAMED_INSTANCES),
+                              help="a canonical instance from the paper")
+    trace_source.add_argument("--file",
+                              help="JSON instance file (see "
+                                   "repro.serialization)")
+    trace_run.add_argument("--process", default="diurnal",
+                           help="registered trace process (default: diurnal; "
+                                "see 'repro trace list')")
+    trace_run.add_argument("--steps", type=int, default=50,
+                           help="number of trace steps (default: 50)")
+    trace_run.add_argument("--base", type=float, default=2.0,
+                           help="base demand level (default: 2.0)")
+    trace_run.add_argument("--amplitude", type=float, default=1.0,
+                           help="diurnal/random-walk amplitude "
+                                "(default: 1.0)")
+    trace_run.add_argument("--levels", type=float, nargs="+", default=None,
+                           help="explicit levels (piecewise/literal "
+                                "processes)")
+    trace_run.add_argument("--csv", default=None,
+                           help="load the trace levels from a CSV file "
+                                "(overrides --process)")
+    trace_run.add_argument("--seed", type=int, default=0,
+                           help="seed for seeded processes (default: 0)")
+    trace_run.add_argument("--strategy", choices=available_strategies(),
+                           default="optop")
+    trace_run.add_argument("--store", default=None,
+                           help="artifact-store directory; a second replay "
+                                "against it resumes with zero solver calls")
+    trace_run.add_argument("--json", action="store_true",
+                           help="print the TraceReport as JSON")
+    trace_run.add_argument("--quiet", action="store_true",
+                           help="only print the replay summary line")
 
     sweep = subparsers.add_parser(
         "sweep", help="sweep the Leader share alpha on a parallel-link instance")
@@ -194,6 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
                                   "tier-2 cache")
     serve_bench.add_argument("--json", action="store_true",
                              help="print the benchmark record as JSON")
+    serve_bench.add_argument("--trace", default=None,
+                             help="demand-trace process driving time-varying "
+                                  "traffic (e.g. diurnal) instead of the "
+                                  "fixed hot-key mix")
+    serve_bench.add_argument("--trace-steps", type=int, default=24,
+                             help="steps of the demand trace (default: 24)")
     return parser
 
 
@@ -256,6 +354,100 @@ def _command_analyze(args: argparse.Namespace) -> int:
         _print_parallel_report(instance, report)
     else:
         _print_network_report(instance, report)
+    return 0
+
+
+def _command_solve(args: argparse.Namespace) -> int:
+    instance = _load(args)
+    config = SolveConfig() if args.alpha is None else SolveConfig(alpha=args.alpha)
+    if not args.elastic:
+        report = solve(instance, args.strategy, config=config)
+        if args.json:
+            print(report.to_json(indent=2))
+        elif report.instance_kind == PARALLEL:
+            _print_parallel_report(instance, report)
+        else:
+            _print_network_report(instance, report)
+        return 0
+    from repro.scenarios import (
+        ExponentialDemandCurve,
+        LinearDemandCurve,
+        solve_elastic,
+    )
+
+    if args.curve == "linear":
+        curve = LinearDemandCurve(intercept=args.intercept, slope=args.slope)
+    else:
+        curve = ExponentialDemandCurve(intercept=args.intercept,
+                                       decay=args.decay)
+    elastic = solve_elastic(instance, curve, args.strategy, config=config,
+                            store=_open_store(args))
+    if args.json:
+        print(elastic.to_json(indent=2))
+        return 0
+    if elastic.report.instance_kind == PARALLEL:
+        _print_parallel_report(instance, elastic.report)
+    else:
+        _print_network_report(instance, elastic.report)
+    print(f"elastic demand {curve!r}: realised rate = "
+          f"{elastic.realised_rate:.6f}  market price = "
+          f"{elastic.price:.6f}  consumer surplus = "
+          f"{elastic.consumer_surplus:.6f}  "
+          f"({elastic.iterations} bisection steps)")
+    return 0
+
+
+def _build_trace(args: argparse.Namespace):
+    from repro.scenarios import DemandTrace
+
+    if args.csv is not None:
+        return DemandTrace.from_csv(args.csv)
+    params: Dict[str, object] = {}
+    if args.process in ("diurnal", "random_walk"):
+        params = {"num_steps": args.steps, "base": args.base}
+        if args.process == "diurnal":
+            params["amplitude"] = args.amplitude
+        else:
+            params["step_scale"] = args.amplitude
+    elif args.process == "constant":
+        params = {"level": args.base, "num_steps": args.steps}
+    elif args.process in ("piecewise", "literal"):
+        if not args.levels:
+            raise ReproError(
+                f"the {args.process!r} process needs --levels")
+        params = {"levels": list(args.levels)}
+    return DemandTrace.from_process(args.process, params, seed=args.seed)
+
+
+def _command_trace_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import TRACE_PROCESSES, available_trace_processes
+
+    rows = []
+    for name in available_trace_processes():
+        entry = TRACE_PROCESSES.get(name)
+        params = ", ".join(sorted(
+            entry.schema.get("properties", {}))) or "-"
+        rows.append((name, "yes" if entry.seeded else "no", params,
+                     entry.description))
+    print(format_table(("process", "seeded", "params", "description"), rows,
+                       title="Demand-trace processes"))
+    return 0
+
+
+def _command_trace_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import replay_trace
+
+    instance = _load(args)
+    trace = _build_trace(args)
+    report = replay_trace(instance, trace, args.strategy,
+                          store=_open_store(args))
+    if args.json:
+        print(report.to_json(indent=2))
+        return 0
+    if not args.quiet:
+        print(report.to_table())
+        print()
+    print(report.summary())
     return 0
 
 
@@ -383,12 +575,18 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve import run_bench
 
     store = _open_store(args)
+    trace = None
+    if args.trace is not None:
+        from repro.scenarios import DemandTrace
+
+        trace = DemandTrace.from_process(
+            args.trace, {"num_steps": args.trace_steps}, seed=args.seed)
     result = run_bench(
         num_requests=args.requests, num_distinct=args.distinct,
         num_links=args.num_links, seed=args.seed, passes=args.passes,
         strategy=args.strategy, store=store, max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms, max_queue=args.max_queue,
-        max_workers=args.workers)
+        max_workers=args.workers, trace=trace)
     consistent = all(p.stats.consistent for p in result.passes)
     if args.json:
         import json as _json
@@ -422,6 +620,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "serve":
         handler = {"bench": _command_serve_bench}[args.serve_command]
+    elif args.command == "trace":
+        trace_handlers = {
+            "list": _command_trace_list,
+            "run": _command_trace_run,
+        }
+        handler = trace_handlers[args.trace_command]
     elif args.command == "study":
         study_handlers = {
             "list": _command_study_list,
@@ -432,6 +636,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         handlers = {
             "analyze": _command_analyze,
+            "solve": _command_solve,
             "sweep": _command_sweep,
             "experiments": _command_experiments,
         }

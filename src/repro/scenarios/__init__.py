@@ -1,0 +1,76 @@
+"""`repro.scenarios` — elastic and time-varying demand processes.
+
+Every other layer of the package solves a *static* demand: one total rate,
+one solve.  This subsystem makes the demand itself part of the model:
+
+* **Elastic demand** (:mod:`repro.scenarios.demand`,
+  :mod:`repro.scenarios.elastic`): an inverse-demand curve ``D(q)`` states
+  the willingness to pay for the ``q``-th unit of flow; the realised rate is
+  the fixed point where it meets the Wardrop cost level.  Because the level
+  is non-decreasing in the rate, the fixed point is a monotone scalar root —
+  :func:`solve_elastic` bisects it (vectorised water-filling per step on
+  parallel links), then runs the requested strategy at the realised rate:
+
+  >>> from repro import instances
+  >>> from repro.scenarios import LinearDemandCurve, solve_elastic
+  >>> elastic = solve_elastic(instances.pigou(),
+  ...                         LinearDemandCurve(intercept=2.0, slope=1.0))
+  >>> round(elastic.realised_rate, 6)
+  1.0
+  >>> round(elastic.consumer_surplus, 6)
+  0.5
+
+* **Demand traces** (:mod:`repro.scenarios.trace`,
+  :mod:`repro.scenarios.replay`): a :class:`DemandTrace` is a finite demand
+  trajectory produced by a registered process (``constant``, ``piecewise``,
+  ``diurnal``, ``random_walk``, ``literal``/CSV — same registry pattern as
+  the instance generators).  :func:`replay_trace` streams the per-step
+  solves through a :class:`~repro.serve.SolveService`, so repeated levels
+  coalesce and hit the tiered cache, and a store-backed replay resumes with
+  zero solver calls.  :class:`TraceAxis` plugs a trace into a
+  :class:`~repro.study.StudySpec` as a per-step demand grid.
+
+The experiments E15 (elastic-PoA sweep) and E16 (diurnal trace) in
+:mod:`repro.analysis.studies` and the CLI commands ``repro solve --elastic``
+and ``repro trace run`` are built on this subsystem.
+"""
+
+from repro.scenarios.demand import (
+    DemandCurve,
+    ExponentialDemandCurve,
+    LinearDemandCurve,
+    demand_curve_from_dict,
+)
+from repro.scenarios.elastic import (
+    ElasticReport,
+    solve_elastic,
+    wardrop_level,
+    with_total_demand,
+)
+from repro.scenarios.replay import TraceReport, TraceStep, replay_trace
+from repro.scenarios.trace import (
+    TRACE_PROCESSES,
+    DemandTrace,
+    TraceAxis,
+    available_trace_processes,
+    register_trace_process,
+)
+
+__all__ = [
+    "DemandCurve",
+    "LinearDemandCurve",
+    "ExponentialDemandCurve",
+    "demand_curve_from_dict",
+    "ElasticReport",
+    "solve_elastic",
+    "wardrop_level",
+    "with_total_demand",
+    "DemandTrace",
+    "TraceAxis",
+    "TRACE_PROCESSES",
+    "register_trace_process",
+    "available_trace_processes",
+    "TraceStep",
+    "TraceReport",
+    "replay_trace",
+]

@@ -1,0 +1,185 @@
+"""Inverse-demand curves for elastic-demand scenarios.
+
+A :class:`DemandCurve` describes how much flow the population wants to route
+as a function of the per-unit cost it experiences: ``price_at(rate)`` is the
+inverse demand ``D(q)`` (the marginal willingness to pay for the ``q``-th
+unit of flow), non-increasing in ``q``.  The elastic equilibrium of
+:func:`repro.scenarios.solve_elastic` is the rate at which the marginal
+willingness to pay meets the equilibrium cost level of the routing game —
+because ``D`` is non-increasing and the Wardrop level is non-decreasing in
+the total rate, the fixed point is the root of a monotone scalar function
+and bisection finds it to arbitrary precision.
+
+Curves are plain JSON values end to end (``to_dict`` / ``from_dict`` with a
+``kind`` tag), so an elastic report embeds the exact curve that produced it
+and round-trips losslessly, exactly like :class:`~repro.api.SolveConfig`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping
+
+from repro.exceptions import ModelError
+
+__all__ = [
+    "DemandCurve",
+    "LinearDemandCurve",
+    "ExponentialDemandCurve",
+    "demand_curve_from_dict",
+]
+
+
+class DemandCurve:
+    """Base class of inverse-demand curves ``p = D(q)``.
+
+    Subclasses implement a non-increasing ``price_at`` plus its integral
+    ``willingness`` (gross consumer benefit) and declare ``max_rate`` — the
+    rate at which the price hits zero (``inf`` when it never does).
+    """
+
+    #: Registry tag used by :func:`demand_curve_from_dict`.
+    kind: str = ""
+
+    # ------------------------------------------------------------------ #
+    # The curve itself
+    # ------------------------------------------------------------------ #
+    def price_at(self, rate: float) -> float:
+        """The inverse demand ``D(q)``: willingness to pay at rate ``q``."""
+        raise NotImplementedError
+
+    def willingness(self, rate: float) -> float:
+        """Gross consumer benefit ``int_0^q D(t) dt``."""
+        raise NotImplementedError
+
+    @property
+    def max_rate(self) -> float:
+        """The rate where the price reaches zero (``inf`` if never)."""
+        return math.inf
+
+    def consumer_surplus(self, rate: float, price: float) -> float:
+        """Net benefit ``int_0^q D(t) dt - q * price`` at a market price."""
+        return self.willingness(rate) - float(rate) * float(price)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to a plain dictionary (JSON-compatible)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.to_dict().items()
+                           if k != "kind")
+        return f"{type(self).__name__}({params})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, DemandCurve)
+                and self.to_dict() == other.to_dict())
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.to_dict().items())))
+
+
+def _positive(name: str, value: float) -> float:
+    value = float(value)
+    if not value > 0.0:
+        raise ModelError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class LinearDemandCurve(DemandCurve):
+    """Affine inverse demand ``D(q) = max(0, intercept - slope * q)``.
+
+    ``intercept`` is the willingness to pay of the first unit (the choke
+    price); ``slope > 0`` makes demand elastic — the higher the equilibrium
+    cost, the less flow enters the system.  The price reaches zero at
+    ``max_rate = intercept / slope``.
+    """
+
+    intercept: float
+    slope: float = 1.0
+
+    kind = "linear"
+
+    def __post_init__(self) -> None:
+        _positive("intercept", self.intercept)
+        _positive("slope", self.slope)
+
+    def price_at(self, rate: float) -> float:
+        return max(0.0, self.intercept - self.slope * float(rate))
+
+    def willingness(self, rate: float) -> float:
+        q = min(float(rate), self.max_rate)
+        if q < 0.0:
+            raise ModelError(f"rate must be >= 0, got {rate!r}")
+        return self.intercept * q - 0.5 * self.slope * q * q
+
+    @property
+    def max_rate(self) -> float:
+        return self.intercept / self.slope
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "intercept": float(self.intercept),
+                "slope": float(self.slope)}
+
+
+@dataclass(frozen=True, eq=False, repr=False)
+class ExponentialDemandCurve(DemandCurve):
+    """Exponential inverse demand ``D(q) = intercept * exp(-decay * q)``.
+
+    Strictly positive at every rate (``max_rate`` is infinite) with a finite
+    total willingness ``intercept / decay`` — a convenient smooth curve for
+    instances whose capacity is unbounded.
+    """
+
+    intercept: float
+    decay: float = 1.0
+
+    kind = "exponential"
+
+    def __post_init__(self) -> None:
+        _positive("intercept", self.intercept)
+        _positive("decay", self.decay)
+
+    def price_at(self, rate: float) -> float:
+        return self.intercept * math.exp(-self.decay * float(rate))
+
+    def willingness(self, rate: float) -> float:
+        q = float(rate)
+        if q < 0.0:
+            raise ModelError(f"rate must be >= 0, got {rate!r}")
+        return self.intercept * (1.0 - math.exp(-self.decay * q)) / self.decay
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "intercept": float(self.intercept),
+                "decay": float(self.decay)}
+
+
+#: kind tag -> constructor taking the (kind-stripped) params.
+_CURVE_KINDS: Dict[str, Callable[..., DemandCurve]] = {
+    LinearDemandCurve.kind: LinearDemandCurve,
+    ExponentialDemandCurve.kind: ExponentialDemandCurve,
+}
+
+
+def demand_curve_from_dict(data: Mapping[str, Any]) -> DemandCurve:
+    """Reconstruct a curve serialised by :meth:`DemandCurve.to_dict`."""
+    if not isinstance(data, Mapping) or "kind" not in data:
+        raise ModelError(f"invalid demand curve payload: {data!r}")
+    payload = dict(data)
+    kind = payload.pop("kind")
+    try:
+        ctor = _CURVE_KINDS[kind]
+    except KeyError:
+        known = ", ".join(sorted(_CURVE_KINDS)) or "<none>"
+        raise ModelError(
+            f"unknown demand curve kind {kind!r}; known kinds: {known}"
+        ) from None
+    try:
+        return ctor(**payload)
+    except TypeError as exc:
+        raise ModelError(
+            f"invalid parameters for demand curve {kind!r}: {exc}") from exc

@@ -1,0 +1,310 @@
+"""Time-varying demand: trace processes and the study-pipeline bridge.
+
+A :class:`DemandTrace` is a finite sequence of total-demand levels — one per
+time step — produced by a registered **trace process**.  Processes reuse the
+generator-registry pattern of :mod:`repro.study.generators` (the registry is
+literally a :class:`~repro.study.generators.GeneratorRegistry`): each is a
+named factory behind the ``(params, seed) -> levels`` protocol with
+JSON-schema'd params, so a ``(process, params, seed)`` triple is a
+reproducible address for a whole demand trajectory.
+
+Built-in processes:
+
+* ``constant`` — one level repeated (the degenerate trace; a replay must
+  reproduce the static solve bit for bit);
+* ``piecewise`` — explicit levels, each held for ``steps_per_level`` steps;
+* ``diurnal`` — a quantised sinusoid ``base + amplitude * sin(...)``; the
+  quantisation (``decimals``) makes the rising and falling flanks revisit
+  identical levels, which the serving layer's caches then collapse;
+* ``random_walk`` — a seeded, clipped random walk;
+* ``literal`` — explicit levels verbatim (also the target of
+  :meth:`DemandTrace.from_csv`).
+
+:class:`TraceAxis` bridges traces into the declarative study pipeline: it is
+a :class:`~repro.study.spec.GeneratorAxis` whose demand grid is the trace's
+distinct levels in first-seen order, so every step of the trace is a study
+cell addressed by its own content digest — re-running the study resumes per
+step, and repeated levels share one artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ModelError
+from repro.study.generators import GeneratorRegistry
+from repro.study.spec import GeneratorAxis
+
+__all__ = [
+    "DemandTrace",
+    "TraceAxis",
+    "TRACE_PROCESSES",
+    "register_trace_process",
+    "available_trace_processes",
+]
+
+#: Registry of trace processes; same machinery as the instance generators.
+TRACE_PROCESSES = GeneratorRegistry()
+
+
+def register_trace_process(name: str, factory=None, *, schema=None,
+                           seeded: bool = True, description: str = ""):
+    """Register a trace process (decorator-friendly, like generators)."""
+    return TRACE_PROCESSES.register(name, factory, schema=schema,
+                                    seeded=seeded, description=description)
+
+
+def available_trace_processes() -> list:
+    """Sorted names of the registered trace processes."""
+    return TRACE_PROCESSES.names()
+
+
+def _positive_levels(levels: Sequence[float], where: str) -> Tuple[float, ...]:
+    out = tuple(float(v) for v in levels)
+    if not out:
+        raise ModelError(f"{where}: a trace needs at least one level")
+    for i, level in enumerate(out):
+        if not level > 0.0:
+            raise ModelError(
+                f"{where}: demand levels must be > 0, got {level!r} at "
+                f"step {i}")
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Built-in processes
+# --------------------------------------------------------------------------- #
+def _num_schema(exclusive_min=None, minimum=None):
+    spec: Dict[str, Any] = {"type": "number"}
+    if exclusive_min is not None:
+        spec["exclusiveMinimum"] = exclusive_min
+    if minimum is not None:
+        spec["minimum"] = minimum
+    return spec
+
+
+_LEVELS_SCHEMA = {"type": "array", "minItems": 1,
+                  "items": _num_schema(exclusive_min=0.0)}
+
+
+@register_trace_process("constant", seeded=False, schema={
+    "type": "object", "additionalProperties": False,
+    "properties": {"level": _num_schema(exclusive_min=0.0),
+                   "num_steps": {"type": "integer", "minimum": 1}}})
+def _constant_process(level: float = 1.0,
+                      num_steps: int = 1) -> Tuple[float, ...]:
+    """One demand level repeated for every step."""
+    return _positive_levels([level] * int(num_steps), "constant")
+
+
+@register_trace_process("piecewise", seeded=False, schema={
+    "type": "object", "additionalProperties": False, "required": ["levels"],
+    "properties": {"levels": _LEVELS_SCHEMA,
+                   "steps_per_level": {"type": "integer", "minimum": 1}}})
+def _piecewise_process(levels: Sequence[float] = (1.0,),
+                       steps_per_level: int = 1) -> Tuple[float, ...]:
+    """Explicit levels, each held for a fixed number of steps."""
+    held = []
+    for level in levels:
+        held.extend([level] * int(steps_per_level))
+    return _positive_levels(held, "piecewise")
+
+
+@register_trace_process("diurnal", seeded=False, schema={
+    "type": "object", "additionalProperties": False,
+    "properties": {"num_steps": {"type": "integer", "minimum": 1},
+                   "base": _num_schema(exclusive_min=0.0),
+                   "amplitude": _num_schema(minimum=0.0),
+                   "period": {"type": "integer", "minimum": 2},
+                   "phase": {"type": "number"},
+                   "decimals": {"type": "integer", "minimum": 0}}})
+def _diurnal_process(num_steps: int = 24, base: float = 2.0,
+                     amplitude: float = 1.0, period: Optional[int] = None,
+                     phase: float = 0.0,
+                     decimals: int = 6) -> Tuple[float, ...]:
+    """A quantised sinusoidal day: ``base + amplitude * sin(2 pi t / period)``.
+
+    Quantising to ``decimals`` makes symmetric points of the sinusoid land on
+    *identical* levels, so a replay revisits demand levels and the caches
+    collapse the repeats.  ``amplitude`` must stay below ``base`` (demand is
+    always positive).
+    """
+    num_steps = int(num_steps)
+    period = num_steps if period is None else int(period)
+    base, amplitude = float(base), float(amplitude)
+    if amplitude >= base:
+        raise ModelError(
+            f"diurnal amplitude {amplitude!r} must be < base {base!r} "
+            f"(demand stays positive)")
+    levels = [
+        round(base + amplitude * math.sin(2.0 * math.pi * (t + phase) / period),
+              int(decimals))
+        for t in range(num_steps)]
+    return _positive_levels(levels, "diurnal")
+
+
+@register_trace_process("random_walk", seeded=True, schema={
+    "type": "object", "additionalProperties": False,
+    "properties": {"num_steps": {"type": "integer", "minimum": 1},
+                   "base": _num_schema(exclusive_min=0.0),
+                   "step_scale": _num_schema(minimum=0.0),
+                   "min_level": _num_schema(exclusive_min=0.0),
+                   "max_level": _num_schema(exclusive_min=0.0),
+                   "decimals": {"type": "integer", "minimum": 0}}})
+def _random_walk_process(num_steps: int = 24, base: float = 2.0,
+                         step_scale: float = 0.25, min_level: float = 0.25,
+                         max_level: Optional[float] = None,
+                         decimals: int = 6, *,
+                         seed: int = 0) -> Tuple[float, ...]:
+    """A seeded, clipped Gaussian random walk around ``base``."""
+    rng = random.Random(int(seed))
+    hi = 4.0 * float(base) if max_level is None else float(max_level)
+    lo = float(min_level)
+    if lo >= hi:
+        raise ModelError(f"random_walk needs min_level < max_level, got "
+                         f"[{lo!r}, {hi!r}]")
+    level = min(max(float(base), lo), hi)
+    levels = []
+    for _ in range(int(num_steps)):
+        levels.append(round(level, int(decimals)))
+        level = min(max(level + rng.gauss(0.0, float(step_scale)), lo), hi)
+    return _positive_levels(levels, "random_walk")
+
+
+@register_trace_process("literal", seeded=False, schema={
+    "type": "object", "additionalProperties": False, "required": ["levels"],
+    "properties": {"levels": _LEVELS_SCHEMA}})
+def _literal_process(levels: Sequence[float] = (1.0,)) -> Tuple[float, ...]:
+    """Explicit demand levels, verbatim (the CSV escape hatch)."""
+    return _positive_levels(levels, "literal")
+
+
+# --------------------------------------------------------------------------- #
+# The trace value object
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DemandTrace:
+    """A finite demand trajectory plus the process address that produced it.
+
+    ``levels`` is the materialised sequence; ``process``/``params``/``seed``
+    record provenance, so a trace serialises to a small JSON record and
+    reconstructs identically (``from_dict(to_dict())``).
+    """
+
+    process: str
+    params: str  # canonical JSON of the process params
+    seed: int
+    levels: Tuple[float, ...]
+
+    @classmethod
+    def from_process(cls, process: str,
+                     params: Optional[Mapping[str, Any]] = None, *,
+                     seed: int = 0) -> "DemandTrace":
+        """Materialise the trace addressed by ``(process, params, seed)``."""
+        params = dict(params or {})
+        levels = TRACE_PROCESSES.get(process).build(params, seed=seed)
+        frozen = json.dumps(params, sort_keys=True, separators=(",", ":"))
+        return cls(process=process, params=frozen, seed=int(seed),
+                   levels=tuple(float(v) for v in levels))
+
+    @classmethod
+    def from_csv(cls, path: Union[str, Path]) -> "DemandTrace":
+        """Load a literal trace from a CSV file (one or more floats per line)."""
+        text = Path(path).read_text(encoding="utf-8")
+        levels = []
+        for line_no, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            for field_ in line.split(","):
+                field_ = field_.strip()
+                if not field_:
+                    continue
+                try:
+                    levels.append(float(field_))
+                except ValueError as exc:
+                    raise ModelError(
+                        f"{path}:{line_no}: invalid demand level "
+                        f"{field_!r}") from exc
+        if not levels:
+            raise ModelError(f"{path}: no demand levels found")
+        return cls.from_process("literal", {"levels": levels})
+
+    # Sequence behaviour ------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.levels)
+
+    def __getitem__(self, index: int) -> float:
+        return self.levels[index]
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        """The process params as a plain dictionary."""
+        return json.loads(self.params)
+
+    @property
+    def distinct_levels(self) -> Tuple[float, ...]:
+        """The distinct demand levels in first-seen order."""
+        return tuple(dict.fromkeys(self.levels))
+
+    # Serialisation ----------------------------------------------------- #
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to a plain dictionary (JSON-compatible)."""
+        return {"process": self.process, "params": self.params_dict,
+                "seed": self.seed, "levels": list(self.levels)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DemandTrace":
+        """Reconstruct a trace serialised by :meth:`to_dict`."""
+        if not isinstance(data, Mapping) or "levels" not in data:
+            raise ModelError(f"invalid DemandTrace payload: {data!r}")
+        params = data.get("params") or {}
+        return cls(
+            process=str(data.get("process", "literal")),
+            params=json.dumps(dict(params), sort_keys=True,
+                              separators=(",", ":")),
+            seed=int(data.get("seed", 0)),
+            levels=tuple(float(v) for v in data["levels"]),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Study-pipeline bridge
+# --------------------------------------------------------------------------- #
+class TraceAxis(GeneratorAxis):
+    """A study axis sweeping a generator's demand over a trace's levels.
+
+    Expands to one cell per *distinct* demand level of the trace (in
+    first-seen order): each step of the trace is addressed by the content
+    digest of its re-scaled instance, so a re-run of the study resumes per
+    step and repeated levels share one artifact.  The generator must accept
+    a ``demand`` parameter (every parallel/network family generator does).
+    """
+
+    def __init__(self, generator: str,
+                 params: Optional[Mapping[str, Any]] = None, *,
+                 trace: DemandTrace,
+                 seeds: Sequence[int] = (0,),
+                 label: str = "",
+                 strategies: Optional[Sequence[str]] = None,
+                 configs=None) -> None:
+        if not isinstance(trace, DemandTrace):
+            raise ModelError(
+                f"trace must be a DemandTrace, got {type(trace).__name__}")
+        if params and "demand" in params:
+            raise ModelError(
+                "TraceAxis sweeps 'demand' from the trace; remove it from "
+                "the fixed params")
+        super().__init__(generator, params,
+                         grid={"demand": list(trace.distinct_levels)},
+                         seeds=seeds, label=label, strategies=strategies,
+                         configs=configs)
+        object.__setattr__(self, "trace", trace)

@@ -100,17 +100,37 @@ def run_bench(*, num_requests: int = 5000, num_distinct: int = 200,
               store: Optional[ArtifactStore] = None,
               max_batch: int = 64, max_wait_ms: float = 2.0,
               max_queue: int = 0, max_workers: Optional[int] = 0,
-              service: Optional[SolveService] = None) -> BenchResult:
+              service: Optional[SolveService] = None,
+              trace=None) -> BenchResult:
     """Push the synthetic stream through a service ``passes`` times.
 
     The per-pass stats are deltas against the previous pass, so the second
     pass of a healthy service shows (almost) pure cache hits and zero new
     batches.
+
+    With a ``trace`` (a :class:`~repro.scenarios.trace.DemandTrace`) the
+    stream becomes *time-varying*: request ``r`` of a pass is pinned to
+    trace step ``r * len(trace) // num_requests`` and the submitted instance
+    is the scheduled one re-scaled to that step's demand level — diurnal
+    traffic instead of the fixed hot-key mix.  Repeated levels then repeat
+    instance digests, which the tiered cache and the coalescer collapse.
     """
     config = SolveConfig(compute_nash=False)
     instances, schedule = build_workload(
         num_requests=num_requests, num_distinct=num_distinct,
         num_links=num_links, seed=seed)
+    if trace is not None:
+        from repro.scenarios.trace import DemandTrace
+
+        if not isinstance(trace, DemandTrace):
+            raise ModelError(
+                f"trace must be a DemandTrace, got {type(trace).__name__}")
+        num_steps = len(trace)
+        instances = [
+            instances[i].with_demand(trace.levels[r * num_steps
+                                                  // len(schedule)])
+            for r, i in enumerate(schedule)]
+        schedule = list(range(len(instances)))
     own_service = service is None
     if own_service:
         service = SolveService(store=store, max_batch=max_batch,

@@ -1,0 +1,43 @@
+"""Fast structural checks of the example scripts.
+
+The examples are part of the deliverable *and* of the documentation: every
+script needs a module docstring (rendered into the docs gallery) and a
+gallery entry in ``docs/examples.md``.  The actual end-to-end smoke runs
+live in ``tests/test_examples.py`` under the slow marker.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+GALLERY = REPO / "docs" / "examples.md"
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_SCRIPTS) >= 3
+    assert (EXAMPLES_DIR / "quickstart.py") in EXAMPLE_SCRIPTS
+    assert (EXAMPLES_DIR / "elastic_demand.py") in EXAMPLE_SCRIPTS
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_has_a_docstring_and_run_instructions(script):
+    module = ast.parse(script.read_text(encoding="utf-8"))
+    docstring = ast.get_docstring(module)
+    assert docstring, f"{script.name} has no module docstring"
+    assert len(docstring.splitlines()) >= 3, (
+        f"{script.name}: the docstring is the gallery text; one line is "
+        f"not documentation")
+    assert "Run with" in docstring, (
+        f"{script.name}: docstring should include run instructions")
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_is_in_the_gallery(script):
+    assert script.name in GALLERY.read_text(encoding="utf-8"), (
+        f"{script.name} is missing from docs/examples.md")

@@ -1,0 +1,79 @@
+"""Demand-curve unit tests: shapes, integrals, serialisation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.scenarios import (
+    ExponentialDemandCurve,
+    LinearDemandCurve,
+    demand_curve_from_dict,
+)
+
+
+class TestLinearCurve:
+    def test_price_is_affine_then_clipped(self):
+        curve = LinearDemandCurve(intercept=2.0, slope=0.5)
+        assert curve.price_at(0.0) == 2.0
+        assert curve.price_at(2.0) == 1.0
+        assert curve.price_at(4.0) == 0.0
+        assert curve.price_at(10.0) == 0.0  # never negative
+
+    def test_max_rate_is_the_choke_point(self):
+        curve = LinearDemandCurve(intercept=3.0, slope=1.5)
+        assert curve.max_rate == pytest.approx(2.0)
+        assert curve.price_at(curve.max_rate) == pytest.approx(0.0)
+
+    def test_willingness_integrates_the_price(self):
+        curve = LinearDemandCurve(intercept=2.0, slope=1.0)
+        # int_0^1 (2 - t) dt = 1.5
+        assert curve.willingness(1.0) == pytest.approx(1.5)
+        # Beyond the choke point the integral saturates.
+        assert curve.willingness(5.0) == pytest.approx(curve.willingness(2.0))
+
+    def test_consumer_surplus(self):
+        curve = LinearDemandCurve(intercept=2.0, slope=1.0)
+        assert curve.consumer_surplus(1.0, 1.0) == pytest.approx(0.5)
+
+    def test_rejects_non_positive_parameters(self):
+        with pytest.raises(ModelError):
+            LinearDemandCurve(intercept=0.0)
+        with pytest.raises(ModelError):
+            LinearDemandCurve(intercept=1.0, slope=-1.0)
+
+
+class TestExponentialCurve:
+    def test_price_decays_but_stays_positive(self):
+        curve = ExponentialDemandCurve(intercept=2.0, decay=1.0)
+        assert curve.price_at(0.0) == pytest.approx(2.0)
+        assert curve.price_at(1.0) == pytest.approx(2.0 / math.e)
+        assert curve.price_at(50.0) > 0.0
+        assert math.isinf(curve.max_rate)
+
+    def test_willingness_saturates_at_intercept_over_decay(self):
+        curve = ExponentialDemandCurve(intercept=3.0, decay=1.5)
+        assert curve.willingness(1e9) == pytest.approx(2.0)
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize("curve", [
+        LinearDemandCurve(intercept=2.0, slope=0.75),
+        ExponentialDemandCurve(intercept=1.5, decay=2.0),
+    ])
+    def test_round_trip(self, curve):
+        rebuilt = demand_curve_from_dict(curve.to_dict())
+        assert rebuilt == curve
+        assert rebuilt.price_at(0.7) == pytest.approx(curve.price_at(0.7))
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ModelError, match="unknown demand curve"):
+            demand_curve_from_dict({"kind": "cubic", "intercept": 1.0})
+
+    def test_invalid_payload_is_rejected(self):
+        with pytest.raises(ModelError):
+            demand_curve_from_dict({"intercept": 1.0})
+        with pytest.raises(ModelError):
+            demand_curve_from_dict({"kind": "linear", "bogus": 1.0})

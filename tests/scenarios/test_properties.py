@@ -1,0 +1,94 @@
+"""Property tests of the scenario layer.
+
+Two invariants pin the new subsystem to the static solver it wraps:
+
+* **Monotonicity** — the realised rate of :func:`repro.scenarios.solve_elastic`
+  is non-decreasing in the demand-curve intercept: a population that values
+  routing more routes (weakly) more flow, on every instance family.
+* **Degenerate-trace equivalence** — replaying a *constant*
+  :class:`~repro.scenarios.DemandTrace` must reproduce the static solve
+  bit for bit (1e-9) at every step: the scenario layer adds no numerical
+  noise of its own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import instances
+from repro.api import SolveConfig, clear_cache, solve
+from repro.scenarios import (
+    DemandTrace,
+    LinearDemandCurve,
+    replay_trace,
+    solve_elastic,
+    wardrop_level,
+)
+
+#: Instance families the properties are checked on (name -> builder).
+FAMILIES = {
+    "pigou": lambda seed: instances.pigou(),
+    "figure4": lambda seed: instances.figure_4_example(),
+    "linear": lambda seed: instances.random_linear_parallel(
+        5, demand=2.0, seed=seed),
+    "mixed": lambda seed: instances.random_mixed_parallel(
+        6, demand=2.0, seed=seed),
+}
+
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_realised_rate_is_monotone_in_the_intercept(family, seed):
+    instance = FAMILIES[family](seed)
+    floor = wardrop_level(instance, 0.0)
+    previous_rate = 0.0
+    previous_surplus = 0.0
+    for offset in (0.25, 0.5, 1.0, 2.0, 4.0):
+        elastic = solve_elastic(
+            instance, LinearDemandCurve(intercept=floor + offset, slope=1.0))
+        assert elastic.realised_rate >= previous_rate - 1e-9, (
+            f"{family}/seed {seed}: rate dropped from {previous_rate} to "
+            f"{elastic.realised_rate} when the intercept rose to "
+            f"{floor + offset}")
+        assert elastic.consumer_surplus >= previous_surplus - 1e-9
+        assert elastic.consumer_surplus >= -1e-12
+        # The market clears: the fixed-point residual is tiny.
+        assert abs(elastic.metadata["residual"]) < 1e-6
+        previous_rate = elastic.realised_rate
+        previous_surplus = elastic.consumer_surplus
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_constant_trace_reproduces_the_static_solve(family, seed):
+    instance = FAMILIES[family](seed)
+    level = 1.25
+    num_steps = 6
+    trace = DemandTrace.from_process(
+        "constant", {"level": level, "num_steps": num_steps})
+    config = SolveConfig()
+
+    static = solve(instance.with_demand(level), "optop", config=config)
+    replay = replay_trace(instance, trace, "optop", config=config)
+
+    assert len(replay) == num_steps
+    for step, report in zip(replay.steps, replay.reports):
+        assert step.demand == level
+        assert step.beta == pytest.approx(static.beta, abs=1e-9)
+        assert step.induced_cost == pytest.approx(static.induced_cost,
+                                                  abs=1e-9)
+        assert step.optimum_cost == pytest.approx(static.optimum_cost,
+                                                  abs=1e-9)
+        for mine, theirs in zip(report.leader_flows, static.leader_flows):
+            assert mine == pytest.approx(theirs, abs=1e-9)
+        for mine, theirs in zip(report.induced_flows, static.induced_flows):
+            assert mine == pytest.approx(theirs, abs=1e-9)

@@ -1,0 +1,139 @@
+"""Demand-trace processes, CSV loading and the study-pipeline bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.scenarios import (
+    DemandTrace,
+    TraceAxis,
+    available_trace_processes,
+    register_trace_process,
+)
+from repro.scenarios.trace import TRACE_PROCESSES
+from repro.study import StudySpec
+
+
+class TestProcesses:
+    def test_builtins_are_registered(self):
+        names = available_trace_processes()
+        for expected in ("constant", "piecewise", "diurnal", "random_walk",
+                         "literal"):
+            assert expected in names
+
+    def test_constant(self):
+        trace = DemandTrace.from_process("constant",
+                                         {"level": 1.5, "num_steps": 4})
+        assert trace.levels == (1.5, 1.5, 1.5, 1.5)
+        assert trace.distinct_levels == (1.5,)
+
+    def test_piecewise_holds_each_level(self):
+        trace = DemandTrace.from_process(
+            "piecewise", {"levels": [1.0, 2.0], "steps_per_level": 3})
+        assert trace.levels == (1.0, 1.0, 1.0, 2.0, 2.0, 2.0)
+
+    def test_diurnal_is_positive_and_revisits_levels(self):
+        trace = DemandTrace.from_process(
+            "diurnal", {"num_steps": 48, "base": 2.0, "amplitude": 1.0})
+        assert len(trace) == 48
+        assert all(level > 0.0 for level in trace)
+        # The quantised sinusoid pairs up its rising and falling flanks.
+        assert len(trace.distinct_levels) < len(trace)
+
+    def test_diurnal_amplitude_must_stay_below_base(self):
+        with pytest.raises(ModelError, match="amplitude"):
+            DemandTrace.from_process("diurnal", {"base": 1.0,
+                                                 "amplitude": 1.0})
+
+    def test_random_walk_is_seed_deterministic_and_clipped(self):
+        params = {"num_steps": 32, "base": 2.0, "step_scale": 0.5,
+                  "min_level": 0.5, "max_level": 3.0}
+        a = DemandTrace.from_process("random_walk", params, seed=7)
+        b = DemandTrace.from_process("random_walk", params, seed=7)
+        c = DemandTrace.from_process("random_walk", params, seed=8)
+        assert a.levels == b.levels
+        assert a.levels != c.levels
+        assert all(0.5 <= level <= 3.0 for level in a)
+
+    def test_levels_must_be_positive(self):
+        with pytest.raises(ModelError):
+            DemandTrace.from_process("literal", {"levels": [1.0, -2.0]})
+
+    def test_unknown_process_lists_alternatives(self):
+        with pytest.raises(ModelError, match="unknown generator"):
+            DemandTrace.from_process("sawtooth")
+
+    def test_custom_process_registration(self):
+        @register_trace_process("ramp_test", seeded=False, schema={
+            "type": "object", "additionalProperties": False,
+            "properties": {"num_steps": {"type": "integer", "minimum": 1}}})
+        def ramp(num_steps: int = 3):
+            """A linear ramp."""
+            return tuple(float(i + 1) for i in range(num_steps))
+
+        try:
+            trace = DemandTrace.from_process("ramp_test", {"num_steps": 4})
+            assert trace.levels == (1.0, 2.0, 3.0, 4.0)
+        finally:
+            TRACE_PROCESSES.unregister("ramp_test")
+
+
+class TestDemandTrace:
+    def test_sequence_protocol(self):
+        trace = DemandTrace.from_process("piecewise", {"levels": [2.0, 3.0]})
+        assert len(trace) == 2
+        assert list(trace) == [2.0, 3.0]
+        assert trace[1] == 3.0
+
+    def test_dict_round_trip(self):
+        trace = DemandTrace.from_process(
+            "diurnal", {"num_steps": 12, "base": 2.0, "amplitude": 0.5})
+        rebuilt = DemandTrace.from_dict(trace.to_dict())
+        assert rebuilt == trace
+
+    def test_from_csv(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("# demand levels\n1.0, 2.0\n3.5\n\n", encoding="utf-8")
+        trace = DemandTrace.from_csv(path)
+        assert trace.levels == (1.0, 2.0, 3.5)
+        assert trace.process == "literal"
+
+    def test_from_csv_rejects_junk(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0\nnot-a-number\n", encoding="utf-8")
+        with pytest.raises(ModelError, match="invalid demand level"):
+            DemandTrace.from_csv(path)
+
+    def test_from_csv_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("# nothing\n", encoding="utf-8")
+        with pytest.raises(ModelError, match="no demand levels"):
+            DemandTrace.from_csv(path)
+
+
+class TestTraceAxis:
+    def test_axis_expands_one_cell_per_distinct_level(self):
+        trace = DemandTrace.from_process(
+            "diurnal", {"num_steps": 24, "base": 2.0, "amplitude": 1.0})
+        axis = TraceAxis("figure4", trace=trace, label="fig4")
+        spec = StudySpec("trace-study", [axis], strategies=("optop",))
+        cells = list(spec.expand())
+        assert len(cells) == len(trace.distinct_levels)
+        demands = [cell.params_dict["demand"] for cell in cells]
+        assert demands == list(trace.distinct_levels)
+
+    def test_axis_keeps_fixed_params(self):
+        trace = DemandTrace.from_process("piecewise", {"levels": [1.0, 2.0]})
+        axis = TraceAxis("random_linear_parallel", {"num_links": 4},
+                         trace=trace, seeds=(0, 1))
+        assert axis.num_points == 2 * 2  # 2 levels x 2 seeds
+
+    def test_axis_rejects_demand_in_params(self):
+        trace = DemandTrace.from_process("constant", {"level": 1.0})
+        with pytest.raises(ModelError, match="demand"):
+            TraceAxis("figure4", {"demand": 2.0}, trace=trace)
+
+    def test_axis_requires_a_trace(self):
+        with pytest.raises(ModelError, match="DemandTrace"):
+            TraceAxis("figure4", trace=[1.0, 2.0])

@@ -39,7 +39,7 @@ class TestRegistryShape:
     def test_all_experiments_defined(self):
         assert experiment_ids() == [
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-            "E11", "E12", "E13", "E14", "A1", "A2", "A3"]
+            "E11", "E12", "E13", "E14", "E15", "E16", "A1", "A2", "A3"]
 
     def test_plans_carry_specs(self):
         plan = build_experiment("E1")

@@ -115,3 +115,112 @@ class TestStudyCommand:
         out = capsys.readouterr().out
         assert '"counters"' in out
         assert csv_path.read_text(encoding="utf-8").startswith("index,")
+
+
+class TestSolveCommand:
+    def test_static_solve_matches_analyze(self, capsys):
+        assert main(["solve", "--instance", "pigou"]) == 0
+        out = capsys.readouterr().out
+        assert "price of optimum beta = 0.500000" in out
+
+    def test_elastic_solve_reports_rate_and_surplus(self, capsys):
+        assert main(["solve", "--instance", "pigou", "--elastic",
+                     "--intercept", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "realised rate = 1.000000" in out
+        assert "consumer surplus = 0.500000" in out
+
+    def test_elastic_json_round_trips(self, capsys):
+        assert main(["solve", "--instance", "pigou", "--elastic",
+                     "--json"]) == 0
+        import json as _json
+
+        from repro.scenarios import ElasticReport
+
+        payload = _json.loads(capsys.readouterr().out)
+        report = ElasticReport.from_dict(payload)
+        assert report.realised_rate > 0.0
+
+    def test_elastic_exponential_curve(self, capsys):
+        assert main(["solve", "--instance", "figure4", "--elastic",
+                     "--curve", "exponential", "--intercept", "4.0",
+                     "--decay", "0.5"]) == 0
+        assert "realised rate" in capsys.readouterr().out
+
+    def test_closed_market_is_a_cli_error(self, tmp_path, capsys):
+        # An M/M/1 farm has a positive free-flow level; an intercept below
+        # it cannot open the market.
+        from repro import instances, save_instance
+
+        path = tmp_path / "mm1.json"
+        save_instance(instances.mm1_server_farm(2, 2), path)
+        assert main(["solve", "--file", str(path), "--elastic",
+                     "--intercept", "0.01"]) == 2
+        assert "no positive rate" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_list_shows_builtin_processes(self, capsys):
+        assert main(["trace", "list"]) == 0
+        out = capsys.readouterr().out
+        for process in ("constant", "piecewise", "diurnal", "random_walk",
+                        "literal"):
+            assert process in out
+
+    def test_run_prints_per_step_table_and_summary(self, capsys):
+        assert main(["trace", "run", "--instance", "figure4",
+                     "--steps", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Trace replay" in out
+        assert "replayed 8 steps" in out
+
+    def test_run_second_replay_fully_resumes(self, tmp_path, capsys):
+        from repro.api import clear_cache
+
+        store = str(tmp_path / "store")
+        clear_cache()
+        assert main(["trace", "run", "--instance", "figure4",
+                     "--steps", "50", "--store", store, "--quiet"]) == 0
+        first = capsys.readouterr().out
+        assert "replayed 50 steps" in first
+        assert "fully resumed" not in first
+        clear_cache()
+        assert main(["trace", "run", "--instance", "figure4",
+                     "--steps", "50", "--store", store, "--quiet"]) == 0
+        second = capsys.readouterr().out
+        assert "0 solver calls (fully resumed)" in second
+
+    def test_run_json_reports_accounting(self, capsys):
+        assert main(["trace", "run", "--instance", "pigou",
+                     "--process", "piecewise", "--levels", "1.0", "2.0",
+                     "--json"]) == 0
+        import json as _json
+
+        payload = _json.loads(capsys.readouterr().out)
+        assert len(payload["steps"]) == 2
+        assert payload["fully_resumed"] is False
+
+    def test_run_from_csv(self, tmp_path, capsys):
+        path = tmp_path / "levels.csv"
+        path.write_text("1.0\n2.0\n1.0\n", encoding="utf-8")
+        assert main(["trace", "run", "--instance", "pigou",
+                     "--csv", str(path), "--quiet"]) == 0
+        assert "replayed 3 steps" in capsys.readouterr().out
+
+    def test_piecewise_without_levels_is_an_error(self, capsys):
+        assert main(["trace", "run", "--instance", "pigou",
+                     "--process", "piecewise"]) == 2
+        assert "needs --levels" in capsys.readouterr().err
+
+
+class TestServeBenchTrace:
+    def test_bench_with_trace_runs_and_is_consistent(self, capsys):
+        assert main(["serve", "bench", "--requests", "60", "--distinct", "6",
+                     "--passes", "2", "--trace", "diurnal",
+                     "--trace-steps", "12", "--json"]) == 0
+        import json as _json
+
+        payload = _json.loads(capsys.readouterr().out)
+        warm = payload["passes"][1]["stats"]
+        assert warm["batches"] == 0
+        assert all(p["stats"]["consistent"] for p in payload["passes"])

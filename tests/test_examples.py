@@ -1,0 +1,31 @@
+"""Smoke-run every example script (the docs gallery's executable half).
+
+The examples double as documentation: each module docstring is rendered
+into the docs gallery (``docs/examples.md``), and this suite — in the slow
+CI lane (``-m slow``) — executes every script end to end so the gallery
+can never describe code that no longer runs.  The fast-lane structural
+checks (docstring present, gallery entry present) live in
+``tests/integration/test_examples_structure.py`` and ``tests/docs/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_smoke_runs(script, capsys, tmp_path, monkeypatch):
+    # Run from a scratch directory: examples that write artifacts (the
+    # study pipeline, traces) must not litter the repository.
+    monkeypatch.chdir(tmp_path)
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} produced no output"
