@@ -3,9 +3,12 @@
 
 Times the three hot paths — ``water_fill``, ``optop`` and ``frank_wolfe`` —
 with the vectorized kernels against the scalar ``reference`` backend on sized
-instances, and writes the measurements (plus the speedup factors) to
-``BENCH_perf.json``.  CI runs this as a non-blocking job and uploads the JSON
-as an artifact, so the speedup trajectory is recorded per commit.
+instances, plus the serving-layer series: warm-vs-cold ``trace_replay``
+through the artifact store and ``cluster_scaling`` (hot-key throughput of the
+sharded cluster as workers scale 1 -> 4).  The measurements (with speedup
+factors) go to ``BENCH_perf.json``.  CI runs this as a non-blocking job and
+uploads the JSON as an artifact, so the speedup trajectory is recorded per
+commit.
 
 Usage::
 
@@ -210,6 +213,63 @@ def bench_trace_replay(*, num_steps: int, num_links: int, repeats: int):
     return rows
 
 
+def bench_cluster_scaling(*, worker_counts, num_requests: int,
+                          num_distinct: int, trials: int):
+    """Throughput of the sharded cluster as workers scale 1 -> N.
+
+    Drives the hot-key stream (same generator as ``repro serve bench``)
+    through real worker processes behind the gateway, in the latency-bound
+    serving regime (``max_inflight=2`` per shard, a 20 ms micro-batch fill
+    window): each shard's cold throughput is capped by Little's law at
+    ``max_inflight / (window + service time)``, so adding shards overlaps
+    batch windows — the horizontal win this series records.  Each worker
+    count takes the best cold pass of ``trials`` fresh clusters (fresh
+    store each, so every trial is genuinely cold); the warm pass must
+    perform zero solver calls on any shard and every pass's merged
+    buckets must partition its requests exactly.
+    """
+    from repro.cluster import run_cluster_bench
+
+    rows = []
+    baseline = None
+    for n_workers in worker_counts:
+        best = None
+        for _ in range(max(1, trials)):
+            result = run_cluster_bench(
+                n_workers=int(n_workers), num_requests=int(num_requests),
+                num_distinct=int(num_distinct), num_links=4,
+                passes=2, max_inflight=2, max_wait_ms=20.0)
+            if best is None or (result.passes[0].seconds
+                                < best.passes[0].seconds):
+                best = result
+        cold, warm = best.passes
+        if baseline is None:
+            baseline = cold.seconds
+        rows.append({
+            "benchmark": "cluster_scaling",
+            "family": "hot_keys",
+            "size": int(n_workers),
+            "num_requests": int(num_requests),
+            "num_distinct": int(num_distinct),
+            "cold_seconds": cold.seconds,
+            "cold_requests_per_second": cold.requests_per_second,
+            "warm_seconds": warm.seconds,
+            "warm_requests_per_second": warm.requests_per_second,
+            "speedup": baseline / cold.seconds,
+            "warm_solver_calls": warm.solver_calls,
+            "stats_consistent": best.consistent,
+            "forwarded": dict(cold.forwarded),
+        })
+        print(f"cluster_scaling workers={n_workers}: cold "
+              f"{cold.requests_per_second:7.1f} req/s "
+              f"({cold.seconds:6.3f} s), warm "
+              f"{warm.requests_per_second:7.1f} req/s -> "
+              f"{baseline / cold.seconds:5.2f}x vs 1 worker "
+              f"(warm solver calls: {warm.solver_calls}, "
+              f"consistent: {best.consistent})")
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_perf.json",
@@ -221,10 +281,14 @@ def main(argv=None) -> int:
     if args.quick:
         wf_sizes, optop_sizes, repeats, fw_iters = (100, 1000), (100, 500), 3, 200
         trace_steps = 24
+        cluster_counts, cluster_requests, cluster_distinct = (1, 2), 200, 160
+        cluster_trials = 1
     else:
         wf_sizes, optop_sizes, repeats, fw_iters = ((100, 1000, 5000),
                                                     (100, 1000), 5, 500)
         trace_steps = 96
+        cluster_counts, cluster_requests, cluster_distinct = (1, 2, 3, 4), 400, 320
+        cluster_trials = 2
 
     # Warm up the kernels once so import/JIT-ish one-time costs stay out of
     # the measurements.
@@ -236,6 +300,10 @@ def main(argv=None) -> int:
     results += bench_frank_wolfe(repeats=repeats, iterations=fw_iters)
     results += bench_trace_replay(num_steps=trace_steps, num_links=16,
                                   repeats=repeats)
+    results += bench_cluster_scaling(worker_counts=cluster_counts,
+                                     num_requests=cluster_requests,
+                                     num_distinct=cluster_distinct,
+                                     trials=cluster_trials)
 
     record = {
         "python": platform.python_version(),
@@ -250,7 +318,11 @@ def main(argv=None) -> int:
     failures = [row for row in results
                 if row.get("max_flow_deviation", 0.0) > 1e-9
                 or row.get("beta_deviation", 0.0) > 1e-8
-                or row.get("warm_solver_calls", 0) > 0]
+                or row.get("warm_solver_calls", 0) > 0
+                or not row.get("stats_consistent", True)
+                or (row.get("benchmark") == "cluster_scaling"
+                    and not args.quick and row["size"] == max(cluster_counts)
+                    and row["speedup"] < 2.5)]
     if failures:
         print("WARNING: backend deviation above tolerance:",
               json.dumps(failures, indent=2))

@@ -292,6 +292,42 @@ def build_parser() -> argparse.ArgumentParser:
                                   "fixed hot-key mix")
     serve_bench.add_argument("--trace-steps", type=int, default=24,
                              help="steps of the demand trace (default: 24)")
+    serve_bench.add_argument("--cluster", type=int, default=0, metavar="N",
+                             help="run the stream through a cluster of N "
+                                  "worker processes instead of one "
+                                  "in-process service (default: 0 = off)")
+    serve_bench.add_argument("--max-inflight", type=int, default=2,
+                             help="per-worker in-flight bound of the "
+                                  "gateway (cluster mode; default: 2)")
+
+    serve_cluster = serve_sub.add_parser(
+        "cluster",
+        help="run a sharded solve cluster: N workers behind an HTTP gateway")
+    serve_cluster.add_argument("--workers", type=int, default=2,
+                               help="worker processes to spawn (default: 2)")
+    serve_cluster.add_argument("--host", default="127.0.0.1",
+                               help="bind address (default: 127.0.0.1)")
+    serve_cluster.add_argument("--port", type=int, default=8080,
+                               help="gateway HTTP port (0 = ephemeral; "
+                                    "default: 8080)")
+    serve_cluster.add_argument("--store", default=None,
+                               help="shared artifact-store directory (a "
+                                    "private temporary one when omitted)")
+    serve_cluster.add_argument("--max-batch", type=int, default=64,
+                               help="per-worker micro-batch size cap "
+                                    "(default: 64)")
+    serve_cluster.add_argument("--max-wait-ms", type=float, default=2.0,
+                               help="per-worker micro-batch fill window in "
+                                    "ms (default: 2.0)")
+    serve_cluster.add_argument("--max-queue", type=int, default=10_000,
+                               help="per-worker request queue bound "
+                                    "(default: 10000)")
+    serve_cluster.add_argument("--max-inflight", type=int, default=8,
+                               help="per-worker in-flight bound of the "
+                                    "gateway (default: 8)")
+    serve_cluster.add_argument("--duration", type=float, default=None,
+                               help="serve for this many seconds, then "
+                                    "drain and exit (default: until Ctrl-C)")
     return parser
 
 
@@ -574,6 +610,8 @@ def _command_study_run(args: argparse.Namespace) -> int:
 def _command_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve import run_bench
 
+    if args.cluster > 0:
+        return _serve_bench_cluster(args)
     store = _open_store(args)
     trace = None
     if args.trace is not None:
@@ -598,20 +636,98 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         rows.append((record.index + 1, record.requests,
                      f"{record.seconds:.3f}",
                      f"{record.requests_per_second:.0f}",
-                     stats.tier1_hits, stats.tier2_hits, stats.coalesced,
-                     stats.enqueued, stats.batches,
+                     f"{record.tier1_hit_rate:.1f}%",
+                     f"{record.tier2_hit_rate:.1f}%",
+                     stats.coalesced, stats.enqueued, stats.batches,
                      "yes" if stats.consistent else "NO"))
     print(format_table(
         ("pass", "requests", "seconds", "req/s", "tier-1 hits",
          "tier-2 hits", "coalesced", "solved", "batches", "consistent"),
         rows, title="SolveService synthetic benchmark"))
     final = result.final_stats
-    print(f"totals: {final.requests} requests | {final.hits} cache hits, "
-          f"{final.coalesced} coalesced, {final.enqueued} solver requests "
-          f"in {final.batches} batches | rejected {final.rejected}, "
-          f"batch failures {final.batch_failures}, queue peak "
-          f"{final.queue_peak}")
+    hit_rate = (100.0 * final.hits / final.requests
+                if final.requests else 0.0)
+    print(f"totals: {final.requests} requests | {final.hits} cache hits "
+          f"({hit_rate:.1f}%), {final.coalesced} coalesced, "
+          f"{final.enqueued} solver requests in {final.batches} batches | "
+          f"rejected {final.rejected}, batch failures "
+          f"{final.batch_failures}, queue peak {final.queue_peak}")
     return 0 if consistent else 1
+
+
+def _serve_bench_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import run_cluster_bench
+
+    if args.trace is not None:
+        print("error: --trace is not supported with --cluster",
+              file=sys.stderr)
+        return 2
+    result = run_cluster_bench(
+        num_requests=args.requests, num_distinct=args.distinct,
+        num_links=args.num_links, seed=args.seed, passes=args.passes,
+        strategy=args.strategy, n_workers=args.cluster,
+        store_dir=args.store, max_inflight=args.max_inflight,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue)
+    if args.json:
+        import json as _json
+        print(_json.dumps(result.to_dict(), sort_keys=True, indent=2))
+        return 0 if result.consistent else 1
+    rows = []
+    for record in result.passes:
+        rows.append((record.index + 1, record.requests,
+                     f"{record.seconds:.3f}",
+                     f"{record.requests_per_second:.0f}",
+                     f"{record.hit_rate:.1f}%", record.solver_calls,
+                     "yes" if record.merged.consistent else "NO"))
+    print(format_table(
+        ("pass", "requests", "seconds", "req/s", "hit rate",
+         "solver calls", "consistent"),
+        rows,
+        title=f"Cluster benchmark ({result.n_workers} workers)"))
+    last = result.passes[-1]
+    shares = ", ".join(f"{node}={count}"
+                       for node, count in sorted(last.forwarded.items()))
+    gateway = result.gateway
+    print(f"gateway: {gateway.get('requests', 0)} requests, "
+          f"{gateway.get('reroutes', 0)} reroutes, "
+          f"{gateway.get('overload_retries', 0)} overload retries | "
+          f"last-pass shard shares: {shares}")
+    return 0 if result.consistent else 1
+
+
+def _command_serve_cluster(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.cluster import start_cluster
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    cluster = start_cluster(
+        n_workers=args.workers, store_dir=args.store, host=args.host,
+        max_inflight=args.max_inflight, max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms, max_queue=args.max_queue,
+        http=True, http_port=args.port)
+    try:
+        print(f"gateway listening on http://{args.host}:{cluster.http_port}"
+              f" (POST /solve, GET /stats, GET /health, POST /drain)",
+              flush=True)
+        for index, worker in enumerate(cluster.workers):
+            print(f"worker[{index}] pid={worker.process.pid} "
+                  f"http://{worker.host}:{worker.port} "
+                  f"store={cluster.store_dir}", flush=True)
+        if args.duration is not None:
+            _time.sleep(args.duration)
+        else:
+            print("serving until Ctrl-C", flush=True)
+            while True:
+                _time.sleep(3600.0)
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        cluster.shutdown()
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -619,7 +735,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "serve":
-        handler = {"bench": _command_serve_bench}[args.serve_command]
+        handler = {"bench": _command_serve_bench,
+                   "cluster": _command_serve_cluster}[args.serve_command]
     elif args.command == "trace":
         trace_handlers = {
             "list": _command_trace_list,

@@ -1,0 +1,423 @@
+"""`ClusterGateway`: digest-sharded routing over N worker endpoints.
+
+The gateway is the cluster's single front door.  For every solve request
+it:
+
+1. **routes by instance digest** — rendezvous hashing
+   (:mod:`repro.cluster.hashing`) over the *alive* workers, so one
+   instance always lands on one shard.  That affinity is what lets each
+   shard's coalescer and tier-1 LRU behave exactly as they do in the
+   single-process service: a hot key is hot on one shard, not diluted
+   over N;
+2. **bounds per-worker in-flight** — an ``asyncio.Semaphore`` per endpoint
+   caps how many requests the gateway holds open against one shard, so a
+   slow worker backs traffic up at the gateway instead of ballooning its
+   own queue;
+3. **retries overload with backoff** — a worker's 503
+   (:class:`~repro.exceptions.ServiceOverloadedError`, whose
+   ``queue_depth`` the wire format preserves and the gateway logs) is
+   retried against the *same* shard after an exponential backoff: the key
+   must not migrate just because its shard is busy;
+4. **re-routes on worker death** — a connection failure marks the endpoint
+   dead and re-runs rendezvous routing over the survivors.  Rendezvous
+   guarantees only the dead shard's keys move; the shared artifact store
+   means the adopting shard serves any previously solved key from disk
+   without a solver call.
+
+``stats()`` aggregates every shard's exact
+:class:`~repro.serve.ServiceStats` via
+:meth:`~repro.serve.ServiceStats.merge` (dead shards contribute their
+last-known snapshot), so the merged buckets still partition the forwarded
+requests exactly; the gateway's own counters (routed / retried / re-routed
+/ failed) sit alongside.  The same surface is exposed over HTTP —
+``/solve``, ``/stats``, ``/health``, ``/drain`` — by
+:meth:`ClusterGateway.start_http`, with body-blind forwarding: the
+instance digest rides in the ``X-Repro-Digest`` header, so the gateway
+never parses instance JSON on the hot path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.config import SolveConfig
+from repro.api.report import SolveReport
+from repro.api.session import resolve_strategy_name
+from repro.cluster import protocol
+from repro.cluster.hashing import route
+from repro.exceptions import ClusterError, WorkerUnavailableError
+from repro.serve.service import ServiceStats
+
+__all__ = ["ClusterGateway", "WorkerEndpoint"]
+
+logger = logging.getLogger("repro.cluster.gateway")
+
+#: Errors that mean "this worker is gone", triggering failover.
+_CONNECTION_ERRORS = (ConnectionError, OSError, asyncio.IncompleteReadError,
+                      protocol._WireError)
+
+
+class WorkerEndpoint:
+    """Gateway-side state of one worker: address, pool, health, counters."""
+
+    def __init__(self, host: str, port: int, *, max_inflight: int = 8) -> None:
+        self.host = host
+        self.port = int(port)
+        #: Stable routing identity — survives gateway restarts, so two
+        #: gateways in front of the same workers shard identically.
+        self.node_id = f"{host}:{port}"
+        self.alive = True
+        self.semaphore = asyncio.Semaphore(max_inflight)
+        self.pool: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        #: Requests this gateway handed to the worker (includes retries).
+        self.forwarded = 0
+        #: Last successfully fetched stats snapshot; kept after death so
+        #: the aggregate never loses a shard's served history.
+        self.last_stats: Optional[ServiceStats] = None
+
+    async def request(self, method: str, path: str, body: bytes = b"", *,
+                      headers: Optional[Dict[str, str]] = None,
+                      ) -> Tuple[int, bytes]:
+        """One keep-alive HTTP exchange with this worker."""
+        conn = self.pool.pop() if self.pool else None
+        if conn is None:
+            conn = await asyncio.open_connection(self.host, self.port)
+        reader, writer = conn
+        try:
+            await protocol.write_request(writer, method, path, body,
+                                         headers=headers)
+            status, resp_headers, payload = await protocol.read_response(
+                reader)
+        except BaseException:
+            writer.close()
+            raise
+        if resp_headers.get("connection", "").lower() == "close":
+            writer.close()
+        else:
+            self.pool.append((reader, writer))
+        return status, payload
+
+    def close(self) -> None:
+        """Drop every pooled connection (on death or gateway shutdown)."""
+        while self.pool:
+            _, writer = self.pool.pop()
+            writer.close()
+
+
+class ClusterGateway:
+    """Route solve traffic over a fixed set of worker endpoints.
+
+    Parameters
+    ----------
+    endpoints:
+        ``(host, port)`` pairs of the workers (see
+        :func:`repro.cluster.launcher.start_cluster` for spawning them).
+    max_inflight:
+        Per-worker bound on requests the gateway holds open concurrently.
+    max_retries:
+        Backoff attempts against an overloaded shard before the overload
+        error is surfaced to the caller.
+    backoff_base_ms / backoff_cap_ms:
+        Exponential backoff window for overload retries (jittered).
+    """
+
+    def __init__(self, endpoints: Sequence[Tuple[str, int]], *,
+                 max_inflight: int = 8, max_retries: int = 6,
+                 backoff_base_ms: float = 5.0,
+                 backoff_cap_ms: float = 200.0) -> None:
+        if not endpoints:
+            raise ClusterError("a cluster needs at least one worker")
+        self.workers: Dict[str, WorkerEndpoint] = {}
+        for host, port in endpoints:
+            endpoint = WorkerEndpoint(host, port, max_inflight=max_inflight)
+            self.workers[endpoint.node_id] = endpoint
+        self.max_retries = int(max_retries)
+        self.backoff_base_ms = float(backoff_base_ms)
+        self.backoff_cap_ms = float(backoff_cap_ms)
+        self._rng = random.Random(0xC1F5)
+        self._counters: Dict[str, int] = {
+            "requests": 0, "completed": 0, "remote_errors": 0,
+            "overload_retries": 0, "reroutes": 0, "failures": 0}
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def alive_ids(self) -> List[str]:
+        return [node_id for node_id, worker in self.workers.items()
+                if worker.alive]
+
+    def route_digest(self, digest: str) -> WorkerEndpoint:
+        """The alive shard owning ``digest`` (rendezvous over survivors)."""
+        alive = self.alive_ids()
+        if not alive:
+            raise WorkerUnavailableError("no alive workers in the cluster")
+        return self.workers[route(digest, alive)]
+
+    def _mark_dead(self, worker: WorkerEndpoint, reason: str) -> None:
+        if worker.alive:
+            worker.alive = False
+            worker.close()
+            logger.warning("worker %s marked dead (%s); re-routing its keys",
+                           worker.node_id, reason)
+
+    # ------------------------------------------------------------------ #
+    # Solve path
+    # ------------------------------------------------------------------ #
+    async def submit_encoded(self, body: bytes, digest: str,
+                             ) -> Tuple[int, bytes]:
+        """Route one already-serialised solve request; returns the raw
+        ``(status, payload)`` of the shard that answered.
+
+        Connection failures fail over (re-route among survivors); 503
+        overload responses back off and retry the same shard; a draining
+        shard (``ServiceClosedError`` on the wire) is treated as dead.
+        """
+        self._counters["requests"] += 1
+        headers = {protocol.DIGEST_HEADER: digest}
+        overload_attempts = 0
+        while True:
+            worker = self.route_digest(digest)
+            async with worker.semaphore:
+                worker.forwarded += 1
+                try:
+                    status, payload = await worker.request(
+                        "POST", "/solve", body, headers=headers)
+                except _CONNECTION_ERRORS as exc:
+                    self._counters["reroutes"] += 1
+                    self._mark_dead(worker, repr(exc))
+                    continue
+            if status == 503:
+                retryable, queue_depth = _classify_503(payload)
+                if retryable == "closed":
+                    # A draining/stopped shard cannot take the key back;
+                    # fail over exactly like a dead connection.
+                    self._counters["reroutes"] += 1
+                    self._mark_dead(worker, "service closed (draining)")
+                    continue
+                overload_attempts += 1
+                if overload_attempts > self.max_retries:
+                    self._counters["failures"] += 1
+                    return status, payload
+                delay = self._backoff_seconds(overload_attempts)
+                self._counters["overload_retries"] += 1
+                logger.info(
+                    "worker %s overloaded (queue depth %s); backoff retry "
+                    "%d/%d in %.1f ms", worker.node_id, queue_depth,
+                    overload_attempts, self.max_retries, delay * 1e3)
+                await asyncio.sleep(delay)
+                continue
+            if status == 200:
+                self._counters["completed"] += 1
+            else:
+                self._counters["remote_errors"] += 1
+            return status, payload
+
+    def _backoff_seconds(self, attempt: int) -> float:
+        window = min(self.backoff_cap_ms,
+                     self.backoff_base_ms * (2.0 ** (attempt - 1)))
+        return (window * (0.5 + 0.5 * self._rng.random())) / 1000.0
+
+    async def submit(self, instance, strategy: Optional[str] = None, *,
+                     config: Optional[SolveConfig] = None) -> SolveReport:
+        """Solve one instance through the cluster; raises remote errors."""
+        config = SolveConfig() if config is None else config
+        name = resolve_strategy_name(strategy)
+        body, digest = protocol.encode_solve_request(instance, name, config)
+        status, payload = await self.submit_encoded(body, digest)
+        protocol.raise_for_response(status, payload)
+        return protocol.decode_report(payload)
+
+    # ------------------------------------------------------------------ #
+    # Cluster-wide observability & lifecycle
+    # ------------------------------------------------------------------ #
+    async def refresh_worker_stats(self) -> None:
+        """Fetch ``/stats`` from every alive shard (marks dead on failure)."""
+        async def fetch(worker: WorkerEndpoint) -> None:
+            try:
+                status, payload = await worker.request("GET", "/stats")
+            except _CONNECTION_ERRORS as exc:
+                self._mark_dead(worker, repr(exc))
+                return
+            if status == 200:
+                worker.last_stats = ServiceStats.from_dict(
+                    json.loads(payload.decode("utf-8")))
+
+        await asyncio.gather(*(fetch(worker)
+                               for worker in self.workers.values()
+                               if worker.alive))
+
+    async def stats(self, *, refresh: bool = True) -> Dict[str, object]:
+        """The aggregated cluster picture.
+
+        ``merged`` is the exact :meth:`~repro.serve.ServiceStats.merge` of
+        every shard's snapshot (dead shards contribute their last-known
+        one), so its buckets partition the forwarded requests exactly;
+        ``workers`` holds the per-shard snapshots and routing counters;
+        ``gateway`` the gateway's own accounting.
+        """
+        if refresh:
+            await self.refresh_worker_stats()
+        snapshots = [worker.last_stats for worker in self.workers.values()
+                     if worker.last_stats is not None]
+        merged = ServiceStats().merge(*snapshots)
+        return {
+            "gateway": dict(self._counters),
+            "workers": {
+                node_id: {
+                    "alive": worker.alive,
+                    "forwarded": worker.forwarded,
+                    "stats": None if worker.last_stats is None
+                    else worker.last_stats.to_dict(),
+                }
+                for node_id, worker in self.workers.items()},
+            "merged": merged.to_dict(),
+        }
+
+    async def drain(self, *, timeout: float = 60.0) -> bool:
+        """Drain every alive shard; ``True`` when all report drained."""
+        body = json.dumps({"timeout": timeout}).encode("utf-8")
+
+        async def drain_one(worker: WorkerEndpoint) -> bool:
+            try:
+                status, payload = await worker.request("POST", "/drain", body)
+            except _CONNECTION_ERRORS as exc:
+                self._mark_dead(worker, repr(exc))
+                return False
+            return status == 200 and json.loads(payload).get("drained", False)
+
+        results = await asyncio.gather(
+            *(drain_one(worker) for worker in self.workers.values()
+              if worker.alive))
+        return all(results) if results else True
+
+    async def shutdown_workers(self) -> None:
+        """Ask every alive shard to shut down (used by the launcher)."""
+        async def stop_one(worker: WorkerEndpoint) -> None:
+            try:
+                await worker.request("POST", "/shutdown")
+            except _CONNECTION_ERRORS:
+                pass
+            worker.alive = False
+            worker.close()
+
+        await asyncio.gather(*(stop_one(worker)
+                               for worker in self.workers.values()
+                               if worker.alive))
+
+    async def health(self) -> Dict[str, object]:
+        """Probe ``/health`` on every shard; returns the liveness map."""
+        async def probe(worker: WorkerEndpoint):
+            try:
+                status, payload = await worker.request("GET", "/health")
+            except _CONNECTION_ERRORS:
+                return worker.node_id, None
+            if status != 200:
+                return worker.node_id, None
+            return worker.node_id, json.loads(payload.decode("utf-8"))
+
+        results = dict(await asyncio.gather(
+            *(probe(worker) for worker in self.workers.values()
+              if worker.alive)))
+        return {
+            "status": "ok" if any(value is not None
+                                  for value in results.values()) else "down",
+            "workers": {
+                node_id: {"alive": worker.alive,
+                          "health": results.get(node_id)}
+                for node_id, worker in self.workers.items()},
+        }
+
+    def close(self) -> None:
+        """Drop every pooled connection (the workers keep running)."""
+        for worker in self.workers.values():
+            worker.close()
+
+    # ------------------------------------------------------------------ #
+    # HTTP front door
+    # ------------------------------------------------------------------ #
+    async def start_http(self, *, host: str = "127.0.0.1",
+                         port: int = 0) -> int:
+        """Expose the gateway itself over HTTP; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port)
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop_http(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                message = await protocol.read_request(reader)
+                if message is None:
+                    break
+                method, path, headers, body = message
+                status, payload = await self._dispatch(method, path, headers,
+                                                       body)
+                close = headers.get("connection", "").lower() == "close"
+                await protocol.write_response(writer, status, payload,
+                                              close=close)
+                if close:
+                    break
+        except asyncio.CancelledError:
+            pass  # event-loop teardown at shutdown; drop the connection
+        except _CONNECTION_ERRORS:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, method: str, path: str,
+                        headers: Dict[str, str], body: bytes):
+        route_key = (method, path.split("?", 1)[0])
+        if route_key == ("POST", "/solve"):
+            digest = headers.get(protocol.DIGEST_HEADER)
+            if digest is None:
+                # Slow path for header-less clients: the digest is in the
+                # body (every encoder puts it there).
+                try:
+                    digest = json.loads(body.decode("utf-8"))["digest"]
+                except Exception as exc:  # noqa: BLE001 - peer input
+                    return protocol.error_response(ClusterError(
+                        f"solve request carries no routable digest: {exc}"))
+            try:
+                return await self.submit_encoded(body, digest)
+            except BaseException as exc:  # noqa: BLE001 - mapped to wire
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                return protocol.error_response(exc)
+        if route_key == ("GET", "/stats"):
+            return 200, json.dumps(await self.stats(),
+                                   sort_keys=True).encode("utf-8")
+        if route_key == ("GET", "/health"):
+            return 200, json.dumps(await self.health(),
+                                   sort_keys=True).encode("utf-8")
+        if route_key == ("POST", "/drain"):
+            drained = await self.drain()
+            return 200, json.dumps({"drained": drained}).encode("utf-8")
+        return 404, json.dumps({
+            "error": "ClusterError",
+            "message": f"no route {method} {path}"}).encode("utf-8")
+
+
+def _classify_503(payload: bytes) -> Tuple[str, Optional[int]]:
+    """Split a 503 into ``("overloaded", depth)`` vs ``("closed", None)``."""
+    try:
+        decoded = json.loads(payload.decode("utf-8"))
+    except Exception:  # noqa: BLE001 - non-JSON 503
+        return "overloaded", None
+    if decoded.get("error") == "ServiceClosedError":
+        return "closed", None
+    return "overloaded", decoded.get("queue_depth")

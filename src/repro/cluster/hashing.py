@@ -1,0 +1,59 @@
+"""Rendezvous (highest-random-weight) sharding on instance digests.
+
+The gateway must send every request for one instance digest to the same
+shard — that is what preserves the worker-local coalescing and tier-1 hit
+rates the single-process service already earns — and the mapping must be:
+
+* **deterministic across processes** (a restarted gateway, or a second
+  gateway in front of the same workers, routes identically), which rules
+  out Python's salted ``hash()``;
+* **minimally disruptive** under membership change: when a worker dies,
+  only the keys it owned may move.  Plain ``int(digest, 16) % N`` fails
+  this — dropping from 4 to 3 shards remaps ~75% of all keys, flushing
+  every surviving shard's hot tier.  Rendezvous hashing remaps exactly the
+  dead shard's keys and nothing else.
+
+Weights are SHA-256 over ``"{node}|{digest}"``, so any string-identified
+node set works and ties are effectively impossible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence
+
+from repro.exceptions import ClusterError
+
+__all__ = ["rendezvous_weight", "rank_nodes", "route", "shard_map"]
+
+
+def rendezvous_weight(node_id: str, digest: str) -> int:
+    """The (deterministic) weight of ``node_id`` for key ``digest``."""
+    payload = f"{node_id}|{digest}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:16], "big")
+
+
+def rank_nodes(digest: str, node_ids: Sequence[str]) -> List[str]:
+    """All nodes ordered by preference for ``digest`` (highest weight first).
+
+    The head of the list is the owning shard; the tail is the failover
+    order, so retry loops can walk it without re-hashing.
+    """
+    return sorted(node_ids, reverse=True,
+                  key=lambda node: (rendezvous_weight(node, digest), node))
+
+
+def route(digest: str, node_ids: Sequence[str]) -> str:
+    """The owning shard of ``digest`` among ``node_ids``."""
+    if not node_ids:
+        raise ClusterError("cannot route: no nodes")
+    return rank_nodes(digest, node_ids)[0]
+
+
+def shard_map(digests: Sequence[str], node_ids: Sequence[str],
+              ) -> Dict[str, List[str]]:
+    """Group ``digests`` by owning node (diagnostics / balance checks)."""
+    grouped: Dict[str, List[str]] = {node: [] for node in node_ids}
+    for digest in digests:
+        grouped[route(digest, node_ids)].append(digest)
+    return grouped

@@ -1,0 +1,325 @@
+"""Cluster lifecycle: spawn workers, wire the gateway, drain, shut down.
+
+:func:`start_cluster` is the one-call entry point::
+
+    from repro.cluster import start_cluster
+
+    with start_cluster(n_workers=2, store_dir="cluster-store") as cluster:
+        report = cluster.solve(instance, "optop")
+        stats = cluster.stats()          # aggregated, exact partition
+
+It spawns ``n_workers`` worker *processes* (``python -m
+repro.cluster.worker``) on ephemeral localhost ports — each announces
+``REPRO_WORKER_READY port=...`` on stdout, which the launcher parses, so
+there is no port-race window — all sharing one artifact-store directory,
+then builds a :class:`~repro.cluster.gateway.ClusterGateway` over them
+inside a dedicated event-loop thread.  The returned
+:class:`ClusterHandle` is the synchronous facade: ``submit`` /``solve``/
+``solve_many``/``stats``/``drain``/``shutdown`` all bridge into the
+gateway loop via ``run_coroutine_threadsafe``.
+
+Fault injection for tests rides along: :meth:`ClusterHandle.kill_worker`
+SIGKILLs one shard mid-stream; the gateway re-routes its keys to the
+survivors on the next connection failure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.config import SolveConfig
+from repro.api.report import SolveReport
+from repro.cluster.gateway import ClusterGateway
+from repro.exceptions import ClusterError
+from repro.serve.service import ServiceStats
+
+__all__ = ["ClusterHandle", "EventLoopThread", "WorkerProcess",
+           "start_cluster"]
+
+_READY_LINE = re.compile(r"REPRO_WORKER_READY port=(\d+) pid=(\d+)")
+
+
+class EventLoopThread:
+    """An asyncio loop running in a daemon thread, driven synchronously."""
+
+    def __init__(self, name: str = "repro-cluster-loop") -> None:
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, name=name,
+                                        daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.call_soon(self._ready.set)
+        self.loop.run_forever()
+
+    def start(self) -> "EventLoopThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise ClusterError("gateway event loop failed to start")
+        return self
+
+    def submit(self, coro) -> Future:
+        """Schedule a coroutine; returns its ``concurrent.futures.Future``."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop)
+
+    def run(self, coro, timeout: Optional[float] = None):
+        """Run a coroutine to completion and return its result."""
+        return self.submit(coro).result(timeout=timeout)
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self._thread.join(timeout=10.0)
+        if not self.loop.is_closed():
+            self.loop.close()
+
+
+class WorkerProcess:
+    """One spawned shard: the subprocess and its announced endpoint."""
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 store_dir: Optional[str] = None, max_batch: int = 64,
+                 max_wait_ms: float = 2.0, max_queue: int = 10_000,
+                 pool_workers: int = 0,
+                 startup_timeout: float = 120.0) -> None:
+        command = [sys.executable, "-m", "repro.cluster.worker_main",
+                   "--host", host, "--port", str(port),
+                   "--max-batch", str(max_batch),
+                   "--max-wait-ms", str(max_wait_ms),
+                   "--max-queue", str(max_queue),
+                   "--workers", str(pool_workers)]
+        if store_dir is not None:
+            command += ["--store", str(store_dir)]
+        env = dict(os.environ)
+        # The worker must import repro regardless of how the parent found
+        # it (installed, or straight off src/ via PYTHONPATH).
+        src_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        self.host = host
+        self.process = subprocess.Popen(
+            command, stdout=subprocess.PIPE, text=True, env=env)
+        self.port = self._await_ready(startup_timeout)
+
+    def _await_ready(self, timeout: float) -> int:
+        """Parse the READY line off stdout (in a thread, with a deadline)."""
+        result: Dict[str, int] = {}
+        ready = threading.Event()
+
+        def pump() -> None:
+            stream = self.process.stdout
+            for line in iter(stream.readline, ""):
+                match = _READY_LINE.search(line)
+                if match and not ready.is_set():
+                    result["port"] = int(match.group(1))
+                    ready.set()
+                # keep draining so the worker never blocks on a full pipe
+            ready.set()
+
+        threading.Thread(target=pump, daemon=True,
+                         name="repro-worker-stdout").start()
+        if not ready.wait(timeout=timeout) or "port" not in result:
+            self.process.kill()
+            raise ClusterError(
+                f"worker failed to announce readiness within {timeout}s "
+                f"(exit code {self.process.poll()})")
+        return result["port"]
+
+    @property
+    def endpoint(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL the shard (fault injection; no drain, no goodbye)."""
+        self.process.kill()
+        self.process.wait(timeout=10.0)
+
+    def terminate(self, timeout: float = 10.0) -> None:
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=timeout)
+
+
+class ClusterHandle:
+    """Synchronous facade over a running cluster (gateway + workers)."""
+
+    def __init__(self, *, workers: List[WorkerProcess],
+                 gateway: ClusterGateway, loop: EventLoopThread,
+                 store_dir: str,
+                 owned_tmp: Optional[tempfile.TemporaryDirectory] = None,
+                 http_port: Optional[int] = None) -> None:
+        self.workers = workers
+        self.gateway = gateway
+        self.loop = loop
+        self.store_dir = store_dir
+        self.http_port = http_port
+        self._owned_tmp = owned_tmp
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Solve path
+    # ------------------------------------------------------------------ #
+    def submit(self, instance, strategy: Optional[str] = None, *,
+               config: Optional[SolveConfig] = None,
+               ) -> "Future[SolveReport]":
+        """Submit one solve; returns a ``concurrent.futures.Future``."""
+        return self.loop.submit(
+            self.gateway.submit(instance, strategy, config=config))
+
+    def solve(self, instance, strategy: Optional[str] = None, *,
+              config: Optional[SolveConfig] = None,
+              timeout: Optional[float] = 300.0) -> SolveReport:
+        """Blocking one-shot solve through the cluster."""
+        return self.submit(instance, strategy, config=config).result(
+            timeout=timeout)
+
+    def solve_many(self, instances: Sequence[object],
+                   strategy: Optional[str] = None, *,
+                   config: Optional[SolveConfig] = None,
+                   timeout: Optional[float] = 300.0) -> List[SolveReport]:
+        """Submit a burst and gather the reports in submission order."""
+        futures = [self.submit(instance, strategy, config=config)
+                   for instance in instances]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Observability & lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self, *, refresh: bool = True) -> Dict[str, object]:
+        """Aggregated cluster stats (see :meth:`ClusterGateway.stats`)."""
+        return self.loop.run(self.gateway.stats(refresh=refresh),
+                             timeout=60.0)
+
+    def merged_stats(self, *, refresh: bool = True) -> ServiceStats:
+        """The cross-shard :class:`~repro.serve.ServiceStats` aggregate."""
+        return ServiceStats.from_dict(
+            dict(self.stats(refresh=refresh)["merged"]))
+
+    def health(self) -> Dict[str, object]:
+        return self.loop.run(self.gateway.health(), timeout=60.0)
+
+    def drain(self, *, timeout: float = 60.0) -> bool:
+        """Block until every shard has resolved its accepted requests."""
+        return self.loop.run(self.gateway.drain(timeout=timeout),
+                             timeout=timeout + 30.0)
+
+    def kill_worker(self, index: int) -> str:
+        """SIGKILL shard ``index``; returns its node id (fault injection)."""
+        worker = self.workers[index]
+        node_id = f"{worker.host}:{worker.port}"
+        worker.kill()
+        return node_id
+
+    def shutdown(self, *, drain: bool = True, timeout: float = 60.0) -> None:
+        """Drain (optionally), stop every worker, stop the gateway loop."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if drain and any(worker.alive for worker in self.workers):
+                try:
+                    self.loop.run(self.gateway.drain(timeout=timeout),
+                                  timeout=timeout + 30.0)
+                except Exception:  # noqa: BLE001 - shutdown must proceed
+                    pass
+            try:
+                self.loop.run(self.gateway.shutdown_workers(), timeout=30.0)
+            except Exception:  # noqa: BLE001 - fall back to SIGTERM below
+                pass
+            try:
+                self.loop.run(self.gateway.stop_http(), timeout=10.0)
+            except Exception:  # noqa: BLE001
+                pass
+            self.gateway.close()
+        finally:
+            for worker in self.workers:
+                worker.terminate()
+            self.loop.stop()
+            if self._owned_tmp is not None:
+                self._owned_tmp.cleanup()
+
+    def __enter__(self) -> "ClusterHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+
+def start_cluster(n_workers: int = 2, *, store_dir: Optional[str] = None,
+                  host: str = "127.0.0.1", max_inflight: int = 8,
+                  max_retries: int = 6, max_batch: int = 64,
+                  max_wait_ms: float = 2.0, max_queue: int = 10_000,
+                  pool_workers: int = 0, http: bool = False,
+                  http_port: int = 0,
+                  startup_timeout: float = 120.0) -> ClusterHandle:
+    """Spawn ``n_workers`` shard processes and a gateway over them.
+
+    All shards share one artifact-store directory (a private temporary one
+    when ``store_dir`` is omitted, cleaned up on shutdown), so any key the
+    cluster has ever solved is served from disk by whichever shard owns it
+    now.  With ``http=True`` the gateway additionally listens on
+    ``http_port`` (0 = ephemeral; see ``handle.http_port``).
+    """
+    if int(n_workers) < 1:
+        raise ClusterError(f"n_workers must be >= 1, got {n_workers!r}")
+    owned_tmp = None
+    if store_dir is None:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+        store_dir = owned_tmp.name
+    workers: List[WorkerProcess] = []
+    loop: Optional[EventLoopThread] = None
+    try:
+        for _ in range(int(n_workers)):
+            workers.append(WorkerProcess(
+                host=host, store_dir=store_dir, max_batch=max_batch,
+                max_wait_ms=max_wait_ms, max_queue=max_queue,
+                pool_workers=pool_workers,
+                startup_timeout=startup_timeout))
+        loop = EventLoopThread().start()
+        gateway = ClusterGateway(
+            [worker.endpoint for worker in workers],
+            max_inflight=max_inflight, max_retries=max_retries)
+        deadline = time.monotonic() + startup_timeout
+        while True:
+            health = loop.run(gateway.health(), timeout=30.0)
+            if health["status"] == "ok" and all(
+                    entry["health"] is not None
+                    for entry in health["workers"].values()):
+                break
+            if time.monotonic() > deadline:
+                raise ClusterError("cluster failed its startup health check")
+            time.sleep(0.05)
+        bound_port = None
+        if http:
+            bound_port = loop.run(
+                gateway.start_http(host=host, port=http_port), timeout=30.0)
+        return ClusterHandle(workers=workers, gateway=gateway, loop=loop,
+                             store_dir=store_dir, owned_tmp=owned_tmp,
+                             http_port=bound_port)
+    except BaseException:
+        for worker in workers:
+            worker.terminate()
+        if loop is not None:
+            loop.stop()
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+        raise

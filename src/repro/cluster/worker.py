@@ -1,0 +1,256 @@
+"""`WorkerServer`: one cluster shard — a `SolveService` behind asyncio HTTP.
+
+A worker owns exactly one :class:`~repro.serve.SolveService` (micro-batching,
+coalescing, tiered cache) and exposes it on a localhost TCP port:
+
+``POST /solve``
+    One solve request (:mod:`repro.cluster.protocol` wire format).  The
+    submission runs in the default executor — ``SolveService.submit`` may
+    touch the disk for its tier-2 probe, which must not stall the event
+    loop — and the resulting future is awaited without blocking, so one
+    worker serves many concurrent connections while its dispatcher batches
+    the misses.  Backpressure (``ServiceOverloadedError``) and a draining
+    service map onto 503 responses the gateway knows how to retry.
+``GET /stats``
+    The exact :class:`~repro.serve.ServiceStats` snapshot as JSON — what
+    the gateway aggregates with :meth:`~repro.serve.ServiceStats.merge`.
+``GET /health``
+    Liveness: pid, port, uptime and the request count so far.
+``POST /drain``
+    Blocks (in the executor) until every accepted request has resolved;
+    the lifecycle hook the launcher calls before shutdown.
+``POST /shutdown``
+    Acknowledges, then stops the server and shuts the service down.
+
+The worker's tier-2 cache is the *shared* artifact store of the cluster:
+every shard points at one directory (``TieredCache(shared_store=True)``),
+so a cold shard — just restarted, or newly owning keys after a peer died —
+answers any key the cluster has ever solved from disk instead of
+re-solving it.
+
+Run one directly with ``python -m repro.cluster.worker_main --port 0
+--store DIR``; it prints ``REPRO_WORKER_READY port=<p> pid=<pid>`` once it
+accepts connections (the launcher parses that line).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import time
+from functools import partial
+from typing import Optional
+
+from repro.cluster import protocol
+from repro.exceptions import ModelError
+from repro.serve.cache import TieredCache
+from repro.serve.service import SolveService
+from repro.study.store import ArtifactStore
+
+__all__ = ["WorkerServer", "build_worker_service", "main"]
+
+
+def build_worker_service(*, store_dir: Optional[str] = None,
+                         max_batch: int = 64, max_wait_ms: float = 2.0,
+                         max_queue: int = 10_000,
+                         max_workers: Optional[int] = 0,
+                         max_cache_entries: int = 4096) -> SolveService:
+    """A shard's `SolveService`: tiered cache over the shared store."""
+    store = None if store_dir is None else ArtifactStore(store_dir)
+    cache = TieredCache(store=store, max_entries=max_cache_entries,
+                        shared_store=True)
+    return SolveService(cache=cache, max_batch=max_batch,
+                        max_wait_ms=max_wait_ms, max_queue=max_queue,
+                        max_workers=max_workers)
+
+
+class WorkerServer:
+    """Serve one `SolveService` over the cluster wire protocol.
+
+    Parameters
+    ----------
+    service:
+        The service to expose; built via :func:`build_worker_service` when
+        omitted.
+    host / port:
+        Bind address; port ``0`` asks the OS for an ephemeral port (read
+        the real one from :attr:`port` after :meth:`start`).
+    store_dir / max_batch / max_wait_ms / max_queue / max_workers:
+        Forwarded to :func:`build_worker_service` when no ``service`` is
+        given.
+    """
+
+    def __init__(self, service: Optional[SolveService] = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 store_dir: Optional[str] = None, max_batch: int = 64,
+                 max_wait_ms: float = 2.0, max_queue: int = 10_000,
+                 max_workers: Optional[int] = 0) -> None:
+        self.service = service if service is not None else \
+            build_worker_service(store_dir=store_dir, max_batch=max_batch,
+                                 max_wait_ms=max_wait_ms,
+                                 max_queue=max_queue,
+                                 max_workers=max_workers)
+        self.host = host
+        self._requested_port = int(port)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = asyncio.Event()
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def port(self) -> int:
+        """The bound TCP port (valid after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "WorkerServer":
+        """Bind the socket and start the service; returns ``self``."""
+        self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host,
+            port=self._requested_port)
+        return self
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until ``POST /shutdown`` (or :meth:`stop`) is requested."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Close the listener and shut the service down (drains first)."""
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, partial(self.service.shutdown, wait=True, timeout=60.0))
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                message = await protocol.read_request(reader)
+                if message is None:
+                    break
+                method, path, headers, body = message
+                status, payload = await self._dispatch(method, path, body)
+                close = headers.get("connection", "").lower() == "close"
+                await protocol.write_response(writer, status, payload,
+                                              close=close)
+                if close:
+                    break
+        except asyncio.CancelledError:
+            pass  # event-loop teardown at shutdown; drop the connection
+        except (ConnectionError, asyncio.IncompleteReadError,
+                protocol._WireError):
+            pass  # a vanished or malformed peer only costs its connection
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        route = (method, path.split("?", 1)[0])
+        if route == ("POST", "/solve"):
+            return await self._handle_solve(body)
+        if route == ("GET", "/stats"):
+            return 200, json.dumps(
+                self.service.stats().to_dict(), sort_keys=True).encode()
+        if route == ("GET", "/health"):
+            return 200, json.dumps({
+                "status": "ok",
+                "pid": os.getpid(),
+                "port": self.port,
+                "uptime_seconds": time.monotonic() - self._started_at,
+                "requests": self.service.stats().requests,
+            }, sort_keys=True).encode()
+        if route == ("POST", "/drain"):
+            return await self._handle_drain(body)
+        if route == ("POST", "/shutdown"):
+            self._shutdown.set()
+            return 200, b'{"status": "shutting down"}'
+        return 404, json.dumps({
+            "error": "ClusterError",
+            "message": f"no route {method} {path}"}).encode()
+
+    async def _handle_solve(self, body: bytes):
+        loop = asyncio.get_running_loop()
+        try:
+            instance, strategy, config, digest = \
+                protocol.decode_solve_request(body)
+            # submit() probes the disk tier synchronously on a tier-1 miss;
+            # run it in the executor so the event loop keeps accepting.
+            # The digest the gateway routed by is reused as the cache key,
+            # skipping a canonical-serialization hash per request.
+            future = await loop.run_in_executor(
+                None, partial(self.service.submit, instance, strategy,
+                              config=config, digest=digest))
+            report = await asyncio.wrap_future(future)
+        except BaseException as exc:  # noqa: BLE001 - mapped to the wire
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            return protocol.error_response(exc)
+        return 200, protocol.encode_report(report)
+
+    async def _handle_drain(self, body: bytes):
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            timeout = payload.get("timeout", 60.0)
+        except Exception as exc:  # noqa: BLE001 - malformed peer input
+            return protocol.error_response(
+                ModelError(f"malformed drain request: {exc}"))
+        loop = asyncio.get_running_loop()
+        drained = await loop.run_in_executor(
+            None, partial(self.service.drain, timeout=timeout))
+        return 200, json.dumps({"drained": bool(drained)}).encode()
+
+
+async def _amain(args: argparse.Namespace) -> None:
+    worker = WorkerServer(
+        host=args.host, port=args.port, store_dir=args.store,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue, max_workers=args.workers or 0)
+    await worker.start()
+    # The launcher blocks on this exact line to learn the ephemeral port.
+    print(f"REPRO_WORKER_READY port={worker.port} pid={os.getpid()}",
+          flush=True)
+    await worker.serve_until_shutdown()
+
+
+def main(argv=None) -> int:
+    """Entry point of ``python -m repro.cluster.worker``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cluster.worker",
+        description="one cluster shard: a SolveService behind asyncio HTTP")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = ephemeral, announced on stdout)")
+    parser.add_argument("--store", default=None,
+                        help="shared artifact-store directory (tier 2/3)")
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--max-queue", type=int, default=10_000)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="process-pool width per batch (0 = in-process)")
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

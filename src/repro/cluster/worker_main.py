@@ -1,0 +1,13 @@
+"""Process entry point of one cluster shard.
+
+Kept separate from :mod:`repro.cluster.worker` (which the package
+``__init__`` imports for its public classes) so ``python -m
+repro.cluster.worker_main`` never re-executes an already-imported module
+— the ``runpy`` double-import warning a ``-m``-runnable module inside an
+importing package would otherwise trigger.
+"""
+
+from repro.cluster.worker import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

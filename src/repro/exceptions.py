@@ -19,6 +19,8 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceClosedError",
+    "ClusterError",
+    "WorkerUnavailableError",
 ]
 
 
@@ -83,8 +85,34 @@ class ServiceOverloadedError(ServiceError):
     Backpressure signal: the caller should retry later (or with a larger
     ``max_queue`` / more drain capacity).  Rejected submissions are counted
     in :class:`repro.serve.ServiceStats`.
+
+    Carries the queue depth observed at rejection time so retrying callers
+    — the cluster gateway's backoff loop in particular — can log *how*
+    overloaded the worker was, and so the condition survives the wire
+    round trip (:mod:`repro.cluster.protocol` re-raises it with the same
+    depth on the gateway side).
     """
+
+    def __init__(self, message: str, *,
+                 queue_depth: int | None = None) -> None:
+        super().__init__(message)
+        #: Request-queue length observed when the submission was refused
+        #: (``None`` when the producer predates the wire format).
+        self.queue_depth = queue_depth
 
 
 class ServiceClosedError(ServiceError):
     """Raised when submitting to (or set on futures of) a stopped service."""
+
+
+class ClusterError(ServiceError):
+    """Base class for errors raised by the :mod:`repro.cluster` fabric."""
+
+
+class WorkerUnavailableError(ClusterError):
+    """Raised when no alive worker can serve a request.
+
+    Produced by the gateway when every endpoint a key rendezvous-routes to
+    is dead, or when a request exhausted its retry budget against
+    persistently overloaded shards.
+    """

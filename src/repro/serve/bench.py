@@ -38,6 +38,25 @@ class BenchPass:
     def requests_per_second(self) -> float:
         return self.requests / self.seconds if self.seconds > 0 else 0.0
 
+    def _rate(self, count: int) -> float:
+        """``count`` as a percentage of this pass's requests."""
+        return 100.0 * count / self.requests if self.requests > 0 else 0.0
+
+    @property
+    def tier1_hit_rate(self) -> float:
+        """Tier-1 (in-memory LRU) hits as a percentage of requests."""
+        return self._rate(self.stats.tier1_hits)
+
+    @property
+    def tier2_hit_rate(self) -> float:
+        """Tier-2 (artifact store) hits as a percentage of requests."""
+        return self._rate(self.stats.tier2_hits)
+
+    @property
+    def hit_rate(self) -> float:
+        """Combined cache-hit percentage of this pass."""
+        return self._rate(self.stats.hits)
+
 
 @dataclass
 class BenchResult:
@@ -53,6 +72,9 @@ class BenchResult:
                 "seconds": p.seconds,
                 "requests": p.requests,
                 "requests_per_second": p.requests_per_second,
+                "tier1_hit_rate": p.tier1_hit_rate,
+                "tier2_hit_rate": p.tier2_hit_rate,
+                "hit_rate": p.hit_rate,
                 "stats": p.stats.to_dict(),
             } for p in self.passes],
             "final_stats": None if self.final_stats is None

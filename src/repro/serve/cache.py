@@ -55,14 +55,23 @@ class TieredCache:
     max_entries:
         Bound of the auto-created tier-1 cache (ignored when ``memory`` is
         given).
+    shared_store:
+        Mark the store as *shared* between several writers (cluster
+        shards, a concurrent study run).  Write-throughs then use
+        :meth:`~repro.study.store.ArtifactStore.put_if_absent` — content
+        addressing makes every writer's payload identical, so once any
+        process has landed an artifact the remaining writers skip the
+        disk I/O.
     """
 
     def __init__(self, *, memory: Optional[LRUCache] = None,
                  store: Optional[ArtifactStore] = None,
-                 max_entries: int = 4096) -> None:
+                 max_entries: int = 4096,
+                 shared_store: bool = False) -> None:
         self.memory = LRUCache(max_entries=max_entries) if memory is None \
             else memory
         self.store = store
+        self.shared_store = bool(shared_store)
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {
             "lookups": 0, "memory_hits": 0, "store_hits": 0, "misses": 0,
@@ -158,7 +167,11 @@ class TieredCache:
         """
         self.memory.put(self.memory_key(digest, strategy, config), report)
         if self.store is not None and self._storable(strategy):
-            self.store.put(artifact_key(digest, strategy, config), report)
+            key = artifact_key(digest, strategy, config)
+            if self.shared_store:
+                self.store.put_if_absent(key, report)
+            else:
+                self.store.put(key, report)
         with self._lock:
             self._counters["puts"] += 1
 

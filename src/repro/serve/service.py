@@ -130,6 +130,63 @@ class ServiceStats:
         data["consistent"] = self.consistent
         return data
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServiceStats":
+        """Rebuild a snapshot from :meth:`to_dict` output.
+
+        The derived fields (``hits``, ``consistent``) are recomputed, not
+        trusted; unknown keys are ignored so snapshots ship across library
+        versions (a worker and a gateway need not run identical builds).
+        """
+        known = {f.name for f in _STATS_FIELDS}
+        return cls(**{key: value for key, value in data.items()
+                      if key in known})
+
+    def merge(self, *others: "ServiceStats") -> "ServiceStats":
+        """Aggregate snapshots from several services into one.
+
+        Additive counters sum — so the bucket partition ``requests ==
+        tier1_hits + tier2_hits + coalesced + enqueued + rejected +
+        probing`` survives aggregation exactly (each side satisfies it, so
+        the sum does).  ``queue_peak`` takes the max (it is a high-water
+        mark, not a flow), ``pending`` sums (in-flight work is additive),
+        and the nested ``cache`` counters merge recursively: numeric
+        leaves add, dicts recurse, mismatched shapes drop to ``None``.
+        This is what the cluster gateway's aggregated ``/stats`` is built
+        from.
+        """
+        merged: Dict[str, Any] = {
+            f.name: getattr(self, f.name) for f in _STATS_FIELDS}
+        for other in others:
+            for f in _STATS_FIELDS:
+                if f.name == "cache":
+                    merged["cache"] = _merge_cache(merged["cache"],
+                                                   other.cache)
+                elif f.name == "queue_peak":
+                    merged["queue_peak"] = max(merged["queue_peak"],
+                                               other.queue_peak)
+                else:
+                    merged[f.name] += getattr(other, f.name)
+        return ServiceStats(**merged)
+
+
+#: Declared fields of :class:`ServiceStats` (for from_dict/merge).
+_STATS_FIELDS = tuple(ServiceStats.__dataclass_fields__.values())
+
+
+def _merge_cache(left: Any, right: Any) -> Any:
+    """Recursively merge two cache-counter trees (sum / recurse / drop)."""
+    if isinstance(left, dict) and isinstance(right, dict):
+        return {key: _merge_cache(left.get(key), right.get(key))
+                for key in {*left, *right}}
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left + right
+    if right is None:
+        return left
+    if left is None:
+        return right
+    return None
+
 
 def _settle(future: Future, *, result=None, exception=None) -> None:
     """Resolve a future, tolerating one already settled elsewhere.
@@ -333,19 +390,27 @@ class SolveService:
     # Submission
     # ------------------------------------------------------------------ #
     def submit(self, instance, strategy: Optional[str] = None, *,
-               config: Optional[SolveConfig] = None) -> "Future[SolveReport]":
+               config: Optional[SolveConfig] = None,
+               digest: Optional[str] = None) -> "Future[SolveReport]":
         """Request one solve; returns a future for its
         :class:`~repro.api.report.SolveReport`.
 
         Cache hits resolve before this method returns.  Misses are queued
         (or coalesced onto an identical in-flight request); a full queue
         raises :class:`~repro.exceptions.ServiceOverloadedError`.
+
+        ``digest`` lets a trusted caller pass the instance digest it has
+        already computed (the cluster worker reuses the one the gateway
+        shipped for routing) and skip the canonical-serialization hash
+        here; it must equal ``instance_digest(instance)`` or cache entries
+        will land under the wrong key.
         """
         config = SolveConfig() if config is None else config
         name = resolve_strategy_name(strategy)
         get_strategy(name)  # fail fast on unknown strategies
-        digest: Optional[str] = None
-        if config.cache:
+        if not config.cache:
+            digest = None
+        elif digest is None:
             try:
                 digest = instance_digest(instance)
             except ModelError:
@@ -436,9 +501,11 @@ class SolveService:
         try:
             self._queue.put_nowait(request)
         except queue.Full:
+            depth = self._queue.qsize()
             raise ServiceOverloadedError(
-                f"request queue full ({self.max_queue} pending); "
-                f"retry later or raise max_queue") from None
+                f"request queue full ({depth} pending, bound "
+                f"{self.max_queue}); retry later or raise max_queue",
+                queue_depth=depth) from None
         self._counters["enqueued"] += 1
         self._counters["queue_peak"] = max(
             self._counters["queue_peak"], self._queue.qsize())

@@ -89,7 +89,8 @@ class ArtifactStore:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._stats_lock = threading.Lock()
-        self._stats: Dict[str, int] = {"hits": 0, "misses": 0, "writes": 0}
+        self._stats: Dict[str, int] = {"hits": 0, "misses": 0, "writes": 0,
+                                       "skipped_writes": 0}
 
     def _count(self, counter: str) -> None:
         with self._stats_lock:
@@ -144,6 +145,23 @@ class ArtifactStore:
             raise
         self._count("writes")
         return path
+
+    def put_if_absent(self, key: str, report: SolveReport) -> Path:
+        """Write ``report`` under ``key`` unless an artifact already exists.
+
+        The read-through tier of a *shared* store — several cluster shards
+        (or a shard and the study runner) pointing at one directory — uses
+        this instead of :meth:`put`: content addressing makes every writer's
+        payload for a key identical, so once any process has landed the
+        artifact the remaining writers can skip the temp-file + rename I/O
+        entirely.  Races stay safe (the fallback is the atomic :meth:`put`);
+        skipped writes are counted as ``skipped_writes``, not ``writes``.
+        """
+        path = self.path_for(key)
+        if path.exists():
+            self._count("skipped_writes")
+            return path
+        return self.put(key, report)
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()

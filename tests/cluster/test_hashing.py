@@ -1,0 +1,91 @@
+"""Rendezvous hashing: determinism, balance, and minimal remapping."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cluster import rank_nodes, rendezvous_weight, route, shard_map
+from repro.exceptions import ClusterError
+
+import pytest
+
+NODES = ["127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003",
+         "127.0.0.1:9004"]
+DIGESTS = [f"digest-{i:04d}" for i in range(400)]
+
+
+class TestRoute:
+    def test_route_is_deterministic(self):
+        for digest in DIGESTS[:50]:
+            assert route(digest, NODES) == route(digest, list(reversed(NODES)))
+
+    def test_route_picks_a_member(self):
+        for digest in DIGESTS[:50]:
+            assert route(digest, NODES) in NODES
+
+    def test_empty_node_set_raises(self):
+        with pytest.raises(ClusterError):
+            route("digest", [])
+
+    def test_rank_orders_all_nodes(self):
+        ranking = rank_nodes("some-digest", NODES)
+        assert sorted(ranking) == sorted(NODES)
+        assert ranking[0] == route("some-digest", NODES)
+
+    def test_weights_differ_across_nodes(self):
+        weights = {rendezvous_weight(node, "one-digest") for node in NODES}
+        assert len(weights) == len(NODES)
+
+
+class TestBalanceAndRemapping:
+    def test_shards_are_roughly_balanced(self):
+        grouped = shard_map(DIGESTS, NODES)
+        expected = len(DIGESTS) / len(NODES)
+        counts = {node: len(keys) for node, keys in grouped.items()}
+        assert sum(counts.values()) == len(DIGESTS)
+        for node, count in counts.items():
+            assert count > expected * 0.5, (node, counts)
+            assert count < expected * 1.6, (node, counts)
+
+    def test_node_removal_only_moves_its_own_keys(self):
+        before = {digest: route(digest, NODES) for digest in DIGESTS}
+        survivors = NODES[1:]
+        for digest in DIGESTS:
+            after = route(digest, survivors)
+            if before[digest] != NODES[0]:
+                # Keys on surviving shards never migrate.
+                assert after == before[digest]
+            else:
+                assert after in survivors
+
+    def test_node_addition_only_steals_keys_for_itself(self):
+        before = {digest: route(digest, NODES[:3]) for digest in DIGESTS}
+        for digest in DIGESTS:
+            after = route(digest, NODES)
+            if after != NODES[3]:
+                assert after == before[digest]
+
+
+class TestCrossProcessDeterminism:
+    def test_same_digest_routes_identically_in_a_fresh_process(self):
+        """The mapping must not depend on process state (hash seeding)."""
+        local = {digest: route(digest, NODES) for digest in DIGESTS[:25]}
+        script = (
+            "import json, sys\n"
+            "from repro.cluster import route\n"
+            "digests, nodes = json.loads(sys.stdin.read())\n"
+            "print(json.dumps({d: route(d, nodes) for d in digests}))\n"
+        )
+        src_root = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src_root) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps([list(local), NODES]),
+            capture_output=True, text=True, check=True, env=env)
+        assert json.loads(proc.stdout) == local

@@ -50,7 +50,8 @@ class TestArtifactStore:
         assert key in store
         loaded = store.get(key)
         assert loaded == report
-        assert store.stats() == {"hits": 1, "misses": 0, "writes": 1}
+        assert store.stats() == {"hits": 1, "misses": 0, "writes": 1,
+                                 "skipped_writes": 0}
 
     def test_miss_counts_and_returns_none(self, tmp_path):
         store = ArtifactStore(tmp_path)
