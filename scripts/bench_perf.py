@@ -259,6 +259,9 @@ def bench_cluster_scaling(*, worker_counts, num_requests: int,
             "warm_solver_calls": warm.solver_calls,
             "stats_consistent": best.consistent,
             "forwarded": dict(cold.forwarded),
+            # All-zero on a healthy un-faulted run; a nonzero value here
+            # means the bench itself tripped the resilience machinery.
+            "resilience": dict(best.resilience),
         })
         print(f"cluster_scaling workers={n_workers}: cold "
               f"{cold.requests_per_second:7.1f} req/s "

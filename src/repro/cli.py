@@ -50,6 +50,15 @@ unified :mod:`repro.api` solver-session layer:
     on-disk artifact store as the tier-2 cache, shared with ``repro study``;
     ``--trace PROCESS`` drives diurnal traffic instead of the hot-key mix.
 
+``repro chaos``
+    Deterministic fault injection: ``repro chaos list`` shows the built-in
+    fault plans; ``repro chaos run --plan smoke`` replays a pinned workload
+    through a supervised worker cluster with the plan's faults armed
+    (worker SIGKILLs, corrupted artifacts, dropped connections, ...) and
+    exits non-zero unless the degradation contract held — every request
+    resolved to a correct report or a typed error, the merged statistics
+    still partition exactly, and recovery (respawns, quarantine) engaged.
+
 Invoke with ``python -m repro <subcommand> ...``.
 """
 
@@ -328,6 +337,46 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cluster.add_argument("--duration", type=float, default=None,
                                help="serve for this many seconds, then "
                                     "drain and exit (default: until Ctrl-C)")
+
+    chaos = subparsers.add_parser(
+        "chaos", help="deterministic fault injection against a live cluster")
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_list = chaos_sub.add_parser(
+        "list", help="list the built-in fault plans")
+    del chaos_list  # no options
+    chaos_run = chaos_sub.add_parser(
+        "run", help="replay a pinned workload under a fault plan and "
+                    "check the degradation contract")
+    chaos_run.add_argument("--plan", default="smoke",
+                           help="built-in plan name or plan-JSON file "
+                                "(default: smoke; see 'repro chaos list')")
+    chaos_run.add_argument("--steps", type=int, default=50,
+                           help="requests in the trace (default: 50)")
+    chaos_run.add_argument("--workers", type=int, default=2,
+                           help="worker processes (default: 2)")
+    chaos_run.add_argument("--distinct", type=int, default=16,
+                           help="distinct instances in the trace "
+                                "(default: 16)")
+    chaos_run.add_argument("--seed", type=int, default=0,
+                           help="workload seed (default: 0); the fault "
+                                "plan carries its own seed")
+    chaos_run.add_argument("--strategy", choices=available_strategies(),
+                           default="optop")
+    chaos_run.add_argument("--deadline-ms", type=float, default=None,
+                           help="attach this end-to-end deadline to every "
+                                "request (exercises the 504 path)")
+    chaos_run.add_argument("--store", default=None,
+                           help="shared artifact-store directory (a "
+                                "private temporary one when omitted)")
+    chaos_run.add_argument("--max-respawns", type=int, default=3,
+                           help="supervisor restart budget per worker "
+                                "(default: 3)")
+    chaos_run.add_argument("--expect-respawn", action="store_true",
+                           help="additionally fail unless >= 1 worker was "
+                                "respawned and >= 1 artifact quarantined "
+                                "(for plans that script those faults)")
+    chaos_run.add_argument("--json", action="store_true",
+                           help="print the ChaosReport as JSON")
     return parser
 
 
@@ -652,6 +701,10 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
           f"{final.enqueued} solver requests in {final.batches} batches | "
           f"rejected {final.rejected}, batch failures "
           f"{final.batch_failures}, queue peak {final.queue_peak}")
+    print(f"resilience: {final.timeouts} deadline expiries, "
+          f"{final.shutdown_timeouts} shutdown timeouts, "
+          f"{final.pool_restarts} pool restarts, "
+          f"{final.worker_restarts} dispatcher restarts")
     return 0 if consistent else 1
 
 
@@ -693,6 +746,11 @@ def _serve_bench_cluster(args: argparse.Namespace) -> int:
           f"{gateway.get('reroutes', 0)} reroutes, "
           f"{gateway.get('overload_retries', 0)} overload retries | "
           f"last-pass shard shares: {shares}")
+    resilience = result.resilience
+    print(f"resilience: {resilience.get('gateway_timeouts', 0)} deadline "
+          f"expiries, {resilience.get('breaker_opens', 0)} breaker opens, "
+          f"{resilience.get('worker_respawns', 0)} respawns, "
+          f"{resilience.get('quarantined', 0)} quarantined artifacts")
     return 0 if result.consistent else 1
 
 
@@ -730,6 +788,50 @@ def _command_serve_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_chaos_list(args: argparse.Namespace) -> int:
+    from repro.faults import named_plans
+
+    rows = []
+    for name, plan in sorted(named_plans().items()):
+        rows.append((name, f"0x{plan.seed:X}", len(plan),
+                     ", ".join(plan.kinds())))
+    print(format_table(("plan", "seed", "specs", "fault kinds"), rows,
+                       title="Built-in fault plans"))
+    return 0
+
+
+def _command_chaos_run(args: argparse.Namespace) -> int:
+    from repro.faults import run_chaos
+
+    report = run_chaos(
+        args.plan, steps=args.steps, n_workers=args.workers,
+        num_distinct=args.distinct, seed=args.seed,
+        strategy=args.strategy, deadline_ms=args.deadline_ms,
+        store_dir=args.store, max_respawns=args.max_respawns)
+    failures: List[str] = list(report.violations)
+    if not report.passed and not failures:
+        failures.append(
+            f"only {report.ok + report.failed} of {report.steps} "
+            f"requests resolved")
+    if args.expect_respawn:
+        if report.respawns < 1:
+            failures.append("expected >= 1 supervised worker respawn; "
+                            "got none")
+        if report.quarantined < 1:
+            failures.append("expected >= 1 quarantined artifact; got none")
+    if args.json:
+        import json as _json
+        payload = report.to_dict()
+        payload["failures"] = failures
+        print(_json.dumps(payload, sort_keys=True, indent=2))
+        return 0 if not failures else 1
+    print(report.summary())
+    if failures and report.passed:
+        print("chaos expectations not met: " + "; ".join(failures),
+              file=sys.stderr)
+    return 0 if not failures else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` (returns a process exit code)."""
     parser = build_parser()
@@ -737,6 +839,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "serve":
         handler = {"bench": _command_serve_bench,
                    "cluster": _command_serve_cluster}[args.serve_command]
+    elif args.command == "chaos":
+        handler = {"list": _command_chaos_list,
+                   "run": _command_chaos_run}[args.chaos_command]
     elif args.command == "trace":
         trace_handlers = {
             "list": _command_trace_list,

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.api.config import SolveConfig
@@ -88,6 +89,10 @@ class ClusterBenchResult:
     n_workers: int
     passes: List[ClusterBenchPass] = field(default_factory=list)
     gateway: Dict[str, int] = field(default_factory=dict)
+    #: Resilience counters of the run: deadline expiries, breaker trips,
+    #: supervised respawns, quarantined artifacts.  All zeros on a healthy
+    #: un-faulted benchmark — which is itself the claim worth tracking.
+    resilience: Dict[str, int] = field(default_factory=dict)
     final: Optional[Dict[str, object]] = None
 
     @property
@@ -101,6 +106,7 @@ class ClusterBenchResult:
             "consistent": self.consistent,
             "passes": [record.to_dict() for record in self.passes],
             "gateway": dict(self.gateway),
+            "resilience": dict(self.resilience),
             "final": self.final,
         }
 
@@ -173,7 +179,18 @@ def run_cluster_bench(*, num_requests: int = 400, num_distinct: int = 320,
             previous, prev_forwarded, prev_enqueued = (
                 now, forwarded, enqueued)
         final = cluster.stats()
-        result.gateway = dict(final["gateway"])  # type: ignore[arg-type]
+        gateway_counters = dict(final["gateway"])  # type: ignore[arg-type]
+        merged_final = dict(final["merged"])  # type: ignore[arg-type]
+        result.gateway = gateway_counters
+        result.resilience = {
+            "gateway_timeouts": gateway_counters.get("timeouts", 0),
+            "breaker_opens": gateway_counters.get("breaker_opens", 0),
+            "breaker_closes": gateway_counters.get("breaker_closes", 0),
+            "worker_respawns": gateway_counters.get("worker_respawns", 0),
+            "service_timeouts": merged_final.get("timeouts", 0),
+            "quarantined": sum(1 for _ in Path(cluster.store_dir).glob(
+                "??/*.json.corrupt.*")),
+        }
         result.final = final
     finally:
         if own_cluster:

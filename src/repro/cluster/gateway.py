@@ -18,11 +18,19 @@ it:
    ``queue_depth`` the wire format preserves and the gateway logs) is
    retried against the *same* shard after an exponential backoff: the key
    must not migrate just because its shard is busy;
-4. **re-routes on worker death** — a connection failure marks the endpoint
-   dead and re-runs rendezvous routing over the survivors.  Rendezvous
+4. **re-routes on worker death** — a connection failure (or a run of
+   consecutive remote errors) opens the endpoint's **circuit breaker**
+   and re-runs rendezvous routing over the survivors.  Rendezvous
    guarantees only the dead shard's keys move; the shared artifact store
    means the adopting shard serves any previously solved key from disk
-   without a solver call.
+   without a solver call.  After a cooldown the breaker is half-opened
+   with a ``/health`` probe, so a recovered (or supervisor-respawned)
+   worker takes its keys back automatically;
+5. **enforces end-to-end deadlines** — a caller deadline bounds the whole
+   retry budget, ships to the worker as the remaining-milliseconds
+   deadline header, and expires as a wire-transported
+   :class:`~repro.exceptions.ServiceTimeoutError` (HTTP 504, never
+   retried).
 
 ``stats()`` aggregates every shard's exact
 :class:`~repro.serve.ServiceStats` via
@@ -42,6 +50,7 @@ import asyncio
 import json
 import logging
 import random
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.config import SolveConfig
@@ -49,7 +58,11 @@ from repro.api.report import SolveReport
 from repro.api.session import resolve_strategy_name
 from repro.cluster import protocol
 from repro.cluster.hashing import route
-from repro.exceptions import ClusterError, WorkerUnavailableError
+from repro.exceptions import (
+    ClusterError,
+    ServiceTimeoutError,
+    WorkerUnavailableError,
+)
 from repro.serve.service import ServiceStats
 
 __all__ = ["ClusterGateway", "WorkerEndpoint"]
@@ -62,13 +75,24 @@ _CONNECTION_ERRORS = (ConnectionError, OSError, asyncio.IncompleteReadError,
 
 
 class WorkerEndpoint:
-    """Gateway-side state of one worker: address, pool, health, counters."""
+    """Gateway-side state of one worker: address, pool, health, counters.
+
+    Liveness is a **circuit breaker**, not a tombstone: a connection-level
+    failure (or ``breaker_threshold`` consecutive remote errors) opens the
+    breaker — ``alive`` goes ``False`` and routing instantly fails over,
+    exactly like the old hard ``_mark_dead``.  But after ``breaker_cooldown``
+    seconds the gateway half-opens it with a ``/health`` probe; a healthy
+    answer (a recovered worker, or a supervised respawn on the same port)
+    closes the breaker and the shard takes its keys back.  A worker that
+    stays dead keeps failing its probes and so stays not-alive.
+    """
 
     def __init__(self, host: str, port: int, *, max_inflight: int = 8) -> None:
         self.host = host
         self.port = int(port)
-        #: Stable routing identity — survives gateway restarts, so two
-        #: gateways in front of the same workers shard identically.
+        #: Stable routing identity — survives gateway restarts (and
+        #: supervised respawns on the same port), so two gateways in front
+        #: of the same workers shard identically.
         self.node_id = f"{host}:{port}"
         self.alive = True
         self.semaphore = asyncio.Semaphore(max_inflight)
@@ -78,6 +102,21 @@ class WorkerEndpoint:
         #: Last successfully fetched stats snapshot; kept after death so
         #: the aggregate never loses a shard's served history.
         self.last_stats: Optional[ServiceStats] = None
+        #: Final snapshots of previous incarnations (archived when a
+        #: supervised respawn resets the worker's own counters to zero);
+        #: merged into the aggregate so served history survives respawns.
+        self.retired_stats: List[ServiceStats] = []
+        #: Consecutive remote failures since the last success.
+        self.failures = 0
+        #: ``time.monotonic()`` of the breaker opening (``None`` = closed).
+        self.breaker_opened_at: Optional[float] = None
+        #: Last half-open probe attempt (throttles probing to one per
+        #: cooldown window).
+        self.last_probe_at: float = 0.0
+
+    @property
+    def breaker_open(self) -> bool:
+        return self.breaker_opened_at is not None
 
     async def request(self, method: str, path: str, body: bytes = b"", *,
                       headers: Optional[Dict[str, str]] = None,
@@ -123,12 +162,21 @@ class ClusterGateway:
         error is surfaced to the caller.
     backoff_base_ms / backoff_cap_ms:
         Exponential backoff window for overload retries (jittered).
+    breaker_threshold:
+        Consecutive remote failures (non-200, non-overload answers) that
+        open a worker's circuit breaker.  Connection-level failures open
+        it immediately regardless.
+    breaker_cooldown:
+        Seconds an open breaker waits before a half-open ``/health`` probe
+        may close it again.
     """
 
     def __init__(self, endpoints: Sequence[Tuple[str, int]], *,
                  max_inflight: int = 8, max_retries: int = 6,
                  backoff_base_ms: float = 5.0,
-                 backoff_cap_ms: float = 200.0) -> None:
+                 backoff_cap_ms: float = 200.0,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: float = 0.25) -> None:
         if not endpoints:
             raise ClusterError("a cluster needs at least one worker")
         self.workers: Dict[str, WorkerEndpoint] = {}
@@ -138,10 +186,14 @@ class ClusterGateway:
         self.max_retries = int(max_retries)
         self.backoff_base_ms = float(backoff_base_ms)
         self.backoff_cap_ms = float(backoff_cap_ms)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = float(breaker_cooldown)
         self._rng = random.Random(0xC1F5)
         self._counters: Dict[str, int] = {
             "requests": 0, "completed": 0, "remote_errors": 0,
-            "overload_retries": 0, "reroutes": 0, "failures": 0}
+            "overload_retries": 0, "reroutes": 0, "failures": 0,
+            "timeouts": 0, "breaker_opens": 0, "breaker_closes": 0,
+            "unavailable_waits": 0, "worker_respawns": 0}
         self._server: Optional[asyncio.base_events.Server] = None
 
     # ------------------------------------------------------------------ #
@@ -159,29 +211,118 @@ class ClusterGateway:
         return self.workers[route(digest, alive)]
 
     def _mark_dead(self, worker: WorkerEndpoint, reason: str) -> None:
+        """Open ``worker``'s circuit breaker (the historical entry point)."""
+        self._open_breaker(worker, reason)
+
+    def _open_breaker(self, worker: WorkerEndpoint, reason: str) -> None:
         if worker.alive:
             worker.alive = False
+            worker.breaker_opened_at = time.monotonic()
+            worker.last_probe_at = worker.breaker_opened_at
+            worker.failures = 0
             worker.close()
-            logger.warning("worker %s marked dead (%s); re-routing its keys",
-                           worker.node_id, reason)
+            self._counters["breaker_opens"] += 1
+            logger.warning(
+                "worker %s breaker opened (%s); re-routing its keys",
+                worker.node_id, reason)
+
+    def _close_breaker(self, worker: WorkerEndpoint) -> None:
+        if not worker.alive:
+            worker.alive = True
+            worker.breaker_opened_at = None
+            worker.failures = 0
+            self._counters["breaker_closes"] += 1
+            logger.info("worker %s breaker closed; shard takes keys back",
+                        worker.node_id)
+
+    def _note_remote_failure(self, worker: WorkerEndpoint) -> None:
+        """Count one non-connection remote failure toward the breaker."""
+        worker.failures += 1
+        if worker.failures >= self.breaker_threshold:
+            self._open_breaker(
+                worker, f"{worker.failures} consecutive remote failures")
+
+    async def probe_open_breakers(self) -> None:
+        """Half-open every cooled-down breaker with a ``/health`` probe.
+
+        Called on the solve path (cheap when no breaker is open) and by
+        :meth:`health`.  A worker that answers closes its breaker — a
+        recovered process, or a supervised respawn listening on the same
+        port; one that does not stays open until the next cooldown.
+        """
+        now = time.monotonic()
+        candidates = [
+            worker for worker in self.workers.values()
+            if worker.breaker_open
+            and now - worker.last_probe_at >= self.breaker_cooldown]
+        if not candidates:
+            return
+
+        async def probe(worker: WorkerEndpoint) -> None:
+            worker.last_probe_at = time.monotonic()
+            try:
+                status, _ = await worker.request("GET", "/health")
+            except _CONNECTION_ERRORS:
+                return  # still dead; breaker stays open
+            if status == 200:
+                self._close_breaker(worker)
+
+        await asyncio.gather(*(probe(worker) for worker in candidates))
 
     # ------------------------------------------------------------------ #
     # Solve path
     # ------------------------------------------------------------------ #
-    async def submit_encoded(self, body: bytes, digest: str,
+    async def submit_encoded(self, body: bytes, digest: str, *,
+                             deadline: Optional[float] = None,
                              ) -> Tuple[int, bytes]:
         """Route one already-serialised solve request; returns the raw
         ``(status, payload)`` of the shard that answered.
 
         Connection failures fail over (re-route among survivors); 503
         overload responses back off and retry the same shard; a draining
-        shard (``ServiceClosedError`` on the wire) is treated as dead.
+        shard (``ServiceClosedError`` on the wire) trips the breaker like
+        a dead connection.  ``deadline`` (absolute :func:`time.monotonic`)
+        bounds the whole retry budget: the remaining budget ships to the
+        worker in the deadline header, backoff sleeps never outlast it,
+        and an expired deadline returns a 504 immediately instead of
+        another attempt.  A worker's own 504 is final — retrying an
+        already-expired request elsewhere cannot help.
         """
         self._counters["requests"] += 1
-        headers = {protocol.DIGEST_HEADER: digest}
         overload_attempts = 0
+        unavailable_waits = 0
         while True:
-            worker = self.route_digest(digest)
+            remaining = None if deadline is None \
+                else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                self._counters["timeouts"] += 1
+                self._counters["failures"] += 1
+                return protocol.error_response(ServiceTimeoutError(
+                    "deadline expired in the gateway retry loop",
+                    elapsed=-remaining))
+            await self.probe_open_breakers()
+            headers = {protocol.DIGEST_HEADER: digest}
+            if remaining is not None:
+                headers[protocol.DEADLINE_HEADER] = \
+                    f"{remaining * 1e3:.3f}"
+            try:
+                worker = self.route_digest(digest)
+            except WorkerUnavailableError as exc:
+                # Every breaker is open at once (e.g. a connection-fault
+                # storm hit all shards within one cooldown).  The workers
+                # may be healthy — or a supervisor may be respawning them —
+                # so wait out up to max_retries cooldowns for a half-open
+                # probe to close a breaker before failing the caller.
+                unavailable_waits += 1
+                if unavailable_waits > self.max_retries:
+                    self._counters["failures"] += 1
+                    return protocol.error_response(exc)
+                self._counters["unavailable_waits"] += 1
+                delay = self.breaker_cooldown
+                if remaining is not None:
+                    delay = min(delay, max(0.0, remaining))
+                await asyncio.sleep(delay)
+                continue
             async with worker.semaphore:
                 worker.forwarded += 1
                 try:
@@ -189,7 +330,7 @@ class ClusterGateway:
                         "POST", "/solve", body, headers=headers)
                 except _CONNECTION_ERRORS as exc:
                     self._counters["reroutes"] += 1
-                    self._mark_dead(worker, repr(exc))
+                    self._open_breaker(worker, repr(exc))
                     continue
             if status == 503:
                 retryable, queue_depth = _classify_503(payload)
@@ -197,13 +338,17 @@ class ClusterGateway:
                     # A draining/stopped shard cannot take the key back;
                     # fail over exactly like a dead connection.
                     self._counters["reroutes"] += 1
-                    self._mark_dead(worker, "service closed (draining)")
+                    self._open_breaker(worker, "service closed (draining)")
                     continue
                 overload_attempts += 1
                 if overload_attempts > self.max_retries:
                     self._counters["failures"] += 1
                     return status, payload
                 delay = self._backoff_seconds(overload_attempts)
+                if remaining is not None:
+                    # Never sleep past the caller's deadline; the expiry
+                    # check at the top of the loop turns it into a 504.
+                    delay = min(delay, max(0.0, remaining))
                 self._counters["overload_retries"] += 1
                 logger.info(
                     "worker %s overloaded (queue depth %s); backoff retry "
@@ -212,9 +357,14 @@ class ClusterGateway:
                 await asyncio.sleep(delay)
                 continue
             if status == 200:
+                worker.failures = 0
                 self._counters["completed"] += 1
+            elif status == 504:
+                self._counters["timeouts"] += 1
+                self._counters["remote_errors"] += 1
             else:
                 self._counters["remote_errors"] += 1
+                self._note_remote_failure(worker)
             return status, payload
 
     def _backoff_seconds(self, attempt: int) -> float:
@@ -223,12 +373,19 @@ class ClusterGateway:
         return (window * (0.5 + 0.5 * self._rng.random())) / 1000.0
 
     async def submit(self, instance, strategy: Optional[str] = None, *,
-                     config: Optional[SolveConfig] = None) -> SolveReport:
-        """Solve one instance through the cluster; raises remote errors."""
+                     config: Optional[SolveConfig] = None,
+                     deadline: Optional[float] = None) -> SolveReport:
+        """Solve one instance through the cluster; raises remote errors.
+
+        ``deadline`` (absolute :func:`time.monotonic`) propagates all the
+        way to the shard's dispatcher; an expired request raises
+        :class:`~repro.exceptions.ServiceTimeoutError`.
+        """
         config = SolveConfig() if config is None else config
         name = resolve_strategy_name(strategy)
         body, digest = protocol.encode_solve_request(instance, name, config)
-        status, payload = await self.submit_encoded(body, digest)
+        status, payload = await self.submit_encoded(body, digest,
+                                                    deadline=deadline)
         protocol.raise_for_response(status, payload)
         return protocol.decode_report(payload)
 
@@ -251,26 +408,56 @@ class ClusterGateway:
                                for worker in self.workers.values()
                                if worker.alive))
 
+    def note_worker_respawn(self, node_id: str) -> None:
+        """Record that the worker at ``node_id`` was respawned in place.
+
+        Called by the launcher's supervisor once the replacement process
+        announced readiness on the *same* port.  The dead incarnation's
+        last snapshot is archived into ``retired_stats`` (the replacement's
+        counters restart from zero, and the aggregate must not lose the
+        served history), the stale connection pool is dropped, and the
+        breaker is closed so routing returns immediately — the replacement
+        is warm via the shared store.
+        """
+        worker = self.workers.get(node_id)
+        if worker is None:
+            return
+        if worker.last_stats is not None:
+            worker.retired_stats.append(worker.last_stats)
+            worker.last_stats = None
+        worker.close()
+        self._counters["worker_respawns"] += 1
+        self._close_breaker(worker)
+
     async def stats(self, *, refresh: bool = True) -> Dict[str, object]:
         """The aggregated cluster picture.
 
         ``merged`` is the exact :meth:`~repro.serve.ServiceStats.merge` of
-        every shard's snapshot (dead shards contribute their last-known
-        one), so its buckets partition the forwarded requests exactly;
-        ``workers`` holds the per-shard snapshots and routing counters;
-        ``gateway`` the gateway's own accounting.
+        every shard's snapshot — dead shards contribute their last-known
+        one, respawned shards additionally contribute the archived
+        snapshots of their previous incarnations — so its buckets
+        partition the forwarded requests exactly; ``workers`` holds the
+        per-shard snapshots, breaker state and routing counters;
+        ``gateway`` the gateway's own accounting (including
+        ``breaker_opens`` / ``breaker_closes`` / ``timeouts`` /
+        ``worker_respawns``).
         """
         if refresh:
             await self.refresh_worker_stats()
-        snapshots = [worker.last_stats for worker in self.workers.values()
-                     if worker.last_stats is not None]
+        snapshots: List[ServiceStats] = []
+        for worker in self.workers.values():
+            snapshots.extend(worker.retired_stats)
+            if worker.last_stats is not None:
+                snapshots.append(worker.last_stats)
         merged = ServiceStats().merge(*snapshots)
         return {
             "gateway": dict(self._counters),
             "workers": {
                 node_id: {
                     "alive": worker.alive,
+                    "breaker_open": worker.breaker_open,
                     "forwarded": worker.forwarded,
+                    "respawns": len(worker.retired_stats),
                     "stats": None if worker.last_stats is None
                     else worker.last_stats.to_dict(),
                 }
@@ -310,7 +497,15 @@ class ClusterGateway:
                                if worker.alive))
 
     async def health(self) -> Dict[str, object]:
-        """Probe ``/health`` on every shard; returns the liveness map."""
+        """Probe ``/health`` on every shard; returns the liveness map.
+
+        Every worker is probed, breaker-open ones included — a health
+        check exists to see past the gateway's own routing state — and
+        cooled-down breakers get their half-open probe first, so a
+        recovered shard shows up alive here, not only on the solve path.
+        """
+        await self.probe_open_breakers()
+
         async def probe(worker: WorkerEndpoint):
             try:
                 status, payload = await worker.request("GET", "/health")
@@ -321,8 +516,7 @@ class ClusterGateway:
             return worker.node_id, json.loads(payload.decode("utf-8"))
 
         results = dict(await asyncio.gather(
-            *(probe(worker) for worker in self.workers.values()
-              if worker.alive)))
+            *(probe(worker) for worker in self.workers.values())))
         return {
             "status": "ok" if any(value is not None
                                   for value in results.values()) else "down",
@@ -392,8 +586,18 @@ class ClusterGateway:
                 except Exception as exc:  # noqa: BLE001 - peer input
                     return protocol.error_response(ClusterError(
                         f"solve request carries no routable digest: {exc}"))
+            deadline = None
+            deadline_ms = headers.get(protocol.DEADLINE_HEADER)
+            if deadline_ms is not None:
+                try:
+                    deadline = time.monotonic() \
+                        + max(0.0, float(deadline_ms)) / 1e3
+                except ValueError:
+                    return protocol.error_response(ClusterError(
+                        f"malformed deadline header {deadline_ms!r}"))
             try:
-                return await self.submit_encoded(body, digest)
+                return await self.submit_encoded(body, digest,
+                                                 deadline=deadline)
             except BaseException as exc:  # noqa: BLE001 - mapped to wire
                 if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                     raise

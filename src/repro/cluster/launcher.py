@@ -20,12 +20,18 @@ gateway loop via ``run_coroutine_threadsafe``.
 
 Fault injection for tests rides along: :meth:`ClusterHandle.kill_worker`
 SIGKILLs one shard mid-stream; the gateway re-routes its keys to the
-survivors on the next connection failure.
+survivors on the next connection failure.  With ``supervise=True`` a
+:class:`WorkerSupervisor` thread additionally respawns dead worker
+processes in place (same port, warm via the shared store) under a bounded
+restart budget with exponential backoff, and ``fault_plan=`` arms every
+worker's deterministic fault injector (:mod:`repro.faults`) for chaos
+runs.
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
 import os
 import re
 import subprocess
@@ -35,16 +41,19 @@ import threading
 import time
 from concurrent.futures import Future
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.config import SolveConfig
 from repro.api.report import SolveReport
 from repro.cluster.gateway import ClusterGateway
 from repro.exceptions import ClusterError
+from repro.faults.spec import PROCESS_FATAL_KINDS, FaultPlan
 from repro.serve.service import ServiceStats
 
 __all__ = ["ClusterHandle", "EventLoopThread", "WorkerProcess",
-           "start_cluster"]
+           "WorkerSupervisor", "start_cluster"]
+
+logger = logging.getLogger("repro.cluster.launcher")
 
 _READY_LINE = re.compile(r"REPRO_WORKER_READY port=(\d+) pid=(\d+)")
 
@@ -86,31 +95,75 @@ class EventLoopThread:
 
 
 class WorkerProcess:
-    """One spawned shard: the subprocess and its announced endpoint."""
+    """One spawned shard: the subprocess and its announced endpoint.
+
+    The constructor arguments are kept, so :meth:`respawn` can relaunch a
+    dead shard *on the same port* (its routing identity) — with the
+    process-fatal fault kinds stripped from the plan, so a scripted
+    SIGKILL cannot re-fire in every replacement and burn the supervisor's
+    restart budget.
+    """
 
     def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
                  store_dir: Optional[str] = None, max_batch: int = 64,
                  max_wait_ms: float = 2.0, max_queue: int = 10_000,
                  pool_workers: int = 0,
-                 startup_timeout: float = 120.0) -> None:
+                 startup_timeout: float = 120.0,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
+        self.host = host
+        self.store_dir = store_dir
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.max_queue = max_queue
+        self.pool_workers = pool_workers
+        self.startup_timeout = startup_timeout
+        self.fault_plan = fault_plan
+        #: Times this shard was relaunched after dying.
+        self.respawns = 0
+        self.process = self._spawn(port=port, fault_plan=fault_plan)
+        self.port = self._await_ready(startup_timeout)
+
+    def _spawn(self, *, port: int,
+               fault_plan: Optional[FaultPlan]) -> subprocess.Popen:
         command = [sys.executable, "-m", "repro.cluster.worker_main",
-                   "--host", host, "--port", str(port),
-                   "--max-batch", str(max_batch),
-                   "--max-wait-ms", str(max_wait_ms),
-                   "--max-queue", str(max_queue),
-                   "--workers", str(pool_workers)]
-        if store_dir is not None:
-            command += ["--store", str(store_dir)]
+                   "--host", self.host, "--port", str(port),
+                   "--max-batch", str(self.max_batch),
+                   "--max-wait-ms", str(self.max_wait_ms),
+                   "--max-queue", str(self.max_queue),
+                   "--workers", str(self.pool_workers)]
+        if self.store_dir is not None:
+            command += ["--store", str(self.store_dir)]
+        if fault_plan is not None and fault_plan.specs:
+            command += ["--fault-plan", fault_plan.to_json()]
         env = dict(os.environ)
         # The worker must import repro regardless of how the parent found
         # it (installed, or straight off src/ via PYTHONPATH).
         src_root = str(Path(__file__).resolve().parents[2])
         env["PYTHONPATH"] = src_root + (
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
-        self.host = host
-        self.process = subprocess.Popen(
+        return subprocess.Popen(
             command, stdout=subprocess.PIPE, text=True, env=env)
-        self.port = self._await_ready(startup_timeout)
+
+    def respawn(self) -> None:
+        """Relaunch a dead shard on its original port (same node id).
+
+        The shared artifact store makes the replacement warm: any key the
+        dead incarnation persisted is served from disk.  Raises
+        :class:`~repro.exceptions.ClusterError` when the replacement fails
+        to announce readiness (the caller owns the retry budget).
+        """
+        if self.alive:
+            return
+        plan = None if self.fault_plan is None \
+            else self.fault_plan.without(PROCESS_FATAL_KINDS)
+        self.process = self._spawn(port=self.port, fault_plan=plan)
+        announced = self._await_ready(self.startup_timeout)
+        if announced != self.port:
+            self.process.kill()
+            raise ClusterError(
+                f"respawned worker announced port {announced}, expected "
+                f"{self.port} (routing identity must not change)")
+        self.respawns += 1
 
     def _await_ready(self, timeout: float) -> int:
         """Parse the READY line off stdout (in a thread, with a deadline)."""
@@ -159,6 +212,75 @@ class WorkerProcess:
                 self.process.wait(timeout=timeout)
 
 
+class WorkerSupervisor(threading.Thread):
+    """Monitor worker processes; respawn the dead under a bounded budget.
+
+    Sweeps every ``check_interval`` seconds.  A dead worker (its process
+    exited — SIGKILLed, OOM-killed, crashed) is relaunched on the same
+    port via :meth:`WorkerProcess.respawn` after an exponential backoff
+    (``backoff_base * 2**respawns_so_far``), at most ``max_respawns``
+    times per worker; then the gateway is told via
+    :meth:`~repro.cluster.gateway.ClusterGateway.note_worker_respawn` so
+    the dead incarnation's stats are archived and its breaker closes.
+    A worker past its budget stays dead (and its keys stay failed over).
+    """
+
+    def __init__(self, *, workers: List[WorkerProcess],
+                 gateway: ClusterGateway, loop: EventLoopThread,
+                 max_respawns: int = 3, check_interval: float = 0.1,
+                 backoff_base: float = 0.05) -> None:
+        super().__init__(name="repro-cluster-supervisor", daemon=True)
+        self.workers = workers
+        self.gateway = gateway
+        self.loop = loop
+        self.max_respawns = int(max_respawns)
+        self.check_interval = float(check_interval)
+        self.backoff_base = float(backoff_base)
+        self.respawn_failures = 0
+        # Not "_stop": threading.Thread uses that name internally.
+        self._halt = threading.Event()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._halt.set()
+        if self.is_alive():
+            self.join(timeout=timeout)
+
+    @property
+    def total_respawns(self) -> int:
+        return sum(worker.respawns for worker in self.workers)
+
+    def run(self) -> None:
+        while not self._halt.wait(self.check_interval):
+            for worker in self.workers:
+                if worker.alive or worker.respawns >= self.max_respawns:
+                    continue
+                delay = self.backoff_base * (2.0 ** worker.respawns)
+                if self._halt.wait(delay):
+                    return
+                node_id = f"{worker.host}:{worker.port}"
+                try:
+                    worker.respawn()
+                except Exception as exc:  # noqa: BLE001 - keep supervising
+                    self.respawn_failures += 1
+                    logger.warning("respawn of worker %s failed: %r",
+                                   node_id, exc)
+                    continue
+                logger.warning(
+                    "worker %s died; respawned (pid %d, respawn %d/%d)",
+                    node_id, worker.process.pid, worker.respawns,
+                    self.max_respawns)
+                self.loop.loop.call_soon_threadsafe(
+                    self.gateway.note_worker_respawn, node_id)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "enabled": True,
+            "max_respawns": self.max_respawns,
+            "worker_respawns": self.total_respawns,
+            "respawn_failures": self.respawn_failures,
+        }
+
+
 class ClusterHandle:
     """Synchronous facade over a running cluster (gateway + workers)."""
 
@@ -166,12 +288,14 @@ class ClusterHandle:
                  gateway: ClusterGateway, loop: EventLoopThread,
                  store_dir: str,
                  owned_tmp: Optional[tempfile.TemporaryDirectory] = None,
-                 http_port: Optional[int] = None) -> None:
+                 http_port: Optional[int] = None,
+                 supervisor: Optional[WorkerSupervisor] = None) -> None:
         self.workers = workers
         self.gateway = gateway
         self.loop = loop
         self.store_dir = store_dir
         self.http_port = http_port
+        self.supervisor = supervisor
         self._owned_tmp = owned_tmp
         self._closed = False
 
@@ -180,17 +304,25 @@ class ClusterHandle:
     # ------------------------------------------------------------------ #
     def submit(self, instance, strategy: Optional[str] = None, *,
                config: Optional[SolveConfig] = None,
+               deadline: Optional[float] = None,
                ) -> "Future[SolveReport]":
-        """Submit one solve; returns a ``concurrent.futures.Future``."""
+        """Submit one solve; returns a ``concurrent.futures.Future``.
+
+        ``deadline`` (absolute :func:`time.monotonic`) rides the whole
+        pipeline — gateway retry budget, wire header, shard dispatcher —
+        and expires as :class:`~repro.exceptions.ServiceTimeoutError`.
+        """
         return self.loop.submit(
-            self.gateway.submit(instance, strategy, config=config))
+            self.gateway.submit(instance, strategy, config=config,
+                                deadline=deadline))
 
     def solve(self, instance, strategy: Optional[str] = None, *,
               config: Optional[SolveConfig] = None,
+              deadline: Optional[float] = None,
               timeout: Optional[float] = 300.0) -> SolveReport:
         """Blocking one-shot solve through the cluster."""
-        return self.submit(instance, strategy, config=config).result(
-            timeout=timeout)
+        return self.submit(instance, strategy, config=config,
+                           deadline=deadline).result(timeout=timeout)
 
     def solve_many(self, instances: Sequence[object],
                    strategy: Optional[str] = None, *,
@@ -205,9 +337,13 @@ class ClusterHandle:
     # Observability & lifecycle
     # ------------------------------------------------------------------ #
     def stats(self, *, refresh: bool = True) -> Dict[str, object]:
-        """Aggregated cluster stats (see :meth:`ClusterGateway.stats`)."""
-        return self.loop.run(self.gateway.stats(refresh=refresh),
-                             timeout=60.0)
+        """Aggregated cluster stats (see :meth:`ClusterGateway.stats`),
+        plus a ``supervisor`` section when supervision is enabled."""
+        stats = self.loop.run(self.gateway.stats(refresh=refresh),
+                              timeout=60.0)
+        stats["supervisor"] = {"enabled": False} if self.supervisor is None \
+            else self.supervisor.stats()
+        return stats
 
     def merged_stats(self, *, refresh: bool = True) -> ServiceStats:
         """The cross-shard :class:`~repro.serve.ServiceStats` aggregate."""
@@ -234,6 +370,10 @@ class ClusterHandle:
         if self._closed:
             return
         self._closed = True
+        if self.supervisor is not None:
+            # Stop supervising before killing workers, or the monitor
+            # would dutifully resurrect everything we terminate.
+            self.supervisor.stop()
         try:
             if drain and any(worker.alive for worker in self.workers):
                 try:
@@ -270,7 +410,10 @@ def start_cluster(n_workers: int = 2, *, store_dir: Optional[str] = None,
                   max_wait_ms: float = 2.0, max_queue: int = 10_000,
                   pool_workers: int = 0, http: bool = False,
                   http_port: int = 0,
-                  startup_timeout: float = 120.0) -> ClusterHandle:
+                  startup_timeout: float = 120.0,
+                  supervise: bool = False, max_respawns: int = 3,
+                  fault_plan: Optional[Union[FaultPlan, str]] = None,
+                  ) -> ClusterHandle:
     """Spawn ``n_workers`` shard processes and a gateway over them.
 
     All shards share one artifact-store directory (a private temporary one
@@ -278,22 +421,34 @@ def start_cluster(n_workers: int = 2, *, store_dir: Optional[str] = None,
     cluster has ever solved is served from disk by whichever shard owns it
     now.  With ``http=True`` the gateway additionally listens on
     ``http_port`` (0 = ephemeral; see ``handle.http_port``).
+
+    ``supervise=True`` starts a :class:`WorkerSupervisor` that respawns
+    dead worker processes in place (same port, warm via the shared store)
+    up to ``max_respawns`` times each; the default leaves dead workers
+    dead, which is what fault-tolerance *tests* usually want.
+    ``fault_plan`` (a :class:`~repro.faults.FaultPlan`, a built-in plan
+    name, or a plan-JSON file path) arms every worker's fault injector —
+    chaos runs only.
     """
     if int(n_workers) < 1:
         raise ClusterError(f"n_workers must be >= 1, got {n_workers!r}")
+    if isinstance(fault_plan, str):
+        fault_plan = FaultPlan.load(fault_plan)
     owned_tmp = None
     if store_dir is None:
         owned_tmp = tempfile.TemporaryDirectory(prefix="repro-cluster-")
         store_dir = owned_tmp.name
     workers: List[WorkerProcess] = []
     loop: Optional[EventLoopThread] = None
+    supervisor: Optional[WorkerSupervisor] = None
     try:
         for _ in range(int(n_workers)):
             workers.append(WorkerProcess(
                 host=host, store_dir=store_dir, max_batch=max_batch,
                 max_wait_ms=max_wait_ms, max_queue=max_queue,
                 pool_workers=pool_workers,
-                startup_timeout=startup_timeout))
+                startup_timeout=startup_timeout,
+                fault_plan=fault_plan))
         loop = EventLoopThread().start()
         gateway = ClusterGateway(
             [worker.endpoint for worker in workers],
@@ -312,10 +467,17 @@ def start_cluster(n_workers: int = 2, *, store_dir: Optional[str] = None,
         if http:
             bound_port = loop.run(
                 gateway.start_http(host=host, port=http_port), timeout=30.0)
+        if supervise:
+            supervisor = WorkerSupervisor(
+                workers=workers, gateway=gateway, loop=loop,
+                max_respawns=max_respawns)
+            supervisor.start()
         return ClusterHandle(workers=workers, gateway=gateway, loop=loop,
                              store_dir=store_dir, owned_tmp=owned_tmp,
-                             http_port=bound_port)
+                             http_port=bound_port, supervisor=supervisor)
     except BaseException:
+        if supervisor is not None:
+            supervisor.stop()
         for worker in workers:
             worker.terminate()
         if loop is not None:

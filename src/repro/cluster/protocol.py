@@ -21,7 +21,8 @@ The pieces:
   instance JSON* (header-only routing keeps the gateway thin);
 * error transport — :func:`error_response` maps the service exception
   hierarchy onto status codes (backpressure -> 503 with the queue depth,
-  model errors -> 400, everything else -> 500) and
+  expired deadlines -> 504, model errors -> 400, everything else -> 500)
+  and
   :func:`raise_for_response` re-raises the matching exception on the
   caller's side, so ``ServiceOverloadedError`` (and its ``queue_depth``)
   survives the hop and the gateway's retry/backoff logic keys off real
@@ -42,6 +43,7 @@ from repro.exceptions import (
     ReproError,
     ServiceClosedError,
     ServiceOverloadedError,
+    ServiceTimeoutError,
 )
 from repro.serialization import (
     instance_digest,
@@ -51,6 +53,7 @@ from repro.serialization import (
 
 __all__ = [
     "DIGEST_HEADER",
+    "DEADLINE_HEADER",
     "read_request",
     "read_response",
     "write_request",
@@ -67,12 +70,19 @@ __all__ = [
 #: without deserialising the request body.
 DIGEST_HEADER = "x-repro-digest"
 
+#: End-to-end deadline header: the *remaining* budget in milliseconds.
+#: Deadlines are ``time.monotonic()`` instants locally, but monotonic
+#: clocks do not transfer across processes — so the wire carries how much
+#: time is left, and the receiver rebuilds a local absolute deadline.
+DEADLINE_HEADER = "x-repro-deadline-ms"
+
 #: Upper bounds keeping a malformed peer from ballooning memory.
 _MAX_LINE = 16 * 1024
 _MAX_BODY = 64 * 1024 * 1024
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-            500: "Internal Server Error", 503: "Service Unavailable"}
+            500: "Internal Server Error", 503: "Service Unavailable",
+            504: "Gateway Timeout"}
 
 
 class _WireError(ClusterError):
@@ -225,8 +235,10 @@ def error_response(exc: BaseException) -> Tuple[int, bytes]:
     """Map an exception onto ``(status, body)`` for the wire.
 
     503 carries retryable service conditions (backpressure with its queue
-    depth, a draining/closed service); 400 carries caller mistakes (bad
-    instance JSON, unknown strategies); 500 is everything unexpected.
+    depth, a draining/closed service); 504 carries an expired end-to-end
+    deadline (final — the gateway must not retry it); 400 carries caller
+    mistakes (bad instance JSON, unknown strategies); 500 is everything
+    unexpected.
     """
     payload: Dict[str, Any] = {
         "error": type(exc).__name__,
@@ -237,6 +249,10 @@ def error_response(exc: BaseException) -> Tuple[int, bytes]:
         payload["queue_depth"] = exc.queue_depth
     elif isinstance(exc, ServiceClosedError):
         status = 503
+    elif isinstance(exc, ServiceTimeoutError):
+        status = 504
+        if exc.elapsed is not None:
+            payload["elapsed"] = exc.elapsed
     elif isinstance(exc, ReproError):
         status = 400
     else:
@@ -267,4 +283,6 @@ def raise_for_response(status: int, body: bytes) -> None:
             message, queue_depth=payload.get("queue_depth"))
     if kind == "ServiceClosedError":
         raise ServiceClosedError(message)
+    if kind == "ServiceTimeoutError" or status == 504:
+        raise ServiceTimeoutError(message, elapsed=payload.get("elapsed"))
     raise ClusterError(f"{kind}: {message} (HTTP {status})")

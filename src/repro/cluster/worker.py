@@ -39,12 +39,15 @@ import argparse
 import asyncio
 import json
 import os
+import signal
 import time
 from functools import partial
 from typing import Optional
 
 from repro.cluster import protocol
 from repro.exceptions import ModelError
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultPlan
 from repro.serve.cache import TieredCache
 from repro.serve.service import SolveService
 from repro.study.store import ArtifactStore
@@ -56,14 +59,22 @@ def build_worker_service(*, store_dir: Optional[str] = None,
                          max_batch: int = 64, max_wait_ms: float = 2.0,
                          max_queue: int = 10_000,
                          max_workers: Optional[int] = 0,
-                         max_cache_entries: int = 4096) -> SolveService:
-    """A shard's `SolveService`: tiered cache over the shared store."""
-    store = None if store_dir is None else ArtifactStore(store_dir)
+                         max_cache_entries: int = 4096,
+                         fault_injector: Optional[FaultInjector] = None,
+                         ) -> SolveService:
+    """A shard's `SolveService`: tiered cache over the shared store.
+
+    One ``fault_injector`` (when given) is shared by the artifact store
+    and the service, so a single chaos plan scripts both layers.
+    """
+    store = None if store_dir is None else \
+        ArtifactStore(store_dir, fault_injector=fault_injector)
     cache = TieredCache(store=store, max_entries=max_cache_entries,
                         shared_store=True)
     return SolveService(cache=cache, max_batch=max_batch,
                         max_wait_ms=max_wait_ms, max_queue=max_queue,
-                        max_workers=max_workers)
+                        max_workers=max_workers,
+                        fault_injector=fault_injector)
 
 
 class WorkerServer:
@@ -80,18 +91,26 @@ class WorkerServer:
     store_dir / max_batch / max_wait_ms / max_queue / max_workers:
         Forwarded to :func:`build_worker_service` when no ``service`` is
         given.
+    fault_injector:
+        Optional :class:`repro.faults.FaultInjector` drawn at the worker's
+        own hook sites — ``worker_sigkill`` on the solve path,
+        ``conn_drop`` / ``response_truncate`` on the response path — and
+        (when no ``service`` is given) shared with the service and store.
     """
 
     def __init__(self, service: Optional[SolveService] = None, *,
                  host: str = "127.0.0.1", port: int = 0,
                  store_dir: Optional[str] = None, max_batch: int = 64,
                  max_wait_ms: float = 2.0, max_queue: int = 10_000,
-                 max_workers: Optional[int] = 0) -> None:
+                 max_workers: Optional[int] = 0,
+                 fault_injector: Optional[FaultInjector] = None) -> None:
+        self._faults = fault_injector
         self.service = service if service is not None else \
             build_worker_service(store_dir=store_dir, max_batch=max_batch,
                                  max_wait_ms=max_wait_ms,
                                  max_queue=max_queue,
-                                 max_workers=max_workers)
+                                 max_workers=max_workers,
+                                 fault_injector=fault_injector)
         self.host = host
         self._requested_port = int(port)
         self._server: Optional[asyncio.base_events.Server] = None
@@ -143,7 +162,12 @@ class WorkerServer:
                 if message is None:
                     break
                 method, path, headers, body = message
-                status, payload = await self._dispatch(method, path, body)
+                status, payload = await self._dispatch(method, path,
+                                                       headers, body)
+                if self._faults is not None \
+                        and await self._inject_response_fault(
+                            writer, status, payload):
+                    break
                 close = headers.get("connection", "").lower() == "close"
                 await protocol.write_response(writer, status, payload,
                                               close=close)
@@ -161,21 +185,51 @@ class WorkerServer:
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
-    async def _dispatch(self, method: str, path: str, body: bytes):
+    async def _inject_response_fault(self, writer: asyncio.StreamWriter,
+                                     status: int, payload: bytes) -> bool:
+        """Chaos hook on the response path; ``True`` = connection is dead.
+
+        ``conn_drop`` closes the connection without answering at all;
+        ``response_truncate`` ships roughly half of the framed bytes and
+        then closes.  Either way the gateway sees a connection-level
+        failure and must fail over / retry — exactly the condition the
+        faults exist to exercise.
+        """
+        if self._faults.draw("conn_drop") is not None:
+            return True  # the finally block closes the writer unanswered
+        if self._faults.draw("response_truncate") is not None:
+            head = (f"HTTP/1.1 {status} X\r\n"
+                    f"content-type: application/json\r\n"
+                    f"content-length: {len(payload)}\r\n\r\n"
+                    ).encode("latin-1")
+            framed = head + payload
+            writer.write(framed[:max(1, len(framed) // 2)])
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            return True
+        return False
+
+    async def _dispatch(self, method: str, path: str,
+                        headers, body: bytes):
         route = (method, path.split("?", 1)[0])
         if route == ("POST", "/solve"):
-            return await self._handle_solve(body)
+            return await self._handle_solve(headers, body)
         if route == ("GET", "/stats"):
             return 200, json.dumps(
                 self.service.stats().to_dict(), sort_keys=True).encode()
         if route == ("GET", "/health"):
-            return 200, json.dumps({
+            health = {
                 "status": "ok",
                 "pid": os.getpid(),
                 "port": self.port,
                 "uptime_seconds": time.monotonic() - self._started_at,
                 "requests": self.service.stats().requests,
-            }, sort_keys=True).encode()
+            }
+            if self._faults is not None:
+                health["faults_injected"] = self._faults.stats()
+            return 200, json.dumps(health, sort_keys=True).encode()
         if route == ("POST", "/drain"):
             return await self._handle_drain(body)
         if route == ("POST", "/shutdown"):
@@ -185,18 +239,33 @@ class WorkerServer:
             "error": "ClusterError",
             "message": f"no route {method} {path}"}).encode()
 
-    async def _handle_solve(self, body: bytes):
+    async def _handle_solve(self, headers, body: bytes):
         loop = asyncio.get_running_loop()
         try:
+            if self._faults is not None \
+                    and self._faults.draw("worker_sigkill") is not None:
+                # The scripted hard crash: the process dies mid-request,
+                # the gateway sees the dropped connection, the supervisor
+                # (if enabled) respawns us on the same port.
+                os.kill(os.getpid(), signal.SIGKILL)
             instance, strategy, config, digest = \
                 protocol.decode_solve_request(body)
+            # The wire carries the *remaining* deadline budget (monotonic
+            # instants do not transfer across processes); rebuild a local
+            # absolute deadline for the service.
+            deadline = None
+            deadline_ms = headers.get(protocol.DEADLINE_HEADER)
+            if deadline_ms is not None:
+                deadline = time.monotonic() + max(0.0,
+                                                  float(deadline_ms)) / 1e3
             # submit() probes the disk tier synchronously on a tier-1 miss;
             # run it in the executor so the event loop keeps accepting.
             # The digest the gateway routed by is reused as the cache key,
             # skipping a canonical-serialization hash per request.
             future = await loop.run_in_executor(
                 None, partial(self.service.submit, instance, strategy,
-                              config=config, digest=digest))
+                              config=config, digest=digest,
+                              deadline=deadline))
             report = await asyncio.wrap_future(future)
         except BaseException as exc:  # noqa: BLE001 - mapped to the wire
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
@@ -218,10 +287,14 @@ class WorkerServer:
 
 
 async def _amain(args: argparse.Namespace) -> None:
+    injector = None
+    if getattr(args, "fault_plan", None):
+        injector = FaultInjector.from_plan(FaultPlan.load(args.fault_plan))
     worker = WorkerServer(
         host=args.host, port=args.port, store_dir=args.store,
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
-        max_queue=args.max_queue, max_workers=args.workers or 0)
+        max_queue=args.max_queue, max_workers=args.workers or 0,
+        fault_injector=injector)
     await worker.start()
     # The launcher blocks on this exact line to learn the ephemeral port.
     print(f"REPRO_WORKER_READY port={worker.port} pid={os.getpid()}",
@@ -244,6 +317,9 @@ def main(argv=None) -> int:
     parser.add_argument("--max-queue", type=int, default=10_000)
     parser.add_argument("--workers", type=int, default=0,
                         help="process-pool width per batch (0 = in-process)")
+    parser.add_argument("--fault-plan", default=None,
+                        help="fault plan: a built-in name (e.g. 'smoke') or "
+                             "a JSON file path; chaos testing only")
     args = parser.parse_args(argv)
     try:
         asyncio.run(_amain(args))

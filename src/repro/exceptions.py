@@ -19,8 +19,10 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceClosedError",
+    "ServiceTimeoutError",
     "ClusterError",
     "WorkerUnavailableError",
+    "FaultInjectedError",
 ]
 
 
@@ -103,6 +105,39 @@ class ServiceOverloadedError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """Raised when submitting to (or set on futures of) a stopped service."""
+
+
+class ServiceTimeoutError(ServiceError):
+    """Raised when a request's end-to-end deadline expired before it solved.
+
+    Deadlines propagate gateway -> wire header -> worker -> dispatcher:
+    a queued request whose deadline has passed is failed fast with this
+    error instead of occupying a solver batch, and the cluster gateway's
+    retry/backoff loop never sleeps past the caller's deadline.  Like
+    :class:`ServiceOverloadedError` the condition survives the wire round
+    trip (:mod:`repro.cluster.protocol` maps it onto HTTP 504 and re-raises
+    it on the caller's side).
+
+    ``elapsed`` (seconds past the deadline when the expiry was noticed, if
+    known) is diagnostic only.
+    """
+
+    def __init__(self, message: str, *,
+                 elapsed: float | None = None) -> None:
+        super().__init__(message)
+        #: Seconds past the deadline when the request was failed (if known).
+        self.elapsed = elapsed
+
+
+class FaultInjectedError(ServiceError):
+    """An error deliberately raised by the fault-injection layer.
+
+    Produced only when a :class:`repro.faults.FaultInjector` is active
+    (chaos runs, resilience tests) — never in normal operation.  It is a
+    :class:`ServiceError` so every chaos-run failure still resolves to a
+    *typed* service exception, which is exactly the degradation contract
+    the chaos invariants assert.
+    """
 
 
 class ClusterError(ServiceError):

@@ -1,0 +1,43 @@
+"""repro.faults — deterministic fault injection for the serving fabric.
+
+The package has three faces:
+
+* :class:`FaultSpec` / :class:`FaultPlan` (:mod:`repro.faults.spec`) — the
+  declarative side: which fault kinds fire, on which seeded trigger,
+  round-trippable through JSON so a chaos scenario can be pinned in CI.
+* :class:`FaultInjector` (:mod:`repro.faults.injector`) — the runtime side:
+  production components carry an optional injector (``None`` by default,
+  one attribute check of overhead) and draw faults at their hook sites.
+* :func:`run_chaos` / :class:`ChaosReport` (:mod:`repro.faults.chaos`) —
+  the harness: replay a workload through a live cluster under a plan and
+  assert the degradation invariants (no lost requests, typed errors only,
+  stats still partition).
+
+Exercised from the command line as ``repro chaos run --plan smoke``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import (FAULT_KINDS, PROCESS_FATAL_KINDS, FaultPlan,
+                               FaultSpec, named_plans)
+
+__all__ = [
+    "FAULT_KINDS",
+    "PROCESS_FATAL_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "named_plans",
+    "FaultInjector",
+    "run_chaos",
+    "ChaosReport",
+]
+
+
+def __getattr__(name):
+    # The chaos harness drives a live cluster, so repro.faults.chaos imports
+    # the launcher — whose worker in turn imports repro.faults.spec.  Loading
+    # it lazily keeps the hook-site imports (spec/injector) cycle-free.
+    if name in ("run_chaos", "ChaosReport"):
+        from repro.faults import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

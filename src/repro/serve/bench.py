@@ -195,7 +195,7 @@ def _delta(before: ServiceStats, after: ServiceStats) -> ServiceStats:
     fields = ("requests", "tier1_hits", "tier2_hits", "coalesced", "enqueued",
               "rejected", "probing", "batches", "batched_requests",
               "batch_failures", "cache_put_failures", "pool_restarts",
-              "worker_restarts")
+              "worker_restarts", "timeouts", "shutdown_timeouts")
     diff = {name: getattr(after, name) - getattr(before, name)
             for name in fields}
     cache_delta = {

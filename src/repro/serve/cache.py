@@ -133,10 +133,12 @@ class TieredCache:
         """Tier-2 probe, completing a lookup that missed tier 1.
 
         A hit is promoted into tier 1 and counted as ``store_hits``;
-        anything else — including a *corrupt* artifact, which additionally
-        increments ``store_errors`` — counts as a ``misses`` outcome, so
-        the per-tier invariant survives damaged files and the write-through
-        of the fresh solve repairs them.
+        anything else counts as a ``misses`` outcome.  A *corrupt*
+        artifact is quarantined by the store itself (visible as
+        ``stats()["store"]["corrupt"]``) and surfaces here as a plain
+        miss, so the write-through of the fresh solve repairs it;
+        ``store_errors`` remains as a belt for a store that raises
+        anyway.
         """
         if self.store is not None and self._storable(strategy):
             try:

@@ -34,13 +34,14 @@ at any instant, under any interleaving.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.config import SolveConfig
 from repro.api.registry import get_strategy
@@ -51,12 +52,18 @@ from repro.exceptions import (
     ModelError,
     ServiceClosedError,
     ServiceOverloadedError,
+    ServiceTimeoutError,
 )
 from repro.serialization import instance_digest
 from repro.serve.cache import TIER_MEMORY, TIER_STORE, TieredCache
 from repro.study.store import ArtifactStore
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.faults.injector import FaultInjector
+
 __all__ = ["SolveService", "ServiceStats"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -99,6 +106,15 @@ class ServiceStats:
     pool_restarts: int = 0
     #: Dispatcher crash recoveries (respawned threads or in-place retries).
     worker_restarts: int = 0
+    #: Requests failed with :class:`~repro.exceptions.ServiceTimeoutError`
+    #: because their end-to-end deadline expired (at submit or while
+    #: queued).  A side counter, not a partition bucket: an expired
+    #: submission lands in ``rejected``, an expired queued request stays
+    #: in ``enqueued``.
+    timeouts: int = 0
+    #: Shutdowns whose dispatcher thread outlived its join timeout (a hung
+    #: solver batch); logged as a warning and counted here.
+    shutdown_timeouts: int = 0
     #: High-water mark of the request queue length.
     queue_peak: int = 0
     #: Requests submitted but not yet resolved at snapshot time.
@@ -212,15 +228,18 @@ def _settle(future: Future, *, result=None, exception=None) -> None:
 class _Request:
     """One queued solve: its cache key (or ``None``) and its futures."""
 
-    __slots__ = ("key", "digest", "instance", "strategy", "config", "future")
+    __slots__ = ("key", "digest", "instance", "strategy", "config", "future",
+                 "deadline")
 
-    def __init__(self, key, digest, instance, strategy, config, future):
+    def __init__(self, key, digest, instance, strategy, config, future,
+                 deadline=None):
         self.key = key
         self.digest = digest
         self.instance = instance
         self.strategy = strategy
         self.config = config
         self.future = future
+        self.deadline = deadline
 
 
 class SolveService:
@@ -250,6 +269,10 @@ class SolveService:
     solver:
         Injection point for tests and instrumentation; any callable with
         :func:`repro.api.solve_many`'s signature.
+    fault_injector:
+        Optional :class:`repro.faults.FaultInjector` drawn before every
+        solver batch (``solver_delay`` / ``solver_crash``).  ``None`` (the
+        default) costs one attribute check per batch.
     """
 
     def __init__(self, *, store: Optional[ArtifactStore] = None,
@@ -257,7 +280,8 @@ class SolveService:
                  max_batch: int = 64, max_wait_ms: float = 2.0,
                  max_queue: int = 10_000,
                  max_workers: Optional[int] = 0,
-                 solver=None) -> None:
+                 solver=None,
+                 fault_injector: "Optional[FaultInjector]" = None) -> None:
         if int(max_batch) < 1:
             raise ModelError(f"max_batch must be >= 1, got {max_batch!r}")
         if float(max_wait_ms) < 0.0:
@@ -297,7 +321,9 @@ class SolveService:
             "enqueued": 0, "rejected": 0, "probing": 0, "batches": 0,
             "batched_requests": 0, "batch_failures": 0,
             "cache_put_failures": 0, "pool_restarts": 0,
-            "worker_restarts": 0, "queue_peak": 0, "pending": 0}
+            "worker_restarts": 0, "timeouts": 0, "shutdown_timeouts": 0,
+            "queue_peak": 0, "pending": 0}
+        self._faults = fault_injector
         self._thread: Optional[threading.Thread] = None
         self._started = False
         self._stop = threading.Event()
@@ -360,6 +386,15 @@ class SolveService:
         thread = self._thread
         if thread is not None and thread.is_alive():
             thread.join(timeout=5.0)
+            if thread.is_alive():
+                # A hung solver batch is holding the dispatcher hostage.
+                # The thread is a daemon, so the process can still exit —
+                # but the condition must be visible, not silent.
+                with self._lock:
+                    self._counters["shutdown_timeouts"] += 1
+                logger.warning(
+                    "dispatcher thread still alive after shutdown join "
+                    "timeout (5.0s); a solver batch is likely hung")
         # Fail whatever is still queued or in flight (no-op after a drain).
         # Keyed queued requests also appear in _inflight; dedup by identity.
         abandoned: Dict[int, Future] = {}
@@ -391,7 +426,8 @@ class SolveService:
     # ------------------------------------------------------------------ #
     def submit(self, instance, strategy: Optional[str] = None, *,
                config: Optional[SolveConfig] = None,
-               digest: Optional[str] = None) -> "Future[SolveReport]":
+               digest: Optional[str] = None,
+               deadline: Optional[float] = None) -> "Future[SolveReport]":
         """Request one solve; returns a future for its
         :class:`~repro.api.report.SolveReport`.
 
@@ -404,10 +440,30 @@ class SolveService:
         shipped for routing) and skip the canonical-serialization hash
         here; it must equal ``instance_digest(instance)`` or cache entries
         will land under the wrong key.
+
+        ``deadline`` is an **absolute** :func:`time.monotonic` instant: a
+        submission arriving past it raises
+        :class:`~repro.exceptions.ServiceTimeoutError` immediately, and a
+        queued request whose deadline expires before the dispatcher
+        reaches it is failed fast with the same error instead of occupying
+        a solver batch.  Cache hits ignore the deadline (the answer is
+        already in hand).  A request that coalesces onto an in-flight key
+        shares the *claiming* request's fate — its own deadline is not
+        re-checked once attached.
         """
         config = SolveConfig() if config is None else config
         name = resolve_strategy_name(strategy)
         get_strategy(name)  # fail fast on unknown strategies
+        if deadline is not None and time.monotonic() > deadline:
+            with self._lock:
+                if self._stop.is_set():
+                    raise ServiceClosedError("service has been shut down")
+                self._counters["requests"] += 1
+                self._counters["rejected"] += 1
+                self._counters["timeouts"] += 1
+            raise ServiceTimeoutError(
+                "deadline expired before the request was accepted",
+                elapsed=time.monotonic() - deadline)
         if not config.cache:
             digest = None
         elif digest is None:
@@ -449,7 +505,8 @@ class SolveService:
             else:
                 try:
                     self._enqueue_locked(
-                        _Request(None, None, instance, name, config, future))
+                        _Request(None, None, instance, name, config, future,
+                                 deadline))
                 except ServiceOverloadedError:
                     self._counters["rejected"] += 1
                     raise
@@ -474,7 +531,8 @@ class SolveService:
                 _settle(waiter, result=stored)
             self._release_pending(len(waiters))
             return future
-        request = _Request(key, digest, instance, name, config, future)
+        request = _Request(key, digest, instance, name, config, future,
+                           deadline)
         overload: Optional[ServiceOverloadedError] = None
         with self._lock:
             self._counters["probing"] -= 1
@@ -543,10 +601,11 @@ class SolveService:
 
     def solve(self, instance, strategy: Optional[str] = None, *,
               config: Optional[SolveConfig] = None,
-              timeout: Optional[float] = None) -> SolveReport:
+              timeout: Optional[float] = None,
+              deadline: Optional[float] = None) -> SolveReport:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(instance, strategy, config=config).result(
-            timeout=timeout)
+        return self.submit(instance, strategy, config=config,
+                           deadline=deadline).result(timeout=timeout)
 
     def submit_many(self, instances: Sequence[object],
                     strategy: Optional[str] = None, *,
@@ -592,8 +651,23 @@ class SolveService:
         grouping, a solver group, internal bookkeeping — the affected
         futures are failed and their ``pending`` counts released, so
         :meth:`drain` and :meth:`shutdown` never hang on a lost request.
+
+        Requests whose end-to-end deadline has already expired are failed
+        fast with :class:`~repro.exceptions.ServiceTimeoutError` before
+        any solver work — an expired caller gains nothing from the result,
+        and dropping the request frees the batch slot for live ones.
         """
         try:
+            now = time.monotonic()
+            expired = [request for request in batch
+                       if request.deadline is not None
+                       and now > request.deadline]
+            if expired:
+                self._fail_expired(expired, now)
+                batch = [request for request in batch
+                         if request not in expired]
+                if not batch:
+                    return
             groups: "Dict[Tuple[str, str], List[_Request]]" = {}
             for request in batch:
                 groups.setdefault(
@@ -607,6 +681,27 @@ class SolveService:
                 self._execute_group(requests)
             except BaseException as exc:  # noqa: BLE001 - same containment
                 self._fail_requests(requests, exc)
+
+    def _fail_expired(self, requests: List[_Request], now: float) -> None:
+        """Fail queued requests whose deadline passed (plus their waiters).
+
+        Counted in ``timeouts`` — not ``batch_failures``, since no solver
+        work was attempted or lost.  Coalesced waiters share the claiming
+        request's deadline fate (documented in :meth:`submit`).
+        """
+        with self._lock:
+            self._counters["timeouts"] += len(requests)
+            settled: List[Tuple[Future, BaseException]] = []
+            for request in requests:
+                waiters = [request.future] if request.key is None else \
+                    self._inflight.pop(request.key, [request.future])
+                exc = ServiceTimeoutError(
+                    "deadline expired while the request was queued",
+                    elapsed=now - request.deadline)
+                settled.extend((future, exc) for future in waiters)
+        for future, exc in settled:
+            _settle(future, exception=exc)
+        self._release_pending(len(settled))
 
     def _fail_requests(self, requests: List[_Request],
                        exc: BaseException) -> None:
@@ -627,6 +722,11 @@ class SolveService:
         config = requests[0].config
         instances = [request.instance for request in requests]
         try:
+            if self._faults is not None:
+                # Chaos hook: may sleep (solver_delay) or raise
+                # FaultInjectedError (solver_crash) — the containment
+                # below turns either into per-request failed futures.
+                self._faults.raise_solver_faults()
             try:
                 reports = self._solver(instances, strategy, config=config,
                                        max_workers=self.max_workers)

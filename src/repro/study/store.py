@@ -11,27 +11,37 @@ Layout (git-style fan-out to keep directories small)::
 
     <root>/
       ab/
-        abcdef....json        # SolveReport.to_json()
+        abcdef....json        # {"sha256": ..., "report": {...}}
+        abcdef....json.corrupt.0   # quarantined damaged artifact (if any)
 
-The store never deletes on its own and writes atomically (temp file +
-rename), so a crashed run leaves at worst a missing artifact, never a
-corrupt one.
+Writes are atomic (temp file + rename) and every artifact embeds a SHA-256
+content checksum over its canonical report JSON, verified on read.  A file
+that fails to parse, fails the checksum, or was torn mid-write is
+**quarantined** — renamed aside to ``<name>.json.corrupt.N``, counted in
+``stats()["corrupt"]`` — and reported as a *miss*, so the damaged cell is
+transparently re-solved (and the write-through replaces the artifact)
+instead of crashing the read path.  Legacy artifacts written before the
+checksum envelope (a bare ``SolveReport`` JSON object) still load.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import tempfile
 import threading
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Union
 
 from repro.api.config import SolveConfig
 from repro.api.registry import REGISTRY
 from repro.api.report import SolveReport
 from repro.exceptions import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["ArtifactStore", "artifact_key", "storable_strategy"]
 
@@ -71,6 +81,11 @@ def artifact_key(instance_digest: str, strategy: str,
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def _payload_checksum(report_json: str) -> str:
+    """SHA-256 content checksum of one artifact's report JSON."""
+    return hashlib.sha256(report_json.encode("utf-8")).hexdigest()
+
+
 class ArtifactStore:
     """On-disk key -> :class:`~repro.api.report.SolveReport` store.
 
@@ -82,15 +97,24 @@ class ArtifactStore:
     (:class:`repro.serve.TieredCache`): writes are atomic (temp file +
     ``os.replace``), so concurrent processes racing on one key leave exactly
     one intact artifact, and the counters are lock-guarded so concurrent
-    submit threads never tear them.
+    submit threads never tear them.  Damaged artifacts — truncated, torn,
+    checksum-mismatched — are quarantined on read (renamed aside, counted
+    as ``corrupt``) and served as misses; see :meth:`get`.
+
+    ``fault_injector`` is the chaos hook: an active
+    :class:`repro.faults.FaultInjector` may turn a :meth:`put` into a torn
+    write, a corrupt payload or an ``ENOSPC`` failure.  The default
+    (``None``) costs one attribute check per write.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path], *,
+                 fault_injector: "Optional[FaultInjector]" = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._faults = fault_injector
         self._stats_lock = threading.Lock()
         self._stats: Dict[str, int] = {"hits": 0, "misses": 0, "writes": 0,
-                                       "skipped_writes": 0}
+                                       "skipped_writes": 0, "corrupt": 0}
 
     def _count(self, counter: str) -> None:
         with self._stats_lock:
@@ -111,9 +135,12 @@ class ArtifactStore:
     def get(self, key: str) -> Optional[SolveReport]:
         """Load the report stored under ``key``; ``None`` (a miss) if absent.
 
-        A corrupt artifact raises :class:`~repro.exceptions.ModelError`
-        naming the offending file rather than silently re-solving, so a
-        damaged store surfaces loudly.
+        A damaged artifact — zero-byte or truncated file, invalid JSON, a
+        report that fails validation, or a checksum mismatch — is
+        **quarantined** (renamed aside, counted in ``stats()["corrupt"]``)
+        and reported as a miss, never raised out of the cache read path:
+        the caller re-solves the cell and the write-through repairs the
+        store.
         """
         path = self.path_for(key)
         try:
@@ -121,21 +148,98 @@ class ArtifactStore:
         except FileNotFoundError:
             self._count("misses")
             return None
-        try:
-            report = SolveReport.from_json(text)
-        except ModelError as exc:
-            raise ModelError(f"corrupt artifact {path}: {exc}") from exc
+        except OSError:
+            # Unreadable (permissions, I/O error): a miss, not a crash.
+            self._count("misses")
+            return None
+        report = self._decode_artifact(text)
+        if report is None:
+            self._quarantine(path)
+            self._count("corrupt")
+            self._count("misses")
+            return None
         self._count("hits")
         return report
 
+    @staticmethod
+    def _decode_artifact(text: str) -> Optional[SolveReport]:
+        """Parse + verify one artifact's bytes; ``None`` when damaged."""
+        try:
+            payload = json.loads(text)
+        except (json.JSONDecodeError, ValueError):
+            return None
+        try:
+            if isinstance(payload, dict) and "sha256" in payload \
+                    and "report" in payload:
+                report_json = json.dumps(
+                    payload["report"], sort_keys=True,
+                    separators=(",", ":"))
+                if _payload_checksum(report_json) != payload["sha256"]:
+                    return None
+                return SolveReport.from_dict(payload["report"])
+            # Legacy pre-checksum artifact: a bare SolveReport object.
+            if isinstance(payload, dict):
+                return SolveReport.from_dict(payload)
+        except (ModelError, KeyError, TypeError, ValueError):
+            return None
+        return None
+
+    def _quarantine(self, path: Path) -> Optional[Path]:
+        """Rename a damaged artifact aside (first free ``.corrupt.N``)."""
+        for attempt in range(100):
+            target = path.with_name(f"{path.name}.corrupt.{attempt}")
+            if target.exists():
+                continue
+            try:
+                os.replace(path, target)
+                return target
+            except FileNotFoundError:
+                return None  # a concurrent reader quarantined it first
+            except OSError:
+                break
+        # Renaming failed (read-only dir?): degrade to deletion-less miss;
+        # the write-through will overwrite the damaged file in place.
+        return None
+
     def put(self, key: str, report: SolveReport) -> Path:
-        """Atomically write ``report`` under ``key``; returns the path."""
+        """Atomically write ``report`` under ``key``; returns the path.
+
+        The artifact embeds a SHA-256 checksum over the canonical report
+        JSON (``{"sha256": ..., "report": {...}}``), which :meth:`get`
+        verifies — so silent bit rot or a torn write is caught on read and
+        quarantined instead of served.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        report_json = json.dumps(json.loads(report.to_json()),
+                                 sort_keys=True, separators=(",", ":"))
+        # The checksum covers the TRUE payload, before any injected
+        # damage — bit rot happens after a correct write, and a checksum
+        # taken over already-corrupt bytes would dutifully verify them.
+        checksum = _payload_checksum(report_json)
+        if self._faults is not None:
+            if self._faults.draw("store_enospc") is not None:
+                raise OSError(errno.ENOSPC,
+                              "injected ENOSPC (fault plan "
+                              f"{self._faults.plan.name!r})", str(path))
+            if self._faults.draw("store_corrupt_artifact") is not None:
+                # Flip a byte mid-payload; whether or not the result still
+                # parses as JSON, the checksum catches it on read.
+                mid = len(report_json) // 2
+                report_json = (report_json[:mid]
+                               + ("X" if report_json[mid] != "X" else "Y")
+                               + report_json[mid + 1:])
+        body = json.dumps({"sha256": checksum,
+                           "report": json.loads(report_json)
+                           if _is_json(report_json) else report_json},
+                          sort_keys=True, separators=(",", ":"))
+        if self._faults is not None \
+                and self._faults.draw("store_torn_write") is not None:
+            body = body[:max(1, len(body) // 2)]  # torn mid-write
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(report.to_json())
+                handle.write(body)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -180,6 +284,10 @@ class ArtifactStore:
         for path in sorted(self.root.glob("??/*.json")):
             yield path.stem
 
+    def quarantined(self) -> Iterator[Path]:
+        """Paths of every quarantined (damaged, renamed-aside) artifact."""
+        yield from sorted(self.root.glob("??/*.json.corrupt.*"))
+
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
@@ -187,7 +295,12 @@ class ArtifactStore:
     # Counters
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, int]:
-        """Cumulative ``{"hits", "misses", "writes"}`` of this store handle."""
+        """Cumulative counters of this store handle.
+
+        ``hits`` / ``misses`` / ``writes`` / ``skipped_writes`` as before,
+        plus ``corrupt``: artifacts quarantined by :meth:`get` (each also
+        counted as a miss, so hit/miss accounting still balances).
+        """
         with self._stats_lock:
             return dict(self._stats)
 
@@ -196,3 +309,12 @@ class ArtifactStore:
         with self._stats_lock:
             for key in self._stats:
                 self._stats[key] = 0
+
+
+def _is_json(text: str) -> bool:
+    """Whether ``text`` still parses (an injected byte-flip may break it)."""
+    try:
+        json.loads(text)
+        return True
+    except (json.JSONDecodeError, ValueError):
+        return False

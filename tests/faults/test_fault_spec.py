@@ -1,0 +1,104 @@
+"""FaultSpec/FaultPlan: validation, JSON round-trips, plan loading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.faults import (
+    FAULT_KINDS,
+    PROCESS_FATAL_KINDS,
+    FaultPlan,
+    FaultSpec,
+    named_plans,
+)
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError, match="unknown fault kind"):
+            FaultSpec(kind="meteor_strike", nth_call=1)
+
+    def test_nth_call_must_be_positive(self):
+        with pytest.raises(ModelError, match="nth_call"):
+            FaultSpec(kind="solver_crash", nth_call=0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ModelError, match="probability"):
+            FaultSpec(kind="conn_drop", probability=1.5)
+        with pytest.raises(ModelError, match="probability"):
+            FaultSpec(kind="conn_drop", probability=-0.1)
+
+    def test_spec_must_be_able_to_trigger(self):
+        with pytest.raises(ModelError, match="can never trigger"):
+            FaultSpec(kind="solver_crash")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ModelError, match="delay_ms"):
+            FaultSpec(kind="solver_delay", nth_call=1, delay_ms=-1.0)
+
+    def test_every_kind_constructs(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec(kind=kind, nth_call=3).kind == kind
+
+
+class TestPlanRoundTrip:
+    def plan(self) -> FaultPlan:
+        return FaultPlan(name="trip", seed=99, specs=(
+            FaultSpec(kind="worker_sigkill", nth_call=5),
+            FaultSpec(kind="store_corrupt_artifact", probability=0.25,
+                      seed=7, max_triggers=3),
+            FaultSpec(kind="solver_delay", probability=0.5, delay_ms=12.5),
+        ))
+
+    def test_json_round_trip_is_lossless(self):
+        plan = self.plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_dict_round_trip_is_lossless(self):
+        plan = self.plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_kinds_sorted_distinct(self):
+        assert self.plan().kinds() == [
+            "solver_delay", "store_corrupt_artifact", "worker_sigkill"]
+
+    def test_without_strips_fatal_kinds(self):
+        stripped = self.plan().without(PROCESS_FATAL_KINDS)
+        assert "worker_sigkill" not in stripped.kinds()
+        assert len(stripped) == 2
+        assert stripped.seed == 99 and stripped.name == "trip"
+
+    def test_malformed_json_raises_model_error(self):
+        with pytest.raises(ModelError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(ModelError, match="malformed fault spec"):
+            FaultPlan.from_dict({"specs": [{"kind": "conn_drop",
+                                           "nth_call": "many"}]})
+
+
+class TestPlanLoading:
+    def test_load_builtin_name(self):
+        plan = FaultPlan.load("smoke")
+        assert plan.name == "smoke"
+        assert "worker_sigkill" in plan.kinds()
+
+    def test_load_inline_json(self):
+        original = named_plans()["bad_disk"]
+        assert FaultPlan.load(original.to_json()) == original
+
+    def test_load_file_path(self, tmp_path):
+        original = named_plans()["slow_solver"]
+        path = tmp_path / "plan.json"
+        path.write_text(original.to_json(indent=2), encoding="utf-8")
+        assert FaultPlan.load(path) == original
+
+    def test_load_unknown_name_lists_builtins(self):
+        with pytest.raises(ModelError, match="smoke"):
+            FaultPlan.load("no-such-plan")
+
+    def test_named_plans_are_valid_and_fresh(self):
+        plans = named_plans()
+        assert {"smoke", "slow_solver", "bad_disk"} <= set(plans)
+        for plan in plans.values():
+            assert FaultPlan.from_json(plan.to_json()) == plan

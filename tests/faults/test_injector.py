@@ -1,0 +1,90 @@
+"""FaultInjector: deterministic triggers, bounds, zero-overhead default."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FaultInjectedError, ServiceError
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+
+
+def _drops(plan: FaultPlan, calls: int) -> list:
+    injector = FaultInjector(plan)
+    return [injector.draw("conn_drop") is not None for _ in range(calls)]
+
+
+class TestTriggers:
+    def test_nth_call_fires_exactly_once(self):
+        plan = FaultPlan(seed=1, specs=(
+            FaultSpec(kind="conn_drop", nth_call=3),))
+        fired = _drops(plan, 10)
+        assert fired == [False, False, True] + [False] * 7
+
+    def test_probability_is_deterministic_per_plan(self):
+        plan = FaultPlan(seed=42, specs=(
+            FaultSpec(kind="conn_drop", probability=0.3),))
+        first = _drops(plan, 200)
+        second = _drops(plan, 200)
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_plan_seed_changes_the_sequence(self):
+        base = FaultSpec(kind="conn_drop", probability=0.3)
+        a = _drops(FaultPlan(seed=1, specs=(base,)), 200)
+        b = _drops(FaultPlan(seed=2, specs=(base,)), 200)
+        assert a != b
+
+    def test_max_triggers_bounds_firing(self):
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(kind="conn_drop", probability=1.0, max_triggers=2),))
+        assert _drops(plan, 10) == [True, True] + [False] * 8
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan(seed=0, specs=(
+            FaultSpec(kind="conn_drop", nth_call=2),
+            FaultSpec(kind="worker_sigkill", nth_call=2)))
+        injector = FaultInjector(plan)
+        assert injector.draw("conn_drop") is None
+        assert injector.draw("worker_sigkill") is None
+        assert injector.draw("conn_drop") is not None
+        assert injector.draw("worker_sigkill") is not None
+
+
+class TestZeroOverheadDefault:
+    def test_from_plan_none_is_none(self):
+        assert FaultInjector.from_plan(None) is None
+
+    def test_from_plan_empty_is_none(self):
+        assert FaultInjector.from_plan(FaultPlan(name="empty")) is None
+
+    def test_from_plan_nonempty_arms(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="conn_drop", nth_call=1),))
+        assert isinstance(FaultInjector.from_plan(plan), FaultInjector)
+
+
+class TestSolverFaults:
+    def test_solver_crash_raises_typed_error(self):
+        injector = FaultInjector(FaultPlan(name="boom", specs=(
+            FaultSpec(kind="solver_crash", nth_call=1),)))
+        with pytest.raises(FaultInjectedError, match="boom") as excinfo:
+            injector.raise_solver_faults()
+        assert isinstance(excinfo.value, ServiceError)
+        injector.raise_solver_faults()  # fired once; second call is clean
+
+    def test_solver_delay_sleeps_then_returns(self):
+        injector = FaultInjector(FaultPlan(specs=(
+            FaultSpec(kind="solver_delay", nth_call=1, delay_ms=1.0),)))
+        injector.raise_solver_faults()  # must not raise
+        assert injector.stats() == {"solver_delay": 1}
+
+
+class TestAccounting:
+    def test_stats_counts_only_fired_kinds(self):
+        injector = FaultInjector(FaultPlan(seed=0, specs=(
+            FaultSpec(kind="conn_drop", probability=1.0, max_triggers=3),
+            FaultSpec(kind="worker_sigkill", nth_call=100))))
+        for _ in range(5):
+            injector.draw("conn_drop")
+            injector.draw("worker_sigkill")
+        assert injector.stats() == {"conn_drop": 3}
+        assert injector.total_injected() == 3

@@ -1,0 +1,74 @@
+"""Store-side fault hooks: ENOSPC, torn writes, corrupted artifacts."""
+
+from __future__ import annotations
+
+import errno
+import json
+
+import pytest
+
+from repro.api import SolveConfig, solve
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.instances import pigou
+from repro.study import ArtifactStore, artifact_key
+
+
+@pytest.fixture()
+def report():
+    return solve(pigou(), "optop", config=SolveConfig(cache=False))
+
+
+def _store(tmp_path, *specs) -> ArtifactStore:
+    injector = FaultInjector(FaultPlan(name="disk", seed=3, specs=specs))
+    return ArtifactStore(tmp_path / "store", fault_injector=injector)
+
+
+KEY = artifact_key("digest", "optop", SolveConfig())
+
+
+def test_enospc_raises_oserror(tmp_path, report):
+    store = _store(tmp_path, FaultSpec(kind="store_enospc", nth_call=1))
+    with pytest.raises(OSError) as excinfo:
+        store.put(KEY, report)
+    assert excinfo.value.errno == errno.ENOSPC
+    # The failed write left nothing behind; the next put succeeds.
+    assert store.get(KEY) is None
+    store.put(KEY, report)
+    assert store.get(KEY) == report
+
+
+def test_torn_write_is_quarantined_on_read(tmp_path, report):
+    store = _store(tmp_path, FaultSpec(kind="store_torn_write", nth_call=1))
+    path = store.put(KEY, report)
+    # The file exists but holds only half the envelope bytes.
+    text = path.read_text(encoding="utf-8")
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(text)
+    assert store.get(KEY) is None
+    stats = store.stats()
+    assert stats["corrupt"] == 1 and stats["misses"] == 1
+    assert [p.name for p in store.quarantined()] == \
+        [f"{path.name}.corrupt.0"]
+    # Write-through repair: the second (un-faulted) put serves again.
+    store.put(KEY, report)
+    assert store.get(KEY) == report
+
+
+def test_corrupted_artifact_fails_checksum(tmp_path, report):
+    store = _store(tmp_path,
+                   FaultSpec(kind="store_corrupt_artifact", nth_call=1))
+    path = store.put(KEY, report)
+    # The envelope's checksum was computed over the TRUE payload before
+    # the injected byte-flip, so the damage cannot verify as authentic.
+    assert store.get(KEY) is None
+    assert store.stats()["corrupt"] == 1
+    assert not path.exists()
+    assert len(list(store.quarantined())) == 1
+
+
+def test_unfaulted_store_unaffected(tmp_path, report):
+    store = ArtifactStore(tmp_path / "store")
+    assert store._faults is None
+    store.put(KEY, report)
+    assert store.get(KEY) == report
+    assert store.stats()["corrupt"] == 0

@@ -230,11 +230,17 @@ class TestTieredCache:
         assert healed.beta == pytest.approx(first.beta)
         assert stats.consistent, stats.to_dict()
         assert stats.enqueued == 1, "corrupt artifact must be a miss"
-        assert stats.cache["store_errors"] == 1
-        # The write-through replaced the damaged file.
+        # The store quarantined the damaged file (renamed aside) ...
+        assert stats.cache["store"]["corrupt"] == 1
+        quarantined = list((tmp_path / "artifacts").glob("??/*.corrupt.*"))
+        assert len(quarantined) == 1
+        # ... and the write-through landed a fresh, verifiable artifact.
+        import json as _json
+
         from repro.api.report import SolveReport
 
-        SolveReport.from_json(artifact.read_text(encoding="utf-8"))
+        envelope = _json.loads(artifact.read_text(encoding="utf-8"))
+        SolveReport.from_dict(envelope["report"])
 
     def test_service_traffic_leaves_the_global_cache_alone(self):
         from repro.api import cache_stats

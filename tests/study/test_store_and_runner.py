@@ -51,21 +51,71 @@ class TestArtifactStore:
         loaded = store.get(key)
         assert loaded == report
         assert store.stats() == {"hits": 1, "misses": 0, "writes": 1,
-                                 "skipped_writes": 0}
+                                 "skipped_writes": 0, "corrupt": 0}
 
     def test_miss_counts_and_returns_none(self, tmp_path):
         store = ArtifactStore(tmp_path)
         assert store.get("ab" * 32) is None
         assert store.stats()["misses"] == 1
 
-    def test_corrupt_artifact_raises(self, tmp_path):
+    def test_corrupt_artifact_is_quarantined_as_a_miss(self, tmp_path):
         store = ArtifactStore(tmp_path)
         key = artifact_key("digest", "optop", SolveConfig())
         path = store.path_for(key)
         path.parent.mkdir(parents=True)
         path.write_text("{not json", encoding="utf-8")
-        with pytest.raises(ModelError, match="corrupt artifact"):
-            store.get(key)
+        assert store.get(key) is None
+        stats = store.stats()
+        assert stats["corrupt"] == 1
+        assert stats["misses"] == 1
+        # The damaged file was renamed aside, so the key is now absent and
+        # the next put lands a fresh artifact.
+        assert not path.exists()
+        quarantined = list(store.quarantined())
+        assert len(quarantined) == 1
+        assert quarantined[0].name == f"{path.name}.corrupt.0"
+
+    def test_truncated_artifact_is_a_miss(self, tmp_path):
+        # Regression: a torn write (zero-byte or half-written JSON) used to
+        # raise JSONDecodeError out of the cache read path.
+        store = ArtifactStore(tmp_path)
+        report = solve(pigou(), "optop")
+        key = artifact_key("digest", "optop", SolveConfig())
+        path = store.put(key, report)
+        full = path.read_text(encoding="utf-8")
+        path.write_text(full[:len(full) // 2], encoding="utf-8")
+        assert store.get(key) is None
+        assert store.stats()["corrupt"] == 1
+        path.write_text("", encoding="utf-8")  # zero-byte variant
+        assert store.get(key) is None
+        assert store.stats()["corrupt"] == 2
+        assert len(list(store.quarantined())) == 2
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        report = solve(pigou(), "optop")
+        key = artifact_key("digest", "optop", SolveConfig())
+        path = store.put(key, report)
+        import json as _json
+        payload = _json.loads(path.read_text(encoding="utf-8"))
+        assert set(payload) == {"sha256", "report"}
+        payload["report"]["beta"] = 123.456  # silent bit rot
+        path.write_text(_json.dumps(payload), encoding="utf-8")
+        assert store.get(key) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_legacy_raw_artifact_still_loads(self, tmp_path):
+        # Artifacts written before the checksum envelope are bare
+        # SolveReport objects; they must keep loading.
+        import json as _json
+        store = ArtifactStore(tmp_path)
+        report = solve(pigou(), "optop")
+        key = artifact_key("digest", "optop", SolveConfig())
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text(_json.dumps(report.to_dict()), encoding="utf-8")
+        assert store.get(key) == report
+        assert store.stats()["corrupt"] == 0
 
     def test_keys_and_delete(self, tmp_path):
         store = ArtifactStore(tmp_path)

@@ -67,9 +67,11 @@ def test_simultaneous_puts_leave_one_intact_artifact(tmp_path, round_index):
     report = store.get(key)
     assert report is not None
     assert report.metadata["writer"] in (1, 2)
-    # And byte-level: the file parses standalone (not merely via the API).
+    # And byte-level: the file parses standalone (not merely via the API)
+    # as a checksum envelope wrapping exactly one writer's report.
     payload = json.loads(store.path_for(key).read_text(encoding="utf-8"))
-    assert payload["strategy"] == "aloof"
+    assert set(payload) == {"sha256", "report"}
+    assert payload["report"]["strategy"] == "aloof"
 
 
 def test_put_failure_leaves_no_temp_file(tmp_path):

@@ -224,3 +224,13 @@ class TestServeBenchTrace:
         warm = payload["passes"][1]["stats"]
         assert warm["batches"] == 0
         assert all(p["stats"]["consistent"] for p in payload["passes"])
+
+
+class TestChaosListCommand:
+    def test_list_shows_named_plans_with_seeds(self, capsys):
+        assert main(["chaos", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("smoke", "slow_solver", "bad_disk"):
+            assert name in out
+        assert "worker_sigkill" in out
+        assert "0x" in out  # seeds print in hex for easy pinning
