@@ -227,8 +227,18 @@ def bench_cluster_scaling(*, worker_counts, num_requests: int,
     store each, so every trial is genuinely cold); the warm pass must
     perform zero solver calls on any shard and every pass's merged
     buckets must partition its requests exactly.
+
+    The bench runs with observability on, so each pass also records
+    p50/p95/p99 request latency (milliseconds) from the delta of the
+    gateway's ``repro_gateway_request_seconds`` histogram over that pass.
     """
     from repro.cluster import run_cluster_bench
+
+    def quantiles_ms(record):
+        if record.latency_quantiles is None:
+            return {}
+        return {f"{key}_ms": value * 1e3
+                for key, value in record.latency_quantiles.items()}
 
     rows = []
     baseline = None
@@ -238,7 +248,7 @@ def bench_cluster_scaling(*, worker_counts, num_requests: int,
             result = run_cluster_bench(
                 n_workers=int(n_workers), num_requests=int(num_requests),
                 num_distinct=int(num_distinct), num_links=4,
-                passes=2, max_inflight=2, max_wait_ms=20.0)
+                passes=2, max_inflight=2, max_wait_ms=20.0, obs=True)
             if best is None or (result.passes[0].seconds
                                 < best.passes[0].seconds):
                 best = result
@@ -259,13 +269,20 @@ def bench_cluster_scaling(*, worker_counts, num_requests: int,
             "warm_solver_calls": warm.solver_calls,
             "stats_consistent": best.consistent,
             "forwarded": dict(cold.forwarded),
+            # Gateway-histogram latency percentiles per pass (ms).
+            "cold_latency_ms": quantiles_ms(cold),
+            "warm_latency_ms": quantiles_ms(warm),
             # All-zero on a healthy un-faulted run; a nonzero value here
             # means the bench itself tripped the resilience machinery.
             "resilience": dict(best.resilience),
         })
+        cold_q = quantiles_ms(cold)
+        latency = (f", p50/p95/p99 {cold_q['p50_ms']:.1f}/"
+                   f"{cold_q['p95_ms']:.1f}/{cold_q['p99_ms']:.1f} ms"
+                   if cold_q else "")
         print(f"cluster_scaling workers={n_workers}: cold "
               f"{cold.requests_per_second:7.1f} req/s "
-              f"({cold.seconds:6.3f} s), warm "
+              f"({cold.seconds:6.3f} s){latency}, warm "
               f"{warm.requests_per_second:7.1f} req/s -> "
               f"{baseline / cold.seconds:5.2f}x vs 1 worker "
               f"(warm solver calls: {warm.solver_calls}, "

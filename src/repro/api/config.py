@@ -81,6 +81,15 @@ class SolveConfig:
     cache:
         Whether :func:`repro.api.solve` / :func:`repro.api.solve_many` may
         reuse results cached under the instance digest.
+    profile:
+        Opt-in per-phase kernel profiling (:mod:`repro.obs.profiling`).
+        When ``True`` the solve runs under a
+        :class:`~repro.obs.profiling.PhaseRecorder` and the report carries
+        ``metadata["profile"]`` with per-kernel call counts and cumulative
+        seconds.  ``False`` (the default) is serialized *by omission* —
+        the canonical config JSON of an unprofiled config is byte-for-byte
+        what it was before this field existed, so cache keys, artifact
+        addresses and golden fixtures are unaffected.
     """
 
     tolerance: float = 1e-9
@@ -94,6 +103,7 @@ class SolveConfig:
     brute_force_resolution: int = 12
     compute_nash: bool = True
     cache: bool = True
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in EQUILIBRIUM_BACKENDS:
@@ -141,8 +151,19 @@ class SolveConfig:
     # Serialisation
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
-        """Serialise to a plain dictionary (JSON-compatible)."""
-        return asdict(self)
+        """Serialise to a plain dictionary (JSON-compatible).
+
+        ``profile`` is omitted while ``False`` so the canonical JSON (and
+        everything keyed on it: tier-1 cache keys, artifact addresses,
+        session cache keys) is unchanged for unprofiled configs.  A
+        profiled config *does* serialize the flag — a profiled solve must
+        not be served from an unprofiled cache entry that lacks the
+        timings.
+        """
+        data = asdict(self)
+        if not data["profile"]:
+            del data["profile"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SolveConfig":

@@ -136,6 +136,13 @@ class SolveReport:
         """Total flow routed by the Leader."""
         return float(sum(self.leader_flows))
 
+    @property
+    def profile(self) -> Optional[Dict[str, Any]]:
+        """Per-phase kernel timings when the solve ran with
+        ``SolveConfig(profile=True)`` (see :mod:`repro.obs.profiling`);
+        ``None`` otherwise."""
+        return self.metadata.get("profile")
+
     # ------------------------------------------------------------------ #
     # Serialisation
     # ------------------------------------------------------------------ #

@@ -116,8 +116,24 @@ def _cache_key(name: str, instance, config: SolveConfig,
 
 
 def _execute(instance, name: str, config: SolveConfig) -> SolveReport:
-    """Run the strategy without touching any cache; times the call."""
+    """Run the strategy without touching any cache; times the call.
+
+    With ``config.profile`` set, the strategy runs under a fresh
+    :class:`~repro.obs.profiling.PhaseRecorder` — installed *here* because
+    this function executes wherever the solve actually runs (the calling
+    thread, a service dispatcher, or a pool worker process) — and the
+    per-phase kernel timings land in ``metadata["profile"]``.
+    """
     fn = get_strategy(name)
+    if config.profile:
+        from repro.obs.profiling import profiled
+        start = time.perf_counter()
+        with profiled() as recorder:
+            report = fn(instance, config)
+        wall_time = time.perf_counter() - start
+        metadata = dict(report.metadata)
+        metadata["profile"] = recorder.to_dict(total_seconds=wall_time)
+        return replace(report, wall_time=wall_time, metadata=metadata)
     start = time.perf_counter()
     report = fn(instance, config)
     return replace(report, wall_time=time.perf_counter() - start)

@@ -59,6 +59,14 @@ unified :mod:`repro.api` solver-session layer:
     resolved to a correct report or a typed error, the merged statistics
     still partition exactly, and recovery (respawns, quarantine) engaged.
 
+``repro obs``
+    Observability (:mod:`repro.obs`) against a running gateway or worker
+    (e.g. ``repro serve cluster --obs``): ``repro obs metrics`` scrapes
+    and prints ``/metrics`` (Prometheus text, or ``--json``); ``repro obs
+    trace --last N`` prints the newest spans of the ``/trace`` ring;
+    ``repro obs top`` ranks span names (split by strategy where
+    annotated) by cumulative recorded time.
+
 Invoke with ``python -m repro <subcommand> ...``.
 """
 
@@ -337,6 +345,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cluster.add_argument("--duration", type=float, default=None,
                                help="serve for this many seconds, then "
                                     "drain and exit (default: until Ctrl-C)")
+    serve_cluster.add_argument("--obs", action="store_true",
+                               help="enable observability: trace ids across "
+                                    "gateway and workers, /metrics and "
+                                    "/trace endpoints")
 
     chaos = subparsers.add_parser(
         "chaos", help="deterministic fault injection against a live cluster")
@@ -377,6 +389,40 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(for plans that script those faults)")
     chaos_run.add_argument("--json", action="store_true",
                            help="print the ChaosReport as JSON")
+
+    obs = subparsers.add_parser(
+        "obs", help="observability: scrape metrics and traces from a "
+                    "running gateway or worker")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    def add_obs_url(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--url", default="http://127.0.0.1:8080",
+                         help="base URL of a gateway or worker "
+                              "(default: http://127.0.0.1:8080)")
+
+    obs_metrics = obs_sub.add_parser(
+        "metrics", help="scrape and print /metrics")
+    add_obs_url(obs_metrics)
+    obs_metrics.add_argument("--json", action="store_true",
+                             help="fetch the JSON snapshot instead of the "
+                                  "Prometheus text exposition")
+
+    obs_trace = obs_sub.add_parser(
+        "trace", help="print the newest spans of the /trace ring")
+    add_obs_url(obs_trace)
+    obs_trace.add_argument("--last", type=int, default=None,
+                           help="only the newest N spans")
+    obs_trace.add_argument("--json", action="store_true",
+                           help="print the raw Chrome trace_event JSON "
+                                "(chrome://tracing / Perfetto compatible)")
+
+    obs_top = obs_sub.add_parser(
+        "top", help="rank span names by cumulative recorded time")
+    add_obs_url(obs_top)
+    obs_top.add_argument("--last", type=int, default=None,
+                         help="restrict to the newest N spans")
+    obs_top.add_argument("--limit", type=int, default=10,
+                         help="rows to print (default: 10)")
     return parser
 
 
@@ -766,11 +812,12 @@ def _command_serve_cluster(args: argparse.Namespace) -> int:
         n_workers=args.workers, store_dir=args.store, host=args.host,
         max_inflight=args.max_inflight, max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms, max_queue=args.max_queue,
-        http=True, http_port=args.port)
+        http=True, http_port=args.port, obs=args.obs)
     try:
+        routes = "POST /solve, GET /stats, GET /metrics, GET /trace, " \
+                 "GET /health, POST /drain"
         print(f"gateway listening on http://{args.host}:{cluster.http_port}"
-              f" (POST /solve, GET /stats, GET /health, POST /drain)",
-              flush=True)
+              f" ({routes})", flush=True)
         for index, worker in enumerate(cluster.workers):
             print(f"worker[{index}] pid={worker.process.pid} "
                   f"http://{worker.host}:{worker.port} "
@@ -832,6 +879,75 @@ def _command_chaos_run(args: argparse.Namespace) -> int:
     return 0 if not failures else 1
 
 
+def _obs_fetch(base_url: str, path: str) -> str:
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    url = base_url.rstrip("/") + path
+    try:
+        with urlopen(url, timeout=30.0) as response:  # noqa: S310 - user URL
+            return response.read().decode("utf-8")
+    except (URLError, ConnectionError, OSError) as exc:
+        raise ReproError(f"cannot reach {url}: {exc}") from exc
+
+
+def _command_obs_metrics(args: argparse.Namespace) -> int:
+    if args.json:
+        import json as _json
+        payload = _json.loads(_obs_fetch(args.url, "/metrics?format=json"))
+        print(_json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    print(_obs_fetch(args.url, "/metrics"), end="")
+    return 0
+
+
+def _obs_fetch_trace(args: argparse.Namespace) -> List[Dict[str, object]]:
+    import json as _json
+
+    path = "/trace" if args.last is None else f"/trace?last={args.last}"
+    return _json.loads(_obs_fetch(args.url, path)).get("traceEvents", [])
+
+
+def _command_obs_trace(args: argparse.Namespace) -> int:
+    events = _obs_fetch_trace(args)
+    if args.json:
+        import json as _json
+        print(_json.dumps({"traceEvents": events}, sort_keys=True, indent=2))
+        return 0
+    rows = []
+    for event in events:
+        event_args = dict(event.get("args") or {})
+        trace_id = str(event_args.pop("trace_id", ""))
+        event_args.pop("parent_id", None)
+        notes = ", ".join(f"{key}={value}" for key, value
+                          in sorted(event_args.items()))
+        rows.append((trace_id, event.get("name", ""), event.get("pid", ""),
+                     f"{float(event.get('dur', 0.0)) / 1e3:.3f}", notes))
+    print(format_table(
+        ("trace", "span", "service", "ms", "annotations"), rows,
+        title=f"Trace ring of {args.url} ({len(rows)} spans)"))
+    return 0
+
+
+def _command_obs_top(args: argparse.Namespace) -> int:
+    totals: Dict[str, List[float]] = {}
+    for event in _obs_fetch_trace(args):
+        name = str(event.get("name", ""))
+        strategy = (event.get("args") or {}).get("strategy")
+        key = f"{name}[{strategy}]" if strategy else name
+        entry = totals.setdefault(key, [0.0, 0.0])
+        entry[0] += float(event.get("dur", 0.0)) / 1e6
+        entry[1] += 1
+    ranked = sorted(totals.items(), key=lambda item: -item[1][0])
+    rows = [(key, int(count), f"{seconds * 1e3:.3f}",
+             f"{seconds / count * 1e3:.3f}")
+            for key, (seconds, count) in ranked[:max(0, args.limit)]]
+    print(format_table(
+        ("span", "count", "total ms", "mean ms"), rows,
+        title=f"Hottest spans of {args.url} by cumulative time"))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` (returns a process exit code)."""
     parser = build_parser()
@@ -842,6 +958,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "chaos":
         handler = {"list": _command_chaos_list,
                    "run": _command_chaos_run}[args.chaos_command]
+    elif args.command == "obs":
+        handler = {"metrics": _command_obs_metrics,
+                   "trace": _command_obs_trace,
+                   "top": _command_obs_top}[args.obs_command]
     elif args.command == "trace":
         trace_handlers = {
             "list": _command_trace_list,

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional
 
 from repro.api.config import SolveConfig
 from repro.cluster.launcher import ClusterHandle, start_cluster
+from repro.obs.metrics import histogram_quantile
 from repro.serve.bench import _delta, build_workload
 from repro.serve.service import ServiceStats
 
@@ -52,6 +53,10 @@ class ClusterBenchPass:
     forwarded: Dict[str, int]
     #: Per-shard ``enqueued`` delta: solver-bound requests on each shard.
     shard_enqueued: Dict[str, int]
+    #: ``{"p50": ..., "p95": ..., "p99": ...}`` in seconds, derived from
+    #: the gateway's ``repro_gateway_request_seconds`` histogram *delta*
+    #: over this pass; ``None`` when the bench ran without observability.
+    latency_quantiles: Optional[Dict[str, float]] = None
 
     @property
     def requests_per_second(self) -> float:
@@ -78,6 +83,8 @@ class ClusterBenchPass:
             "solver_calls": self.solver_calls,
             "forwarded": dict(self.forwarded),
             "shard_enqueued": dict(self.shard_enqueued),
+            "latency_quantiles": None if self.latency_quantiles is None
+            else dict(self.latency_quantiles),
             "merged": self.merged.to_dict(),
         }
 
@@ -111,6 +118,15 @@ class ClusterBenchResult:
         }
 
 
+def _gateway_latency_snapshot(cluster: ClusterHandle):
+    """The gateway's request-latency histogram snapshot (``None`` when
+    the cluster runs without observability)."""
+    obs = getattr(cluster.gateway, "_obs", None)
+    if obs is None:
+        return None
+    return obs.latency_histogram("repro_gateway_request_seconds").snapshot()
+
+
 def _per_worker(stats: Dict[str, object], key: str) -> Dict[str, int]:
     """Pull one per-shard counter out of a gateway stats payload."""
     values: Dict[str, int] = {}
@@ -130,6 +146,7 @@ def run_cluster_bench(*, num_requests: int = 400, num_distinct: int = 320,
                       max_inflight: int = 2, max_batch: int = 64,
                       max_wait_ms: float = 20.0, max_queue: int = 10_000,
                       cluster: Optional[ClusterHandle] = None,
+                      obs: bool = False,
                       ) -> ClusterBenchResult:
     """Drive the hot-key stream through a cluster ``passes`` times.
 
@@ -139,6 +156,10 @@ def run_cluster_bench(*, num_requests: int = 400, num_distinct: int = 320,
     binding constraint, so the scaling measurement is meaningful even on
     a single-core machine.  Pass a prebuilt ``cluster`` to benchmark an
     externally configured one (its lifecycle then stays the caller's).
+
+    ``obs=True`` (or a prebuilt cluster with observability on) adds
+    per-pass ``latency_quantiles`` — p50/p95/p99 seconds computed from
+    the gateway latency histogram's delta over the pass.
     """
     config = SolveConfig(compute_nash=False)
     instances, schedule = build_workload(
@@ -149,13 +170,14 @@ def run_cluster_bench(*, num_requests: int = 400, num_distinct: int = 320,
         cluster = start_cluster(
             n_workers=n_workers, store_dir=store_dir,
             max_inflight=max_inflight, max_batch=max_batch,
-            max_wait_ms=max_wait_ms, max_queue=max_queue)
+            max_wait_ms=max_wait_ms, max_queue=max_queue, obs=obs)
     result = ClusterBenchResult(n_workers=len(cluster.workers))
     try:
         before_stats = cluster.stats()
         previous = ServiceStats.from_dict(dict(before_stats["merged"]))
         prev_forwarded = _per_worker(before_stats, "forwarded")
         prev_enqueued = _per_worker(before_stats, "enqueued")
+        hist_before = _gateway_latency_snapshot(cluster)
         for pass_index in range(passes):
             start = time.perf_counter()
             futures = [cluster.submit(instances[i], strategy, config=config)
@@ -167,6 +189,13 @@ def run_cluster_bench(*, num_requests: int = 400, num_distinct: int = 320,
             now = ServiceStats.from_dict(dict(now_stats["merged"]))
             forwarded = _per_worker(now_stats, "forwarded")
             enqueued = _per_worker(now_stats, "enqueued")
+            quantiles = None
+            hist_now = _gateway_latency_snapshot(cluster)
+            if hist_now is not None:
+                quantiles = {
+                    f"p{int(q * 100)}": histogram_quantile(
+                        hist_now, q, baseline=hist_before)
+                    for q in (0.50, 0.95, 0.99)}
             result.passes.append(ClusterBenchPass(
                 index=pass_index, seconds=seconds, requests=len(schedule),
                 merged=_delta(previous, now),
@@ -175,9 +204,11 @@ def run_cluster_bench(*, num_requests: int = 400, num_distinct: int = 320,
                            for node in forwarded},
                 shard_enqueued={node: enqueued[node]
                                 - prev_enqueued.get(node, 0)
-                                for node in enqueued}))
+                                for node in enqueued},
+                latency_quantiles=quantiles))
             previous, prev_forwarded, prev_enqueued = (
                 now, forwarded, enqueued)
+            hist_before = hist_now
         final = cluster.stats()
         gateway_counters = dict(final["gateway"])  # type: ignore[arg-type]
         merged_final = dict(final["merged"])  # type: ignore[arg-type]

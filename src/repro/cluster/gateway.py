@@ -38,7 +38,9 @@ it:
 last-known snapshot), so the merged buckets still partition the forwarded
 requests exactly; the gateway's own counters (routed / retried / re-routed
 / failed) sit alongside.  The same surface is exposed over HTTP —
-``/solve``, ``/stats``, ``/health``, ``/drain`` — by
+``/solve``, ``/stats``, ``/metrics`` (Prometheus exposition of the exact
+same counters), ``/trace`` (aggregated Chrome ``trace_event`` view of the
+gateway plus every worker ring), ``/health``, ``/drain`` — by
 :meth:`ClusterGateway.start_http`, with body-blind forwarding: the
 instance digest rides in the ``X-Repro-Digest`` header, so the gateway
 never parses instance JSON on the hot path.
@@ -63,6 +65,9 @@ from repro.exceptions import (
     ServiceTimeoutError,
     WorkerUnavailableError,
 )
+from repro.obs import Observability, trace_id_for
+from repro.obs.collect import (collect_cluster_stats, merged_snapshot,
+                               render_merged)
 from repro.serve.service import ServiceStats
 
 __all__ = ["ClusterGateway", "WorkerEndpoint"]
@@ -169,6 +174,15 @@ class ClusterGateway:
     breaker_cooldown:
         Seconds an open breaker waits before a half-open ``/health`` probe
         may close it again.
+    obs:
+        Optional :class:`repro.obs.Observability`.  When set, every
+        submission mints a deterministic trace id
+        (:func:`repro.obs.trace_id_for` over the request digest and the
+        gateway's sequence counter), ships it to the shard as
+        ``x-repro-trace-id``, and records a ``gateway.request`` span
+        annotated with ``retry``/``reroutes`` counts plus a
+        ``repro_gateway_request_seconds`` observation.  When ``None`` the
+        hot-path cost is one ``is None`` check.
     """
 
     def __init__(self, endpoints: Sequence[Tuple[str, int]], *,
@@ -176,7 +190,8 @@ class ClusterGateway:
                  backoff_base_ms: float = 5.0,
                  backoff_cap_ms: float = 200.0,
                  breaker_threshold: int = 3,
-                 breaker_cooldown: float = 0.25) -> None:
+                 breaker_cooldown: float = 0.25,
+                 obs: Optional[Observability] = None) -> None:
         if not endpoints:
             raise ClusterError("a cluster needs at least one worker")
         self.workers: Dict[str, WorkerEndpoint] = {}
@@ -189,6 +204,7 @@ class ClusterGateway:
         self.breaker_threshold = int(breaker_threshold)
         self.breaker_cooldown = float(breaker_cooldown)
         self._rng = random.Random(0xC1F5)
+        self._obs = obs
         self._counters: Dict[str, int] = {
             "requests": 0, "completed": 0, "remote_errors": 0,
             "overload_retries": 0, "reroutes": 0, "failures": 0,
@@ -274,6 +290,7 @@ class ClusterGateway:
     # ------------------------------------------------------------------ #
     async def submit_encoded(self, body: bytes, digest: str, *,
                              deadline: Optional[float] = None,
+                             trace_id: Optional[str] = None,
                              ) -> Tuple[int, bytes]:
         """Route one already-serialised solve request; returns the raw
         ``(status, payload)`` of the shard that answered.
@@ -287,85 +304,119 @@ class ClusterGateway:
         and an expired deadline returns a 504 immediately instead of
         another attempt.  A worker's own 504 is final — retrying an
         already-expired request elsewhere cannot help.
+
+        With observability on, the whole retry loop is one
+        ``gateway.request`` span (annotated ``retry=<overload retries>``
+        and ``reroutes=<failovers>``); ``trace_id`` lets a front-door
+        client supply its own id, otherwise a deterministic one is minted
+        from the digest and the gateway's sequence counter and shipped to
+        the shard in the trace header.
         """
         self._counters["requests"] += 1
+        obs = self._obs
+        span = None
+        if obs is not None:
+            if trace_id is None:
+                trace_id = trace_id_for(digest,
+                                        obs.tracer.next_sequence())
+            span = obs.tracer.span("gateway.request", trace_id=trace_id,
+                                   digest=digest)
         overload_attempts = 0
         unavailable_waits = 0
-        while True:
-            remaining = None if deadline is None \
-                else deadline - time.monotonic()
-            if remaining is not None and remaining <= 0:
-                self._counters["timeouts"] += 1
-                self._counters["failures"] += 1
-                return protocol.error_response(ServiceTimeoutError(
-                    "deadline expired in the gateway retry loop",
-                    elapsed=-remaining))
-            await self.probe_open_breakers()
-            headers = {protocol.DIGEST_HEADER: digest}
-            if remaining is not None:
-                headers[protocol.DEADLINE_HEADER] = \
-                    f"{remaining * 1e3:.3f}"
-            try:
-                worker = self.route_digest(digest)
-            except WorkerUnavailableError as exc:
-                # Every breaker is open at once (e.g. a connection-fault
-                # storm hit all shards within one cooldown).  The workers
-                # may be healthy — or a supervisor may be respawning them —
-                # so wait out up to max_retries cooldowns for a half-open
-                # probe to close a breaker before failing the caller.
-                unavailable_waits += 1
-                if unavailable_waits > self.max_retries:
+        reroutes = 0
+        try:
+            while True:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self._counters["timeouts"] += 1
                     self._counters["failures"] += 1
-                    return protocol.error_response(exc)
-                self._counters["unavailable_waits"] += 1
-                delay = self.breaker_cooldown
+                    return protocol.error_response(ServiceTimeoutError(
+                        "deadline expired in the gateway retry loop",
+                        elapsed=-remaining))
+                await self.probe_open_breakers()
+                headers = {protocol.DIGEST_HEADER: digest}
+                if span is not None:
+                    headers[protocol.TRACE_HEADER] = trace_id
                 if remaining is not None:
-                    delay = min(delay, max(0.0, remaining))
-                await asyncio.sleep(delay)
-                continue
-            async with worker.semaphore:
-                worker.forwarded += 1
+                    headers[protocol.DEADLINE_HEADER] = \
+                        f"{remaining * 1e3:.3f}"
                 try:
-                    status, payload = await worker.request(
-                        "POST", "/solve", body, headers=headers)
-                except _CONNECTION_ERRORS as exc:
-                    self._counters["reroutes"] += 1
-                    self._open_breaker(worker, repr(exc))
+                    worker = self.route_digest(digest)
+                except WorkerUnavailableError as exc:
+                    # Every breaker is open at once (e.g. a connection-fault
+                    # storm hit all shards within one cooldown).  The workers
+                    # may be healthy — or a supervisor may be respawning them —
+                    # so wait out up to max_retries cooldowns for a half-open
+                    # probe to close a breaker before failing the caller.
+                    unavailable_waits += 1
+                    if unavailable_waits > self.max_retries:
+                        self._counters["failures"] += 1
+                        return protocol.error_response(exc)
+                    self._counters["unavailable_waits"] += 1
+                    delay = self.breaker_cooldown
+                    if remaining is not None:
+                        delay = min(delay, max(0.0, remaining))
+                    await asyncio.sleep(delay)
                     continue
-            if status == 503:
-                retryable, queue_depth = _classify_503(payload)
-                if retryable == "closed":
-                    # A draining/stopped shard cannot take the key back;
-                    # fail over exactly like a dead connection.
-                    self._counters["reroutes"] += 1
-                    self._open_breaker(worker, "service closed (draining)")
+                async with worker.semaphore:
+                    worker.forwarded += 1
+                    try:
+                        status, payload = await worker.request(
+                            "POST", "/solve", body, headers=headers)
+                    except _CONNECTION_ERRORS as exc:
+                        self._counters["reroutes"] += 1
+                        reroutes += 1
+                        self._open_breaker(worker, repr(exc))
+                        continue
+                if status == 503:
+                    retryable, queue_depth = _classify_503(payload)
+                    if retryable == "closed":
+                        # A draining/stopped shard cannot take the key back;
+                        # fail over exactly like a dead connection.
+                        self._counters["reroutes"] += 1
+                        reroutes += 1
+                        self._open_breaker(worker,
+                                           "service closed (draining)")
+                        continue
+                    overload_attempts += 1
+                    if overload_attempts > self.max_retries:
+                        self._counters["failures"] += 1
+                        return status, payload
+                    delay = self._backoff_seconds(overload_attempts)
+                    if remaining is not None:
+                        # Never sleep past the caller's deadline; the expiry
+                        # check at the top of the loop turns it into a 504.
+                        delay = min(delay, max(0.0, remaining))
+                    self._counters["overload_retries"] += 1
+                    logger.info(
+                        "worker %s overloaded (queue depth %s); backoff retry "
+                        "%d/%d in %.1f ms", worker.node_id, queue_depth,
+                        overload_attempts, self.max_retries, delay * 1e3)
+                    await asyncio.sleep(delay)
                     continue
-                overload_attempts += 1
-                if overload_attempts > self.max_retries:
-                    self._counters["failures"] += 1
-                    return status, payload
-                delay = self._backoff_seconds(overload_attempts)
-                if remaining is not None:
-                    # Never sleep past the caller's deadline; the expiry
-                    # check at the top of the loop turns it into a 504.
-                    delay = min(delay, max(0.0, remaining))
-                self._counters["overload_retries"] += 1
-                logger.info(
-                    "worker %s overloaded (queue depth %s); backoff retry "
-                    "%d/%d in %.1f ms", worker.node_id, queue_depth,
-                    overload_attempts, self.max_retries, delay * 1e3)
-                await asyncio.sleep(delay)
-                continue
-            if status == 200:
-                worker.failures = 0
-                self._counters["completed"] += 1
-            elif status == 504:
-                self._counters["timeouts"] += 1
-                self._counters["remote_errors"] += 1
-            else:
-                self._counters["remote_errors"] += 1
-                self._note_remote_failure(worker)
-            return status, payload
+                if status == 200:
+                    worker.failures = 0
+                    self._counters["completed"] += 1
+                elif status == 504:
+                    self._counters["timeouts"] += 1
+                    self._counters["remote_errors"] += 1
+                else:
+                    self._counters["remote_errors"] += 1
+                    self._note_remote_failure(worker)
+                if span is not None:
+                    span.annotate("status", status)
+                return status, payload
+        finally:
+            if span is not None:
+                span.annotate("retry", overload_attempts)
+                if reroutes:
+                    span.annotate("reroutes", reroutes)
+                span.finish()
+                obs.latency_histogram(
+                    "repro_gateway_request_seconds",
+                    "End-to-end gateway request wall time, retries "
+                    "included.").observe(span.duration)
 
     def _backoff_seconds(self, attempt: int) -> float:
         window = min(self.backoff_cap_ms,
@@ -465,6 +516,56 @@ class ClusterGateway:
             "merged": merged.to_dict(),
         }
 
+    async def metrics_registries(self, *, refresh: bool = True) -> List:
+        """The registries behind ``GET /metrics``: the cluster ``stats()``
+        mapping projected through :func:`repro.obs.collect.collect_cluster_stats`
+        (exact numeric equality with the legacy surface by construction),
+        plus the gateway's own live registry when observability is on.
+        """
+        registries = [collect_cluster_stats(
+            await self.stats(refresh=refresh))]
+        if self._obs is not None:
+            registries.append(self._obs.registry)
+        return registries
+
+    async def trace(self, *, last: Optional[int] = None,
+                    aggregate: bool = True) -> Dict[str, object]:
+        """Chrome ``trace_event`` view of the cluster.
+
+        The gateway's own spans, plus — when ``aggregate`` — every alive
+        worker's ``/trace`` ring, so one cross-process trace id groups
+        the ``gateway.request`` span with the shard's ``worker.solve`` /
+        ``service.batch`` / kernel spans.  Events are ordered
+        deterministically (timestamp, then service, then span id).
+        """
+        events: List[Dict[str, object]] = [] if self._obs is None else \
+            self._obs.tracer.chrome_trace(last=last)["traceEvents"]
+        if aggregate:
+            path = "/trace" if last is None else f"/trace?last={int(last)}"
+
+            async def fetch(worker: WorkerEndpoint) -> List:
+                try:
+                    status, payload = await worker.request("GET", path)
+                except _CONNECTION_ERRORS:
+                    return []
+                if status != 200:
+                    return []
+                try:
+                    decoded = json.loads(payload.decode("utf-8"))
+                except ValueError:
+                    return []
+                return decoded.get("traceEvents", [])
+
+            chunks = await asyncio.gather(
+                *(fetch(worker) for worker in self.workers.values()
+                  if worker.alive))
+            for chunk in chunks:
+                events.extend(chunk)
+        events.sort(key=lambda e: (float(e.get("ts", 0.0)),
+                                   str(e.get("pid", "")),
+                                   str(e.get("tid", ""))))
+        return {"traceEvents": events}
+
     async def drain(self, *, timeout: float = 60.0) -> bool:
         """Drain every alive shard; ``True`` when all report drained."""
         body = json.dumps({"timeout": timeout}).encode("utf-8")
@@ -555,11 +656,18 @@ class ClusterGateway:
                 if message is None:
                     break
                 method, path, headers, body = message
-                status, payload = await self._dispatch(method, path, headers,
-                                                       body)
+                result = await self._dispatch(method, path, headers, body)
+                # Routes answer (status, payload) or, for non-JSON bodies
+                # like the Prometheus exposition, (status, payload, type).
+                if len(result) == 3:
+                    status, payload, content_type = result
+                else:
+                    status, payload = result
+                    content_type = "application/json"
                 close = headers.get("connection", "").lower() == "close"
                 await protocol.write_response(writer, status, payload,
-                                              close=close)
+                                              close=close,
+                                              content_type=content_type)
                 if close:
                     break
         except asyncio.CancelledError:
@@ -596,8 +704,9 @@ class ClusterGateway:
                     return protocol.error_response(ClusterError(
                         f"malformed deadline header {deadline_ms!r}"))
             try:
-                return await self.submit_encoded(body, digest,
-                                                 deadline=deadline)
+                return await self.submit_encoded(
+                    body, digest, deadline=deadline,
+                    trace_id=headers.get(protocol.TRACE_HEADER))
             except BaseException as exc:  # noqa: BLE001 - mapped to wire
                 if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                     raise
@@ -605,6 +714,26 @@ class ClusterGateway:
         if route_key == ("GET", "/stats"):
             return 200, json.dumps(await self.stats(),
                                    sort_keys=True).encode("utf-8")
+        if route_key == ("GET", "/metrics"):
+            registries = await self.metrics_registries()
+            if "format=json" in path.partition("?")[2]:
+                return 200, json.dumps(merged_snapshot(*registries),
+                                       sort_keys=True).encode("utf-8")
+            return (200, render_merged(*registries).encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8")
+        if route_key == ("GET", "/trace"):
+            query = path.partition("?")[2]
+            last = None
+            for part in query.split("&"):
+                if part.startswith("last="):
+                    try:
+                        last = int(part[5:])
+                    except ValueError:
+                        return protocol.error_response(ClusterError(
+                            f"malformed {part!r} query parameter"))
+            aggregate = "local=1" not in query
+            trace = await self.trace(last=last, aggregate=aggregate)
+            return 200, json.dumps(trace, sort_keys=True).encode("utf-8")
         if route_key == ("GET", "/health"):
             return 200, json.dumps(await self.health(),
                                    sort_keys=True).encode("utf-8")

@@ -48,6 +48,8 @@ from repro.api.report import SolveReport
 from repro.cluster.gateway import ClusterGateway
 from repro.exceptions import ClusterError
 from repro.faults.spec import PROCESS_FATAL_KINDS, FaultPlan
+from repro.obs import Observability
+from repro.obs.collect import merged_snapshot, render_merged
 from repro.serve.service import ServiceStats
 
 __all__ = ["ClusterHandle", "EventLoopThread", "WorkerProcess",
@@ -109,7 +111,8 @@ class WorkerProcess:
                  max_wait_ms: float = 2.0, max_queue: int = 10_000,
                  pool_workers: int = 0,
                  startup_timeout: float = 120.0,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 obs: bool = False) -> None:
         self.host = host
         self.store_dir = store_dir
         self.max_batch = max_batch
@@ -118,6 +121,7 @@ class WorkerProcess:
         self.pool_workers = pool_workers
         self.startup_timeout = startup_timeout
         self.fault_plan = fault_plan
+        self.obs = bool(obs)
         #: Times this shard was relaunched after dying.
         self.respawns = 0
         self.process = self._spawn(port=port, fault_plan=fault_plan)
@@ -135,6 +139,8 @@ class WorkerProcess:
             command += ["--store", str(self.store_dir)]
         if fault_plan is not None and fault_plan.specs:
             command += ["--fault-plan", fault_plan.to_json()]
+        if self.obs:
+            command += ["--obs"]
         env = dict(os.environ)
         # The worker must import repro regardless of how the parent found
         # it (installed, or straight off src/ via PYTHONPATH).
@@ -350,6 +356,29 @@ class ClusterHandle:
         return ServiceStats.from_dict(
             dict(self.stats(refresh=refresh)["merged"]))
 
+    def metrics(self, *, fmt: str = "text",
+                refresh: bool = True) -> Union[str, Dict[str, object]]:
+        """The gateway's ``/metrics`` surface without the HTTP hop:
+        the Prometheus exposition (``fmt="text"``) or the JSON snapshot
+        (``fmt="json"``) of the aggregated cluster counters, merged with
+        the gateway's live latency histograms when observability is on.
+        """
+        registries = self.loop.run(
+            self.gateway.metrics_registries(refresh=refresh), timeout=60.0)
+        if fmt == "json":
+            return merged_snapshot(*registries)
+        if fmt != "text":
+            raise ClusterError(f"unknown metrics format {fmt!r}")
+        return render_merged(*registries)
+
+    def trace(self, *, last: Optional[int] = None,
+              aggregate: bool = True) -> Dict[str, object]:
+        """The aggregated Chrome ``trace_event`` view (gateway spans plus
+        every alive worker's ring); empty when observability is off."""
+        return self.loop.run(
+            self.gateway.trace(last=last, aggregate=aggregate),
+            timeout=60.0)
+
     def health(self) -> Dict[str, object]:
         return self.loop.run(self.gateway.health(), timeout=60.0)
 
@@ -413,6 +442,7 @@ def start_cluster(n_workers: int = 2, *, store_dir: Optional[str] = None,
                   startup_timeout: float = 120.0,
                   supervise: bool = False, max_respawns: int = 3,
                   fault_plan: Optional[Union[FaultPlan, str]] = None,
+                  obs: bool = False,
                   ) -> ClusterHandle:
     """Spawn ``n_workers`` shard processes and a gateway over them.
 
@@ -429,6 +459,14 @@ def start_cluster(n_workers: int = 2, *, store_dir: Optional[str] = None,
     ``fault_plan`` (a :class:`~repro.faults.FaultPlan`, a built-in plan
     name, or a plan-JSON file path) arms every worker's fault injector —
     chaos runs only.
+
+    ``obs=True`` arms observability end to end: the gateway mints
+    deterministic trace ids and records ``gateway.request`` spans, every
+    worker is spawned with ``--obs`` (so it records ``worker.solve`` /
+    ``service.batch`` / kernel spans under the propagated id), and
+    :meth:`ClusterHandle.metrics` / :meth:`ClusterHandle.trace` expose
+    the cross-process view.  Off by default: the disabled cost is one
+    ``is None`` check per request at each hop.
     """
     if int(n_workers) < 1:
         raise ClusterError(f"n_workers must be >= 1, got {n_workers!r}")
@@ -448,11 +486,12 @@ def start_cluster(n_workers: int = 2, *, store_dir: Optional[str] = None,
                 max_wait_ms=max_wait_ms, max_queue=max_queue,
                 pool_workers=pool_workers,
                 startup_timeout=startup_timeout,
-                fault_plan=fault_plan))
+                fault_plan=fault_plan, obs=obs))
         loop = EventLoopThread().start()
         gateway = ClusterGateway(
             [worker.endpoint for worker in workers],
-            max_inflight=max_inflight, max_retries=max_retries)
+            max_inflight=max_inflight, max_retries=max_retries,
+            obs=Observability(service="gateway") if obs else None)
         deadline = time.monotonic() + startup_timeout
         while True:
             health = loop.run(gateway.health(), timeout=30.0)

@@ -54,6 +54,7 @@ from repro.serialization import (
 __all__ = [
     "DIGEST_HEADER",
     "DEADLINE_HEADER",
+    "TRACE_HEADER",
     "read_request",
     "read_response",
     "write_request",
@@ -75,6 +76,11 @@ DIGEST_HEADER = "x-repro-digest"
 #: clocks do not transfer across processes — so the wire carries how much
 #: time is left, and the receiver rebuilds a local absolute deadline.
 DEADLINE_HEADER = "x-repro-deadline-ms"
+
+#: Distributed-tracing header: the deterministic trace id minted by the
+#: gateway (:func:`repro.obs.tracing.trace_id_for`) rides every hop so
+#: gateway, worker and batch spans of one request share an id.
+TRACE_HEADER = "x-repro-trace-id"
 
 #: Upper bounds keeping a malformed peer from ballooning memory.
 _MAX_LINE = 16 * 1024
@@ -168,11 +174,16 @@ async def write_request(writer: asyncio.StreamWriter, method: str, path: str,
 
 
 async def write_response(writer: asyncio.StreamWriter, status: int,
-                         body: bytes, *, close: bool = False) -> None:
-    """Frame and send one JSON response and drain the transport."""
+                         body: bytes, *, close: bool = False,
+                         content_type: str = "application/json") -> None:
+    """Frame and send one response and drain the transport.
+
+    JSON by default; the ``/metrics`` endpoints pass the Prometheus text
+    exposition content type instead.
+    """
     reason = _REASONS.get(status, "Unknown")
     head = (f"HTTP/1.1 {status} {reason}\r\n"
-            f"content-type: application/json\r\n"
+            f"content-type: {content_type}\r\n"
             f"content-length: {len(body)}\r\n"
             + ("connection: close\r\n" if close else "")
             + "\r\n")

@@ -14,6 +14,15 @@ coalescing, tiered cache) and exposes it on a localhost TCP port:
 ``GET /stats``
     The exact :class:`~repro.serve.ServiceStats` snapshot as JSON — what
     the gateway aggregates with :meth:`~repro.serve.ServiceStats.merge`.
+``GET /metrics``
+    Prometheus text exposition: the service's legacy counters projected
+    through :mod:`repro.obs.collect` at scrape time (so every number
+    equals the ``/stats`` surface exactly), merged with the worker's live
+    latency histograms when observability is on.  ``?format=json`` returns
+    the same snapshot as JSON.
+``GET /trace``
+    The span ring buffer as Chrome ``trace_event`` JSON (empty when
+    observability is off); ``?last=N`` keeps the newest N spans.
 ``GET /health``
     Liveness: pid, port, uptime and the request count so far.
 ``POST /drain``
@@ -44,10 +53,15 @@ import time
 from functools import partial
 from typing import Optional
 
+from urllib.parse import parse_qs
+
 from repro.cluster import protocol
 from repro.exceptions import ModelError
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import FaultPlan
+from repro.obs import Observability
+from repro.obs.collect import (collect_service_stats, merged_snapshot,
+                               render_merged)
 from repro.serve.cache import TieredCache
 from repro.serve.service import SolveService
 from repro.study.store import ArtifactStore
@@ -61,11 +75,16 @@ def build_worker_service(*, store_dir: Optional[str] = None,
                          max_workers: Optional[int] = 0,
                          max_cache_entries: int = 4096,
                          fault_injector: Optional[FaultInjector] = None,
+                         obs: Optional[Observability] = None,
                          ) -> SolveService:
     """A shard's `SolveService`: tiered cache over the shared store.
 
     One ``fault_injector`` (when given) is shared by the artifact store
-    and the service, so a single chaos plan scripts both layers.
+    and the service, so a single chaos plan scripts both layers.  The
+    same sharing applies to ``obs``: the worker server and its service
+    record onto one registry/tracer, so a worker's ``/trace`` ring holds
+    the ``worker.solve`` span *and* the ``service.batch`` span of the
+    same request.
     """
     store = None if store_dir is None else \
         ArtifactStore(store_dir, fault_injector=fault_injector)
@@ -74,7 +93,7 @@ def build_worker_service(*, store_dir: Optional[str] = None,
     return SolveService(cache=cache, max_batch=max_batch,
                         max_wait_ms=max_wait_ms, max_queue=max_queue,
                         max_workers=max_workers,
-                        fault_injector=fault_injector)
+                        fault_injector=fault_injector, obs=obs)
 
 
 class WorkerServer:
@@ -96,6 +115,13 @@ class WorkerServer:
         own hook sites — ``worker_sigkill`` on the solve path,
         ``conn_drop`` / ``response_truncate`` on the response path — and
         (when no ``service`` is given) shared with the service and store.
+    obs:
+        Optional :class:`repro.obs.Observability`.  When set, every
+        ``/solve`` records a ``worker.solve`` span under the request's
+        ``x-repro-trace-id`` plus a ``repro_worker_request_seconds``
+        observation, and (when no ``service`` is given) the service shares
+        the same handle for its ``service.batch`` / kernel spans.  When
+        ``None`` the cost is one ``is None`` check per request.
     """
 
     def __init__(self, service: Optional[SolveService] = None, *,
@@ -103,14 +129,16 @@ class WorkerServer:
                  store_dir: Optional[str] = None, max_batch: int = 64,
                  max_wait_ms: float = 2.0, max_queue: int = 10_000,
                  max_workers: Optional[int] = 0,
-                 fault_injector: Optional[FaultInjector] = None) -> None:
+                 fault_injector: Optional[FaultInjector] = None,
+                 obs: Optional[Observability] = None) -> None:
         self._faults = fault_injector
+        self._obs = obs
         self.service = service if service is not None else \
             build_worker_service(store_dir=store_dir, max_batch=max_batch,
                                  max_wait_ms=max_wait_ms,
                                  max_queue=max_queue,
                                  max_workers=max_workers,
-                                 fault_injector=fault_injector)
+                                 fault_injector=fault_injector, obs=obs)
         self.host = host
         self._requested_port = int(port)
         self._server: Optional[asyncio.base_events.Server] = None
@@ -162,15 +190,22 @@ class WorkerServer:
                 if message is None:
                     break
                 method, path, headers, body = message
-                status, payload = await self._dispatch(method, path,
-                                                       headers, body)
+                result = await self._dispatch(method, path, headers, body)
+                # Routes answer (status, payload) or, for non-JSON bodies
+                # like the Prometheus exposition, (status, payload, type).
+                if len(result) == 3:
+                    status, payload, content_type = result
+                else:
+                    status, payload = result
+                    content_type = "application/json"
                 if self._faults is not None \
                         and await self._inject_response_fault(
                             writer, status, payload):
                     break
                 close = headers.get("connection", "").lower() == "close"
                 await protocol.write_response(writer, status, payload,
-                                              close=close)
+                                              close=close,
+                                              content_type=content_type)
                 if close:
                     break
         except asyncio.CancelledError:
@@ -219,6 +254,10 @@ class WorkerServer:
         if route == ("GET", "/stats"):
             return 200, json.dumps(
                 self.service.stats().to_dict(), sort_keys=True).encode()
+        if route == ("GET", "/metrics"):
+            return self._handle_metrics(path)
+        if route == ("GET", "/trace"):
+            return self._handle_trace(path)
         if route == ("GET", "/health"):
             health = {
                 "status": "ok",
@@ -239,8 +278,47 @@ class WorkerServer:
             "error": "ClusterError",
             "message": f"no route {method} {path}"}).encode()
 
+    def _handle_metrics(self, path: str):
+        """``GET /metrics``: legacy counters re-collected at scrape time.
+
+        The registry is rebuilt from the live ``stats()`` snapshot on
+        every scrape, so every series is numerically identical to the
+        ``/stats`` answer of the same instant by construction; the live
+        obs registry (latency histograms) is merged in when enabled.
+        """
+        query = parse_qs(path.partition("?")[2])
+        registries = [collect_service_stats(self.service.stats())]
+        if self._obs is not None:
+            registries.append(self._obs.registry)
+        if query.get("format", [""])[-1] == "json":
+            return 200, json.dumps(merged_snapshot(*registries),
+                                   sort_keys=True).encode()
+        return (200, render_merged(*registries).encode(),
+                "text/plain; version=0.0.4; charset=utf-8")
+
+    def _handle_trace(self, path: str):
+        """``GET /trace``: the span ring as Chrome ``trace_event`` JSON."""
+        query = parse_qs(path.partition("?")[2])
+        last = None
+        raw = query.get("last", [None])[-1]
+        if raw is not None:
+            try:
+                last = int(raw)
+            except ValueError:
+                return protocol.error_response(
+                    ModelError(f"malformed last={raw!r} query parameter"))
+        trace = {"traceEvents": []} if self._obs is None \
+            else self._obs.tracer.chrome_trace(last=last)
+        return 200, json.dumps(trace, sort_keys=True).encode()
+
     async def _handle_solve(self, headers, body: bytes):
         loop = asyncio.get_running_loop()
+        obs = self._obs
+        trace_id = None
+        start = 0.0
+        if obs is not None:
+            trace_id = headers.get(protocol.TRACE_HEADER)
+            start = obs.tracer.clock()
         try:
             if self._faults is not None \
                     and self._faults.draw("worker_sigkill") is not None:
@@ -265,13 +343,33 @@ class WorkerServer:
             future = await loop.run_in_executor(
                 None, partial(self.service.submit, instance, strategy,
                               config=config, digest=digest,
-                              deadline=deadline))
+                              deadline=deadline, trace_id=trace_id))
             report = await asyncio.wrap_future(future)
         except BaseException as exc:  # noqa: BLE001 - mapped to the wire
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
+            if obs is not None:
+                self._record_solve(trace_id, start,
+                                   error=type(exc).__name__)
             return protocol.error_response(exc)
+        if obs is not None:
+            self._record_solve(trace_id, start)
         return 200, protocol.encode_report(report)
+
+    def _record_solve(self, trace_id: Optional[str], start: float,
+                      error: Optional[str] = None) -> None:
+        """One ``/solve`` finished: histogram observation + span."""
+        obs = self._obs
+        duration = obs.tracer.clock() - start
+        obs.latency_histogram(
+            "repro_worker_request_seconds",
+            "Wall time of one worker /solve request.").observe(duration)
+        if trace_id is None:
+            return
+        annotations = {} if error is None else {"error": error}
+        obs.tracer.record_complete("worker.solve", trace_id=trace_id,
+                                   start=start, duration=duration,
+                                   **annotations)
 
     async def _handle_drain(self, body: bytes):
         try:
@@ -290,11 +388,13 @@ async def _amain(args: argparse.Namespace) -> None:
     injector = None
     if getattr(args, "fault_plan", None):
         injector = FaultInjector.from_plan(FaultPlan.load(args.fault_plan))
+    obs = Observability(service=f"worker-{os.getpid()}") \
+        if getattr(args, "obs", False) else None
     worker = WorkerServer(
         host=args.host, port=args.port, store_dir=args.store,
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
         max_queue=args.max_queue, max_workers=args.workers or 0,
-        fault_injector=injector)
+        fault_injector=injector, obs=obs)
     await worker.start()
     # The launcher blocks on this exact line to learn the ephemeral port.
     print(f"REPRO_WORKER_READY port={worker.port} pid={os.getpid()}",
@@ -320,6 +420,9 @@ def main(argv=None) -> int:
     parser.add_argument("--fault-plan", default=None,
                         help="fault plan: a built-in name (e.g. 'smoke') or "
                              "a JSON file path; chaos testing only")
+    parser.add_argument("--obs", action="store_true",
+                        help="enable observability: span tracing and live "
+                             "latency histograms on /metrics and /trace")
     args = parser.parse_args(argv)
     try:
         asyncio.run(_amain(args))

@@ -30,6 +30,7 @@ The hot loop is vectorized end to end (selectable via
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
@@ -39,6 +40,7 @@ import numpy as np
 from repro.exceptions import ConvergenceError, ModelError
 from repro.latency.batch import LatencyBatch
 from repro.network.instance import NetworkInstance
+from repro.obs.profiling import active as _profiling_active
 from repro.paths.dijkstra import (
     HAVE_SPARSE_DIJKSTRA,
     ShortestPathEngine,
@@ -192,7 +194,24 @@ def frank_wolfe(instance: NetworkInstance, kind: str,
     ``kind`` is ``"nash"`` (minimise the Beckmann potential; direction costs
     are the latencies) or ``"optimum"`` (minimise the total cost; direction
     costs are the marginal costs).
+
+    When profiling is active (``SolveConfig(profile=True)`` or a tracing
+    service batch) each call reports a ``frank_wolfe[<kind>]`` phase; the
+    disabled cost is one ``is None`` check on the recorder lookup.
     """
+    recorder = _profiling_active()
+    if recorder is None:
+        return _frank_wolfe(instance, kind, options)
+    start = time.perf_counter()
+    try:
+        return _frank_wolfe(instance, kind, options)
+    finally:
+        recorder.note(f"frank_wolfe[{kind}]", time.perf_counter() - start)
+
+
+def _frank_wolfe(instance: NetworkInstance, kind: str,
+                 options: FrankWolfeOptions | None = None,
+                 ) -> NetworkFlowResult:
     options = options or FrankWolfeOptions()
     if options.kernel not in ("auto", "vectorized", "reference"):
         raise ModelError(f"unknown Frank-Wolfe kernel {options.kernel!r}")

@@ -28,6 +28,7 @@ fixed latency.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro.exceptions import ConvergenceError, ModelError
 from repro.latency.base import LatencyFunction
 from repro.latency.batch import LatencyBatch
 from repro.network.parallel import ParallelLinkInstance
+from repro.obs.profiling import active as _profiling_active
 from repro.equilibrium.result import ParallelFlowResult
 from repro.utils.rootfind import bisect_root, expand_upper_bracket
 from repro.utils.vectorized import piecewise_linear_level
@@ -72,7 +74,28 @@ def water_fill(latencies: Sequence[LatencyFunction], demand: float,
     ``batch`` over the same latencies avoids re-grouping on repeated solves.
     Returns ``(flows, common_level)`` where ``common_level`` is the equalised
     value on loaded links; unloaded links have a level at least as large.
+
+    When profiling is active (``SolveConfig(profile=True)`` or a tracing
+    service batch) each call reports a ``water_fill[<kind>]`` phase; when
+    it is not — the default — the overhead is the one ``is None`` check
+    on the recorder lookup.
     """
+    recorder = _profiling_active()
+    if recorder is None:
+        return _water_fill(latencies, demand, kind, tol=tol,
+                           backend=backend, batch=batch)
+    start = time.perf_counter()
+    try:
+        return _water_fill(latencies, demand, kind, tol=tol,
+                           backend=backend, batch=batch)
+    finally:
+        recorder.note(f"water_fill[{kind}]", time.perf_counter() - start)
+
+
+def _water_fill(latencies: Sequence[LatencyFunction], demand: float,
+                kind: str, *, tol: float = 1e-12, backend: str = "auto",
+                batch: Optional[LatencyBatch] = None,
+                ) -> Tuple[np.ndarray, float]:
     if backend not in WATER_FILL_BACKENDS:
         raise ModelError(
             f"unknown water_fill backend {backend!r}; expected one of "

@@ -76,6 +76,10 @@ class ChaosReport:
     merged: Dict[str, Any] = field(default_factory=dict)
     #: Final gateway counters.
     gateway: Dict[str, int] = field(default_factory=dict)
+    #: Metrics-registry snapshot of the final cluster stats (the same
+    #: numbers as ``merged``/``gateway``, projected through
+    #: :mod:`repro.obs.collect` — what a ``/metrics`` scrape would show).
+    metrics: Dict[str, Any] = field(default_factory=dict)
     #: Broken invariants (empty = the degradation contract held).
     violations: List[str] = field(default_factory=list)
 
@@ -94,6 +98,7 @@ class ChaosReport:
             "warm_sweep_hits": self.warm_sweep_hits,
             "respawned_worker_hits": self.respawned_worker_hits,
             "merged": dict(self.merged), "gateway": dict(self.gateway),
+            "metrics": dict(self.metrics),
             "violations": list(self.violations), "passed": self.passed,
         }
 
@@ -248,6 +253,8 @@ def run_chaos(plan: Union[FaultPlan, str], *, steps: int = 50,
         report.warm_sweep_hits = max(0, merged.hits - before_sweep.hits)
         report.merged = merged.to_dict()
         report.gateway = dict(stats["gateway"])  # type: ignore[arg-type]
+        from repro.obs.collect import collect_cluster_stats
+        report.metrics = collect_cluster_stats(stats).snapshot()
         supervisor = stats.get("supervisor") or {}
         report.respawns = int(supervisor.get("worker_respawns", 0))
         for node_id, entry in stats["workers"].items():  # type: ignore[union-attr]

@@ -178,6 +178,13 @@ class TieredCache:
             self._counters["puts"] += 1
 
     def _count(self, outcome: str) -> None:
+        # Monotonicity audit: every mutation of self._counters happens
+        # inside self._lock, and ``lookups`` moves in the same critical
+        # section as its outcome bucket — so each counter is monotone
+        # non-decreasing under any interleaving and a stats() reader can
+        # never observe ``lookups`` ahead of the bucket sum (or behind
+        # it).  The only counter writes outside this helper (put's
+        # ``puts`` and get_store's ``store_errors``) take the same lock.
         with self._lock:
             self._counters["lookups"] += 1
             self._counters[outcome] += 1
@@ -189,7 +196,11 @@ class TieredCache:
         """Atomic tier-level counters plus the raw backing-tier stats.
 
         ``memory_hits + store_hits + misses == lookups`` always holds for
-        the top-level counters of one :class:`TieredCache` handle.
+        the top-level counters of one :class:`TieredCache` handle.  (The
+        three sections are snapshotted under three different locks — the
+        cache's, the LRU's, the store's — so each section is internally
+        exact while cross-section comparisons can be transiently ahead or
+        behind by in-flight operations.)
         """
         with self._lock:
             top = dict(self._counters)
@@ -202,3 +213,20 @@ class TieredCache:
     def clear_memory(self) -> int:
         """Drop tier 1 (the artifacts stay); returns entries dropped."""
         return self.memory.clear()
+
+    def reset(self) -> None:
+        """Zero every counter — this cache's, tier 1's, and tier 2's —
+        while keeping all cached entries.
+
+        The benchmark seam: re-measuring a warm configuration previously
+        meant rebuilding the cache (and the store handle) just to start
+        from clean counters; ``reset()`` keeps the warmth and drops only
+        the accounting.  Each tier resets under its own lock, so the
+        per-tier invariants hold before and after.
+        """
+        with self._lock:
+            for key in self._counters:
+                self._counters[key] = 0
+        self.memory.reset_stats()
+        if self.store is not None:
+            self.store.reset_stats()

@@ -60,6 +60,7 @@ from repro.study.store import ArtifactStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.faults.injector import FaultInjector
+    from repro.obs import Observability
 
 __all__ = ["SolveService", "ServiceStats"]
 
@@ -119,6 +120,12 @@ class ServiceStats:
     queue_peak: int = 0
     #: Requests submitted but not yet resolved at snapshot time.
     pending: int = 0
+    #: Side counters this build does not recognise, carried through
+    #: :meth:`from_dict`/:meth:`merge` additively.  A gateway aggregating
+    #: snapshots from newer (or older) workers must not silently drop
+    #: their extra accounting — it rides here instead, keyed by the
+    #: foreign counter name.
+    extra: Dict[str, float] = field(default_factory=dict)
     #: Tiered-cache counters (top level plus per-tier backends).
     cache: Dict[str, Any] = field(default_factory=dict)
 
@@ -140,8 +147,14 @@ class ServiceStats:
                                  + self.rejected + self.probing)
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dictionary rendering (JSON-compatible)."""
+        """Plain-dictionary rendering (JSON-compatible).
+
+        ``extra`` is omitted while empty, so a build that never saw a
+        foreign counter emits the exact wire shape it always has.
+        """
         data = asdict(self)
+        if not data["extra"]:
+            del data["extra"]
         data["hits"] = self.hits
         data["consistent"] = self.consistent
         return data
@@ -151,12 +164,23 @@ class ServiceStats:
         """Rebuild a snapshot from :meth:`to_dict` output.
 
         The derived fields (``hits``, ``consistent``) are recomputed, not
-        trusted; unknown keys are ignored so snapshots ship across library
-        versions (a worker and a gateway need not run identical builds).
+        trusted.  Unknown **numeric** keys are preserved in :attr:`extra`
+        instead of being dropped: snapshots ship across library versions
+        (a worker and a gateway need not run identical builds), and a
+        foreign side counter must survive aggregation rather than vanish
+        from the merged view.  Unknown non-numeric keys are still ignored
+        (there is no meaningful way to aggregate them).
         """
         known = {f.name for f in _STATS_FIELDS}
-        return cls(**{key: value for key, value in data.items()
-                      if key in known})
+        fields = {key: value for key, value in data.items() if key in known}
+        extra = dict(fields.pop("extra", None) or {})
+        for key, value in data.items():
+            if key in known or key in ("hits", "consistent"):
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            extra[key] = extra.get(key, 0) + value
+        return cls(extra=extra, **fields)
 
     def merge(self, *others: "ServiceStats") -> "ServiceStats":
         """Aggregate snapshots from several services into one.
@@ -168,16 +192,23 @@ class ServiceStats:
         mark, not a flow), ``pending`` sums (in-flight work is additive),
         and the nested ``cache`` counters merge recursively: numeric
         leaves add, dicts recurse, mismatched shapes drop to ``None``.
-        This is what the cluster gateway's aggregated ``/stats`` is built
-        from.
+        ``extra`` (foreign side counters from mixed-version snapshots)
+        merges additively by key — a counter only one side carries keeps
+        its value.  This is what the cluster gateway's aggregated
+        ``/stats`` is built from.
         """
         merged: Dict[str, Any] = {
             f.name: getattr(self, f.name) for f in _STATS_FIELDS}
+        merged["extra"] = dict(merged["extra"])
         for other in others:
             for f in _STATS_FIELDS:
                 if f.name == "cache":
                     merged["cache"] = _merge_cache(merged["cache"],
                                                    other.cache)
+                elif f.name == "extra":
+                    for key, value in other.extra.items():
+                        merged["extra"][key] = \
+                            merged["extra"].get(key, 0) + value
                 elif f.name == "queue_peak":
                     merged["queue_peak"] = max(merged["queue_peak"],
                                                other.queue_peak)
@@ -229,10 +260,10 @@ class _Request:
     """One queued solve: its cache key (or ``None``) and its futures."""
 
     __slots__ = ("key", "digest", "instance", "strategy", "config", "future",
-                 "deadline")
+                 "deadline", "trace_id")
 
     def __init__(self, key, digest, instance, strategy, config, future,
-                 deadline=None):
+                 deadline=None, trace_id=None):
         self.key = key
         self.digest = digest
         self.instance = instance
@@ -240,6 +271,7 @@ class _Request:
         self.config = config
         self.future = future
         self.deadline = deadline
+        self.trace_id = trace_id
 
 
 class SolveService:
@@ -273,6 +305,15 @@ class SolveService:
         Optional :class:`repro.faults.FaultInjector` drawn before every
         solver batch (``solver_delay`` / ``solver_crash``).  ``None`` (the
         default) costs one attribute check per batch.
+    obs:
+        Optional :class:`repro.obs.Observability` handle.  When set, each
+        executed batch records ``service.batch`` spans (one per traced
+        request, carrying the trace id the cluster worker extracted from
+        the wire) plus ``kernel.*`` spans from the solver's profiling
+        phases, and a ``repro_service_batch_seconds`` latency histogram.
+        ``None`` (the default) follows the same zero-cost contract as
+        ``fault_injector``: one ``is None`` check per batch, nothing on
+        the submit path.
     """
 
     def __init__(self, *, store: Optional[ArtifactStore] = None,
@@ -281,7 +322,8 @@ class SolveService:
                  max_queue: int = 10_000,
                  max_workers: Optional[int] = 0,
                  solver=None,
-                 fault_injector: "Optional[FaultInjector]" = None) -> None:
+                 fault_injector: "Optional[FaultInjector]" = None,
+                 obs: "Optional[Observability]" = None) -> None:
         if int(max_batch) < 1:
             raise ModelError(f"max_batch must be >= 1, got {max_batch!r}")
         if float(max_wait_ms) < 0.0:
@@ -324,6 +366,7 @@ class SolveService:
             "worker_restarts": 0, "timeouts": 0, "shutdown_timeouts": 0,
             "queue_peak": 0, "pending": 0}
         self._faults = fault_injector
+        self._obs = obs
         self._thread: Optional[threading.Thread] = None
         self._started = False
         self._stop = threading.Event()
@@ -427,7 +470,8 @@ class SolveService:
     def submit(self, instance, strategy: Optional[str] = None, *,
                config: Optional[SolveConfig] = None,
                digest: Optional[str] = None,
-               deadline: Optional[float] = None) -> "Future[SolveReport]":
+               deadline: Optional[float] = None,
+               trace_id: Optional[str] = None) -> "Future[SolveReport]":
         """Request one solve; returns a future for its
         :class:`~repro.api.report.SolveReport`.
 
@@ -450,6 +494,11 @@ class SolveService:
         already in hand).  A request that coalesces onto an in-flight key
         shares the *claiming* request's fate — its own deadline is not
         re-checked once attached.
+
+        ``trace_id`` (optional) tags the request for distributed tracing:
+        when the service carries an :class:`~repro.obs.Observability`
+        handle, the executing batch records a ``service.batch`` span
+        under this id.  Ignored (at zero cost) otherwise.
         """
         config = SolveConfig() if config is None else config
         name = resolve_strategy_name(strategy)
@@ -506,7 +555,7 @@ class SolveService:
                 try:
                     self._enqueue_locked(
                         _Request(None, None, instance, name, config, future,
-                                 deadline))
+                                 deadline, trace_id))
                 except ServiceOverloadedError:
                     self._counters["rejected"] += 1
                     raise
@@ -532,7 +581,7 @@ class SolveService:
             self._release_pending(len(waiters))
             return future
         request = _Request(key, digest, instance, name, config, future,
-                           deadline)
+                           deadline, trace_id)
         overload: Optional[ServiceOverloadedError] = None
         with self._lock:
             self._counters["probing"] -= 1
@@ -721,23 +770,40 @@ class SolveService:
         strategy = requests[0].strategy
         config = requests[0].config
         instances = [request.instance for request in requests]
-        try:
-            if self._faults is not None:
-                # Chaos hook: may sleep (solver_delay) or raise
-                # FaultInjectedError (solver_crash) — the containment
-                # below turns either into per-request failed futures.
-                self._faults.raise_solver_faults()
+        obs = self._obs
+        batch_start = obs.tracer.clock() if obs is not None else 0.0
+        recorder: Optional[Any] = None
+
+        def _invoke_solver():
             try:
-                reports = self._solver(instances, strategy, config=config,
-                                       max_workers=self.max_workers)
+                return self._solver(instances, strategy, config=config,
+                                    max_workers=self.max_workers)
             except BrokenProcessPool:
                 # The pool died mid-batch (OOM-killed worker, hard crash).
                 # solve_many builds a fresh pool per call, so the *next*
                 # batch is unaffected; this one is retried in-process.
                 with self._lock:
                     self._counters["pool_restarts"] += 1
-                reports = self._solver(instances, strategy, config=config,
-                                       max_workers=0)
+                return self._solver(instances, strategy, config=config,
+                                    max_workers=0)
+
+        try:
+            if self._faults is not None:
+                # Chaos hook: may sleep (solver_delay) or raise
+                # FaultInjectedError (solver_crash) — the containment
+                # below turns either into per-request failed futures.
+                self._faults.raise_solver_faults()
+            if obs is None:
+                reports = _invoke_solver()
+            else:
+                # Run the batch under a profiling recorder so in-process
+                # kernels (water_fill, Frank-Wolfe) report phases that
+                # become kernel.* spans below.  Process-pool batches
+                # execute kernels elsewhere; their phases simply stay
+                # empty here.
+                from repro.obs.profiling import profiled
+                with profiled() as recorder:
+                    reports = _invoke_solver()
             if len(reports) != len(requests):
                 # A misbehaving injected solver must become a visible batch
                 # failure, not a silent hang of the unzipped tail.
@@ -745,8 +811,13 @@ class SolveService:
                     f"solver returned {len(reports)} reports for "
                     f"{len(requests)} instances")
         except BaseException as exc:  # noqa: BLE001 - forwarded to futures
+            if obs is not None:
+                self._record_batch_spans(requests, recorder, batch_start,
+                                         error=type(exc).__name__)
             self._fail_requests(requests, exc)
             return
+        if obs is not None:
+            self._record_batch_spans(requests, recorder, batch_start)
         # Write-through BEFORE popping _inflight: the puts are disk I/O
         # (the tiers are internally thread-safe), and the put-then-pop
         # order guarantees a submitter always either sees the cached report
@@ -772,6 +843,38 @@ class SolveService:
         for future, report in resolved:
             _settle(future, result=report)
         self._release_pending(len(resolved))
+
+    def _record_batch_spans(self, requests: List[_Request], recorder,
+                            start: float,
+                            error: Optional[str] = None) -> None:
+        """Emit the batch's spans and latency sample (obs enabled only).
+
+        One ``service.batch`` span per *traced* request (so every trace
+        that flowed through the wire sees where its batch ran), plus one
+        ``kernel.<phase>`` span per profiled kernel phase, anchored to
+        the first traced request's id.
+        """
+        tracer = self._obs.tracer
+        duration = tracer.clock() - start
+        self._obs.latency_histogram(
+            "repro_service_batch_seconds",
+            "Wall time of executed solver batches").observe(duration)
+        traced = [request for request in requests
+                  if request.trace_id is not None]
+        for request in traced:
+            annotations: Dict[str, Any] = {
+                "strategy": request.strategy, "batch_size": len(requests)}
+            if error is not None:
+                annotations["error"] = error
+            tracer.record_complete("service.batch",
+                                   trace_id=request.trace_id, start=start,
+                                   duration=duration, **annotations)
+        if traced and recorder is not None:
+            anchor = traced[0].trace_id
+            for name, entry in recorder.phases.items():
+                tracer.record_complete(
+                    f"kernel.{name}", trace_id=anchor, start=start,
+                    duration=entry["seconds"], calls=entry["calls"])
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.api.config import SolveConfig
 from repro.api.session import cache_stats, solve, solve_many
 from repro.exceptions import ModelError
+from repro.obs.metrics import MetricsRegistry
 from repro.serialization import instance_digest
 from repro.study.report import CellResult, StudyReport
 from repro.study.spec import StudySpec
@@ -57,7 +58,8 @@ def solve_cell(instance, strategy: str, config: SolveConfig, *,
 
 
 def run_study(spec: StudySpec, *, store: Optional[ArtifactStore] = None,
-              max_workers: Optional[int] = 0) -> StudyReport:
+              max_workers: Optional[int] = 0,
+              registry: Optional[MetricsRegistry] = None) -> StudyReport:
     """Execute a study spec and aggregate the results.
 
     Parameters
@@ -73,6 +75,13 @@ def run_study(spec: StudySpec, *, store: Optional[ArtifactStore] = None,
         :func:`repro.api.solve_many`; the default ``0`` solves sequentially
         in process (deterministic and cheap for the small studies the
         experiments use), ``None`` picks ``min(pending, cpu_count)``.
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry`.  When given, the run
+        increments ``repro_study_cells_total``,
+        ``repro_study_resumed_total`` (cells served from the store) and
+        ``repro_study_solved_total{strategy=...}`` — an accumulating view
+        over many ``run_study`` calls that the per-run
+        :class:`~repro.study.report.StudyReport` counters cannot give.
 
     Returns
     -------
@@ -158,4 +167,19 @@ def run_study(spec: StudySpec, *, store: Optional[ArtifactStore] = None,
         now = store.stats()
         result.store_hits = now["hits"] - store_stats_before["hits"]
         result.store_misses = now["misses"] - store_stats_before["misses"]
+    if registry is not None:
+        registry.counter("repro_study_cells_total",
+                         "Study cells executed (all sources).").inc(
+            len(result.results))
+        resumed = sum(1 for slot in result.results if slot.from_store)
+        if resumed:
+            registry.counter("repro_study_resumed_total",
+                             "Study cells served from the artifact "
+                             "store.").inc(resumed)
+        solved = registry.counter("repro_study_solved_total",
+                                  "Study cells solved this run, by "
+                                  "strategy.", labels=("strategy",))
+        for slot in result.results:
+            if not slot.from_store:
+                solved.labels(strategy=slot.cell.strategy).inc()
     return result

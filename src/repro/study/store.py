@@ -117,6 +117,10 @@ class ArtifactStore:
                                        "skipped_writes": 0, "corrupt": 0}
 
     def _count(self, counter: str) -> None:
+        # Monotonicity audit: this is the only place the counters mutate
+        # (reset_stats aside), always under _stats_lock; stats() snapshots
+        # under the same lock.  Counters are therefore monotone
+        # non-decreasing between resets, under any thread interleaving.
         with self._stats_lock:
             self._stats[counter] += 1
 

@@ -72,6 +72,51 @@ class TestServiceStatsRoundTrip:
         assert not merged.consistent
 
 
+class TestMixedVersionMerge:
+    """Snapshots cross library versions: foreign counters must survive.
+
+    Regression coverage for the gateway silently dropping side counters
+    it did not recognise when aggregating snapshots from newer (or older)
+    workers."""
+
+    def test_from_dict_preserves_unknown_numeric_keys(self):
+        data = ServiceStats(requests=3, enqueued=3).to_dict()
+        data["speculative_solves"] = 4       # a future build's counter
+        data["gpu_batches"] = 1.5
+        data["build_label"] = "v9"           # non-numeric: not aggregable
+        data["experimental"] = True          # bools are not counters
+        rebuilt = ServiceStats.from_dict(data)
+        assert rebuilt.extra == {"speculative_solves": 4, "gpu_batches": 1.5}
+
+    def test_extra_counters_merge_additively(self):
+        new_worker = ServiceStats.from_dict({
+            "requests": 2, "enqueued": 2, "speculative_solves": 4})
+        other_new = ServiceStats.from_dict({
+            "requests": 1, "enqueued": 1, "speculative_solves": 3})
+        old_worker = ServiceStats(requests=5, tier1_hits=5)
+        merged = old_worker.merge(new_worker, other_new)
+        assert merged.requests == 8
+        assert merged.extra == {"speculative_solves": 7}
+        assert merged.consistent
+
+    def test_one_sided_extra_counter_keeps_its_value(self):
+        merged = ServiceStats(requests=1, enqueued=1).merge(
+            ServiceStats(requests=1, enqueued=1, extra={"only_here": 2}))
+        assert merged.extra == {"only_here": 2}
+
+    def test_extra_round_trips_through_the_wire_shape(self):
+        stats = ServiceStats(requests=1, enqueued=1, extra={"foreign": 9})
+        payload = json.dumps(stats.to_dict(), sort_keys=True)
+        rebuilt = ServiceStats.from_dict(json.loads(payload))
+        assert rebuilt.extra == {"foreign": 9}
+        assert rebuilt == stats
+
+    def test_empty_extra_is_omitted_from_the_wire_shape(self):
+        # Back-compat: a build that saw no foreign counter emits the
+        # historical dict shape exactly.
+        assert "extra" not in ServiceStats(requests=1, enqueued=1).to_dict()
+
+
 class TestOverloadedError:
     def test_carries_queue_depth(self):
         exc = ServiceOverloadedError("full", queue_depth=17)

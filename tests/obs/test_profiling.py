@@ -1,0 +1,109 @@
+"""Profiling hooks: recorder semantics and the `SolveConfig.profile` path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import SolveConfig, solve
+from repro.instances import pigou
+from repro.obs.profiling import PhaseRecorder, active, phase, profiled
+
+
+class TestPhaseRecorder:
+    def test_accumulates_calls_and_seconds(self):
+        recorder = PhaseRecorder()
+        recorder.note("water_fill[nash]", 0.25)
+        recorder.note("water_fill[nash]", 0.75)
+        recorder.note("frank_wolfe[optimum]", 1.0)
+        assert recorder.phases["water_fill[nash]"] == {
+            "calls": 2, "seconds": 1.0}
+        assert recorder.phases["frank_wolfe[optimum]"]["calls"] == 1
+
+    def test_notes_chain_to_the_parent(self):
+        parent = PhaseRecorder()
+        child = PhaseRecorder(parent=parent)
+        child.note("p", 0.5)
+        assert parent.phases["p"] == {"calls": 1, "seconds": 0.5}
+
+    def test_to_dict_sorts_phases_and_carries_total(self):
+        recorder = PhaseRecorder()
+        recorder.note("b", 1.0)
+        recorder.note("a", 2.0)
+        data = recorder.to_dict(total_seconds=3.5)
+        assert list(data["phases"]) == ["a", "b"]
+        assert data["total_seconds"] == 3.5
+
+
+class TestThreadLocalInstall:
+    def test_disabled_is_none(self):
+        assert active() is None
+
+    def test_profiled_installs_and_restores(self):
+        with profiled() as recorder:
+            assert active() is recorder
+        assert active() is None
+
+    def test_nested_recorders_chain(self):
+        with profiled() as outer:
+            with profiled() as inner:
+                assert inner.parent is outer
+                with phase("p"):
+                    pass
+            assert active() is outer
+        # The inner phase bubbled up to the outer recorder too.
+        assert "p" in outer.phases
+        assert "p" in inner.phases
+
+    def test_phase_is_a_noop_when_off(self):
+        with phase("ignored"):
+            pass
+        assert active() is None
+
+    def test_profiled_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with profiled():
+                raise RuntimeError("boom")
+        assert active() is None
+
+
+class TestSolveProfile:
+    def test_profiled_solve_lands_in_report_metadata(self):
+        report = solve(pigou(), "optop",
+                       config=SolveConfig(profile=True, cache=False))
+        profile = report.profile
+        assert profile is not None
+        assert profile is report.metadata["profile"]
+        assert profile["total_seconds"] > 0
+        # optop runs water-filling kernels; at least one phase must show.
+        kernels = [name for name in profile["phases"]
+                   if name.startswith("water_fill[")]
+        assert kernels, profile["phases"]
+        for entry in profile["phases"].values():
+            assert entry["calls"] >= 1
+            assert entry["seconds"] >= 0.0
+
+    def test_unprofiled_solve_has_no_profile(self):
+        report = solve(pigou(), "optop", config=SolveConfig(cache=False))
+        assert report.profile is None
+        assert "profile" not in report.metadata
+
+
+class TestConfigBackCompat:
+    def test_default_config_json_is_unchanged(self):
+        # The canonical JSON (and with it every digest-addressed cache
+        # key) must be byte-identical for configs that never opt in.
+        data = json.loads(SolveConfig().to_json())
+        assert "profile" not in data
+
+    def test_profiled_config_serializes_the_flag(self):
+        data = json.loads(SolveConfig(profile=True).to_json())
+        assert data["profile"] is True
+
+    def test_profile_survives_round_trip(self):
+        config = SolveConfig(profile=True)
+        rebuilt = SolveConfig.from_dict(json.loads(config.to_json()))
+        assert rebuilt.profile is True
+        assert SolveConfig.from_dict(
+            json.loads(SolveConfig().to_json())).profile is False

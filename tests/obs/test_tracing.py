@@ -1,0 +1,147 @@
+"""Unit tests for tracing: deterministic ids, the ring, Chrome export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.tracing import Span, Tracer, span_to_chrome_event, trace_id_for
+
+
+class FakeClock:
+    """A deterministic monotonic clock advanced by the test."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_tracer(**kwargs) -> Tracer:
+    return Tracer(service="test", clock=FakeClock(), **kwargs)
+
+
+class TestTraceIds:
+    def test_deterministic_and_digest_sensitive(self):
+        assert trace_id_for("abc", 1) == trace_id_for("abc", 1)
+        assert trace_id_for("abc", 1) != trace_id_for("abc", 2)
+        assert trace_id_for("abc", 1) != trace_id_for("abd", 1)
+
+    def test_sixteen_hex_digits(self):
+        tid = trace_id_for("digest", 7)
+        assert len(tid) == 16
+        int(tid, 16)
+
+    def test_span_ids_are_sequential_per_tracer(self):
+        tracer = make_tracer()
+        a = tracer.span("a", trace_id="t")
+        b = tracer.span("b", trace_id="t")
+        assert a.span_id == "test:1"
+        assert b.span_id == "test:2"
+
+
+class TestSpanLifecycle:
+    def test_exact_timing_with_injected_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(service="svc", clock=clock)
+        span = tracer.span("op", trace_id="t1")
+        clock.now = 2.5
+        span.finish()
+        assert span.start == 0.0
+        assert span.duration == 2.5
+
+    def test_unfinished_span_is_not_exported(self):
+        tracer = make_tracer()
+        tracer.span("open", trace_id="t")
+        assert len(tracer) == 0
+
+    def test_finish_is_idempotent(self):
+        tracer = make_tracer()
+        span = tracer.span("op", trace_id="t")
+        span.finish()
+        span.finish()
+        assert len(tracer) == 1
+
+    def test_context_manager_annotates_exceptions(self):
+        tracer = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("op", trace_id="t") as span:
+                raise RuntimeError("boom")
+        assert span.annotations["error"] == "RuntimeError"
+        assert len(tracer) == 1
+
+    def test_annotations_flow_to_the_record(self):
+        tracer = make_tracer()
+        with tracer.span("op", trace_id="t", digest="d1") as span:
+            span.annotate("retry", 2)
+        record = tracer.spans()[0]
+        assert record["annotations"] == {"digest": "d1", "retry": 2}
+        assert record["parent_id"] is None
+        assert record["service"] == "test"
+
+    def test_record_complete_skips_the_live_span(self):
+        tracer = make_tracer()
+        tracer.record_complete("kernel.water_fill[nash]", trace_id="t",
+                               start=1.0, duration=0.25, calls=3)
+        record = tracer.spans()[0]
+        assert record["start"] == 1.0
+        assert record["duration"] == 0.25
+        assert record["annotations"] == {"calls": 3}
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_the_ring(self):
+        tracer = make_tracer(capacity=3)
+        for i in range(10):
+            tracer.span(f"op{i}", trace_id="t").finish()
+        names = [record["name"] for record in tracer.spans()]
+        assert names == ["op7", "op8", "op9"]
+
+    def test_last_n_returns_the_newest(self):
+        tracer = make_tracer()
+        for i in range(5):
+            tracer.span(f"op{i}", trace_id="t").finish()
+        names = [record["name"] for record in tracer.spans(last=2)]
+        assert names == ["op3", "op4"]
+
+    def test_clear_reports_dropped_count(self):
+        tracer = make_tracer()
+        tracer.span("a", trace_id="t").finish()
+        tracer.span("b", trace_id="t").finish()
+        assert tracer.clear() == 2
+        assert len(tracer) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            make_tracer(capacity=0)
+
+
+class TestChromeExport:
+    def test_complete_event_shape(self):
+        clock = FakeClock()
+        tracer = Tracer(service="worker-1", clock=clock)
+        clock.now = 1.0
+        span = tracer.span("worker.solve", trace_id="abcd",
+                           parent_id="gw:1")
+        clock.now = 1.5
+        span.annotate("status", 200)
+        span.finish()
+        event = tracer.chrome_trace()["traceEvents"][0]
+        assert event["ph"] == "X"
+        assert event["name"] == "worker.solve"
+        assert event["cat"] == "abcd"           # trace id groups events
+        assert event["pid"] == "worker-1"
+        assert event["tid"] == "worker-1:1"
+        assert event["ts"] == pytest.approx(1.0e6)   # microseconds
+        assert event["dur"] == pytest.approx(0.5e6)
+        assert event["args"]["status"] == 200
+        assert event["args"]["trace_id"] == "abcd"
+        assert event["args"]["parent_id"] == "gw:1"
+
+    def test_event_without_parent_omits_the_arg(self):
+        event = span_to_chrome_event({
+            "trace_id": "t", "span_id": "s:1", "parent_id": None,
+            "name": "op", "service": "svc", "start": 0.0,
+            "duration": None, "annotations": {}})
+        assert "parent_id" not in event["args"]
+        assert event["dur"] == 0.0

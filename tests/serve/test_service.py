@@ -265,6 +265,73 @@ class TestTieredCache:
         assert (cache_stats["memory_hits"] + cache_stats["store_hits"]
                 + cache_stats["misses"]) == cache_stats["lookups"]
 
+    def test_counters_are_monotone_under_concurrent_lookups(self, tmp_path):
+        store = ArtifactStore(tmp_path / "artifacts")
+        cache = TieredCache(store=store)
+        config = QUICK
+        with SolveService(cache=cache, max_wait_ms=1.0) as service:
+            instance = random_linear_parallel(3, demand=1.0, seed=9)
+            service.solve(instance, "optop", config=config, timeout=30)
+
+            snapshots = []
+            stop = threading.Event()
+
+            def reader():
+                while not stop.is_set():
+                    snapshots.append(cache.stats())
+
+            watcher = threading.Thread(target=reader)
+            watcher.start()
+            try:
+                threads = [
+                    threading.Thread(target=lambda: [
+                        service.solve(instance, "optop", config=config,
+                                      timeout=30) for _ in range(20)])
+                    for _ in range(4)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            finally:
+                stop.set()
+                watcher.join()
+            snapshots.append(cache.stats())
+        # Every counter observed by the concurrent reader is monotone
+        # non-decreasing, and lookups never runs ahead of its buckets.
+        for name in ("lookups", "memory_hits", "store_hits", "misses",
+                     "puts", "store_errors"):
+            values = [snap[name] for snap in snapshots]
+            assert values == sorted(values), name
+        for snap in snapshots:
+            assert snap["lookups"] == (snap["memory_hits"]
+                                       + snap["store_hits"] + snap["misses"])
+
+    def test_reset_zeroes_counters_but_keeps_the_warmth(self, tmp_path):
+        store = ArtifactStore(tmp_path / "artifacts")
+        cache = TieredCache(store=store)
+        solver = CountingSolver()
+        instance = random_linear_parallel(4, demand=2.0, seed=5)
+        with SolveService(cache=cache, max_wait_ms=1.0,
+                          solver=solver) as service:
+            service.solve(instance, "optop", config=QUICK, timeout=30)
+            service.solve(instance, "optop", config=QUICK, timeout=30)
+            assert cache.stats()["lookups"] > 0
+
+            cache.reset()  # the bench seam: clean counters, warm entries
+
+            counters = cache.stats()
+            assert counters["lookups"] == 0
+            assert counters["memory_hits"] == 0
+            assert counters["memory"]["hits"] == 0
+            assert counters["store"]["hits"] == 0
+            before_calls = solver.calls
+            service.solve(instance, "optop", config=QUICK, timeout=30)
+            after = cache.stats()
+        assert solver.calls == before_calls, "reset must not drop entries"
+        assert after["memory_hits"] == 1
+        assert after["lookups"] == 1
+        assert len(cache.memory) == 1 and len(store) == 1
+
 
 class TestFailureContainment:
     def test_failed_write_through_still_serves_the_report(self, tmp_path):

@@ -234,3 +234,80 @@ class TestChaosListCommand:
             assert name in out
         assert "worker_sigkill" in out
         assert "0x" in out  # seeds print in hex for easy pinning
+
+
+class TestObsCommand:
+    """`repro obs` against a live in-process worker endpoint."""
+
+    @pytest.fixture()
+    def obs_worker_url(self):
+        import asyncio
+        import threading
+
+        from repro.cluster.worker import WorkerServer
+        from repro.obs import Observability
+
+        obs = Observability(service="worker-cli")
+        # Pre-recorded spans: the CLI reads whatever the ring holds, so
+        # the test stays deterministic without driving a solve.
+        obs.tracer.record_complete(
+            "service.batch", trace_id="t1", start=0.0, duration=0.050,
+            strategy="optop", batch_size=2)
+        obs.tracer.record_complete(
+            "worker.solve", trace_id="t1", start=0.0, duration=0.060)
+
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+        state = {}
+
+        def run():
+            asyncio.set_event_loop(loop)
+            worker = WorkerServer(obs=obs)
+            loop.run_until_complete(worker.start())
+            state["worker"] = worker
+            started.set()
+            loop.run_forever()
+            loop.run_until_complete(worker.stop())
+            loop.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started.wait(timeout=30.0)
+        try:
+            yield f"http://127.0.0.1:{state['worker'].port}"
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=30.0)
+
+    def test_metrics_text_exposition(self, obs_worker_url, capsys):
+        assert main(["obs", "metrics", "--url", obs_worker_url]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_requests_total counter" in out
+        assert "repro_requests_total 0" in out
+
+    def test_metrics_json(self, obs_worker_url, capsys):
+        import json as _json
+
+        assert main(["obs", "metrics", "--url", obs_worker_url,
+                     "--json"]) == 0
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["repro_requests_total"]["samples"] == [
+            {"labels": {}, "value": 0}]
+
+    def test_trace_table_lists_spans(self, obs_worker_url, capsys):
+        assert main(["obs", "trace", "--url", obs_worker_url]) == 0
+        out = capsys.readouterr().out
+        assert "service.batch" in out
+        assert "worker.solve" in out
+        assert "t1" in out
+
+    def test_top_ranks_by_cumulative_time(self, obs_worker_url, capsys):
+        assert main(["obs", "top", "--url", obs_worker_url]) == 0
+        out = capsys.readouterr().out
+        # worker.solve (60 ms) outranks the strategy-labeled batch (50 ms).
+        assert out.index("worker.solve") < out.index("service.batch[optop]")
+
+    def test_unreachable_endpoint_is_a_clean_error(self, capsys):
+        assert main(["obs", "metrics", "--url",
+                     "http://127.0.0.1:1/"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
