@@ -1,14 +1,16 @@
 #!/usr/bin/env python
 """Performance trajectory of the vectorized kernel layer.
 
-Times the three hot paths — ``water_fill``, ``optop`` and ``frank_wolfe`` —
-with the vectorized kernels against the scalar ``reference`` backend on sized
-instances, plus the serving-layer series: warm-vs-cold ``trace_replay``
-through the artifact store and ``cluster_scaling`` (hot-key throughput of the
-sharded cluster as workers scale 1 -> 4).  The measurements (with speedup
-factors) go to ``BENCH_perf.json``.  CI runs this as a non-blocking job and
-uploads the JSON as an artifact, so the speedup trajectory is recorded per
-commit.
+Times the hot paths — ``water_fill``, the batched ``water_fill_many``,
+``optop`` and ``frank_wolfe`` — with the vectorized kernels against the
+scalar ``reference`` backend (or a per-demand loop, for the batched entry
+point) on sized instances, plus the serving-layer series: warm-vs-cold
+``trace_replay`` through the artifact store and ``cluster_scaling`` (hot-key
+throughput of the sharded cluster as workers scale 1 -> 4).  The
+measurements (with speedup factors) go to ``BENCH_perf.json``.  CI runs this
+per commit and uploads the JSON as an artifact; the run fails (non-zero
+exit) when the backends deviate beyond tolerance or the mixed-family
+``water_fill`` speedup at ``m >= 1000`` drops below the 10x gate.
 
 Usage::
 
@@ -33,7 +35,11 @@ import numpy as np  # noqa: E402
 from repro.api import SolveConfig  # noqa: E402
 from repro.core.optop import optop  # noqa: E402
 from repro.equilibrium.frank_wolfe import FrankWolfeOptions, frank_wolfe  # noqa: E402
-from repro.equilibrium.parallel import parallel_nash, water_fill  # noqa: E402
+from repro.equilibrium.parallel import (  # noqa: E402
+    parallel_nash,
+    water_fill,
+    water_fill_many,
+)
 from repro.instances import (  # noqa: E402
     grid_network,
     layered_network,
@@ -92,6 +98,48 @@ def bench_water_fill(sizes, *, repeats: int):
             })
             print(f"water_fill[{family}] m={m}: {vec*1e3:8.3f} ms vs "
                   f"{ref*1e3:8.3f} ms -> {ref/vec:6.1f}x")
+    return rows
+
+
+def bench_water_fill_many(sizes, *, num_demands: int, repeats: int):
+    """water_fill_many vs a per-demand water_fill loop (same kernels).
+
+    The shape of a coalesced serving micro-batch or a study demand axis:
+    ``num_demands`` demands over one shared link system.  The batched entry
+    point amortises the breakpoint grid and runs every Newton iteration
+    vectorized across the batch; the loop pays the per-solve dispatch each
+    time.  Both sides reuse the instance-cached latency batch.
+    """
+    rows = []
+    for m in sizes:
+        instance = random_mixed_parallel(int(m), demand=0.2 * m, seed=int(m))
+        batch = instance.latency_batch()
+        rng = np.random.default_rng(int(m))
+        demands = rng.uniform(0.05 * m, 0.4 * m, size=num_demands)
+        many = best_of(lambda: water_fill_many(instance.latencies, demands,
+                                               "nash", batch=batch),
+                       repeats=repeats)
+        loop = best_of(lambda: [water_fill(instance.latencies, float(d),
+                                           "nash", batch=batch)
+                                for d in demands],
+                       repeats=max(2, repeats // 2))
+        flows_b, _ = water_fill_many(instance.latencies, demands, "nash",
+                                     batch=batch)
+        flows_l = np.stack([water_fill(instance.latencies, float(d), "nash",
+                                       batch=batch)[0] for d in demands])
+        rows.append({
+            "benchmark": "water_fill_many",
+            "family": "mixed",
+            "size": int(m),
+            "num_demands": int(num_demands),
+            "batched_seconds": many,
+            "loop_seconds": loop,
+            "speedup": loop / many,
+            "max_flow_deviation": float(np.max(np.abs(flows_b - flows_l))),
+        })
+        print(f"water_fill_many[mixed] m={m} x{num_demands}: "
+              f"{many*1e3:8.3f} ms vs {loop*1e3:8.3f} ms -> "
+              f"{loop/many:6.1f}x")
     return rows
 
 
@@ -300,12 +348,14 @@ def main(argv=None) -> int:
 
     if args.quick:
         wf_sizes, optop_sizes, repeats, fw_iters = (100, 1000), (100, 500), 3, 200
+        wfm_demands = 32
         trace_steps = 24
         cluster_counts, cluster_requests, cluster_distinct = (1, 2), 200, 160
         cluster_trials = 1
     else:
         wf_sizes, optop_sizes, repeats, fw_iters = ((100, 1000, 5000),
                                                     (100, 1000), 5, 500)
+        wfm_demands = 64
         trace_steps = 96
         cluster_counts, cluster_requests, cluster_distinct = (1, 2, 3, 4), 400, 320
         cluster_trials = 2
@@ -316,6 +366,8 @@ def main(argv=None) -> int:
 
     results = []
     results += bench_water_fill(wf_sizes, repeats=repeats)
+    results += bench_water_fill_many(wf_sizes, num_demands=wfm_demands,
+                                     repeats=repeats)
     results += bench_optop(optop_sizes, repeats=repeats)
     results += bench_frank_wolfe(repeats=repeats, iterations=fw_iters)
     results += bench_trace_replay(num_steps=trace_steps, num_links=16,
@@ -340,11 +392,14 @@ def main(argv=None) -> int:
                 or row.get("beta_deviation", 0.0) > 1e-8
                 or row.get("warm_solver_calls", 0) > 0
                 or not row.get("stats_consistent", True)
+                or (row.get("benchmark") == "water_fill"
+                    and row["family"] == "mixed" and row["size"] >= 1000
+                    and row["speedup"] < 10.0)
                 or (row.get("benchmark") == "cluster_scaling"
                     and not args.quick and row["size"] == max(cluster_counts)
                     and row["speedup"] < 2.5)]
     if failures:
-        print("WARNING: backend deviation above tolerance:",
+        print("WARNING: benchmark below gate or deviation above tolerance:",
               json.dumps(failures, indent=2))
         return 1
     return 0

@@ -31,8 +31,10 @@ EQUILIBRIUM_BACKENDS = ("auto", "parallel", "frank_wolfe", "pathbased")
 #:
 #: * ``"vectorized"`` — the batched NumPy kernel layer
 #:   (:class:`repro.latency.batch.LatencyBatch`): closed-form water filling on
-#:   all-linear instances, array-at-a-time bisection on mixed families, CSR
-#:   shortest paths and analytic line searches inside Frank–Wolfe;
+#:   all-linear instances, the sorted-breakpoint level engine with safeguarded
+#:   Newton finishing on mixed closed-form families (array-at-a-time bisection
+#:   remains only for generic-bucket links), CSR shortest paths and analytic
+#:   line searches inside Frank–Wolfe;
 #: * ``"reference"`` — the original scalar implementations (per-link Python
 #:   calls), kept as the numerical ground truth for the equivalence suite.
 KERNEL_BACKENDS = ("vectorized", "reference")

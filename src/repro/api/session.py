@@ -11,6 +11,11 @@ over a batch with two production conveniences:
   The cache is a thread-safe :class:`repro.cache.LRUCache`; the process
   global is shared by default and both entry points accept an injected
   ``cache`` (the serving layer passes its own tier-1 instance);
+* a **whole-batch pre-pass**: a strategy with a registered batch solver
+  (:func:`repro.api.registry.register_batch_strategy`) takes all the cache
+  misses in one vectorized in-process call — e.g. ``aloof`` groups instances
+  sharing a link system and solves every demand at once through
+  :func:`repro.equilibrium.parallel.water_fill_many`;
 * **process-pool fan-out** via :class:`concurrent.futures.ProcessPoolExecutor`
   for cache misses, since the solvers are CPU-bound and release no GIL.
 
@@ -38,7 +43,7 @@ from repro.api.config import SolveConfig
 from repro.api.registry import REGISTRY, get_strategy
 from repro.api.report import SolveReport
 from repro.cache import LRUCache
-from repro.exceptions import ModelError
+from repro.exceptions import ConvergenceError, ModelError
 from repro.serialization import instance_digest
 
 __all__ = ["solve", "solve_many", "clear_cache", "cache_size", "cache_stats",
@@ -289,6 +294,31 @@ def solve_many(instances: Iterable[object], strategy: Optional[str] = None, *,
                 pending.append(i)
     else:
         pending = list(range(len(batch)))
+
+    if len(pending) > 1 and not config.profile:
+        # Whole-batch pre-pass: strategies with a registered batch solver
+        # (e.g. aloof over one link system at many demands) take all the
+        # cache misses in one vectorized in-process call.  Profiled runs
+        # skip it so every report keeps its own per-phase recorder, and a
+        # declined batch (None) or a solver-level failure falls through to
+        # the ordinary per-instance path.
+        batch_fn = REGISTRY.batch_solver(name)
+        if batch_fn is not None:
+            start = time.perf_counter()
+            try:
+                solved = batch_fn([batch[i] for i in pending], config)
+            except (ModelError, ConvergenceError):
+                solved = None
+            if solved is not None and len(solved) == len(pending):
+                each = (time.perf_counter() - start) / len(solved)
+                for i, report in zip(pending, solved):
+                    report = replace(report, wall_time=each)
+                    if keys[i] is not None:
+                        report = _with_cache_metadata(report, hit=False,
+                                                      cache=result_cache)
+                        result_cache.put(keys[i], report)
+                    reports[i] = report
+                pending = []
 
     if pending:
         payloads = [(batch[i], name, config) for i in pending]

@@ -14,13 +14,16 @@ default :data:`~repro.api.registry.REGISTRY`.  Adapters are responsible for
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.api.config import SolveConfig
 from repro.api.dispatch import NETWORK, PARALLEL, resolve_instance_kind
-from repro.api.registry import register_strategy
+from repro.api.registry import register_batch_strategy, register_strategy
 from repro.api.report import SolveReport
-from repro.serialization import instance_to_dict
+from repro.serialization import instance_to_dict, latency_to_dict
 from repro.core.mop import mop
 from repro.core.optop import optop
 from repro.baselines.aloof import aloof
@@ -29,7 +32,9 @@ from repro.baselines.llf import llf
 from repro.baselines.network_ext import network_brute_force, network_llf
 from repro.baselines.scale import scale
 from repro.equilibrium.network import network_nash, network_optimum
-from repro.equilibrium.parallel import parallel_nash, parallel_optimum
+from repro.equilibrium.parallel import (parallel_nash, parallel_optimum,
+                                        water_fill_many)
+from repro.equilibrium.result import ParallelFlowResult, StackelbergOutcome
 from repro.network.builders import parallel_network_as_graph
 
 __all__ = [
@@ -38,6 +43,7 @@ __all__ = [
     "solve_llf",
     "solve_scale",
     "solve_aloof",
+    "solve_aloof_many",
     "solve_brute_force",
 ]
 
@@ -227,6 +233,76 @@ def solve_aloof(instance, config: SolveConfig) -> SolveReport:
                                          metadata)
     return _network_baseline_report("aloof", instance, config, strategy,
                                     metadata)
+
+
+def _parallel_flow_result(instance, flows, level: float,
+                          kind: str) -> ParallelFlowResult:
+    return ParallelFlowResult(
+        flows=flows, common_value=float(level), cost=instance.cost(flows),
+        beckmann=instance.beckmann(flows), kind=kind)
+
+
+@register_batch_strategy("aloof")
+def solve_aloof_many(instances: Sequence[object],
+                     config: SolveConfig) -> Optional[List[SolveReport]]:
+    """Whole-batch aloof solver: one vectorized water filling per link system.
+
+    Instances sharing structurally identical latencies (the shape of a
+    coalesced service micro-batch or a ``StudySpec`` demand axis) differ only
+    in their demand, so their optima and Nash equilibria are a batched
+    :func:`~repro.equilibrium.parallel.water_fill_many` over the per-instance
+    demand vector instead of independent solves that each re-derive the same
+    breakpoint grid.  Declines (returns ``None``) when any instance is not a
+    parallel-link system; singleton groups go through the scalar adapter.
+    """
+    instances = list(instances)
+    if any(resolve_instance_kind(inst) != PARALLEL for inst in instances):
+        return None
+    groups: Dict[str, List[int]] = {}
+    for i, inst in enumerate(instances):
+        key = json.dumps([latency_to_dict(lat) for lat in inst.latencies],
+                         sort_keys=True)
+        groups.setdefault(key, []).append(i)
+    reports: List[Optional[SolveReport]] = [None] * len(instances)
+    for idxs in groups.values():
+        if len(idxs) == 1:
+            reports[idxs[0]] = solve_aloof(instances[idxs[0]], config)
+            continue
+        lead = instances[idxs[0]]
+        demands = np.array([instances[i].demand for i in idxs])
+        tol = config.water_fill_tol
+        batch = lead.latency_batch()
+        opt_flows, opt_levels = water_fill_many(
+            lead.latencies, demands, "optimum", tol=tol, batch=batch)
+        nash_flows, nash_levels = water_fill_many(
+            lead.latencies, demands, "nash", tol=tol, batch=batch)
+        for j, i in enumerate(idxs):
+            inst = instances[i]
+            optimum = _parallel_flow_result(inst, opt_flows[j], opt_levels[j],
+                                            "optimum")
+            nash = _parallel_flow_result(inst, nash_flows[j], nash_levels[j],
+                                         "nash")
+            # Against the null strategy the Followers reach plain Nash, so
+            # the induced outcome *is* the Nash result (induce() with a zero
+            # pre-load solves exactly this system).
+            strategy = aloof(inst)
+            outcome = StackelbergOutcome(
+                leader_flows=strategy.flows,
+                follower_flows=nash.flows,
+                combined_flows=nash.flows,
+                cost=nash.cost,
+                follower_common_latency=nash.common_value
+                if nash.demand > 0.0 else None,
+                follower_result=nash,
+            )
+            reports[i] = _build_report(
+                name="aloof", instance=inst, kind=PARALLEL, config=config,
+                alpha=strategy.alpha, beta=None, leader_flows=strategy.flows,
+                induced_flows=outcome.combined_flows,
+                induced_cost=float(outcome.cost), optimum=optimum,
+                nash=nash if config.compute_nash else None,
+                metadata={"algorithm": "aloof", "batched": len(idxs)})
+    return reports
 
 
 @register_strategy("brute_force")

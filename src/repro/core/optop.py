@@ -143,8 +143,13 @@ def optop(instance: ParallelLinkInstance, *, atol: Optional[float] = None,
     rounds: List[OpTopRound] = []
 
     while active and remaining > -atol * scale:
-        sub = instance.sub_instance(active, max(0.0, remaining))
-        nash = parallel_nash(sub, tol=tol, backend=backend)
+        if len(active) == instance.num_links and remaining == demand:
+            # Round 1 is the full instance at full demand — the Nash already
+            # computed above; skip the redundant solve (and sub-instance).
+            nash = initial_nash
+        else:
+            sub = instance.sub_instance(active, max(0.0, remaining))
+            nash = parallel_nash(sub, tol=tol, backend=backend)
         under = [orig for pos, orig in enumerate(active)
                  if nash.flows[pos] < opt_flows[orig] - atol * scale]
         rounds.append(OpTopRound(

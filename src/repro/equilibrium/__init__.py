@@ -23,7 +23,12 @@ from repro.equilibrium.result import (
     ParallelFlowResult,
     StackelbergOutcome,
 )
-from repro.equilibrium.parallel import parallel_nash, parallel_optimum
+from repro.equilibrium.parallel import (
+    parallel_nash,
+    parallel_optimum,
+    water_fill,
+    water_fill_many,
+)
 from repro.equilibrium.frank_wolfe import FrankWolfeOptions, frank_wolfe
 from repro.equilibrium.pathbased import path_based_flow
 from repro.equilibrium.network import network_nash, network_optimum
@@ -43,6 +48,8 @@ __all__ = [
     "StackelbergOutcome",
     "parallel_nash",
     "parallel_optimum",
+    "water_fill",
+    "water_fill_many",
     "FrankWolfeOptions",
     "frank_wolfe",
     "path_based_flow",

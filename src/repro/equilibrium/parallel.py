@@ -13,12 +13,25 @@ Two backends compute that level:
   :class:`~repro.latency.batch.LatencyBatch`.  All-linear instances are
   solved *exactly* in O(m log m) by the sorted-breakpoint closed form
   (:func:`repro.utils.vectorized.piecewise_linear_level`) — no bisection at
-  all.  Mixed families fall back to bracketing plus bisection, but every
-  step evaluates all links in one array op instead of ``m`` Python calls.
+  all.  Mixed closed-form families (linear, M/M/1, power, monomial-like
+  polynomial) go through the generic *sorted-breakpoint level engine*
+  (:func:`repro.utils.vectorized.sorted_breakpoint_level`): the filled flow
+  is evaluated on the grid of activation breakpoints in one broadcast, one
+  ``searchsorted`` locates the active segment, and a few safeguarded Newton
+  steps finish inside it.  Rows without a closed-form inverse (multi-term
+  polynomials; shifted powers under marginal-cost equalisation) join the
+  solve as a scalar ``extra`` term, and only instances with strictly
+  increasing *generic*-bucket links fall back to the legacy bracket +
+  bisection level solve.
 * ``"reference"`` is the original scalar implementation (per-link Python
   lambdas inside the bisection); it remains selectable through
   ``SolveConfig(kernel_backend="reference")`` and anchors the equivalence
   test-suite.
+
+:func:`water_fill_many` solves a whole batch of demands over one link system
+(a coalesced service micro-batch, a ``StudySpec`` demand axis, an elastic
+trace) in a single vectorized pass sharing the sorted breakpoints across
+instances.
 
 Constant-latency links (the documented extension; Pigou's example uses one)
 act as flow sinks: once the common level of the increasing links would exceed
@@ -43,9 +56,15 @@ from repro.network.parallel import ParallelLinkInstance
 from repro.obs.profiling import active as _profiling_active
 from repro.equilibrium.result import ParallelFlowResult
 from repro.utils.rootfind import bisect_root, expand_upper_bracket
-from repro.utils.vectorized import piecewise_linear_level
+from repro.utils.vectorized import (
+    piecewise_linear_level,
+    piecewise_linear_levels,
+    sorted_breakpoint_level,
+    sorted_breakpoint_levels,
+)
 
-__all__ = ["parallel_nash", "parallel_optimum", "water_fill", "WATER_FILL_BACKENDS"]
+__all__ = ["parallel_nash", "parallel_optimum", "water_fill",
+           "water_fill_many", "WATER_FILL_BACKENDS"]
 
 #: Backends accepted by :func:`water_fill` (``"auto"`` means vectorized).
 WATER_FILL_BACKENDS = ("auto", "vectorized", "reference")
@@ -92,6 +111,146 @@ def water_fill(latencies: Sequence[LatencyFunction], demand: float,
         recorder.note(f"water_fill[{kind}]", time.perf_counter() - start)
 
 
+def water_fill_many(latencies: Sequence[LatencyFunction],
+                    demands: Sequence[float], kind: str, *,
+                    tol: float = 1e-12, backend: str = "auto",
+                    batch: Optional[LatencyBatch] = None,
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`water_fill`: many demands over one link system at once.
+
+    Solves the water-filling problem for every entry of ``demands`` over the
+    *same* latencies — the shape of a coalesced service micro-batch, a
+    ``StudySpec`` demand axis or an elastic-demand trace.  Returns
+    ``(flows, levels)`` with ``flows`` of shape ``(len(demands), m)`` and one
+    common level per demand; row ``j`` equals
+    ``water_fill(latencies, demands[j], kind)`` to solver tolerance.
+
+    The vectorized backend shares all demand-independent structure across the
+    batch: the family grouping, the sorted activation breakpoints and the
+    grid of filled flows are computed once, segment location is one
+    ``searchsorted`` over the whole demand vector, and the safeguarded Newton
+    iterations run for all pending demands simultaneously.  Instances whose
+    links need a numeric fallback (generic bucket, non-closed-form rows) and
+    the ``"reference"`` backend fall back to a per-demand loop.
+
+    Raises :class:`~repro.exceptions.ModelError` if *any* demand cannot be
+    routed (no constant links and the increasing links saturate below it).
+    """
+    recorder = _profiling_active()
+    if recorder is None:
+        return _water_fill_many(latencies, demands, kind, tol=tol,
+                                backend=backend, batch=batch)
+    start = time.perf_counter()
+    try:
+        return _water_fill_many(latencies, demands, kind, tol=tol,
+                                backend=backend, batch=batch)
+    finally:
+        recorder.note(f"water_fill_many[{kind}]", time.perf_counter() - start)
+
+
+def _water_fill_many(latencies: Sequence[LatencyFunction],
+                     demands: Sequence[float], kind: str, *,
+                     tol: float = 1e-12, backend: str = "auto",
+                     batch: Optional[LatencyBatch] = None,
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    if backend not in WATER_FILL_BACKENDS:
+        raise ModelError(
+            f"unknown water_fill backend {backend!r}; expected one of "
+            f"{', '.join(WATER_FILL_BACKENDS)}")
+    demands = np.asarray(demands, dtype=float)
+    if demands.ndim != 1:
+        raise ModelError(
+            f"water_fill_many needs a 1-d demand array, got shape "
+            f"{demands.shape}")
+    if np.any(demands < 0.0):
+        raise ModelError("demands must be >= 0")
+    if backend == "reference":
+        latencies = list(latencies)
+        flows = np.zeros((demands.shape[0], len(latencies)))
+        levels = np.empty(demands.shape[0])
+        for j, d in enumerate(demands):
+            flows[j], levels[j] = _water_fill_reference(
+                latencies, float(d), kind, tol=tol)
+        return flows, levels
+
+    _link_level_and_inverse(kind)  # validate ``kind`` before any work
+    if batch is None:
+        batch = LatencyBatch(latencies)
+    m = batch.size
+    if m == 0:
+        raise ModelError("water_fill needs at least one link")
+    count = demands.shape[0]
+    flows = np.zeros((count, m), dtype=float)
+    levels = np.empty(count, dtype=float)
+    if count == 0:
+        return flows, levels
+
+    level_at_zero = batch.values_at_zero
+    const_mask = batch.is_constant
+    inc_mask = ~const_mask
+    inverse = batch.inverse_values if kind == "nash" else batch.inverse_marginals
+    constant_floor = float(level_at_zero[const_mask].min()) if const_mask.any() \
+        else float("inf")
+    min_level = float(level_at_zero.min())
+
+    # Per-demand common level of the increasing links, solved batched when
+    # every link admits a closed form; otherwise one scalar solve per demand.
+    level_star = np.full(count, np.inf)
+    positive = demands > 0.0
+    if inc_mask.any() and positive.any():
+        batched = False
+        linear = batch.linear_increasing_params()
+        if linear is not None:
+            slopes, intercepts, _ = linear
+            weights = 1.0 / slopes if kind == "nash" else 1.0 / (2.0 * slopes)
+            level_star[positive] = piecewise_linear_levels(
+                weights, intercepts, demands[positive])
+            batched = True
+        else:
+            profile = batch.level_profile(kind)
+            if profile is not None and not profile.has_numeric:
+                try:
+                    grid_levels, grid_flows = profile.grid()
+                    level_star[positive] = sorted_breakpoint_levels(
+                        grid_levels, demands[positive],
+                        profile.flow_grid, profile.dflow_grid,
+                        grid_flows=grid_flows,
+                        flow_dflow_grid=profile.flow_dflow_grid, tol=tol)
+                    batched = True
+                except (ModelError, ConvergenceError):
+                    batched = False  # e.g. one demand saturates the links
+        if not batched:
+            # Numeric/generic rows (or a failed shared bracket): per-demand
+            # scalar solves, bit-identical to water_fill.
+            for j in range(count):
+                flows[j], levels[j] = _water_fill(
+                    latencies, float(demands[j]), kind, tol=tol, batch=batch)
+            return flows, levels
+
+    for j in range(count):
+        demand = float(demands[j])
+        if demand == 0.0:
+            levels[j] = min_level
+            continue
+        star = float(level_star[j])
+        if star <= constant_floor:
+            flows[j, inc_mask] = inverse(star)[inc_mask]
+            levels[j] = star
+        else:
+            if not const_mask.any():
+                raise ModelError(
+                    "demand cannot be routed: no constant links and the "
+                    "increasing links cannot absorb the demand")
+            levels[j] = constant_floor
+            if inc_mask.any():
+                flows[j, inc_mask] = inverse(constant_floor)[inc_mask]
+            leftover = max(0.0, demand - float(flows[j].sum()))
+            sinks = const_mask & (level_at_zero <= constant_floor + 1e-12)
+            flows[j, sinks] = leftover / int(np.count_nonzero(sinks))
+        flows[j] = _normalise_total(flows[j], demand)
+    return flows, levels
+
+
 def _water_fill(latencies: Sequence[LatencyFunction], demand: float,
                 kind: str, *, tol: float = 1e-12, backend: str = "auto",
                 batch: Optional[LatencyBatch] = None,
@@ -131,18 +290,35 @@ def _water_fill(latencies: Sequence[LatencyFunction], demand: float,
             weights = 1.0 / slopes if kind == "nash" else 1.0 / (2.0 * slopes)
             level_star = piecewise_linear_level(weights, intercepts, demand)
         else:
-            # Mixed families: bracket + bisect the level; each evaluation
-            # inverts every increasing link in one batched call.
-            lo = float(level_at_zero[inc_mask].min())
+            profile = batch.level_profile(kind)
+            if profile is not None:
+                # Mixed closed-form families: sorted-breakpoint engine —
+                # one broadcast over the activation grid, one searchsorted,
+                # a few safeguarded Newton steps inside the active segment.
+                try:
+                    grid_levels, grid_flows = profile.grid()
+                    level_star = sorted_breakpoint_level(
+                        grid_levels, demand, profile.flow_grid,
+                        grid_flows=grid_flows,
+                        extra=profile.extra if profile.has_numeric else None,
+                        flow_dflow=profile.flow_dflow, tol=tol)
+                except (ModelError, ConvergenceError):
+                    level_star = float("inf")
+            else:
+                # Strictly increasing generic-bucket links: no closed form
+                # at all, so bracket + bisect the level; each evaluation
+                # still inverts every increasing link in one batched call.
+                lo = float(level_at_zero[inc_mask].min())
 
-            def gap(level: float) -> float:
-                return float(inverse(level)[inc_mask].sum()) - demand
+                def gap(level: float) -> float:
+                    return float(inverse(level)[inc_mask].sum()) - demand
 
-            try:
-                hi = expand_upper_bracket(gap, lo, initial=max(1.0, abs(lo)))
-                level_star = bisect_root(gap, lo, hi, tol=tol)
-            except (ModelError, ConvergenceError):
-                level_star = float("inf")
+                try:
+                    hi = expand_upper_bracket(gap, lo,
+                                              initial=max(1.0, abs(lo)))
+                    level_star = bisect_root(gap, lo, hi, tol=tol)
+                except (ModelError, ConvergenceError):
+                    level_star = float("inf")
     else:
         level_star = float("inf")
 

@@ -53,6 +53,85 @@ __all__ = ["LatencyBatch"]
 _INVERSE_TOL = 1e-12
 
 
+def _power_loads_at_levels(levels: np.ndarray, coeffs: np.ndarray,
+                           degrees: np.ndarray, consts: np.ndarray,
+                           offsets: np.ndarray, kind: str) -> np.ndarray:
+    """Per-row loads of ``a (x + o)^d + c`` rows at each level, shape (K, n).
+
+    ``kind == "nash"`` inverts the latency itself (closed form for any
+    offset); ``kind == "optimum"`` inverts the marginal cost, which has a
+    closed form only for un-shifted rows (``o == 0``) and affine rows
+    (``d == 1``) — callers must not select other rows through this path.
+    """
+    L = np.asarray(levels, dtype=float)[:, None]
+    if kind == "nash":
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            t = np.maximum(L - consts, 0.0) / coeffs
+            x = np.power(t, 1.0 / degrees) - offsets
+        return np.maximum(x, 0.0)
+    lin = degrees == 1.0
+    scale = coeffs * (1.0 + degrees)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        x_pow = np.power(np.maximum(L - consts, 0.0) / scale, 1.0 / degrees)
+    x_lin = np.maximum(L - consts - coeffs * offsets, 0.0) / (2.0 * coeffs)
+    return np.where(lin, x_lin, x_pow)
+
+
+def _power_dloads_at_levels(levels: np.ndarray, coeffs: np.ndarray,
+                            degrees: np.ndarray, consts: np.ndarray,
+                            offsets: np.ndarray, kind: str) -> np.ndarray:
+    """Per-row ``dx/dL`` of :func:`_power_loads_at_levels`, 0 where inactive."""
+    L = np.asarray(levels, dtype=float)[:, None]
+    if kind == "nash":
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            t = np.maximum(L - consts, 0.0) / coeffs
+            x = np.power(t, 1.0 / degrees) - offsets
+            d = np.power(t, 1.0 / degrees - 1.0) / (coeffs * degrees)
+        return np.where(x > 0.0, d, 0.0)
+    lin = degrees == 1.0
+    scale = coeffs * (1.0 + degrees)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        u = np.maximum(L - consts, 0.0) / scale
+        d_pow = np.where(u > 0.0,
+                         np.power(u, 1.0 / degrees - 1.0) / (scale * degrees),
+                         0.0)
+    d_lin = (L > consts + coeffs * offsets) / (2.0 * coeffs)
+    return np.where(lin, d_lin, d_pow)
+
+
+def _power_level_flow_dflow(levels: np.ndarray, coeffs: np.ndarray,
+                            degrees: np.ndarray, consts: np.ndarray,
+                            offsets: np.ndarray,
+                            kind: str) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused ``(flow_sum, dflow_sum)`` of the power closed forms, shape (K,).
+
+    One evaluation shares the ``np.power`` intermediates between the load and
+    its level-derivative — the dominant cost of a Newton step on mixed
+    batches — instead of recomputing them in two separate passes.
+    """
+    L = np.asarray(levels, dtype=float)[:, None]
+    if kind == "nash":
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            t = np.maximum(L - consts, 0.0) / coeffs
+            r = np.power(t, 1.0 / degrees)
+            x = r - offsets
+            d = r / (t * coeffs * degrees)
+        flow = np.maximum(x, 0.0).sum(axis=1)
+        dflow = np.where(x > 0.0, d, 0.0).sum(axis=1)
+        return flow, dflow
+    lin = degrees == 1.0
+    scale = coeffs * (1.0 + degrees)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        u = np.maximum(L - consts, 0.0) / scale
+        r = np.power(u, 1.0 / degrees)
+        d_pow = np.where(u > 0.0, r / (u * scale * degrees), 0.0)
+    x_lin = np.maximum(L - consts - coeffs * offsets, 0.0) / (2.0 * coeffs)
+    d_lin = (L > consts + coeffs * offsets) / (2.0 * coeffs)
+    flow = np.where(lin, x_lin, r).sum(axis=1)
+    dflow = np.where(lin, d_lin, d_pow).sum(axis=1)
+    return flow, dflow
+
+
 def _unwrap(lat: LatencyFunction) -> Tuple[LatencyFunction, float, float]:
     """Strip ``ShiftedLatency``/``ScaledLatency`` wrappers.
 
@@ -77,6 +156,9 @@ def _unwrap(lat: LatencyFunction) -> Tuple[LatencyFunction, float, float]:
 class _Members:
     """Common bookkeeping of one family bucket."""
 
+    #: Frozen per-row coefficient arrays, sliced row-wise by :meth:`take`.
+    _ARRAYS: Tuple[str, ...] = ()
+
     def __init__(self) -> None:
         self.indices: List[int] = []
 
@@ -86,11 +168,30 @@ class _Members:
     def index_array(self) -> np.ndarray:
         return np.asarray(self.indices, dtype=np.intp)
 
+    def take(self, rows: Sequence[int], new_indices: Sequence[int]) -> "_Members":
+        """A frozen copy restricted to ``rows``, re-indexed to ``new_indices``."""
+        clone = type(self)()
+        clone.indices = list(new_indices)
+        if clone.indices:
+            sel = np.asarray(rows, dtype=np.intp)
+            for name in self._ARRAYS:
+                setattr(clone, name, getattr(self, name)[sel])
+            clone._after_take()
+        return clone
+
+    def _after_take(self) -> None:
+        """Recompute derived attributes after :meth:`take` sliced the arrays."""
+
+    def analytic_for(self, kind: str) -> bool:
+        """Whether every row has a closed-form inverse for this solve kind."""
+        return False
+
 
 class _LinearFamily(_Members):
     """Affine rows ``l(x) = slope * x + intercept`` with ``slope > 0``."""
 
     name = "linear"
+    _ARRAYS = ("slopes", "intercepts")
 
     def __init__(self) -> None:
         super().__init__()
@@ -128,11 +229,35 @@ class _LinearFamily(_Members):
     def domain_upper(self) -> np.ndarray:
         return np.full(len(self), math.inf)
 
+    def analytic_for(self, kind: str) -> bool:
+        return True
+
+    def _level_denoms(self, kind: str) -> np.ndarray:
+        return self.slopes if kind == "nash" else 2.0 * self.slopes
+
+    def level_flow_sum(self, levels: np.ndarray, kind: str) -> np.ndarray:
+        L = np.asarray(levels, dtype=float)[:, None]
+        return (np.maximum(L - self.intercepts, 0.0)
+                / self._level_denoms(kind)).sum(axis=1)
+
+    def level_dflow_sum(self, levels: np.ndarray, kind: str) -> np.ndarray:
+        L = np.asarray(levels, dtype=float)[:, None]
+        return ((L > self.intercepts) / self._level_denoms(kind)).sum(axis=1)
+
+    def level_flow_dflow_sum(self, levels: np.ndarray,
+                             kind: str) -> Tuple[np.ndarray, np.ndarray]:
+        L = np.asarray(levels, dtype=float)[:, None]
+        gap = L - self.intercepts
+        denoms = self._level_denoms(kind)
+        return ((np.maximum(gap, 0.0) / denoms).sum(axis=1),
+                ((gap > 0.0) / denoms).sum(axis=1))
+
 
 class _ConstantFamily(_Members):
     """Load-independent rows ``l(x) = c``."""
 
     name = "constant"
+    _ARRAYS = ("constants",)
 
     def __init__(self) -> None:
         super().__init__()
@@ -175,6 +300,7 @@ class _PowerFamily(_Members):
     """
 
     name = "power"
+    _ARRAYS = ("coeffs", "degrees", "consts", "offsets")
 
     def __init__(self) -> None:
         super().__init__()
@@ -196,6 +322,9 @@ class _PowerFamily(_Members):
         self.degrees = np.asarray(self._degrees, dtype=float)
         self.consts = np.asarray(self._consts, dtype=float)
         self.offsets = np.asarray(self._offsets, dtype=float)
+        self._after_take()
+
+    def _after_take(self) -> None:
         self.has_offsets = bool(np.any(self.offsets > 0.0))
 
     def values(self, x) -> np.ndarray:
@@ -244,6 +373,26 @@ class _PowerFamily(_Members):
     def domain_upper(self) -> np.ndarray:
         return np.full(len(self), math.inf)
 
+    def analytic_for(self, kind: str) -> bool:
+        if kind == "nash":
+            return True
+        # The marginal cost of a *shifted* power row has no closed-form
+        # inverse unless the row is affine.
+        return bool(np.all((self.offsets == 0.0) | (self.degrees == 1.0)))
+
+    def level_flow_sum(self, levels: np.ndarray, kind: str) -> np.ndarray:
+        return _power_loads_at_levels(levels, self.coeffs, self.degrees,
+                                      self.consts, self.offsets, kind).sum(axis=1)
+
+    def level_dflow_sum(self, levels: np.ndarray, kind: str) -> np.ndarray:
+        return _power_dloads_at_levels(levels, self.coeffs, self.degrees,
+                                       self.consts, self.offsets, kind).sum(axis=1)
+
+    def level_flow_dflow_sum(self, levels: np.ndarray,
+                             kind: str) -> Tuple[np.ndarray, np.ndarray]:
+        return _power_level_flow_dflow(levels, self.coeffs, self.degrees,
+                                       self.consts, self.offsets, kind)
+
 
 class _MM1Family(_Members):
     """Rows ``l(x) = factor / (capacity - x)`` for ``x < capacity``.
@@ -253,6 +402,7 @@ class _MM1Family(_Members):
     """
 
     name = "mm1"
+    _ARRAYS = ("capacities", "factors")
 
     def __init__(self) -> None:
         super().__init__()
@@ -293,27 +443,81 @@ class _MM1Family(_Members):
         self._check_domain(x)
         return self.factors * np.log(self.capacities / (self.capacities - x))
 
+    def _clamp_inside(self, root: np.ndarray) -> np.ndarray:
+        # At huge levels ``c - f/y`` rounds to exactly ``c``; a flow *at*
+        # capacity is outside the open domain and would make any later
+        # ``values``/``derivs`` call raise.  Clamp strictly inside, one ulp
+        # below capacity — far below the solver tolerances, so the water
+        # level is unaffected.
+        return np.minimum(root, np.nextafter(self.capacities, 0.0))
+
     def inverse_values(self, y: float) -> np.ndarray:
         free_flow = self.factors / self.capacities
         with np.errstate(divide="ignore"):
-            root = self.capacities - self.factors / y
+            root = self._clamp_inside(self.capacities - self.factors / y)
         return np.where(y <= free_flow, 0.0, np.maximum(root, 0.0))
 
     def inverse_marginals(self, y: float) -> np.ndarray:
         # marginal cost factor*c/(c-x)^2 = y  =>  x = c - sqrt(factor*c/y).
         free_flow = self.factors / self.capacities
         with np.errstate(divide="ignore"):
-            root = self.capacities - np.sqrt(self.factors * self.capacities / y)
+            root = self._clamp_inside(
+                self.capacities - np.sqrt(self.factors * self.capacities / y))
         return np.where(y <= free_flow, 0.0, np.maximum(root, 0.0))
 
     def domain_upper(self) -> np.ndarray:
         return self.capacities.copy()
+
+    def analytic_for(self, kind: str) -> bool:
+        return True
+
+    def level_flow_sum(self, levels: np.ndarray, kind: str) -> np.ndarray:
+        L = np.asarray(levels, dtype=float)[:, None]
+        free_flow = self.factors / self.capacities
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            if kind == "nash":
+                x = self.capacities - self.factors / L
+            else:
+                x = self.capacities - np.sqrt(
+                    self.factors * self.capacities / L)
+            x = np.minimum(x, np.nextafter(self.capacities, 0.0))
+        return np.where(L > free_flow, np.maximum(x, 0.0), 0.0).sum(axis=1)
+
+    def level_dflow_sum(self, levels: np.ndarray, kind: str) -> np.ndarray:
+        L = np.asarray(levels, dtype=float)[:, None]
+        free_flow = self.factors / self.capacities
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            if kind == "nash":
+                d = self.factors / (L * L)
+            else:
+                d = (0.5 * np.sqrt(self.factors * self.capacities)
+                     * np.power(L, -1.5))
+        return np.where(L > free_flow, d, 0.0).sum(axis=1)
+
+    def level_flow_dflow_sum(self, levels: np.ndarray,
+                             kind: str) -> Tuple[np.ndarray, np.ndarray]:
+        L = np.asarray(levels, dtype=float)[:, None]
+        free_flow = self.factors / self.capacities
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            if kind == "nash":
+                inv = 1.0 / L
+                x = self.capacities - self.factors * inv
+                d = self.factors * inv * inv
+            else:
+                s = np.sqrt(self.factors * self.capacities / L)
+                x = self.capacities - s
+                d = 0.5 * s / L
+            x = np.minimum(x, np.nextafter(self.capacities, 0.0))
+        active = L > free_flow
+        return (np.where(active, np.maximum(x, 0.0), 0.0).sum(axis=1),
+                np.where(active, d, 0.0).sum(axis=1))
 
 
 class _PolyFamily(_Members):
     """Rows ``l(x) = sum_k C[k] (x + o)^k`` with non-negative coefficients."""
 
     name = "poly"
+    _ARRAYS = ("coeffs", "offsets")
 
     def __init__(self) -> None:
         super().__init__()
@@ -332,10 +536,30 @@ class _PolyFamily(_Members):
             coeffs[i, :len(row)] = row
         self.coeffs = coeffs
         self.offsets = np.asarray(self._offsets, dtype=float)
+        self._after_take()
+
+    def _after_take(self) -> None:
+        coeffs = self.coeffs
+        width = coeffs.shape[1]
         degrees = np.arange(1, width + 1, dtype=float)
         self.deriv_coeffs = coeffs[:, 1:] * degrees[:width - 1] if width > 1 \
             else np.zeros((coeffs.shape[0], 1))
         self.integral_coeffs = coeffs / degrees  # antiderivative, constant 0
+        # Rows with a single non-constant term are monomials in disguise —
+        # ``C0 + Ck (x + o)^k`` — and admit the power family's closed-form
+        # inverses instead of the bisection fallback.
+        nonzero = coeffs[:, 1:] != 0.0
+        self.is_monomial = width > 1 and bool(np.all(nonzero.sum(axis=1) == 1))
+        if self.is_monomial:
+            k = np.argmax(nonzero, axis=1) + 1
+            rows = np.arange(coeffs.shape[0])
+            self.mono_coeffs = coeffs[rows, k]
+            self.mono_degrees = k.astype(float)
+            self.mono_consts = coeffs[:, 0].copy()
+        else:
+            self.mono_coeffs = None
+            self.mono_degrees = None
+            self.mono_consts = None
 
     @staticmethod
     def _horner(coeffs: np.ndarray, t) -> np.ndarray:
@@ -371,14 +595,45 @@ class _PolyFamily(_Members):
         return np.where(y <= at_zero, 0.0, solved)
 
     def inverse_values(self, y: float) -> np.ndarray:
+        if self.is_monomial:
+            return _power_loads_at_levels(
+                np.array([y]), self.mono_coeffs, self.mono_degrees,
+                self.mono_consts, self.offsets, "nash")[0]
         return self._bisect_inverse(self.values, y)
 
     def inverse_marginals(self, y: float) -> np.ndarray:
+        if self.analytic_for("optimum"):
+            return _power_loads_at_levels(
+                np.array([y]), self.mono_coeffs, self.mono_degrees,
+                self.mono_consts, self.offsets, "optimum")[0]
         return self._bisect_inverse(
             lambda x: self.values(x) + x * self.derivs(x), y)
 
     def domain_upper(self) -> np.ndarray:
         return np.full(len(self), math.inf)
+
+    def analytic_for(self, kind: str) -> bool:
+        if not self.is_monomial:
+            return False
+        if kind == "nash":
+            return True
+        return bool(np.all((self.offsets == 0.0) | (self.mono_degrees == 1.0)))
+
+    def level_flow_sum(self, levels: np.ndarray, kind: str) -> np.ndarray:
+        return _power_loads_at_levels(levels, self.mono_coeffs,
+                                      self.mono_degrees, self.mono_consts,
+                                      self.offsets, kind).sum(axis=1)
+
+    def level_dflow_sum(self, levels: np.ndarray, kind: str) -> np.ndarray:
+        return _power_dloads_at_levels(levels, self.mono_coeffs,
+                                       self.mono_degrees, self.mono_consts,
+                                       self.offsets, kind).sum(axis=1)
+
+    def level_flow_dflow_sum(self, levels: np.ndarray,
+                             kind: str) -> Tuple[np.ndarray, np.ndarray]:
+        return _power_level_flow_dflow(levels, self.mono_coeffs,
+                                       self.mono_degrees, self.mono_consts,
+                                       self.offsets, kind)
 
 
 class _GenericFamily(_Members):
@@ -396,6 +651,12 @@ class _GenericFamily(_Members):
 
     def freeze(self) -> None:
         pass
+
+    def take(self, rows: Sequence[int], new_indices: Sequence[int]) -> "_GenericFamily":
+        clone = type(self)()
+        clone.indices = list(new_indices)
+        clone.functions = [self.functions[r] for r in rows]
+        return clone
 
     def _per_link(self, x, method: str) -> np.ndarray:
         if np.isscalar(x):
@@ -428,6 +689,155 @@ class _GenericFamily(_Members):
 
     def domain_upper(self) -> np.ndarray:
         return np.array([float(lat.domain_upper) for lat in self.functions])
+
+
+class _LevelProfile:
+    """The sorted-breakpoint water-filling view of one batch for one kind.
+
+    Splits the increasing families into *analytic* rows — those with a
+    closed-form inverse for the requested equalisation kind, evaluated on a
+    whole grid of candidate levels in one broadcast — and *numeric* rows
+    (multi-term polynomials; shifted powers when equalising marginal costs)
+    that are inverted per scalar level through the bisection fallback.  The
+    level engine (:func:`repro.utils.vectorized.sorted_breakpoint_level`)
+    consumes this object: ``breakpoints`` are the free-flow activation
+    levels, ``flow_grid`` the vectorized analytic filled flow, ``extra`` /
+    ``dflow`` the scalar hooks covering the numeric remainder.
+    """
+
+    #: Cap on level-grid x family-row broadcast size per chunk (elements).
+    _CHUNK_ELEMENTS = 2_000_000
+
+    def __init__(self, batch: "LatencyBatch", kind: str) -> None:
+        self.kind = kind
+        self._analytic: List[_Members] = []
+        self._numeric: List[_Members] = []
+        for fam in batch._families:
+            if isinstance(fam, (_ConstantFamily, _GenericFamily)):
+                continue
+            if fam.analytic_for(kind):
+                self._analytic.append(fam)
+            else:
+                self._numeric.append(fam)
+        self.breakpoints = batch.values_at_zero[~batch.is_constant]
+        self._rows = sum(len(fam) for fam in self._analytic)
+        self._grid_levels: Optional[np.ndarray] = None
+        self._grid_flows: Optional[np.ndarray] = None
+
+    @property
+    def has_numeric(self) -> bool:
+        return bool(self._numeric)
+
+    def grid(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Sorted unique breakpoints with their analytic filled flows.
+
+        The grid is demand-independent, so it is computed once per profile
+        (i.e. once per batch and solve kind) and shared by every subsequent
+        solve — repeated water fillings of the same links cost only the
+        segment lookup plus a few Newton evaluations.
+        """
+        if self._grid_flows is None:
+            levels = np.unique(self.breakpoints)
+            if levels.size == 0 or not np.all(np.isfinite(levels)):
+                raise ModelError(
+                    "water filling needs finite activation breakpoints on "
+                    "at least one strictly increasing link")
+            self._grid_levels = levels
+            self._grid_flows = self.flow_grid(levels)
+        return self._grid_levels, self._grid_flows
+
+    def _chunked(self, levels, method: str) -> np.ndarray:
+        levels = np.asarray(levels, dtype=float)
+        total = np.zeros(levels.shape[0])
+        chunk = max(1, self._CHUNK_ELEMENTS // max(self._rows, 1))
+        for start in range(0, levels.shape[0], chunk):
+            block = levels[start:start + chunk]
+            out = total[start:start + chunk]
+            for fam in self._analytic:
+                out += getattr(fam, method)(block, self.kind)
+        return total
+
+    def flow_grid(self, levels) -> np.ndarray:
+        """Total analytic filled flow at each candidate level."""
+        return self._chunked(levels, "level_flow_sum")
+
+    def dflow_grid(self, levels) -> np.ndarray:
+        """Derivative of the analytic filled flow at each candidate level."""
+        return self._chunked(levels, "level_dflow_sum")
+
+    def _numeric_inverse(self, fam: _Members, level: float) -> np.ndarray:
+        return fam.inverse_values(level) if self.kind == "nash" \
+            else fam.inverse_marginals(level)
+
+    def extra(self, level: float) -> float:
+        """Filled flow of the numeric rows at a scalar level."""
+        total = 0.0
+        for fam in self._numeric:
+            total += float(self._numeric_inverse(fam, level).sum())
+        return total
+
+    def _numeric_dflow(self, fam: _Members, x: np.ndarray) -> float:
+        """``d(filled flow)/dL`` of one numeric family at its loads ``x``."""
+        active = x > 0.0
+        if not np.any(active):
+            return 0.0
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            d1 = fam.derivs(x)
+            if self.kind == "nash":
+                denom = d1
+            else:
+                denom = 2.0 * d1 + x * fam.second_derivs(x)
+            contrib = np.where(active & (denom > 0.0), 1.0 / denom, 0.0)
+        return float(contrib.sum())
+
+    def dflow(self, level: float) -> float:
+        """Total ``d(filled flow)/dL`` at a scalar level, numeric rows included."""
+        total = float(self.dflow_grid(np.array([level]))[0])
+        for fam in self._numeric:
+            total += self._numeric_dflow(fam, self._numeric_inverse(fam, level))
+        return total
+
+    def flow_dflow_grid(self, levels) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused batched ``(flow, dflow)`` at an array of levels.
+
+        The array analogue of :meth:`flow_dflow` for the analytic rows: one
+        pass per family sharing the ``np.power`` intermediates between the
+        flow and its derivative, so the batched engine's Newton iterations
+        cost one family sweep instead of two.
+        """
+        levels = np.asarray(levels, dtype=float)
+        flow = np.zeros(levels.shape[0])
+        dflow = np.zeros(levels.shape[0])
+        chunk = max(1, self._CHUNK_ELEMENTS // max(self._rows, 1))
+        for start in range(0, levels.shape[0], chunk):
+            block = levels[start:start + chunk]
+            for fam in self._analytic:
+                f, d = fam.level_flow_dflow_sum(block, self.kind)
+                flow[start:start + chunk] += f
+                dflow[start:start + chunk] += d
+        return flow, dflow
+
+    def flow_dflow(self, level: float) -> Tuple[float, float]:
+        """Fused ``(filled flow, d flow/dL)`` at a scalar level.
+
+        One pass over the families sharing the expensive ``np.power``
+        intermediates between the flow and its derivative — the per-iteration
+        evaluation of the engine's safeguarded Newton loop.  Numeric rows
+        contribute their bisected inverse and the implicit-function derivative
+        ``1 / (d/dx level(x))`` at it.
+        """
+        levels = np.array([float(level)])
+        flow = 0.0
+        dflow = 0.0
+        for fam in self._analytic:
+            f, d = fam.level_flow_dflow_sum(levels, self.kind)
+            flow += float(f[0])
+            dflow += float(d[0])
+        for fam in self._numeric:
+            x = self._numeric_inverse(fam, level)
+            flow += float(x.sum())
+            dflow += self._numeric_dflow(fam, x)
+        return flow, dflow
 
 
 class LatencyBatch:
@@ -464,6 +874,7 @@ class LatencyBatch:
         self.is_constant = constant_mask
         self._values_at_zero: Optional[np.ndarray] = None
         self._domain_upper: Optional[np.ndarray] = None
+        self._profiles: dict = {}
 
     # ------------------------------------------------------------------ #
     # Canonicalisation
@@ -578,6 +989,60 @@ class LatencyBatch:
             return None
         return (self._linear.slopes, self._linear.intercepts,
                 self._linear.index_array())
+
+    def level_profile(self, kind: str) -> Optional[_LevelProfile]:
+        """The sorted-breakpoint engine profile for ``kind`` (cached).
+
+        Returns ``None`` when some strictly increasing link sits in the
+        generic bucket: those rows have no family closed form at all, so the
+        legacy bracket-and-bisect level solve is the only correct path.
+        """
+        if kind not in ("nash", "optimum"):
+            raise ModelError(f"unknown water-filling kind {kind!r}")
+        cached = self._profiles.get(kind)
+        if cached is None:
+            if len(self._generic) and bool(np.any(
+                    ~self.is_constant[self._generic.index_array()])):
+                cached = False  # remembered "no profile available"
+            else:
+                cached = _LevelProfile(self, kind)
+            self._profiles[kind] = cached
+        return cached or None
+
+    def subset(self, indices: Sequence[int]) -> "LatencyBatch":
+        """The batch restricted to ``indices``, by slicing the family arrays.
+
+        Equivalent to ``LatencyBatch([batch.latencies[i] for i in indices])``
+        but without re-running the per-link canonicaliser — the OpTop
+        recursion derives each round's sub-instance batch this way.
+        """
+        indices = [int(i) for i in indices]
+        if not indices:
+            raise ModelError("subset needs at least one link index")
+        positions = {}
+        for j, i in enumerate(indices):
+            if not 0 <= i < self.size:
+                raise ModelError(f"subset index {i} out of range 0..{self.size - 1}")
+            if i in positions:
+                raise ModelError("subset indices must be unique")
+            positions[i] = j
+        new = object.__new__(LatencyBatch)
+        new.latencies = tuple(self.latencies[i] for i in indices)
+        for attr in ("_linear", "_constant", "_power", "_mm1", "_poly",
+                     "_generic"):
+            fam = getattr(self, attr)
+            rows = [r for r, old in enumerate(fam.indices) if old in positions]
+            setattr(new, attr, fam.take(
+                rows, [positions[fam.indices[r]] for r in rows]))
+        families = [new._linear, new._constant, new._power, new._mm1,
+                    new._poly, new._generic]
+        new._families = [fam for fam in families if len(fam)]
+        new._index_arrays = [fam.index_array() for fam in new._families]
+        new.is_constant = self.is_constant[np.asarray(indices, dtype=np.intp)]
+        new._values_at_zero = None
+        new._domain_upper = None
+        new._profiles = {}
+        return new
 
     # ------------------------------------------------------------------ #
     # Batched calculus

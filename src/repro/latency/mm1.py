@@ -57,16 +57,23 @@ class MM1Latency(LatencyFunction):
         x_arr = np.asarray(x, dtype=float)
         return np.log(self.capacity / (self.capacity - x_arr))
 
+    def _clamp_inside(self, root: float) -> float:
+        # At huge levels ``c - 1/y`` rounds to exactly ``c``, which lies
+        # outside the open domain and would make any later ``value`` /
+        # ``derivative`` call raise.  Clamp strictly inside, one ulp below
+        # capacity — far below the water-filling tolerances.
+        return min(root, math.nextafter(self.capacity, 0.0))
+
     def inverse_value(self, y: float) -> float:
         if y <= 1.0 / self.capacity:
             return 0.0
-        return self.capacity - 1.0 / y
+        return self._clamp_inside(self.capacity - 1.0 / y)
 
     def inverse_marginal(self, y: float) -> float:
         # marginal cost: 1/(c-x) + x/(c-x)^2 = c/(c-x)^2 ; solve c/(c-x)^2 = y.
         if y <= 1.0 / self.capacity:
             return 0.0
-        return self.capacity - math.sqrt(self.capacity / y)
+        return self._clamp_inside(self.capacity - math.sqrt(self.capacity / y))
 
     def marginal_cost(self, x: ArrayLike) -> ArrayLike:
         self._check_domain(x)

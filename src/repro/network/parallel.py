@@ -147,22 +147,36 @@ class ParallelLinkInstance:
     # Derived instances
     # ------------------------------------------------------------------ #
     def with_demand(self, demand: float) -> "ParallelLinkInstance":
-        """A copy of this instance with a different total flow."""
-        return ParallelLinkInstance(self.latencies, demand, names=self.names)
+        """A copy of this instance with a different total flow.
+
+        The links are unchanged, so the copy *shares* the cached
+        :class:`LatencyBatch` (and with it the sorted-breakpoint level
+        profiles): elastic-demand bisections and demand sweeps re-solve
+        without re-grouping the families per trial demand.
+        """
+        clone = ParallelLinkInstance(self.latencies, demand, names=self.names)
+        clone._batch = self._batch
+        return clone
 
     def sub_instance(self, link_indices: Sequence[int],
                      demand: float) -> "ParallelLinkInstance":
         """The restriction of the system to ``link_indices`` with flow ``demand``.
 
         Used by OpTop when it discards optimally frozen links and recurses on
-        the remaining subsystem.
+        the remaining subsystem.  When this instance already built its
+        :class:`LatencyBatch`, the restriction derives the sub-batch by
+        slicing the frozen family arrays (:meth:`LatencyBatch.subset`)
+        instead of re-running the canonicaliser on every recursion round.
         """
         indices = list(link_indices)
         if not indices:
             raise ModelError("sub_instance needs at least one link")
-        return ParallelLinkInstance(
+        sub = ParallelLinkInstance(
             [self.latencies[i] for i in indices], demand,
             names=[self.names[i] for i in indices])
+        if self._batch is not None:
+            sub._batch = self._batch.subset(indices)
+        return sub
 
     def shifted(self, strategy_flows: np.ndarray) -> "ParallelLinkInstance":
         """The Followers' view of the system under a Stackelberg pre-load.

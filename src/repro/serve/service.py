@@ -12,7 +12,11 @@ path; this module turns it into a *service*:
   ``max_wait_ms`` to accumulate up to ``max_batch`` requests, groups them by
   ``(strategy, config)`` and executes each group with one
   :func:`repro.api.solve_many` call — so a thousand concurrent callers cost
-  a handful of batch invocations, not a thousand solver round trips.
+  a handful of batch invocations, not a thousand solver round trips.  For
+  strategies with a registered whole-batch solver (``aloof``), ``solve_many``
+  additionally collapses each micro-batch into a single vectorized
+  :func:`~repro.equilibrium.parallel.water_fill_many` pass over the
+  coalesced demands — the service inherits the batched kernel for free.
 * Concurrent requests for the same ``(instance digest, strategy, config)``
   are **coalesced**: the first enters the queue, the rest attach their
   futures to the in-flight entry and are all resolved by the single solve.

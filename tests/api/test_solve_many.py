@@ -212,3 +212,57 @@ class TestSpawnStartMethodFallback:
             assert session._pool_unsafe_reason("fork_ok_stub") is None
         finally:
             REGISTRY.unregister("fork_ok_stub")
+
+
+class TestBatchPrePass:
+    """The whole-batch solver shortcut in sequential solve_many."""
+
+    def _instances(self, n=6):
+        base = random_linear_parallel(5, demand=1.0, seed=3)
+        return [base.with_demand(0.5 + 0.7 * i) for i in range(n)]
+
+    def test_aloof_batch_matches_per_instance_solve(self):
+        instances = self._instances()
+        batched = solve_many(instances, "aloof", max_workers=0)
+        singles = [solve(inst, "aloof",
+                         config=SolveConfig(cache=False))
+                   for inst in instances]
+        for a, b in zip(batched, singles):
+            assert a.induced_cost == pytest.approx(b.induced_cost, abs=1e-9)
+            assert a.beta == pytest.approx(b.beta, abs=1e-9)
+            for fa, fb in zip(a.induced_flows, b.induced_flows):
+                assert fa == pytest.approx(fb, abs=1e-9)
+
+    def test_batch_reports_are_cached(self):
+        instances = self._instances()
+        first = solve_many(instances, "aloof", max_workers=0)
+        assert all(not r.metadata["cache"]["hit"] for r in first)
+        second = solve_many(instances, "aloof", max_workers=0)
+        assert all(r.metadata["cache"]["hit"] for r in second)
+
+    def test_batch_metadata_records_group_size(self):
+        instances = self._instances(4)
+        reports = solve_many(instances, "aloof", max_workers=0,
+                             config=SolveConfig(cache=False))
+        assert all(r.metadata.get("batched") == 4 for r in reports)
+
+    def test_mixed_latency_groups_and_singletons(self):
+        shared = random_linear_parallel(4, demand=1.0, seed=8)
+        group = [shared.with_demand(d) for d in (0.4, 1.3, 2.2)]
+        loner = random_linear_parallel(4, demand=1.5, seed=9)
+        reports = solve_many(group + [loner], "aloof", max_workers=0,
+                             config=SolveConfig(cache=False))
+        assert [r.metadata.get("batched") for r in reports[:3]] == [3, 3, 3]
+        assert reports[3].metadata.get("batched") is None
+        single = solve(loner, "aloof", config=SolveConfig(cache=False))
+        assert reports[3].induced_cost == pytest.approx(single.induced_cost,
+                                                        abs=1e-12)
+
+    def test_profiled_batch_skips_the_pre_pass(self):
+        # Profiling needs the per-solve PhaseRecorder; the pre-pass must
+        # step aside so each report carries its own kernel timings.
+        instances = self._instances(3)
+        reports = solve_many(instances, "aloof", max_workers=0,
+                             config=SolveConfig(cache=False, profile=True))
+        assert all("profile" in r.metadata for r in reports)
+        assert all(r.metadata.get("batched") is None for r in reports)

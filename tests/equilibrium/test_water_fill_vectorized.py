@@ -16,6 +16,7 @@ from repro.equilibrium.parallel import (
     parallel_nash,
     parallel_optimum,
     water_fill,
+    water_fill_many,
 )
 from repro.exceptions import ModelError
 from repro.latency import (
@@ -152,3 +153,155 @@ class TestConfigSelection:
         ref = parallel_optimum(instance,
                                config=SolveConfig(kernel_backend="reference"))
         np.testing.assert_allclose(vec.flows, ref.flows, atol=EQ_TOL)
+
+
+class TestMM1NearCapacity:
+    """Regression: M/M/1 inverses probed exactly at capacity.
+
+    With demand a hair under the joint capacity the common level is huge and
+    the closed-form inverse ``c - f/L`` rounds to ``c`` exactly; evaluating
+    the latency there divides by zero.  The inverses now clamp strictly
+    inside the domain (``nextafter(c, 0)``), so the solve converges and the
+    resulting flows remain evaluatable.
+    """
+
+    LINKS = [MM1Latency(1.0), MM1Latency(1000.0)]
+    DEMAND = 1001.0 - 1e-9
+
+    @pytest.mark.parametrize("kind", ["nash", "optimum"])
+    @pytest.mark.parametrize("backend", ["vectorized", "reference"])
+    def test_near_capacity_demand_solves(self, kind, backend):
+        flows, level = water_fill(self.LINKS, self.DEMAND, kind,
+                                  backend=backend)
+        assert np.all(np.isfinite(flows))
+        assert flows.sum() == pytest.approx(self.DEMAND, rel=1e-9)
+        assert level > 1e6  # the level blows up near capacity
+        # Every flow stays strictly inside its link's domain: the latency
+        # (and its derivative) must evaluate to a finite number.
+        for lat, x in zip(self.LINKS, flows):
+            assert x < lat.capacity
+            assert np.isfinite(lat.value(float(x)))
+            assert np.isfinite(lat.derivative(float(x)))
+
+    @pytest.mark.parametrize("kind", ["nash", "optimum"])
+    def test_batch_values_evaluatable_at_solution(self, kind):
+        from repro.latency.batch import LatencyBatch
+
+        flows, _ = water_fill(self.LINKS, self.DEMAND, kind)
+        values = LatencyBatch(self.LINKS).values(flows)
+        assert np.all(np.isfinite(values))
+
+    @pytest.mark.parametrize("kind", ["nash", "optimum"])
+    def test_backends_agree_near_capacity(self, kind):
+        vec_flows, _ = water_fill(self.LINKS, self.DEMAND, kind)
+        ref_flows, _ = water_fill(self.LINKS, self.DEMAND, kind,
+                                  backend="reference")
+        np.testing.assert_allclose(vec_flows, ref_flows, atol=1e-6)
+
+
+class TestWaterFillMany:
+    @pytest.mark.parametrize("kind", ["nash", "optimum"])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_per_instance_loop(self, kind, seed):
+        links = random_family_links(seed)
+        rng = np.random.default_rng(1000 + seed)
+        demands = np.concatenate([[0.0], rng.uniform(0.1, 8.0, size=7)])
+        flows, levels = water_fill_many(links, demands, kind)
+        assert flows.shape == (demands.size, len(links))
+        for j, demand in enumerate(demands):
+            f, level = water_fill(links, float(demand), kind)
+            np.testing.assert_allclose(flows[j], f, atol=EQ_TOL)
+            if np.isfinite(level):
+                assert levels[j] == pytest.approx(level, abs=EQ_TOL,
+                                                  rel=EQ_TOL)
+            else:
+                assert levels[j] == level
+
+    @pytest.mark.parametrize("kind", ["nash", "optimum"])
+    def test_reference_backend_agrees(self, kind):
+        links = random_family_links(3)
+        demands = np.array([0.5, 2.0, 5.0])
+        vec_flows, vec_levels = water_fill_many(links, demands, kind)
+        ref_flows, ref_levels = water_fill_many(links, demands, kind,
+                                                backend="reference")
+        np.testing.assert_allclose(vec_flows, ref_flows, atol=EQ_TOL)
+        np.testing.assert_allclose(vec_levels, ref_levels, atol=EQ_TOL)
+
+    @pytest.mark.parametrize("kind", ["nash", "optimum"])
+    def test_all_linear_closed_form(self, kind):
+        links = [LinearLatency(1.0, 0.0), LinearLatency(0.5, 1.0),
+                 LinearLatency(2.0, 0.3)]
+        demands = np.array([0.0, 1.0, 4.0, 9.5])
+        flows, levels = water_fill_many(links, demands, kind)
+        for j, demand in enumerate(demands):
+            f, level = water_fill(links, float(demand), kind)
+            np.testing.assert_allclose(flows[j], f, atol=EQ_TOL)
+            assert levels[j] == pytest.approx(level, abs=EQ_TOL)
+
+    @pytest.mark.parametrize("kind", ["nash", "optimum"])
+    def test_generic_fallback_rows(self, kind):
+        # A generic (no closed-form inverse) link forces the per-demand
+        # scalar fallback; results must still match the scalar solver.
+        from repro.latency.base import LatencyFunction
+
+        class _WeirdLatency(LatencyFunction):
+            def value(self, x):
+                return 1.0 + x + 0.1 * np.sinh(x)
+
+            def derivative(self, x):
+                return 1.0 + 0.1 * np.cosh(x)
+
+            def integral(self, x):
+                return x + 0.5 * x * x + 0.1 * (np.cosh(x) - 1.0)
+
+        links = [_WeirdLatency(), LinearLatency(1.0, 0.5), MM1Latency(4.0)]
+        demands = np.array([0.3, 1.5, 3.0])
+        flows, levels = water_fill_many(links, demands, kind)
+        for j, demand in enumerate(demands):
+            f, level = water_fill(links, float(demand), kind)
+            np.testing.assert_allclose(flows[j], f, atol=EQ_TOL)
+            assert levels[j] == pytest.approx(level, abs=EQ_TOL)
+
+    def test_single_link(self):
+        flows, levels = water_fill_many([MM1Latency(3.0)],
+                                        np.array([0.0, 1.0, 2.5]), "nash")
+        np.testing.assert_allclose(flows[:, 0], [0.0, 1.0, 2.5], atol=EQ_TOL)
+
+    @pytest.mark.parametrize("kind", ["nash", "optimum"])
+    def test_duplicate_breakpoints(self, kind):
+        # Identical links share one activation breakpoint; the engine must
+        # deduplicate the grid without losing a segment.
+        links = [LinearLatency(1.0, 1.0), LinearLatency(1.0, 1.0),
+                 MonomialLatency(0.5, 3, 1.0), ConstantLatency(1.0)]
+        demands = np.array([0.0, 0.5, 2.0, 6.0])
+        flows, _ = water_fill_many(links, demands, kind)
+        for j, demand in enumerate(demands):
+            f, _ = water_fill(links, float(demand), kind)
+            np.testing.assert_allclose(flows[j], f, atol=EQ_TOL)
+
+    def test_empty_demands(self):
+        flows, levels = water_fill_many([LinearLatency(1.0)], np.empty(0),
+                                        "nash")
+        assert flows.shape == (0, 1)
+        assert levels.shape == (0,)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ModelError):
+            water_fill_many([LinearLatency(1.0)], np.array([-1.0]), "nash")
+        with pytest.raises(ModelError):
+            water_fill_many([LinearLatency(1.0)], np.array([[1.0]]), "nash")
+        with pytest.raises(ModelError):
+            water_fill_many([LinearLatency(1.0)], np.array([1.0]), "nope")
+        with pytest.raises(ModelError):
+            water_fill_many([LinearLatency(1.0)], np.array([1.0]), "nash",
+                            backend="turbo")
+
+    def test_prebuilt_batch_reused(self):
+        from repro.latency.batch import LatencyBatch
+
+        links = random_family_links(7)
+        batch = LatencyBatch(links)
+        demands = np.array([1.0, 3.0])
+        flows_a, _ = water_fill_many(links, demands, "nash", batch=batch)
+        flows_b, _ = water_fill_many(links, demands, "nash")
+        np.testing.assert_allclose(flows_a, flows_b, atol=EQ_TOL)
