@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Regenerate the pinned benchmark-suite baseline for CI.
+
+Runs a built-in suite (``small`` by default) and writes the
+``verify_suite`` baseline payload — per-row instance digests and gaps —
+to ``.github/suite-gap-baseline.json``.  The CI ``bench-suite`` job
+re-runs the suite on every push and fails when an instance digest drifts
+or a strategy's gap regresses beyond the suite's ``gap_tolerance``;
+regenerating this file is the explicit act of re-pinning after an
+intentional change (review the diff like a golden fixture).
+
+Run with::
+
+    PYTHONPATH=src python scripts/make_suite_baseline.py [--suite small]
+        [--out .github/suite-gap-baseline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench import baseline_payload, get_suite, run_suite  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", default="small",
+                        help="built-in suite to pin (default: small)")
+    parser.add_argument("--out",
+                        default=str(ROOT / ".github"
+                                    / "suite-gap-baseline.json"),
+                        help="where to write the baseline JSON")
+    args = parser.parse_args(argv)
+
+    report = run_suite(get_suite(args.suite))
+    payload = baseline_payload(report)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n",
+                   encoding="utf-8")
+    print(f"pinned {len(payload['entries'])} rows of suite "
+          f"{report.suite.name!r} v{report.suite.version} to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

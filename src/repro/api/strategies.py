@@ -28,6 +28,7 @@ from repro.core.mop import mop
 from repro.core.optop import optop
 from repro.baselines.aloof import aloof
 from repro.baselines.brute_force import brute_force_strategy
+from repro.baselines.exact import exact_strategy
 from repro.baselines.llf import llf
 from repro.baselines.network_ext import network_brute_force, network_llf
 from repro.baselines.scale import scale
@@ -45,6 +46,7 @@ __all__ = [
     "solve_aloof",
     "solve_aloof_many",
     "solve_brute_force",
+    "solve_exact",
 ]
 
 
@@ -303,6 +305,48 @@ def solve_aloof_many(instances: Sequence[object],
                 nash=nash if config.compute_nash else None,
                 metadata={"algorithm": "aloof", "batched": len(idxs)})
     return reports
+
+
+@register_strategy("exact")
+def solve_exact(instance, config: SolveConfig) -> SolveReport:
+    """MILP-certified exact baseline with budget ``config.budget()``.
+
+    On parallel links solves the piecewise-linearised mixed-integer leader
+    problem (:func:`repro.baselines.exact.exact_strategy`), polishes the
+    best candidate on the true induced cost, and reports the certified
+    lower bound / optimality gap in ``metadata["certification"]``.  On
+    network instances it falls back to the exhaustive path-support search,
+    certified against the social optimum (a valid lower bound on any
+    induced cost, though looser than the parallel-link MILP bound).
+    """
+    alpha = config.budget()
+    kind = resolve_instance_kind(instance)
+    if kind == PARALLEL:
+        result = exact_strategy(instance, alpha, tol=config.water_fill_tol)
+        metadata = {"algorithm": "exact", "requested_alpha": alpha,
+                    "certification": result.certification}
+        return _parallel_baseline_report("exact", instance, config,
+                                         result.strategy, metadata,
+                                         outcome=result.outcome)
+    result = network_brute_force(
+        instance, alpha, resolution=config.brute_force_resolution,
+        solver=config.network_solver(), tolerance=config.tolerance)
+    optimum_cost = float(network_optimum(instance, config=config).cost)
+    certification = {
+        "method": "network_brute_force",
+        "lower_bound": optimum_cost,
+        "certified_cost": float(result.outcome.cost),
+        "optimality_gap": float(max(0.0, float(result.outcome.cost)
+                                    - optimum_cost)),
+        "resolution": config.brute_force_resolution,
+        "evaluated": result.evaluated,
+        "alpha": float(alpha),
+    }
+    metadata = {"algorithm": "exact", "requested_alpha": alpha,
+                "certification": certification}
+    return _network_baseline_report("exact", instance, config,
+                                    result.strategy, metadata,
+                                    outcome=result.outcome)
 
 
 @register_strategy("brute_force")

@@ -14,6 +14,7 @@ from repro.baselines.llf import llf
 from repro.baselines.scale import scale
 from repro.baselines.aloof import aloof
 from repro.baselines.brute_force import brute_force_strategy, enumerate_strategies
+from repro.baselines.exact import ExactResult, exact_strategy
 from repro.baselines.network_ext import (
     NetworkBruteForceResult,
     network_brute_force,
@@ -26,6 +27,8 @@ __all__ = [
     "aloof",
     "brute_force_strategy",
     "enumerate_strategies",
+    "exact_strategy",
+    "ExactResult",
     "network_llf",
     "network_brute_force",
     "NetworkBruteForceResult",

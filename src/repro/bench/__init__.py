@@ -1,0 +1,42 @@
+"""Adversarial benchmark suites with MILP-certified optimality gaps.
+
+The bench subsystem turns the repo into a reference benchmark for
+Stackelberg routing on parallel links:
+
+* the adversarial generators of :mod:`repro.instances.adversarial`
+  (registered on the generator registry) produce instances designed to be
+  hard — near-degenerate breakpoints, heavy-tailed M/M/1 capacities,
+  worst-case-PoA Pigou compositions, all latency families at once;
+* the ``exact`` strategy (:mod:`repro.baselines.exact`) certifies each
+  instance with a mixed-integer lower bound;
+* :class:`~repro.bench.suite.SuiteSpec` pins instances + strategies into a
+  versioned suite, :func:`~repro.bench.suite.run_suite` produces the
+  certified gap table, and :func:`~repro.bench.suite.verify_suite` gates
+  runs against a pinned baseline (``repro bench suite verify``).
+"""
+
+from repro.bench.suite import (
+    SUITES,
+    GapRow,
+    SuiteEntry,
+    SuiteReport,
+    SuiteSpec,
+    available_suites,
+    baseline_payload,
+    get_suite,
+    run_suite,
+    verify_suite,
+)
+
+__all__ = [
+    "SuiteEntry",
+    "SuiteSpec",
+    "GapRow",
+    "SuiteReport",
+    "run_suite",
+    "verify_suite",
+    "baseline_payload",
+    "available_suites",
+    "get_suite",
+    "SUITES",
+]

@@ -42,6 +42,17 @@ unified :mod:`repro.api` solver-session layer:
     ``--store DIR`` the per-step artifacts land in the content-addressed
     store, so a second replay resumes with **zero** solver calls.
 
+``repro bench``
+    Adversarial benchmark suites with certified optimality gaps: ``repro
+    bench suite list`` shows the built-in suites; ``repro bench suite run
+    --suite small`` expands the suite through the study pipeline and prints
+    a per-strategy gap table certified against the MILP lower bound of the
+    ``exact`` strategy (``--store DIR`` makes the run resumable, ``--csv``/
+    ``--json``/``--baseline-out`` export the results); ``repro bench suite
+    verify --baseline FILE`` re-runs the suite and exits non-zero if any
+    instance digest drifted or any certified gap regressed beyond the
+    pinned value plus the suite tolerance.
+
 ``repro serve``
     The serving layer: ``repro serve bench`` drives a seed-deterministic
     synthetic request stream through a :class:`repro.serve.SolveService`
@@ -267,6 +278,48 @@ def build_parser() -> argparse.ArgumentParser:
     study_resume = study_sub.add_parser(
         "resume", help="re-run against an existing artifact store")
     add_run_arguments(study_resume, store_required=True)
+
+    bench = subparsers.add_parser(
+        "bench", help="adversarial benchmark suites with certified gaps")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_suite = bench_sub.add_parser(
+        "suite", help="list, run or verify a benchmark suite")
+    bench_suite_sub = bench_suite.add_subparsers(dest="suite_command",
+                                                 required=True)
+    bench_suite_list = bench_suite_sub.add_parser(
+        "list", help="list the built-in benchmark suites")
+    del bench_suite_list  # no options
+
+    def add_suite_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--suite", default="small",
+                         help="built-in suite name (default: small; see "
+                              "'repro bench suite list')")
+        sub.add_argument("--store", default=None,
+                         help="artifact-store directory; a second run "
+                              "against it resumes with zero solver calls")
+        sub.add_argument("--workers", type=int, default=0,
+                         help="process-pool width for cache misses "
+                              "(0 = sequential)")
+
+    bench_suite_run = bench_suite_sub.add_parser(
+        "run", help="run a suite and print the certified gap table")
+    add_suite_arguments(bench_suite_run)
+    bench_suite_run.add_argument("--json", action="store_true",
+                                 help="print the SuiteReport as JSON")
+    bench_suite_run.add_argument("--csv", default=None,
+                                 help="also export the gap table as CSV to "
+                                      "this path")
+    bench_suite_run.add_argument("--baseline-out", default=None,
+                                 help="write the run's gaps/digests as a "
+                                      "verify baseline to this path")
+
+    bench_suite_verify = bench_suite_sub.add_parser(
+        "verify", help="run a suite and gate it against a pinned baseline")
+    add_suite_arguments(bench_suite_verify)
+    bench_suite_verify.add_argument(
+        "--baseline", default=".github/suite-gap-baseline.json",
+        help="pinned baseline JSON (default: "
+             ".github/suite-gap-baseline.json)")
 
     serve = subparsers.add_parser(
         "serve", help="serving layer: benchmark the SolveService")
@@ -702,6 +755,74 @@ def _command_study_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_suite_list(args: argparse.Namespace) -> int:
+    from repro.bench import available_suites, get_suite
+
+    rows = []
+    for name in available_suites():
+        spec = get_suite(name)
+        rows.append((name, f"v{spec.version}", str(spec.num_instances),
+                     str(spec.num_cells), ", ".join(spec.strategies),
+                     spec.description))
+    print(format_table(
+        ("suite", "version", "instances", "cells", "strategies",
+         "description"),
+        rows, title="Available benchmark suites"))
+    return 0
+
+
+def _run_suite_from_args(args: argparse.Namespace):
+    from repro.bench import get_suite, run_suite
+
+    spec = get_suite(args.suite)
+    store = _open_store(args)
+    report = run_suite(spec, store=store, max_workers=args.workers)
+    return spec, report
+
+
+def _command_bench_suite_run(args: argparse.Namespace) -> int:
+    from repro.bench import baseline_payload
+
+    spec, report = _run_suite_from_args(args)
+    if args.csv is not None:
+        report.to_csv(args.csv)
+    if args.baseline_out is not None:
+        import json as _json
+        from pathlib import Path
+
+        path = Path(args.baseline_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(baseline_payload(report), sort_keys=True,
+                                    indent=2) + "\n")
+        print(f"baseline written to {path}", file=sys.stderr)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.to_table())
+        print()
+        print(f"{spec.name} v{spec.version}: {len(report.rows)} rows | "
+              f"store hits {report.store_hits}, solver calls "
+              f"{report.solver_calls}"
+              + (" (fully resumed)" if report.fully_resumed else ""))
+    return 0
+
+
+def _command_bench_suite_verify(args: argparse.Namespace) -> int:
+    from repro.bench import verify_suite
+
+    spec, report = _run_suite_from_args(args)
+    violations = verify_suite(report, args.baseline)
+    if violations:
+        for violation in violations:
+            print(f"violation: {violation}", file=sys.stderr)
+        print(f"{spec.name} v{spec.version}: {len(violations)} violation(s) "
+              f"against {args.baseline}", file=sys.stderr)
+        return 1
+    print(f"{spec.name} v{spec.version}: {len(report.rows)} rows verified "
+          f"against {args.baseline}")
+    return 0
+
+
 def _command_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve import run_bench
 
@@ -955,6 +1076,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "serve":
         handler = {"bench": _command_serve_bench,
                    "cluster": _command_serve_cluster}[args.serve_command]
+    elif args.command == "bench":
+        handler = {"list": _command_bench_suite_list,
+                   "run": _command_bench_suite_run,
+                   "verify": _command_bench_suite_verify}[args.suite_command]
     elif args.command == "chaos":
         handler = {"list": _command_chaos_list,
                    "run": _command_chaos_run}[args.chaos_command]

@@ -24,6 +24,12 @@ from repro.instances.random_parallel import (
     random_polynomial_parallel,
 )
 from repro.instances.mm1_farm import mm1_server_farm, random_mm1_parallel
+from repro.instances.adversarial import (
+    heavy_tail_capacity,
+    mixed_family_soup,
+    near_degenerate_breakpoints,
+    pigou_chain,
+)
 from repro.instances.random_networks import (
     grid_network,
     layered_network,
@@ -43,6 +49,10 @@ __all__ = [
     "random_mixed_parallel",
     "mm1_server_farm",
     "random_mm1_parallel",
+    "near_degenerate_breakpoints",
+    "heavy_tail_capacity",
+    "pigou_chain",
+    "mixed_family_soup",
     "grid_network",
     "layered_network",
     "random_multicommodity_instance",

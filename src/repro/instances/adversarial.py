@@ -1,0 +1,192 @@
+"""Adversarial parallel-link generators for the benchmark suite.
+
+Each factory here is *designed to be hard* for one part of the solver stack:
+
+* :func:`near_degenerate_breakpoints` clusters every free-flow latency within
+  a window of width ``epsilon``, so the sorted-breakpoint engine has to
+  separate segments whose boundaries almost coincide.
+* :func:`heavy_tail_capacity` draws M/M/1 capacities from a Pareto
+  distribution and pushes the demand toward saturation, so a few huge links
+  dominate while the small ones operate near their poles.
+* :func:`pigou_chain` composes geometrically scaled Pigou pairs — the
+  classic worst-case price-of-anarchy building block — into one instance.
+* :func:`mixed_family_soup` puts all five latency families (linear,
+  constant, monomial, polynomial, M/M/1) on a single instance, exercising
+  every code path of the mixed-family water-filling kernel at once.
+
+All factories validate their parameters eagerly and raise
+:class:`~repro.exceptions.InstanceError` on degenerate inputs (``epsilon=0``
+duplicated breakpoints, demand at or above capacity) instead of emitting
+unsolvable instances.  Seeded factories are deterministic in
+``(params, seed)``; see :mod:`repro.instances.rng` for the seed protocol.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import InstanceError
+from repro.instances.rng import SeedLike, resolve_rng
+from repro.latency.base import LatencyFunction
+from repro.latency.linear import ConstantLatency, LinearLatency
+from repro.latency.mm1 import MM1Latency
+from repro.latency.polynomial import MonomialLatency, PolynomialLatency
+from repro.network.parallel import ParallelLinkInstance
+
+__all__ = [
+    "near_degenerate_breakpoints",
+    "heavy_tail_capacity",
+    "pigou_chain",
+    "mixed_family_soup",
+]
+
+
+def near_degenerate_breakpoints(num_links: int, demand: float = 1.0, *,
+                                seed: SeedLike = 0, epsilon: float = 1e-6,
+                                base_latency: float = 1.0,
+                                slope_range: tuple[float, float] = (0.5, 2.0),
+                                ) -> ParallelLinkInstance:
+    """Affine links whose free-flow latencies are clustered within ``epsilon``.
+
+    The sorted-breakpoint engine orders links by their free-flow latencies
+    ``l_i(0)`` and walks the induced segments; here every intercept lies in
+    ``[base_latency, base_latency + epsilon)``, so consecutive breakpoints
+    are separated by ``O(epsilon / num_links)`` and the segment search runs
+    at the edge of floating-point resolution.  ``epsilon`` must be strictly
+    positive: ``epsilon=0`` would duplicate breakpoints exactly and make the
+    water-filling level sets ill-defined, so it raises
+    :class:`~repro.exceptions.InstanceError` instead.
+    """
+    if num_links < 2:
+        raise InstanceError(
+            f"near_degenerate_breakpoints needs >= 2 links, got {num_links!r}")
+    if epsilon <= 0.0:
+        raise InstanceError(
+            f"epsilon must be > 0 (epsilon=0 duplicates breakpoints exactly), "
+            f"got {epsilon!r}")
+    if base_latency < 0.0:
+        raise InstanceError(
+            f"base_latency must be >= 0, got {base_latency!r}")
+    if demand <= 0.0:
+        raise InstanceError(f"demand must be > 0, got {demand!r}")
+    rng = resolve_rng(seed)
+    slopes = rng.uniform(*slope_range, size=num_links)
+    # Strictly increasing offsets inside [0, epsilon): a random partition of
+    # the window keeps the breakpoints distinct but adversarially close.
+    offsets = epsilon * rng.uniform(0.0, 1.0, size=num_links)
+    offsets.sort()
+    latencies = [LinearLatency(float(a), base_latency + float(b))
+                 for a, b in zip(slopes, offsets)]
+    return ParallelLinkInstance(latencies, demand)
+
+
+def heavy_tail_capacity(num_links: int, *, seed: SeedLike = 0,
+                        demand_fraction: float = 0.95,
+                        tail_index: float = 1.5,
+                        scale: float = 1.0) -> ParallelLinkInstance:
+    """M/M/1 links with Pareto capacities, demand pushed toward saturation.
+
+    Capacities are drawn as ``scale * Pareto(tail_index)`` (support
+    ``[scale, inf)``); small tail indices make a handful of giant links
+    coexist with many tiny ones, and ``demand_fraction`` close to 1 pins the
+    system near its pole where latencies blow up.  ``demand_fraction`` must
+    be strictly below 1 — demand exactly at capacity has no feasible flow
+    with finite latency, so it raises
+    :class:`~repro.exceptions.InstanceError`.
+    """
+    if num_links < 1:
+        raise InstanceError(f"num_links must be >= 1, got {num_links!r}")
+    if not 0.0 < demand_fraction < 1.0:
+        raise InstanceError(
+            f"demand_fraction must lie strictly in (0, 1) — demand at or "
+            f"above the total capacity is infeasible — got {demand_fraction!r}")
+    if tail_index <= 0.0:
+        raise InstanceError(f"tail_index must be > 0, got {tail_index!r}")
+    if scale <= 0.0:
+        raise InstanceError(f"scale must be > 0, got {scale!r}")
+    rng = resolve_rng(seed)
+    # rng.pareto draws from the Lomax form with support [0, inf); shifting by
+    # one gives the classical Pareto with minimum value `scale`.
+    capacities = scale * (1.0 + rng.pareto(tail_index, size=num_links))
+    latencies = [MM1Latency(float(c)) for c in capacities]
+    demand = demand_fraction * float(capacities.sum())
+    return ParallelLinkInstance(latencies, demand)
+
+
+def pigou_chain(num_blocks: int, demand: float | None = None, *,
+                degree: float = 2.0,
+                cost_ratio: float = 4.0) -> ParallelLinkInstance:
+    """A composition of geometrically scaled Pigou pairs (worst-case PoA).
+
+    Block ``j`` (``j = 0..num_blocks-1``) contributes two links: a constant
+    "safe road" with latency ``cost_ratio**j`` and a monomial "fast road"
+    ``l(x) = cost_ratio**j * x**degree`` whose latency meets the safe road
+    exactly at one unit of flow.  Each pair in isolation is Pigou's
+    worst-case price-of-anarchy example for degree-``degree`` latencies;
+    composing blocks at geometrically separated cost scales forces the
+    solvers to resolve every scale correctly at once.  ``demand`` defaults
+    to ``num_blocks`` (one unit per block, the per-block worst case).
+
+    Deterministic (no seed): the construction is fully parameterised.
+    """
+    if num_blocks < 1:
+        raise InstanceError(f"num_blocks must be >= 1, got {num_blocks!r}")
+    if degree < 1.0:
+        raise InstanceError(f"degree must be >= 1, got {degree!r}")
+    if cost_ratio <= 1.0:
+        raise InstanceError(
+            f"cost_ratio must be > 1 to separate the blocks, got {cost_ratio!r}")
+    if demand is None:
+        demand = float(num_blocks)
+    if demand <= 0.0:
+        raise InstanceError(f"demand must be > 0, got {demand!r}")
+    latencies: List[LatencyFunction] = []
+    names: List[str] = []
+    for j in range(num_blocks):
+        level = cost_ratio ** j
+        latencies.append(ConstantLatency(level))
+        names.append(f"safe{j + 1}")
+        latencies.append(MonomialLatency(level, degree))
+        names.append(f"road{j + 1}")
+    return ParallelLinkInstance(latencies, demand, names=tuple(names))
+
+
+def mixed_family_soup(num_links: int = 5, demand: float = 1.0, *,
+                      seed: SeedLike = 0) -> ParallelLinkInstance:
+    """All five latency families (linear, constant, monomial, polynomial,
+    M/M/1) on one parallel-link instance.
+
+    Link ``i`` draws its family round-robin, so every family appears at
+    least once when ``num_links >= 5``; parameters are randomised within
+    solver-friendly ranges except that M/M/1 capacities always exceed the
+    total demand (each queueing link could carry everything alone, keeping
+    the instance feasible regardless of how flow is split).  Stresses the
+    generic mixed-family water-filling kernel, which must merge breakpoint
+    families with different curvature and domain structure.
+    """
+    if num_links < 5:
+        raise InstanceError(
+            f"mixed_family_soup needs >= 5 links so every latency family "
+            f"appears, got {num_links!r}")
+    if demand <= 0.0:
+        raise InstanceError(f"demand must be > 0, got {demand!r}")
+    rng = resolve_rng(seed)
+    latencies = []
+    for i in range(num_links):
+        family = i % 5
+        if family == 0:
+            latencies.append(LinearLatency(float(rng.uniform(0.5, 2.5)),
+                                           float(rng.uniform(0.0, 1.0))))
+        elif family == 1:
+            latencies.append(ConstantLatency(float(rng.uniform(0.5, 2.0))))
+        elif family == 2:
+            latencies.append(MonomialLatency(float(rng.uniform(0.5, 2.0)),
+                                             float(rng.integers(2, 4)),
+                                             float(rng.uniform(0.0, 0.5))))
+        elif family == 3:
+            coeffs = [float(c) for c in rng.uniform(0.1, 1.5, size=3)]
+            latencies.append(PolynomialLatency(coeffs))
+        else:
+            capacity = demand * float(rng.uniform(1.2, 3.0))
+            latencies.append(MM1Latency(capacity))
+    return ParallelLinkInstance(latencies, demand)

@@ -8,9 +8,8 @@ Benchmark E8 sweeps exactly these families.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.exceptions import InstanceError
+from repro.instances.rng import SeedLike, resolve_rng
 from repro.latency.mm1 import MM1Latency
 from repro.network.parallel import ParallelLinkInstance
 
@@ -48,7 +47,7 @@ def mm1_server_farm(num_fast: int, num_slow: int, *, fast_capacity: float = 10.0
 
 
 def random_mm1_parallel(num_links: int, demand_fraction: float = 0.7, *,
-                        seed: int = 0,
+                        seed: SeedLike = 0,
                         capacity_range: tuple[float, float] = (1.0, 10.0),
                         ) -> ParallelLinkInstance:
     """Parallel M/M/1 links with capacities drawn uniformly at random.
@@ -61,7 +60,7 @@ def random_mm1_parallel(num_links: int, demand_fraction: float = 0.7, *,
     if not 0.0 < demand_fraction < 1.0:
         raise InstanceError(
             f"demand_fraction must lie in (0, 1), got {demand_fraction!r}")
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     capacities = rng.uniform(*capacity_range, size=num_links)
     latencies = [MM1Latency(float(c)) for c in capacities]
     demand = demand_fraction * float(capacities.sum())

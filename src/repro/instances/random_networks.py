@@ -7,6 +7,7 @@ from typing import List
 import numpy as np
 
 from repro.exceptions import InstanceError
+from repro.instances.rng import SeedLike, resolve_rng
 from repro.latency.base import LatencyFunction
 from repro.latency.linear import LinearLatency
 from repro.latency.polynomial import BPRLatency
@@ -26,7 +27,7 @@ def _random_latency(rng: np.random.Generator, family: str) -> LatencyFunction:
     raise InstanceError(f"unknown latency family {family!r}")
 
 
-def grid_network(rows: int, cols: int, demand: float = 1.0, *, seed: int = 0,
+def grid_network(rows: int, cols: int, demand: float = 1.0, *, seed: SeedLike = 0,
                  latency_family: str = "linear") -> NetworkInstance:
     """A directed grid routed from the top-left to the bottom-right corner.
 
@@ -37,7 +38,7 @@ def grid_network(rows: int, cols: int, demand: float = 1.0, *, seed: int = 0,
     """
     if rows < 2 or cols < 2:
         raise InstanceError("grid_network needs at least a 2x2 grid")
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     network = Network()
     for r in range(rows):
         for c in range(cols):
@@ -50,7 +51,7 @@ def grid_network(rows: int, cols: int, demand: float = 1.0, *, seed: int = 0,
 
 
 def layered_network(num_layers: int, width: int, demand: float = 1.0, *,
-                    seed: int = 0, latency_family: str = "linear",
+                    seed: SeedLike = 0, latency_family: str = "linear",
                     extra_edge_probability: float = 0.5) -> NetworkInstance:
     """A layered DAG from a single source to a single sink.
 
@@ -62,7 +63,7 @@ def layered_network(num_layers: int, width: int, demand: float = 1.0, *,
     """
     if num_layers < 1 or width < 1:
         raise InstanceError("layered_network needs num_layers >= 1 and width >= 1")
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     network = Network()
     source, sink = "s", "t"
     layers: List[List[tuple]] = [[(layer, i) for i in range(width)]
@@ -83,7 +84,7 @@ def layered_network(num_layers: int, width: int, demand: float = 1.0, *,
 
 
 def random_multicommodity_instance(rows: int = 3, cols: int = 3, *,
-                                   num_commodities: int = 2, seed: int = 0,
+                                   num_commodities: int = 2, seed: SeedLike = 0,
                                    demand_range: tuple[float, float] = (0.5, 1.5),
                                    latency_family: str = "linear",
                                    ) -> NetworkInstance:
@@ -97,7 +98,7 @@ def random_multicommodity_instance(rows: int = 3, cols: int = 3, *,
         raise InstanceError("random_multicommodity_instance needs at least a 2x2 grid")
     if num_commodities < 1:
         raise InstanceError("need at least one commodity")
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     network = Network()
     for r in range(rows):
         for c in range(cols):

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import InstanceError
+from repro.instances.rng import SeedLike, resolve_rng
 from repro.latency.linear import ConstantLatency, LinearLatency
 from repro.latency.polynomial import MonomialLatency, PolynomialLatency
 from repro.network.parallel import ParallelLinkInstance
@@ -22,7 +23,7 @@ def _check_num_links(num_links: int) -> None:
         raise InstanceError(f"num_links must be >= 1, got {num_links!r}")
 
 
-def random_linear_parallel(num_links: int, demand: float = 1.0, *, seed: int = 0,
+def random_linear_parallel(num_links: int, demand: float = 1.0, *, seed: SeedLike = 0,
                            slope_range: tuple[float, float] = (0.5, 3.0),
                            intercept_range: tuple[float, float] = (0.0, 1.0),
                            ) -> ParallelLinkInstance:
@@ -33,7 +34,7 @@ def random_linear_parallel(num_links: int, demand: float = 1.0, *, seed: int = 0
     bound apply to.
     """
     _check_num_links(num_links)
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     slopes = rng.uniform(*slope_range, size=num_links)
     intercepts = rng.uniform(*intercept_range, size=num_links)
     latencies = [LinearLatency(float(a), float(b))
@@ -41,7 +42,7 @@ def random_linear_parallel(num_links: int, demand: float = 1.0, *, seed: int = 0
     return ParallelLinkInstance(latencies, demand)
 
 
-def random_affine_common_slope(num_links: int, demand: float = 1.0, *, seed: int = 0,
+def random_affine_common_slope(num_links: int, demand: float = 1.0, *, seed: SeedLike = 0,
                                slope: float = 1.0,
                                intercept_range: tuple[float, float] = (0.0, 1.0),
                                ) -> ParallelLinkInstance:
@@ -54,13 +55,13 @@ def random_affine_common_slope(num_links: int, demand: float = 1.0, *, seed: int
     _check_num_links(num_links)
     if slope <= 0.0:
         raise InstanceError(f"the common slope must be > 0, got {slope!r}")
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     intercepts = np.sort(rng.uniform(*intercept_range, size=num_links))
     latencies = [LinearLatency(slope, float(b)) for b in intercepts]
     return ParallelLinkInstance(latencies, demand)
 
 
-def random_polynomial_parallel(num_links: int, demand: float = 1.0, *, seed: int = 0,
+def random_polynomial_parallel(num_links: int, demand: float = 1.0, *, seed: SeedLike = 0,
                                max_degree: int = 3,
                                coefficient_range: tuple[float, float] = (0.1, 2.0),
                                ) -> ParallelLinkInstance:
@@ -73,7 +74,7 @@ def random_polynomial_parallel(num_links: int, demand: float = 1.0, *, seed: int
     _check_num_links(num_links)
     if max_degree < 1:
         raise InstanceError(f"max_degree must be >= 1, got {max_degree!r}")
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     latencies = []
     for _ in range(num_links):
         degree = int(rng.integers(1, max_degree + 1))
@@ -83,7 +84,7 @@ def random_polynomial_parallel(num_links: int, demand: float = 1.0, *, seed: int
     return ParallelLinkInstance(latencies, demand)
 
 
-def random_mixed_parallel(num_links: int, demand: float = 1.0, *, seed: int = 0,
+def random_mixed_parallel(num_links: int, demand: float = 1.0, *, seed: SeedLike = 0,
                           constant_fraction: float = 0.25,
                           ) -> ParallelLinkInstance:
     """A mixture of affine, monomial and constant latencies.
@@ -96,7 +97,7 @@ def random_mixed_parallel(num_links: int, demand: float = 1.0, *, seed: int = 0,
     if not 0.0 <= constant_fraction <= 1.0:
         raise InstanceError(
             f"constant_fraction must lie in [0, 1], got {constant_fraction!r}")
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     latencies = []
     for i in range(num_links):
         draw = rng.uniform()

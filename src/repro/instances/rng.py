@@ -1,0 +1,50 @@
+"""Explicit random-number-generator resolution for instance factories.
+
+Every seeded factory of :mod:`repro.instances` routes its ``seed`` argument
+through :func:`resolve_rng`, which accepts three forms:
+
+* an ``int`` — the reproducible path: ``np.random.default_rng(seed)``;
+* an existing :class:`numpy.random.Generator` — threaded through unchanged,
+  so a caller can drive several factories from one stream;
+* ``None`` — "give me a fresh instance, I don't care which": drawn from a
+  module-private fallback stream that is *independent of the global NumPy
+  RNG*.  Library code (or test fixtures) calling ``np.random.seed`` can
+  therefore never couple itself to no-seed instance generation, and two
+  no-seed calls never return identical instances just because someone
+  re-seeded the legacy global state in between.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["resolve_rng", "SeedLike"]
+
+#: What instance factories accept as their ``seed`` argument.
+SeedLike = Union[int, np.random.Generator, None]
+
+#: Private entropy stream backing ``seed=None`` calls.  Deliberately NOT
+#: ``np.random`` (the legacy global RNG): its state is owned by this module
+#: alone, so ``np.random.seed(...)`` elsewhere cannot replay or entangle
+#: no-seed instance draws.
+_FALLBACK: np.random.Generator = np.random.default_rng()
+
+
+def resolve_rng(seed: SeedLike) -> np.random.Generator:
+    """The :class:`numpy.random.Generator` a factory should draw from.
+
+    ``int`` seeds give the deterministic generator the study pipeline's
+    digest-stable addressing relies on; an explicit ``Generator`` is used
+    (and advanced) as-is; ``None`` spawns an independent child of the
+    module-private fallback stream (never the global NumPy RNG).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        # spawn() gives each no-seed call its own child stream, so factories
+        # invoked concurrently from several threads do not race on one
+        # bit-generator's state.
+        return _FALLBACK.spawn(1)[0]
+    return np.random.default_rng(int(seed))

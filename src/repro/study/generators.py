@@ -38,9 +38,13 @@ from repro.instances import (
     braess_paradox,
     figure_4_example,
     grid_network,
+    heavy_tail_capacity,
     layered_network,
+    mixed_family_soup,
     mm1_server_farm,
+    near_degenerate_breakpoints,
     pigou,
+    pigou_chain,
     pigou_nonlinear,
     random_affine_common_slope,
     random_linear_parallel,
@@ -453,6 +457,44 @@ register_generator(
                                     "enum": ["linear", "bpr"]}},
                 required=()),
     description="k-commodity instance on a bidirected grid.")
+
+
+# --------------------------------------------------------------------------- #
+# Adversarial generators (the bench suite's stress families)
+# --------------------------------------------------------------------------- #
+register_generator(
+    "near_degenerate_breakpoints", near_degenerate_breakpoints,
+    schema=_obj({"num_links": _int(2), "demand": _num(0.0, exclusive=True),
+                 "epsilon": _num(0.0, exclusive=True),
+                 "base_latency": _num(0.0),
+                 "slope_range": _range_pair()},
+                required=("num_links",)),
+    description="Affine links with free-flow latencies clustered within epsilon.")
+
+register_generator(
+    "heavy_tail_capacity", heavy_tail_capacity,
+    schema=_obj({"num_links": _int(1),
+                 "demand_fraction": {"type": "number",
+                                     "exclusiveMinimum": 0,
+                                     "exclusiveMaximum": 1},
+                 "tail_index": _num(0.0, exclusive=True),
+                 "scale": _num(0.0, exclusive=True)},
+                required=("num_links",)),
+    description="Pareto-capacity M/M/1 links with demand near saturation.")
+
+register_generator(
+    "pigou_chain", pigou_chain, seeded=False,
+    schema=_obj({"num_blocks": _int(1), "demand": _num(0.0, exclusive=True),
+                 "degree": _num(1.0),
+                 "cost_ratio": {"type": "number", "exclusiveMinimum": 1}},
+                required=("num_blocks",)),
+    description="Geometrically scaled Pigou pairs (worst-case PoA composition).")
+
+register_generator(
+    "mixed_family_soup", mixed_family_soup,
+    schema=_obj({"num_links": _int(5), "demand": _num(0.0, exclusive=True)},
+                required=()),
+    description="All five latency families on one parallel-link instance.")
 
 
 def _literal_instance(instance: Mapping[str, Any],

@@ -1,0 +1,120 @@
+"""Unit tests for the MILP-certified exact baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import SolveConfig, solve
+from repro.baselines.exact import exact_strategy
+from repro.equilibrium import parallel_nash, parallel_optimum
+from repro.exceptions import StrategyError
+from repro.instances import (
+    braess_paradox,
+    figure_4_example,
+    mixed_family_soup,
+    pigou,
+)
+
+ALPHA = 0.5
+
+
+class TestValidation:
+    def test_alpha_out_of_range(self):
+        with pytest.raises(StrategyError):
+            exact_strategy(pigou(), -0.1)
+        with pytest.raises(StrategyError):
+            exact_strategy(pigou(), 1.1)
+
+    def test_num_segments_positive(self):
+        with pytest.raises(StrategyError):
+            exact_strategy(pigou(), 0.5, num_segments=0)
+
+
+class TestCertificate:
+    def test_certification_fields(self):
+        result = exact_strategy(pigou(), ALPHA)
+        cert = result.certification
+        for key in ("lower_bound", "certified_cost", "optimality_gap",
+                    "selected_candidate", "candidate_costs", "alpha",
+                    "linearisation_error", "milp_success"):
+            assert key in cert
+        assert cert["alpha"] == ALPHA
+        assert cert["lower_bound"] <= cert["certified_cost"] + 1e-12
+        assert cert["optimality_gap"] == pytest.approx(
+            max(0.0, cert["certified_cost"] - cert["lower_bound"]))
+        assert cert["selected_candidate"] in cert["candidate_costs"]
+
+    def test_outcome_matches_certified_cost(self):
+        result = exact_strategy(figure_4_example(), ALPHA)
+        assert result.outcome.cost == pytest.approx(
+            result.certification["certified_cost"])
+
+    def test_leader_budget_respected(self):
+        instance = figure_4_example()
+        result = exact_strategy(instance, ALPHA)
+        leader = np.asarray(result.strategy.flows, dtype=float)
+        assert leader.sum() <= ALPHA * instance.demand + 1e-9
+        assert (leader >= -1e-12).all()
+
+    def test_certificate_is_json_serialisable(self):
+        import json
+
+        cert = exact_strategy(mixed_family_soup(5, seed=0), ALPHA
+                              ).certification
+        json.dumps(cert)  # must not raise
+
+
+class TestOptimality:
+    def test_alpha_zero_matches_nash(self):
+        instance = figure_4_example()
+        result = exact_strategy(instance, 0.0)
+        nash = parallel_nash(instance)
+        assert result.outcome.cost == pytest.approx(nash.cost, rel=1e-9)
+
+    def test_alpha_one_matches_optimum(self):
+        instance = figure_4_example()
+        result = exact_strategy(instance, 1.0)
+        optimum = parallel_optimum(instance)
+        assert result.outcome.cost == pytest.approx(optimum.cost, rel=1e-6)
+        assert result.certification["lower_bound"] <= optimum.cost + 1e-9
+
+    def test_pigou_closed_form(self):
+        # At alpha = 0.5 the leader saturates the constant link and the
+        # followers fill the linear one: the social optimum, cost 3/4.
+        result = exact_strategy(pigou(), 0.5)
+        assert result.outcome.cost == pytest.approx(0.75, abs=1e-9)
+        assert result.certification["lower_bound"] <= 0.75 + 1e-9
+
+    def test_never_worse_than_budgeted_heuristics(self):
+        instance = mixed_family_soup(6, demand=1.5, seed=3)
+        result = exact_strategy(instance, ALPHA)
+        for heuristic in ("llf", "scale", "aloof"):
+            rival = solve(instance, heuristic,
+                          config=SolveConfig(alpha=ALPHA))
+            # exact's candidate set contains the heuristic itself.
+            assert result.outcome.cost <= rival.induced_cost + 1e-6
+
+    def test_tighter_grid_does_not_loosen_certificate(self):
+        instance = mixed_family_soup(5, demand=1.0, seed=0)
+        coarse = exact_strategy(instance, ALPHA, num_segments=8)
+        fine = exact_strategy(instance, ALPHA, num_segments=128)
+        assert fine.certification["optimality_gap"] <= \
+            coarse.certification["optimality_gap"] + 1e-9
+
+
+class TestStrategyAdapter:
+    def test_parallel_report_carries_certification(self):
+        report = solve(pigou(), "exact", config=SolveConfig(alpha=ALPHA))
+        cert = report.metadata["certification"]
+        assert report.metadata["algorithm"] == "exact"
+        assert cert["lower_bound"] <= report.induced_cost + 1e-12
+
+    def test_network_fallback_is_certified_brute_force(self):
+        report = solve(braess_paradox(), "exact",
+                       config=SolveConfig(alpha=ALPHA,
+                                          brute_force_resolution=5))
+        cert = report.metadata["certification"]
+        assert cert["method"] == "network_brute_force"
+        assert cert["lower_bound"] <= report.induced_cost + 1e-9
+        assert cert["optimality_gap"] >= 0.0

@@ -1,0 +1,103 @@
+"""Tests for the ``repro bench suite`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import SuiteEntry, SuiteSpec
+from repro.bench import suite as suite_module
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def tiny_builtin_suite(monkeypatch):
+    """Register a fast two-instance suite so CLI runs stay sub-second."""
+    def build() -> SuiteSpec:
+        return SuiteSpec(
+            "tinycli",
+            [SuiteEntry("neardeg", "near_degenerate_breakpoints",
+                        {"num_links": 3, "demand": 1.5}, seeds=(0, 1))],
+            strategies=("exact", "llf", "aloof"),
+            description="CLI test suite")
+
+    monkeypatch.setitem(suite_module.SUITES, "tinycli", build)
+
+
+def test_suite_list(capsys):
+    assert main(["bench", "suite", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "small" in out and "tinycli" in out
+    assert "Available benchmark suites" in out
+
+
+def test_suite_run_prints_gap_table(capsys):
+    assert main(["bench", "suite", "run", "--suite", "tinycli"]) == 0
+    out = capsys.readouterr().out
+    assert "Suite 'tinycli'" in out
+    assert "certified gap" in out
+    assert "6 rows" in out
+
+
+def test_suite_run_json_and_csv(tmp_path, capsys):
+    csv_path = tmp_path / "gaps.csv"
+    assert main(["bench", "suite", "run", "--suite", "tinycli",
+                 "--json", "--csv", str(csv_path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["suite"]["name"] == "tinycli"
+    assert len(payload["rows"]) == 6
+    assert csv_path.read_text().count("\n") == 7
+
+
+def test_suite_run_resumes_through_store(tmp_path, capsys):
+    from repro.api import clear_cache
+
+    store = str(tmp_path / "store")
+    clear_cache()
+    assert main(["bench", "suite", "run", "--suite", "tinycli",
+                 "--store", store]) == 0
+    first = capsys.readouterr().out
+    assert "solver calls 6" in first
+    assert main(["bench", "suite", "run", "--suite", "tinycli",
+                 "--store", store]) == 0
+    second = capsys.readouterr().out
+    assert "solver calls 0" in second and "fully resumed" in second
+
+
+def test_suite_verify_round_trip(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(["bench", "suite", "run", "--suite", "tinycli",
+                 "--baseline-out", str(baseline)]) == 0
+    capsys.readouterr()
+    assert baseline.exists()
+    assert main(["bench", "suite", "verify", "--suite", "tinycli",
+                 "--baseline", str(baseline)]) == 0
+    assert "verified against" in capsys.readouterr().out
+
+
+def test_suite_verify_fails_on_regression(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(["bench", "suite", "run", "--suite", "tinycli",
+                 "--baseline-out", str(baseline)]) == 0
+    capsys.readouterr()
+    payload = json.loads(baseline.read_text())
+    for key, pinned in payload["entries"].items():
+        if key.endswith("/aloof"):
+            pinned["gap"] -= 1.0  # pretend aloof used to be far better
+    baseline.write_text(json.dumps(payload))
+    assert main(["bench", "suite", "verify", "--suite", "tinycli",
+                 "--baseline", str(baseline)]) == 1
+    err = capsys.readouterr().err
+    assert "regressed" in err and "violation" in err
+
+
+def test_suite_verify_missing_baseline_is_typed_error(tmp_path, capsys):
+    assert main(["bench", "suite", "verify", "--suite", "tinycli",
+                 "--baseline", str(tmp_path / "nope.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_unknown_suite_is_typed_error(capsys):
+    assert main(["bench", "suite", "run", "--suite", "nope"]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,98 @@
+"""Golden regression fixture for the built-in ``small`` benchmark suite.
+
+The whole certified gap table — instance digests, costs, MILP lower
+bounds and per-strategy gaps — is pinned to
+``tests/fixtures/golden/suite_small.json``.  Digests are compared
+exactly (drift means the generators changed construction), numerics with
+the repo's 1e-9 golden comparator.  A deliberate change is committed
+with ``pytest --update-golden`` (see tests/README.md).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.bench import get_suite, run_suite
+
+GOLDEN_PATH = (Path(__file__).resolve().parents[1] / "fixtures" / "golden"
+               / "suite_small.json")
+
+#: Relative/absolute tolerance of the golden comparator.
+TOL = 1e-9
+
+NUMERIC_FIELDS = ("cost", "exact_cost", "lower_bound", "gap",
+                  "certified_gap")
+
+
+def _numbers_match(measured: float, pinned: float) -> bool:
+    if math.isnan(measured) or math.isnan(pinned):
+        return math.isnan(measured) and math.isnan(pinned)
+    return abs(measured - pinned) <= TOL + TOL * max(abs(measured),
+                                                     abs(pinned))
+
+
+def _golden_payload(report) -> dict:
+    """The pinned subset of a SuiteReport (no timings, no counters)."""
+    return {
+        "suite": report.suite.name,
+        "version": report.suite.version,
+        "suite_digest": report.suite.digest(),
+        "rows": {
+            row.key: {
+                "instance_digest": row.instance_digest,
+                **{field: getattr(row, field) for field in NUMERIC_FIELDS},
+            }
+            for row in report.rows
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_suite(get_suite("small"))
+
+
+def test_small_suite_matches_golden(small_report, update_golden):
+    payload = _golden_payload(small_report)
+    if update_golden:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        return
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden fixture {GOLDEN_PATH}; generate it with "
+        f"pytest --update-golden")
+    pinned = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert payload["suite"] == pinned["suite"]
+    assert payload["version"] == pinned["version"]
+    assert payload["suite_digest"] == pinned["suite_digest"], \
+        "suite spec changed; bump the version and rerun with --update-golden"
+    assert sorted(payload["rows"]) == sorted(pinned["rows"]), \
+        "the set of (entry, seed, strategy) rows changed"
+    for key, pinned_row in pinned["rows"].items():
+        row = payload["rows"][key]
+        assert row["instance_digest"] == pinned_row["instance_digest"], (
+            f"{key}: instance digest drifted — the generator's construction "
+            f"or seeding changed")
+        for field in NUMERIC_FIELDS:
+            assert _numbers_match(row[field], pinned_row[field]), (
+                f"{key}: {field} = {row[field]!r} drifted from golden "
+                f"{pinned_row[field]!r} beyond {TOL:g}")
+
+
+def test_golden_gaps_stay_certified(small_report):
+    """Every fixed-budget row must keep its unconditional certificate.
+
+    ``optop`` is exempt: it runs its own budget ``beta``, so the alpha-0.5
+    lower bound does not bind it (its gaps may legitimately be negative).
+    """
+    for row in small_report.rows:
+        if row.strategy == "optop":
+            continue
+        assert row.lower_bound <= row.cost + 1e-9
+        assert row.certified_gap >= -1e-12

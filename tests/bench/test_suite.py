@@ -1,0 +1,222 @@
+"""Tests for the benchmark suite runner (:mod:`repro.bench.suite`)."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    SuiteEntry,
+    SuiteSpec,
+    available_suites,
+    baseline_payload,
+    get_suite,
+    run_suite,
+    verify_suite,
+)
+from repro.exceptions import ModelError
+from repro.study import ArtifactStore
+
+
+def tiny_spec(**overrides) -> SuiteSpec:
+    """A 2-instance, 3-strategy suite that solves in well under a second."""
+    defaults = dict(
+        version=1,
+        strategies=("exact", "llf", "aloof"),
+        alpha=0.5,
+        gap_tolerance=1e-3,
+        description="test suite",
+    )
+    defaults.update(overrides)
+    return SuiteSpec(
+        "tiny",
+        [SuiteEntry("neardeg", "near_degenerate_breakpoints",
+                    {"num_links": 3, "demand": 1.5}, seeds=(0, 1))],
+        **defaults)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_suite(tiny_spec())
+
+
+class TestSuiteEntry:
+    def test_params_are_canonicalised(self):
+        a = SuiteEntry("x", "g", {"b": 1, "a": 2})
+        b = SuiteEntry("x", "g", {"a": 2, "b": 1})
+        assert a.params == b.params == '{"a":2,"b":1}'
+
+    def test_round_trip(self):
+        entry = SuiteEntry("x", "pigou_chain", {"num_blocks": 2},
+                           seeds=(0, 3))
+        assert SuiteEntry.from_dict(entry.to_dict()) == entry
+
+    def test_rejects_empty_label_and_seeds(self):
+        with pytest.raises(ModelError):
+            SuiteEntry("", "g")
+        with pytest.raises(ModelError):
+            SuiteEntry("x", "g", seeds=())
+
+    def test_rejects_non_json_params(self):
+        with pytest.raises(ModelError):
+            SuiteEntry("x", "g", {"bad": object()})
+
+
+class TestSuiteSpec:
+    def test_baseline_strategy_always_included(self):
+        spec = tiny_spec(strategies=("llf", "aloof"))
+        assert spec.strategies[0] == "exact"
+        assert spec.num_cells == 2 * 3
+
+    def test_duplicate_labels_rejected(self):
+        entry = SuiteEntry("dup", "pigou_chain", {"num_blocks": 1})
+        with pytest.raises(ModelError):
+            SuiteSpec("s", [entry, entry])
+
+    @pytest.mark.parametrize("overrides", [
+        {"version": 0},
+        {"alpha": 1.5},
+        {"gap_tolerance": -1.0},
+    ])
+    def test_invalid_fields_rejected(self, overrides):
+        with pytest.raises(ModelError):
+            tiny_spec(**overrides)
+
+    def test_round_trip_and_digest(self):
+        spec = tiny_spec()
+        clone = SuiteSpec.from_dict(spec.to_dict())
+        assert clone.to_dict() == spec.to_dict()
+        assert clone.digest() == spec.digest()
+
+    def test_digest_sensitive_to_version(self):
+        assert tiny_spec().digest() != tiny_spec(version=2).digest()
+
+    def test_validate_resolves_names(self):
+        tiny_spec().validate()
+        bad = SuiteSpec("s", [SuiteEntry("x", "no_such_generator")])
+        with pytest.raises(ModelError):
+            bad.validate()
+
+
+class TestRunSuite:
+    def test_rows_cover_the_grid(self, tiny_report):
+        spec = tiny_report.suite
+        assert len(tiny_report.rows) == spec.num_cells
+        keys = {row.key for row in tiny_report.rows}
+        assert keys == {f"neardeg/s{seed}/{strategy}"
+                        for seed in (0, 1)
+                        for strategy in spec.strategies}
+
+    def test_exact_rows_have_zero_gap(self, tiny_report):
+        for seed in (0, 1):
+            row = tiny_report.row(f"neardeg/s{seed}/exact")
+            assert row.gap == 0.0
+            assert row.cost == row.exact_cost
+            assert row.certified_gap >= 0.0
+
+    def test_exact_dominates_other_strategies(self, tiny_report):
+        for row in tiny_report.rows:
+            assert row.cost >= row.exact_cost - 1e-9
+            assert row.lower_bound <= row.cost + 1e-9
+
+    def test_max_gap(self, tiny_report):
+        assert tiny_report.max_gap("aloof") >= tiny_report.max_gap("exact")
+        with pytest.raises(ModelError):
+            tiny_report.max_gap("no_such_strategy")
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ModelError):
+            run_suite(SuiteSpec("empty"))
+
+    def test_exports(self, tiny_report, tmp_path):
+        payload = json.loads(tiny_report.to_json(tmp_path / "report.json"))
+        assert payload["suite"]["name"] == "tiny"
+        assert len(payload["rows"]) == len(tiny_report.rows)
+        csv_text = tiny_report.to_csv(tmp_path / "report.csv")
+        assert csv_text.count("\n") == len(tiny_report.rows) + 1
+        assert (tmp_path / "report.json").exists()
+        assert (tmp_path / "report.csv").exists()
+        assert "Suite 'tiny'" in tiny_report.to_table()
+
+
+class TestResume:
+    def test_second_run_makes_zero_solver_calls(self, tmp_path):
+        from repro.api import clear_cache
+
+        spec = tiny_spec()
+        store = ArtifactStore(tmp_path / "store")
+        clear_cache()  # the module fixture warmed the in-process cache
+        first = run_suite(spec, store=store)
+        assert first.solver_calls == spec.num_cells
+        assert not first.fully_resumed
+        second = run_suite(spec, store=store)
+        assert second.solver_calls == 0
+        assert second.fully_resumed
+        assert [row.to_dict() for row in second.rows] == \
+            [row.to_dict() for row in first.rows]
+
+
+class TestVerify:
+    def test_clean_run_passes(self, tiny_report):
+        assert verify_suite(tiny_report, baseline_payload(tiny_report)) == []
+
+    def test_baseline_file_round_trip(self, tiny_report, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline_payload(tiny_report)))
+        assert verify_suite(tiny_report, path) == []
+
+    def test_digest_drift_detected(self, tiny_report):
+        baseline = copy.deepcopy(baseline_payload(tiny_report))
+        key = tiny_report.rows[0].key
+        baseline["entries"][key]["digest"] = "0" * 64
+        violations = verify_suite(tiny_report, baseline)
+        assert len(violations) == 1 and "drifted" in violations[0]
+
+    def test_gap_regression_detected(self, tiny_report):
+        baseline = copy.deepcopy(baseline_payload(tiny_report))
+        key = next(row.key for row in tiny_report.rows
+                   if row.strategy == "aloof" and row.gap > 0)
+        baseline["entries"][key]["gap"] = \
+            tiny_report.row(key).gap - 2 * tiny_report.suite.gap_tolerance
+        violations = verify_suite(tiny_report, baseline)
+        assert len(violations) == 1 and "regressed" in violations[0]
+
+    def test_gap_improvement_passes(self, tiny_report):
+        baseline = copy.deepcopy(baseline_payload(tiny_report))
+        for pinned in baseline["entries"].values():
+            pinned["gap"] += 1.0  # every measured gap is now far better
+        assert verify_suite(tiny_report, baseline) == []
+
+    def test_missing_row_detected(self, tiny_report):
+        baseline = copy.deepcopy(baseline_payload(tiny_report))
+        baseline["entries"]["neardeg/s9/exact"] = {"digest": "x", "gap": 0.0}
+        violations = verify_suite(tiny_report, baseline)
+        assert len(violations) == 1 and "missing" in violations[0]
+
+    def test_name_and_version_mismatch_short_circuit(self, tiny_report):
+        baseline = copy.deepcopy(baseline_payload(tiny_report))
+        baseline["suite"] = "other"
+        baseline["version"] = 9
+        violations = verify_suite(tiny_report, baseline)
+        assert len(violations) == 2
+
+    def test_invalid_baseline_rejected(self, tiny_report, tmp_path):
+        with pytest.raises(ModelError):
+            verify_suite(tiny_report, {"no": "entries"})
+        with pytest.raises(ModelError):
+            verify_suite(tiny_report, tmp_path / "nope.json")
+
+
+class TestBuiltinSuites:
+    def test_small_is_available(self):
+        assert "small" in available_suites()
+        spec = get_suite("small")
+        spec.validate()
+        assert spec.baseline_strategy == "exact"
+        assert spec.num_cells == spec.num_instances * len(spec.strategies)
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ModelError):
+            get_suite("no_such_suite")

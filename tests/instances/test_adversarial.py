@@ -1,0 +1,244 @@
+"""Tests for the adversarial benchmark generators.
+
+Beyond the usual factory behaviour (shape, typed errors, seed
+determinism in-process), the suite pins two properties the bench
+subsystem depends on:
+
+* **cross-process determinism** — the artifact store addresses suite
+  cells by instance digest, so the same ``(generator, params, seed)``
+  must hash identically in a *fresh interpreter*, not just a fresh call
+  (guards against accidental set/dict-order or object-identity leaks);
+* **no shared RNG state** — ``seed=None`` draws from a module-private
+  stream, never the global NumPy RNG, so unseeded calls stay independent
+  of (and invisible to) user code that seeds ``np.random``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InstanceError, ModelError
+from repro.instances import (
+    heavy_tail_capacity,
+    mixed_family_soup,
+    near_degenerate_breakpoints,
+    pigou_chain,
+)
+from repro.latency import (
+    ConstantLatency,
+    LinearLatency,
+    MM1Latency,
+    MonomialLatency,
+    PolynomialLatency,
+)
+from repro.serialization import instance_digest
+from repro.study import get_generator
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+ADVERSARIAL_GENERATORS = (
+    "near_degenerate_breakpoints",
+    "heavy_tail_capacity",
+    "pigou_chain",
+    "mixed_family_soup",
+)
+
+
+class TestNearDegenerateBreakpoints:
+    def test_shape_and_clustering(self):
+        instance = near_degenerate_breakpoints(6, demand=2.0, seed=1,
+                                               epsilon=1e-6)
+        assert instance.num_links == 6
+        assert instance.demand == 2.0
+        intercepts = [lat.intercept for lat in instance.latencies]
+        assert max(intercepts) - min(intercepts) <= 1e-6
+        assert intercepts == sorted(intercepts)
+        assert all(isinstance(lat, LinearLatency) and lat.slope > 0
+                   for lat in instance.latencies)
+
+    def test_deterministic(self):
+        a = near_degenerate_breakpoints(5, seed=9)
+        b = near_degenerate_breakpoints(5, seed=9)
+        assert instance_digest(a) == instance_digest(b)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_links": 1},
+        {"num_links": 3, "epsilon": 0.0},
+        {"num_links": 3, "epsilon": -1e-9},
+        {"num_links": 3, "base_latency": -0.1},
+        {"num_links": 3, "demand": 0.0},
+    ])
+    def test_degenerate_params_raise(self, kwargs):
+        with pytest.raises(InstanceError):
+            near_degenerate_breakpoints(**kwargs)
+
+
+class TestHeavyTailCapacity:
+    def test_near_saturation(self):
+        instance = heavy_tail_capacity(5, seed=2, demand_fraction=0.95)
+        capacities = [lat.capacity for lat in instance.latencies]
+        assert all(isinstance(lat, MM1Latency) for lat in instance.latencies)
+        assert instance.demand == pytest.approx(0.95 * sum(capacities))
+
+    def test_tail_is_heavy(self):
+        # Pooled over seeds, a Pareto(1.5) draw produces a max/median ratio
+        # a light-tailed generator essentially never reaches.
+        ratios = []
+        for seed in range(20):
+            instance = heavy_tail_capacity(10, seed=seed, tail_index=1.5)
+            caps = sorted(lat.capacity for lat in instance.latencies)
+            ratios.append(caps[-1] / caps[len(caps) // 2])
+        assert max(ratios) > 5.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_links": 0},
+        {"num_links": 3, "demand_fraction": 0.0},
+        {"num_links": 3, "demand_fraction": 1.0},
+        {"num_links": 3, "tail_index": 0.0},
+        {"num_links": 3, "scale": -1.0},
+    ])
+    def test_degenerate_params_raise(self, kwargs):
+        with pytest.raises(InstanceError):
+            heavy_tail_capacity(**kwargs)
+
+
+class TestPigouChain:
+    def test_block_structure(self):
+        instance = pigou_chain(3, degree=2.0, cost_ratio=4.0)
+        assert instance.num_links == 6
+        assert instance.demand == 3.0
+        constants = [lat for lat in instance.latencies
+                     if isinstance(lat, ConstantLatency)]
+        roads = [lat for lat in instance.latencies
+                 if isinstance(lat, MonomialLatency)]
+        assert len(constants) == len(roads) == 3
+        assert [lat.value(0.0) for lat in constants] == [1.0, 4.0, 16.0]
+
+    def test_deterministic_without_seed(self):
+        assert instance_digest(pigou_chain(2)) == \
+            instance_digest(pigou_chain(2))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_blocks": 0},
+        {"num_blocks": 2, "degree": 0.5},
+        {"num_blocks": 2, "cost_ratio": 1.0},
+        {"num_blocks": 2, "demand": 0.0},
+    ])
+    def test_degenerate_params_raise(self, kwargs):
+        with pytest.raises(InstanceError):
+            pigou_chain(**kwargs)
+
+
+class TestMixedFamilySoup:
+    def test_contains_all_families(self):
+        instance = mixed_family_soup(10, demand=1.0, seed=4)
+        kinds = {type(lat) for lat in instance.latencies}
+        assert kinds == {LinearLatency, ConstantLatency, MonomialLatency,
+                         PolynomialLatency, MM1Latency}
+
+    def test_mm1_links_can_carry_demand(self):
+        instance = mixed_family_soup(10, demand=3.0, seed=5)
+        for lat in instance.latencies:
+            if isinstance(lat, MM1Latency):
+                assert lat.capacity > 3.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_links": 4},
+        {"num_links": 5, "demand": 0.0},
+    ])
+    def test_degenerate_params_raise(self, kwargs):
+        with pytest.raises(InstanceError):
+            mixed_family_soup(**kwargs)
+
+
+class TestRegistry:
+    """The generators are first-class registry citizens with JSON schemas."""
+
+    @pytest.mark.parametrize("name", ADVERSARIAL_GENERATORS)
+    def test_registered_with_schema(self, name):
+        entry = get_generator(name)
+        assert entry.schema["type"] == "object"
+        assert entry.description
+
+    def test_build_validates_schema(self):
+        entry = get_generator("near_degenerate_breakpoints")
+        with pytest.raises(ModelError):
+            entry.build({"num_links": 1}, seed=0)          # below minimum
+        with pytest.raises(ModelError):
+            entry.build({"num_links": 3, "frob": 1}, seed=0)  # unknown param
+        with pytest.raises(ModelError):
+            entry.build({}, seed=0)                        # missing required
+
+    def test_build_wraps_degenerate_params_as_model_error(self):
+        entry = get_generator("heavy_tail_capacity")
+        # Passes the schema (exclusiveMaximum is 1) but saturates inside
+        # the factory -> the registry re-raises as its own typed error.
+        with pytest.raises(ModelError):
+            entry.build({"num_links": 3, "demand_fraction": 0.999999,
+                         "scale": 0.0}, seed=0)
+
+    def test_pigou_chain_is_unseeded(self):
+        entry = get_generator("pigou_chain")
+        assert not entry.seeded
+        a = entry.build({"num_blocks": 2}, seed=0)
+        b = entry.build({"num_blocks": 2}, seed=17)
+        assert instance_digest(a) == instance_digest(b)
+
+
+_SUBPROCESS_SNIPPET = """
+import json, sys
+from repro.instances import (heavy_tail_capacity, mixed_family_soup,
+                             near_degenerate_breakpoints, pigou_chain)
+from repro.serialization import instance_digest
+
+digests = {
+    "neardeg": instance_digest(near_degenerate_breakpoints(4, seed=7)),
+    "heavy": instance_digest(heavy_tail_capacity(4, seed=7)),
+    "chain": instance_digest(pigou_chain(2)),
+    "soup": instance_digest(mixed_family_soup(6, seed=7)),
+}
+json.dump(digests, sys.stdout, sort_keys=True)
+"""
+
+
+def _digests_in_fresh_interpreter() -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SNIPPET],
+        capture_output=True, text=True, check=True,
+        env={"PYTHONPATH": str(SRC_DIR), "PYTHONHASHSEED": "random"},
+    )
+    return result.stdout
+
+
+def test_digests_stable_across_fresh_interpreters():
+    first = _digests_in_fresh_interpreter()
+    second = _digests_in_fresh_interpreter()
+    assert first == second
+    assert len(set(first)) > 1  # sanity: non-empty JSON payload
+
+
+class TestUnseededRng:
+    """seed=None must not touch (or be touched by) global RNG state."""
+
+    def test_unseeded_calls_are_independent(self):
+        a = near_degenerate_breakpoints(4, seed=None)
+        b = near_degenerate_breakpoints(4, seed=None)
+        assert instance_digest(a) != instance_digest(b)
+
+    def test_unseeded_ignores_global_numpy_seed(self):
+        np.random.seed(0)
+        a = heavy_tail_capacity(4, seed=None)
+        np.random.seed(0)
+        b = heavy_tail_capacity(4, seed=None)
+        assert instance_digest(a) != instance_digest(b)
+
+    def test_unseeded_does_not_consume_global_numpy_state(self):
+        np.random.seed(123)
+        expected = np.random.RandomState(123).uniform()
+        mixed_family_soup(6, seed=None)
+        assert np.random.uniform() == expected

@@ -1,0 +1,119 @@
+"""Certification invariants of the ``exact`` strategy.
+
+Across the adversarial families (seed-parametrized like the rest of the
+property suite) the MILP-certified baseline must dominate every heuristic
+it claims to certify:
+
+* ``optimum <= exact``: the social optimum lower-bounds any induced
+  Stackelberg outcome, so the certified cost can never beat it;
+* ``exact <= heuristic + tol`` for llf/scale/aloof at the same alpha —
+  the candidate set of :func:`repro.baselines.exact.exact_strategy`
+  includes each of them (mimic-nash covers aloof), so exact can only win;
+* the certified ``optimality_gap`` is non-negative and consistent with
+  ``lower_bound``/``certified_cost``;
+* ``brute_force`` agrees with the MILP-backed exact cost to 1e-6 on a
+  grid-aligned instance (Pigou at alpha = 0.5, where the optimum puts the
+  whole leader budget on the constant link — a grid point at any even
+  resolution).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.api import SolveConfig, solve
+from repro.equilibrium import parallel_optimum
+from repro.instances import (
+    heavy_tail_capacity,
+    mixed_family_soup,
+    near_degenerate_breakpoints,
+    pigou,
+    pigou_chain,
+)
+
+ALPHA = 0.5
+CONFIG = SolveConfig(alpha=ALPHA)
+
+#: exact includes every heuristic in its candidate set, so it can only be
+#: better up to the solver tolerances of the heuristics themselves.
+DOMINANCE_TOL = 1e-7
+
+SEEDS = (0, 1, 2)
+
+FAMILIES = {
+    "near_degenerate": lambda seed: near_degenerate_breakpoints(
+        4, demand=1.5, seed=seed, epsilon=1e-6),
+    "heavy_tail": lambda seed: heavy_tail_capacity(
+        4, seed=seed, demand_fraction=0.9, tail_index=1.5),
+    "pigou_chain": lambda seed: pigou_chain(
+        2, degree=2.0, cost_ratio=3.0 + 0.5 * seed),
+    "soup": lambda seed: mixed_family_soup(5, demand=1.0, seed=seed),
+}
+
+CASES = [(family, seed) for family in sorted(FAMILIES) for seed in SEEDS]
+
+
+def _exact_report(instance):
+    report = solve(instance, "exact", config=CONFIG)
+    certification = report.metadata["certification"]
+    return report, certification
+
+
+@pytest.mark.parametrize("family,seed", CASES)
+def test_certification_is_internally_consistent(family, seed):
+    instance = FAMILIES[family](seed)
+    report, certification = _exact_report(instance)
+    lower = certification["lower_bound"]
+    cost = certification["certified_cost"]
+    gap = certification["optimality_gap"]
+    assert math.isfinite(report.induced_cost)
+    assert report.induced_cost == pytest.approx(cost, rel=1e-12, abs=1e-12)
+    assert gap >= 0.0
+    assert lower <= cost + 1e-12
+    assert gap == pytest.approx(max(0.0, cost - lower), rel=1e-9, abs=1e-12)
+    assert certification["alpha"] == ALPHA
+
+
+@pytest.mark.parametrize("family,seed", CASES)
+def test_optimum_lower_bounds_exact(family, seed):
+    instance = FAMILIES[family](seed)
+    report, _ = _exact_report(instance)
+    optimum = parallel_optimum(instance)
+    assert optimum.cost <= report.induced_cost + 1e-9
+
+
+@pytest.mark.parametrize("family,seed", CASES)
+@pytest.mark.parametrize("heuristic", ("llf", "scale", "aloof"))
+def test_exact_dominates_heuristics(family, seed, heuristic):
+    instance = FAMILIES[family](seed)
+    report, _ = _exact_report(instance)
+    rival = solve(instance, heuristic, config=CONFIG)
+    slack = DOMINANCE_TOL * max(1.0, abs(rival.induced_cost))
+    assert report.induced_cost <= rival.induced_cost + slack, (
+        f"exact lost to {heuristic} on ({family}, seed={seed}): "
+        f"{report.induced_cost!r} > {rival.induced_cost!r}")
+
+
+def test_brute_force_agrees_with_exact_on_grid_aligned_instance():
+    # Pigou at alpha=0.5: the optimal Stackelberg strategy routes the whole
+    # leader budget onto the constant link (induced cost 0.75), which lies
+    # on the brute-force grid at any resolution, so both solvers must land
+    # on the same cost to well below the 1e-6 agreement bound.
+    instance = pigou()
+    config = SolveConfig(alpha=ALPHA, brute_force_resolution=64)
+    exact = solve(instance, "exact", config=CONFIG)
+    brute = solve(instance, "brute_force", config=config)
+    assert abs(exact.induced_cost - brute.induced_cost) <= 1e-6
+    assert exact.induced_cost == pytest.approx(0.75, abs=1e-9)
+
+
+def test_certified_gap_bounds_true_regret_on_pigou():
+    # On Pigou the true optimum (0.75) is known in closed form, so the
+    # certificate can be checked against ground truth: the lower bound
+    # must not exceed it and the certified gap must cover the distance.
+    _, certification = _exact_report(pigou())
+    assert certification["lower_bound"] <= 0.75 + 1e-9
+    assert certification["certified_cost"] - certification["optimality_gap"] \
+        <= 0.75 + 1e-9
